@@ -1,0 +1,52 @@
+// Figure 10 reproduction: overall speedups of cuZC over ompZC and moZC
+// with ALL metrics enabled, per dataset. Paper: 22.6-31.2x over ompZC and
+// 1.49-1.7x over moZC.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "ompzc/ompzc.hpp"
+
+int main(int argc, char** argv) {
+    namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace ompzc = ::cuzc::ompzc;
+    using namespace ::cuzc::bench;
+    const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+    const auto mcfg = paper_metrics();
+
+    std::printf("=== Figure 10: overall speedups (all metrics enabled) ===\n");
+    std::printf("metric config: deriv orders 1+2, autocorr lag<=%d, SSIM window %d step %d\n",
+                mcfg.autocorr_max_lag, mcfg.ssim_window, mcfg.ssim_step);
+    std::printf("kernel profiles measured at 1/%u scale, extrapolated to paper dims; "
+                "times from the V100/Xeon-6148 cost model (see DESIGN.md)\n\n", cfg.scale);
+    std::printf("%-12s %12s %12s %12s   %-18s %-18s\n", "dataset", "cuZC", "ompZC", "moZC",
+                "cuZC/ompZC", "cuZC/moZC");
+
+    double min_omp = 1e30, max_omp = 0, min_mo = 1e30, max_mo = 0;
+    for (const auto& ds : prepare_datasets(cfg)) {
+        PatternTimes total;
+        for (const auto p : {zc::Pattern::kGlobalReduction, zc::Pattern::kStencil,
+                             zc::Pattern::kSlidingWindow}) {
+            const PatternTimes t = pattern_times(ds, p, mcfg);
+            total.cuzc_s += t.cuzc_s;
+            total.mozc_s += t.mozc_s;
+            total.ompzc_s += t.ompzc_s;
+        }
+        const double s_omp = total.ompzc_s / total.cuzc_s;
+        const double s_mo = total.mozc_s / total.cuzc_s;
+        min_omp = std::min(min_omp, s_omp);
+        max_omp = std::max(max_omp, s_omp);
+        min_mo = std::min(min_mo, s_mo);
+        max_mo = std::max(max_mo, s_mo);
+        std::printf("%-12s %12s %12s %12s   %8.1fx %9s %6.2fx\n", ds.name.c_str(),
+                    fmt_time(total.cuzc_s).c_str(), fmt_time(total.ompzc_s).c_str(),
+                    fmt_time(total.mozc_s).c_str(), s_omp, "", s_mo);
+    }
+    std::printf("\nmeasured ranges : cuZC/ompZC %.1f-%.1fx, cuZC/moZC %.2f-%.2fx\n", min_omp,
+                max_omp, min_mo, max_mo);
+    std::printf("paper (Fig. 10) : cuZC/ompZC 22.6-31.2x, cuZC/moZC 1.49-1.70x\n");
+    return 0;
+}

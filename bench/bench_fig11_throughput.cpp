@@ -1,0 +1,51 @@
+// Figure 11 reproduction: throughput of ompZC / moZC / cuZC with only one
+// pattern's metrics enabled at a time, per dataset. Throughput = field
+// size / time (the paper's convention). Paper ranges:
+//   pattern 1: cuZC 103-137 GB/s, moZC 17-31 GB/s, ompZC 0.44-0.51 GB/s
+//   pattern 3: cuZC 497-758 MB/s, moZC 351-514 MB/s, ompZC 24.8-26.6 MB/s
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "ompzc/ompzc.hpp"
+
+int main(int argc, char** argv) {
+    namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace ompzc = ::cuzc::ompzc;
+    using namespace ::cuzc::bench;
+    const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+    const auto mcfg = paper_metrics();
+    const auto datasets = prepare_datasets(cfg);
+
+    std::printf("=== Figure 11: per-pattern throughput (field bytes / modeled time) ===\n");
+    std::printf("kernel profiles measured at 1/%u scale, extrapolated to paper dims\n", cfg.scale);
+    const struct {
+        zc::Pattern p;
+        const char* title;
+        const char* paper;
+    } patterns[] = {
+        {zc::Pattern::kGlobalReduction, "(a) pattern-1 global reduction",
+         "paper: cuZC 103-137 GB/s | moZC 17-31 GB/s | ompZC 0.44-0.51 GB/s"},
+        {zc::Pattern::kStencil, "(b) pattern-2 stencil",
+         "paper: (speedup form only; see Fig. 12)"},
+        {zc::Pattern::kSlidingWindow, "(c) pattern-3 sliding window (SSIM)",
+         "paper: cuZC 497-758 MB/s | moZC 351-514 MB/s | ompZC 24.8-26.6 MB/s"},
+    };
+
+    for (const auto& pat : patterns) {
+        std::printf("\n--- %s ---\n", pat.title);
+        std::printf("%-12s %14s %14s %14s\n", "dataset", "cuZC", "moZC", "ompZC");
+        for (const auto& ds : datasets) {
+            const double bytes = static_cast<double>(ds.full_dims.volume()) * sizeof(float);
+            const PatternTimes t = pattern_times(ds, pat.p, mcfg);
+            std::printf("%-12s %14s %14s %14s\n", ds.name.c_str(),
+                        fmt_rate(bytes / t.cuzc_s).c_str(), fmt_rate(bytes / t.mozc_s).c_str(),
+                        fmt_rate(bytes / t.ompzc_s).c_str());
+        }
+        std::printf("%s\n", pat.paper);
+    }
+    return 0;
+}

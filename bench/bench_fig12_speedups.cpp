@@ -1,0 +1,49 @@
+// Figure 12 reproduction: per-pattern speedups of cuZC over ompZC and
+// moZC. Paper ranges:
+//   pattern 1: 227-268x over ompZC, 3.49-6.38x over moZC
+//   pattern 2: 17.1-47.4x over ompZC, 1.79-1.86x over moZC
+//   pattern 3: 19.2-28.5x over ompZC, 1.42-1.63x over moZC
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "ompzc/ompzc.hpp"
+
+int main(int argc, char** argv) {
+    namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace ompzc = ::cuzc::ompzc;
+    using namespace ::cuzc::bench;
+    const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+    const auto mcfg = paper_metrics();
+    const auto datasets = prepare_datasets(cfg);
+
+    std::printf("=== Figure 12: per-pattern speedups of cuZC ===\n");
+    std::printf("kernel profiles measured at 1/%u scale, extrapolated to paper dims\n", cfg.scale);
+    const struct {
+        zc::Pattern p;
+        const char* title;
+        const char* paper;
+    } patterns[] = {
+        {zc::Pattern::kGlobalReduction, "(a) pattern-1",
+         "paper: 227-268x over ompZC, 3.49-6.38x over moZC"},
+        {zc::Pattern::kStencil, "(b) pattern-2",
+         "paper: 17.1-47.4x over ompZC, 1.79-1.86x over moZC"},
+        {zc::Pattern::kSlidingWindow, "(c) pattern-3",
+         "paper: 19.2-28.5x over ompZC, 1.42-1.63x over moZC"},
+    };
+
+    for (const auto& pat : patterns) {
+        std::printf("\n--- %s ---\n", pat.title);
+        std::printf("%-12s %16s %16s\n", "dataset", "vs ompZC", "vs moZC");
+        for (const auto& ds : datasets) {
+            const PatternTimes t = pattern_times(ds, pat.p, mcfg);
+            std::printf("%-12s %14.1fx %15.2fx\n", ds.name.c_str(), t.ompzc_s / t.cuzc_s,
+                        t.mozc_s / t.cuzc_s);
+        }
+        std::printf("%s\n", pat.paper);
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks of the virtual-GPU kernels and serial
+// metric implementations — regression tracking for the interpreter and the
+// metric hot loops (wall-clock of THIS host, not modeled V100 time).
+
+#include <benchmark/benchmark.h>
+
+#include "cuzc/cuzc.hpp"
+#include "data/datasets.hpp"
+#include "data/noise.hpp"
+#include "mozc/mozc.hpp"
+#include "ompzc/ompzc.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace data = ::cuzc::data;
+namespace ompzc = ::cuzc::ompzc;
+
+struct Pair {
+    zc::Field orig, dec;
+};
+
+const Pair& fields() {
+    static const Pair p = [] {
+        const auto spec = data::scaled(data::miranda(), 12);  // 32x32x21
+        Pair q;
+        q.orig = data::generate_field(spec.fields[0], spec.dims);
+        q.dec = q.orig;
+        for (std::size_t i = 0; i < q.dec.size(); ++i) {
+            q.dec.data()[i] += static_cast<float>(
+                1e-3 * (data::to_unit(data::mix64(i)) - 0.5));
+        }
+        return q;
+    }();
+    return p;
+}
+
+void BM_SerialPattern1(benchmark::State& state) {
+    const auto& p = fields();
+    zc::MetricsConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zc::reduction_metrics(p.orig.view(), p.dec.view(), cfg));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(p.orig.size() * sizeof(float)));
+}
+BENCHMARK(BM_SerialPattern1);
+
+void BM_SerialSsim(benchmark::State& state) {
+    const auto& p = fields();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zc::ssim3d(p.orig.view(), p.dec.view(), 8, 2));
+    }
+}
+BENCHMARK(BM_SerialSsim);
+
+void BM_OmpPattern1(benchmark::State& state) {
+    const auto& p = fields();
+    zc::MetricsConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ompzc::reduction_metrics(p.orig.view(), p.dec.view(), cfg));
+    }
+}
+BENCHMARK(BM_OmpPattern1);
+
+void BM_VgpuPattern1(benchmark::State& state) {
+    const auto& p = fields();
+    zc::MetricsConfig cfg;
+    for (auto _ : state) {
+        vgpu::Device dev;
+        benchmark::DoNotOptimize(czc::pattern1_fused(dev, p.orig.view(), p.dec.view(), cfg));
+    }
+}
+BENCHMARK(BM_VgpuPattern1);
+
+void BM_VgpuPattern2(benchmark::State& state) {
+    const auto& p = fields();
+    zc::MetricsConfig cfg;
+    for (auto _ : state) {
+        vgpu::Device dev;
+        benchmark::DoNotOptimize(czc::pattern2_fused(dev, p.orig.view(), p.dec.view(), cfg));
+    }
+}
+BENCHMARK(BM_VgpuPattern2);
+
+void BM_VgpuPattern3Fifo(benchmark::State& state) {
+    const auto& p = fields();
+    zc::MetricsConfig cfg;
+    czc::Pattern3Options opt;
+    opt.use_fifo = state.range(0) != 0;
+    for (auto _ : state) {
+        vgpu::Device dev;
+        benchmark::DoNotOptimize(czc::pattern3_ssim(dev, p.orig.view(), p.dec.view(), cfg, opt));
+    }
+}
+BENCHMARK(BM_VgpuPattern3Fifo)->Arg(1)->Arg(0);
+
+void BM_VgpuDeviceReduce(benchmark::State& state) {
+    vgpu::Device dev;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    vgpu::DeviceBuffer<float> buf(dev, n);
+    buf.fill(1.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vgpu::device_reduce<double>(
+            dev, "bm", n, 0.0, [](double a, double b) { return a + b; },
+            [&](vgpu::Launch& l) {
+                auto s = l.span(buf);
+                return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+            }));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VgpuDeviceReduce)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

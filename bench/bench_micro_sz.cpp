@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the SZ-style compressor stages.
+
+#include <benchmark/benchmark.h>
+
+#include "data/datasets.hpp"
+#include "data/noise.hpp"
+#include "sz/sz.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace sz = ::cuzc::sz;
+namespace data = ::cuzc::data;
+
+const zc::Field& field() {
+    static const zc::Field f = [] {
+        const auto spec = data::scaled(data::miranda(), 8);
+        return data::generate_field(spec.fields[0], spec.dims);
+    }();
+    return f;
+}
+
+void BM_SzCompress(benchmark::State& state) {
+    sz::SzConfig cfg;
+    cfg.abs_error_bound = std::pow(10.0, -static_cast<double>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sz::compress(field().view(), cfg));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(field().size() * sizeof(float)));
+}
+BENCHMARK(BM_SzCompress)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SzDecompress(benchmark::State& state) {
+    sz::SzConfig cfg;
+    cfg.abs_error_bound = 1e-3;
+    const auto comp = sz::compress(field().view(), cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sz::decompress(comp.bytes));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(field().size() * sizeof(float)));
+}
+BENCHMARK(BM_SzDecompress);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+    std::vector<std::uint32_t> symbols;
+    std::uint64_t rng = 99;
+    for (int i = 0; i < 1 << 16; ++i) {
+        rng = data::mix64(rng);
+        symbols.push_back(static_cast<std::uint32_t>(rng % 5 == 0 ? rng % 64 : rng % 4));
+    }
+    std::vector<std::uint64_t> freq(64, 0);
+    for (const auto s : symbols) ++freq[s];
+    const auto codec = sz::HuffmanCodec::from_frequencies(freq);
+    for (auto _ : state) {
+        sz::BitWriter w;
+        codec.encode(symbols, w);
+        benchmark::DoNotOptimize(w.finish());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+    std::vector<std::uint32_t> symbols;
+    std::uint64_t rng = 7;
+    for (int i = 0; i < 1 << 16; ++i) {
+        rng = data::mix64(rng);
+        symbols.push_back(static_cast<std::uint32_t>(rng % 8));
+    }
+    std::vector<std::uint64_t> freq(8, 0);
+    for (const auto s : symbols) ++freq[s];
+    const auto codec = sz::HuffmanCodec::from_frequencies(freq);
+    sz::BitWriter w;
+    codec.encode(symbols, w);
+    const auto bytes = w.finish();
+    for (auto _ : state) {
+        sz::BitReader r(bytes);
+        benchmark::DoNotOptimize(codec.decode(r, symbols.size()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_FieldGeneration(benchmark::State& state) {
+    const auto spec = data::scaled(data::nyx(), 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(data::generate_field(spec.fields[0], spec.dims));
+    }
+}
+BENCHMARK(BM_FieldGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Compressor shoot-out (Z-checker's compareCompressors workflow): assess
+// the SZ-style error-bounded coder against the zfp-style fixed-rate coder
+// on the same field at matched compression ratios, and print the
+// per-metric verdict.
+//
+//   $ ./examples/compare_compressors [dataset]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "cuzc/cuzc.hpp"
+#include "zc/compare.hpp"
+#include "data/datasets.hpp"
+#include "sz/sz.hpp"
+#include "zfp/fixed_rate.hpp"
+
+int main(int argc, char** argv) {
+    namespace data = cuzc::data;
+    namespace sz = cuzc::sz;
+    namespace zfp = cuzc::zfp;
+    namespace zc = cuzc::zc;
+
+    const std::string name = argc > 1 ? argv[1] : "Miranda";
+    const data::DatasetSpec* full = data::find_dataset(name);
+    if (full == nullptr) {
+        std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+        return 1;
+    }
+    const data::DatasetSpec spec = data::scaled(*full, 8);
+    const zc::Field orig = data::generate_field(spec.fields[0], spec.dims);
+
+    // Fixed-rate side: pick 8 bits/value -> ratio exactly 4:1.
+    zfp::ZfpConfig zcfg;
+    zcfg.rate_bits = 8.0;
+    const auto zcomp = zfp::compress_fixed_rate(orig.view(), zcfg);
+    const zc::Field zdec = zfp::decompress_fixed_rate(zcomp.bytes);
+
+    // Error-bounded side: bisect the bound until the ratio matches ~4:1.
+    double lo = -8, hi = -1, ratio = 0;
+    zc::Field sdec;
+    for (int i = 0; i < 16; ++i) {
+        const double mid = (lo + hi) / 2;
+        sz::SzConfig scfg;
+        scfg.use_rel_bound = true;
+        scfg.rel_error_bound = std::pow(10.0, mid);
+        const auto comp = sz::compress(orig.view(), scfg);
+        ratio = comp.compression_ratio();
+        if (ratio > zcomp.compression_ratio()) {
+            hi = mid;  // too aggressive, tighten
+        } else {
+            lo = mid;
+        }
+        sdec = sz::decompress(comp.bytes);
+    }
+
+    std::printf("dataset %s/%s at matched ratio ~%.1f:1 (zfp fixed-rate %.1f:1)\n\n",
+                spec.name.c_str(), spec.fields[0].name.c_str(), ratio,
+                zcomp.compression_ratio());
+
+    cuzc::vgpu::Device dev;
+    const auto cfg = zc::MetricsConfig::all();
+    const auto ra = cuzc::cuzc::assess(dev, orig.view(), sdec.view(), cfg);
+    const auto rb = cuzc::cuzc::assess(dev, orig.view(), zdec.view(), cfg);
+    const auto verdict = zc::compare_reports(ra.report, rb.report);
+
+    std::printf("%-16s %16s %16s   %s\n", "metric", "SZ (err-bounded)", "zfp (fixed-rate)",
+                "winner");
+    for (const auto& m : verdict.metrics) {
+        std::printf("%-16s %16.6g %16.6g   %s\n", m.metric.c_str(), m.a, m.b,
+                    m.winner > 0 ? "SZ" : (m.winner < 0 ? "zfp" : "tie"));
+    }
+    std::printf("\nverdict at equal ratio: SZ wins %d, zfp wins %d, %d ties\n", verdict.wins_a,
+                verdict.wins_b, verdict.ties);
+    return 0;
+}

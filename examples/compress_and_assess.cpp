@@ -1,0 +1,71 @@
+// The cuSZ + cuZ-Checker workflow the paper motivates: compress a
+// scientific dataset field with an error-bounded lossy compressor at
+// several error bounds, and assess every result entirely "on the GPU" —
+// printing the compression/quality tradeoff table a compressor user needs
+// to select an error bound.
+//
+//   $ ./examples/compress_and_assess [dataset] [field-index]
+//   e.g. ./examples/compress_and_assess NYX 0
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cuzc/cuzc.hpp"
+#include "data/datasets.hpp"
+#include "sz/sz.hpp"
+
+int main(int argc, char** argv) {
+    namespace data = cuzc::data;
+    namespace sz = cuzc::sz;
+    namespace zc = cuzc::zc;
+    using clock = std::chrono::steady_clock;
+
+    const std::string name = argc > 1 ? argv[1] : "NYX";
+    const std::size_t field_idx = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 0;
+    const data::DatasetSpec* full = data::find_dataset(name);
+    if (full == nullptr) {
+        std::fprintf(stderr, "unknown dataset '%s' (try Hurricane, NYX, SCALE-LETKF, Miranda)\n",
+                     name.c_str());
+        return 1;
+    }
+    const data::DatasetSpec spec = data::scaled(*full, 8);
+    if (field_idx >= spec.fields.size()) {
+        std::fprintf(stderr, "dataset %s has %zu fields\n", name.c_str(), spec.fields.size());
+        return 1;
+    }
+    const zc::Field original = data::generate_field(spec.fields[field_idx], spec.dims);
+    const double mb = static_cast<double>(original.size()) * sizeof(float) / 1e6;
+    std::printf("dataset %s field %s: %zux%zux%zu (%.1f MB, 1/8 of published dims)\n\n",
+                spec.name.c_str(), spec.fields[field_idx].name.c_str(), spec.dims.h, spec.dims.w,
+                spec.dims.l, mb);
+
+    std::printf("%-10s %9s %11s %11s %9s %9s %9s %9s\n", "rel bound", "ratio", "comp MB/s",
+                "decomp MB/s", "PSNR dB", "NRMSE", "SSIM", "AC(1)");
+    for (const double rel : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+        sz::SzConfig scfg;
+        scfg.use_rel_bound = true;
+        scfg.rel_error_bound = rel;
+
+        const auto t0 = clock::now();
+        const sz::SzCompressed comp = sz::compress(original.view(), scfg);
+        const auto t1 = clock::now();
+        const zc::Field dec = sz::decompress(comp.bytes);
+        const auto t2 = clock::now();
+        const double comp_s = std::chrono::duration<double>(t1 - t0).count();
+        const double decomp_s = std::chrono::duration<double>(t2 - t1).count();
+
+        cuzc::vgpu::Device device;
+        const auto r = cuzc::cuzc::assess(device, original.view(), dec.view(),
+                                          zc::MetricsConfig::all());
+        std::printf("%-10.0e %8.1f:1 %11.1f %11.1f %9.2f %9.2e %9.5f %9.4f\n", rel,
+                    comp.compression_ratio(), mb / comp_s, mb / decomp_s,
+                    r.report.reduction.psnr_db, r.report.reduction.nrmse, r.report.ssim.ssim,
+                    r.report.stencil.autocorr.empty() ? 0.0 : r.report.stencil.autocorr[0]);
+    }
+    std::printf("\nReading the table: looser bounds compress better but distort more; the\n"
+                "autocorrelation column reveals when errors stop looking like white noise\n"
+                "(Lorenzo-correlated artifacts), which PSNR alone does not show.\n");
+    return 0;
+}

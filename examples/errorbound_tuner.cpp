@@ -1,0 +1,81 @@
+// Error-bound auto-tuning: find the loosest SZ error bound whose
+// reconstruction still meets a quality target (SSIM and PSNR), with the
+// assessment in the loop — the practical task the paper's introduction
+// motivates ("select the best-fit compressor [configuration] and use it
+// properly").
+//
+//   $ ./examples/errorbound_tuner [--ssim=0.99] [--psnr=60]
+
+#include <cstdio>
+#include <cstring>
+
+#include "cuzc/cuzc.hpp"
+#include "data/datasets.hpp"
+#include "sz/sz.hpp"
+
+namespace {
+
+namespace data = cuzc::data;
+namespace sz = cuzc::sz;
+namespace zc = cuzc::zc;
+
+struct Quality {
+    double ssim;
+    double psnr;
+    double ratio;
+};
+
+Quality assess_at(const zc::Field& orig, double rel_bound) {
+    sz::SzConfig scfg;
+    scfg.use_rel_bound = true;
+    scfg.rel_error_bound = rel_bound;
+    const auto comp = sz::compress(orig.view(), scfg);
+    const zc::Field dec = sz::decompress(comp.bytes);
+    cuzc::vgpu::Device device;
+    zc::MetricsConfig mcfg;
+    mcfg.pattern2 = false;  // tuner only needs PSNR + SSIM
+    const auto r = cuzc::cuzc::assess(device, orig.view(), dec.view(), mcfg);
+    return Quality{r.report.ssim.ssim, r.report.reduction.psnr_db, comp.compression_ratio()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double target_ssim = 0.99;
+    double target_psnr = 60.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--ssim=", 7) == 0) target_ssim = std::atof(argv[i] + 7);
+        if (std::strncmp(argv[i], "--psnr=", 7) == 0) target_psnr = std::atof(argv[i] + 7);
+    }
+
+    const data::DatasetSpec spec = data::scaled(data::hurricane(), 10);
+    std::printf("targets: SSIM >= %.4f, PSNR >= %.1f dB  (Hurricane at 1/10 scale)\n\n",
+                target_ssim, target_psnr);
+    std::printf("%-12s %12s %9s %9s %9s\n", "field", "rel bound", "ratio", "PSNR", "SSIM");
+
+    for (std::size_t fi = 0; fi < 4; ++fi) {
+        const zc::Field orig = data::generate_field(spec.fields[fi], spec.dims);
+        // Bisect log10(rel bound) between 1e-6 (surely good) and 1e-1
+        // (surely bad); 12 assessment-in-the-loop iterations.
+        double lo = -6.0, hi = -1.0;
+        Quality best = assess_at(orig, 1e-6);
+        double best_bound = 1e-6;
+        for (int iter = 0; iter < 12; ++iter) {
+            const double mid = (lo + hi) / 2.0;
+            const double bound = std::pow(10.0, mid);
+            const Quality q = assess_at(orig, bound);
+            if (q.ssim >= target_ssim && q.psnr >= target_psnr) {
+                best = q;
+                best_bound = bound;
+                lo = mid;  // acceptable: try looser
+            } else {
+                hi = mid;  // too lossy: tighten
+            }
+        }
+        std::printf("%-12s %12.3e %8.1f:1 %9.2f %9.5f\n", spec.fields[fi].name.c_str(),
+                    best_bound, best.ratio, best.psnr, best.ssim);
+    }
+    std::printf("\nEach row is the loosest error bound (= highest compression ratio) that\n"
+                "still meets the quality targets for that field.\n");
+    return 0;
+}

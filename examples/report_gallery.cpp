@@ -1,0 +1,79 @@
+// Full output-engine tour: assess one field and emit every report format
+// the suite supports — terminal text with distribution sparklines, CSV,
+// JSON, a self-contained HTML page with SVG charts (the Z-server
+// substitute), and PGM/PPM slice visualizations.
+//
+//   $ ./examples/report_gallery [output-dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "cuzc/cuzc.hpp"
+#include "data/datasets.hpp"
+#include "io/html_report.hpp"
+#include "io/report_writer.hpp"
+#include "io/visualize.hpp"
+#include "sz/sz.hpp"
+
+int main(int argc, char** argv) {
+    namespace data = cuzc::data;
+    namespace io = cuzc::io;
+    namespace zc = cuzc::zc;
+    namespace fs = std::filesystem;
+
+    const fs::path out_dir = argc > 1 ? argv[1] : "report_gallery_out";
+    fs::create_directories(out_dir);
+
+    // Assess a Hurricane temperature field through the full pipeline.
+    const data::DatasetSpec spec = data::scaled(data::hurricane(), 8);
+    const zc::Field orig = data::generate_field(spec.fields[9], spec.dims);  // TC
+    cuzc::vgpu::Device device;
+    const auto pipe = cuzc::cuzc::compress_and_assess(device, orig.view(), 1e-3,
+                                                      zc::MetricsConfig::all());
+    const auto& report = pipe.assessment.report;
+
+    // 1. Terminal text + sparklines.
+    std::printf("field %s/%s, ratio %.1f:1, PSNR %.1f dB, SSIM %.5f\n", spec.name.c_str(),
+                spec.fields[9].name.c_str(), pipe.compression.ratio(),
+                report.reduction.psnr_db, report.ssim.ssim);
+    std::printf("error PDF    |%s|\n", io::sparkline(report.reduction.err_pdf).c_str());
+    std::printf("pwr-err PDF  |%s|\n", io::sparkline(report.reduction.pwr_err_pdf).c_str());
+
+    // 2. Machine-readable formats.
+    {
+        std::ofstream csv(out_dir / "report.csv");
+        io::write_csv(csv, report);
+        std::ofstream json(out_dir / "report.json");
+        io::write_json(json, report);
+        std::ofstream text(out_dir / "report.txt");
+        io::write_text(text, report);
+    }
+
+    // 3. HTML with SVG charts.
+    {
+        io::HtmlReportOptions opt;
+        opt.title = "cuZ-Checker: " + spec.name + "/" + spec.fields[9].name;
+        opt.field_name = spec.fields[9].name;
+        opt.compression = pipe.compression;
+        std::ofstream html(out_dir / "report.html");
+        io::write_html(html, report, opt);
+    }
+
+    // 4. Slice visualizations: the data and where the compressor erred.
+    const zc::Field dec = [&] {
+        cuzc::sz::SzConfig scfg;
+        scfg.use_rel_bound = true;
+        scfg.rel_error_bound = 1e-3;
+        return cuzc::sz::decompress(cuzc::sz::compress(orig.view(), scfg).bytes);
+    }();
+    const std::size_t mid = spec.dims.l / 2;
+    io::write_slice_pgm(out_dir / "slice_original.pgm", orig.view(), mid);
+    io::write_slice_pgm(out_dir / "slice_decompressed.pgm", dec.view(), mid);
+    io::write_error_ppm(out_dir / "slice_error.ppm", orig.view(), dec.view(), mid);
+
+    std::printf("\nwrote report.{txt,csv,json,html} and slice_*.p?m to %s/\n",
+                out_dir.string().c_str());
+    return 0;
+}

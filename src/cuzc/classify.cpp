@@ -1,0 +1,21 @@
+#include "classify.hpp"
+
+namespace cuzc::cuzc {
+
+zc::MetricsConfig classify_request(std::span<const zc::Metric> requested,
+                                   const zc::MetricsConfig& params) {
+    zc::MetricsConfig cfg = params;
+    cfg.pattern1 = false;
+    cfg.pattern2 = false;
+    cfg.pattern3 = false;
+    for (const zc::Metric m : requested) {
+        switch (zc::pattern_of(m)) {
+            case zc::Pattern::kGlobalReduction: cfg.pattern1 = true; break;
+            case zc::Pattern::kStencil: cfg.pattern2 = true; break;
+            case zc::Pattern::kSlidingWindow: cfg.pattern3 = true; break;
+        }
+    }
+    return cfg;
+}
+
+}  // namespace cuzc::cuzc

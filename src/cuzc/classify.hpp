@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+
+#include "zc/metrics_config.hpp"
+
+namespace cuzc::cuzc {
+
+/// The coordinator's classification step (paper §III-A): "the coordinator
+/// first identifies the category of the user-requested metrics and then
+/// invokes the corresponding optimized fused CUDA kernel". Given any set
+/// of requested metrics, enable exactly the pattern kernels that cover
+/// them — requesting one more metric of an already-enabled pattern is
+/// free, which is the economics the fused design creates.
+[[nodiscard]] zc::MetricsConfig classify_request(std::span<const zc::Metric> requested,
+                                                 const zc::MetricsConfig& params = {});
+
+}  // namespace cuzc::cuzc

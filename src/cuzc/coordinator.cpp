@@ -1,0 +1,51 @@
+#include "coordinator.hpp"
+
+#include <algorithm>
+
+namespace cuzc::cuzc {
+
+CuzcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                  const zc::MetricsConfig& cfg, const Pattern3Options& p3_opt) {
+    CuzcResult result;
+    if (orig.size() == 0 || orig.size() != dec.size()) return result;
+
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
+    const zc::Dims3& dims = orig.dims();
+
+    bool have_moments = false;
+    zc::ErrorMoments moments;
+
+    if (cfg.pattern1) {
+        Pattern1Result p1 = pattern1_fused_device(dev, d_orig, d_dec, dims, cfg);
+        result.report.reduction = p1.report;
+        result.pattern1 = p1.stats;
+        // Data reuse across patterns: E[e] and Var[e] fall out of the fused
+        // reductions (avg error and MSE - avg^2).
+        moments.mean = p1.report.avg_err;
+        moments.var = std::max(0.0, p1.report.mse - p1.report.avg_err * p1.report.avg_err);
+        have_moments = true;
+    }
+    if (cfg.pattern2) {
+        if (!have_moments) {
+            moments = error_moments_device(dev, d_orig, d_dec, dims);
+            result.pattern2 = dev.profiler().records().back();
+        }
+        Pattern2Result p2 = pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments);
+        result.report.stencil = p2.report;
+        if (result.pattern2.launches > 0) {
+            result.pattern2.merge(p2.stats);
+            result.pattern2.name = p2.stats.name;
+        } else {
+            result.pattern2 = p2.stats;
+        }
+    }
+    if (cfg.pattern3) {
+        Pattern3Result p3 = pattern3_ssim_device(dev, d_orig, d_dec, dims, cfg, p3_opt);
+        result.report.ssim = p3.report;
+        result.pattern3 = p3.stats;
+    }
+    return result;
+}
+
+}  // namespace cuzc::cuzc

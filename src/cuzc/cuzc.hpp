@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for cuZ-Checker — the paper's contribution: the
+/// pattern-oriented GPU assessment system (coordinator + three fused
+/// pattern kernels) running on the virtual GPU runtime.
+
+#include "classify.hpp"     // IWYU pragma: export
+#include "coordinator.hpp"  // IWYU pragma: export
+#include "multigpu.hpp"     // IWYU pragma: export
+#include "pattern1.hpp"     // IWYU pragma: export
+#include "pipeline.hpp"     // IWYU pragma: export
+#include "pattern2.hpp"     // IWYU pragma: export
+#include "pattern3.hpp"     // IWYU pragma: export

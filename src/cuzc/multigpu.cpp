@@ -1,0 +1,266 @@
+#include "multigpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pattern1.hpp"
+#include "pattern2.hpp"
+#include "pattern3.hpp"
+#include "zc/ssim.hpp"
+
+namespace cuzc::cuzc {
+
+namespace {
+
+/// Copy a z-slab [z0, z1) of a field (z is the contiguous axis, so each
+/// (x, y) row contributes one contiguous chunk).
+zc::Field slice_z(const zc::Tensor3f& f, std::size_t z0, std::size_t z1) {
+    const auto& d = f.dims();
+    zc::Field out(zc::Dims3{d.h, d.w, z1 - z0});
+    std::size_t o = 0;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            for (std::size_t z = z0; z < z1; ++z) {
+                out.data()[o++] = f(x, y, z);
+            }
+        }
+    }
+    return out;
+}
+
+/// Copy a y-slab [y0, y1) of a field.
+zc::Field slice_y(const zc::Tensor3f& f, std::size_t y0, std::size_t y1) {
+    const auto& d = f.dims();
+    zc::Field out(zc::Dims3{d.h, y1 - y0, d.l});
+    std::size_t o = 0;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = y0; y < y1; ++y) {
+            for (std::size_t z = 0; z < d.l; ++z) {
+                out.data()[o++] = f(x, y, z);
+            }
+        }
+    }
+    return out;
+}
+
+void merge_moments(zc::ReductionMoments& into, const zc::ReductionMoments& from) {
+    if (from.n == 0) return;
+    if (into.n == 0) {
+        into = from;
+        return;
+    }
+    into.n += from.n;
+    into.min_val = std::min(into.min_val, from.min_val);
+    into.max_val = std::max(into.max_val, from.max_val);
+    into.sum_val += from.sum_val;
+    into.sum_val_sq += from.sum_val_sq;
+    into.min_err = std::min(into.min_err, from.min_err);
+    into.max_err = std::max(into.max_err, from.max_err);
+    into.sum_err += from.sum_err;
+    into.sum_abs_err += from.sum_abs_err;
+    into.sum_err_sq += from.sum_err_sq;
+    into.min_pwr = std::min(into.min_pwr, from.min_pwr);
+    into.max_pwr = std::max(into.max_pwr, from.max_pwr);
+    into.sum_pwr_abs += from.sum_pwr_abs;
+    into.sum_dec += from.sum_dec;
+    into.sum_dec_sq += from.sum_dec_sq;
+    into.sum_cross += from.sum_cross;
+}
+
+/// Pattern-2 totals layout: per order, slot indices 1 and 3 are maxima;
+/// everything else merges by sum (mirrors the kernel's slot operators).
+void merge_pattern2_totals(std::vector<double>& into, const std::vector<double>& from) {
+    if (into.empty()) {
+        into = from;
+        return;
+    }
+    for (std::size_t s = 0; s < std::min(into.size(), from.size()); ++s) {
+        const std::size_t base = s < 14 ? s % 7 : 99;
+        if (base == 1 || base == 3) {
+            into[s] = std::max(into[s], from[s]);
+        } else {
+            into[s] += from[s];
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::size_t> slab_bounds(std::size_t extent, std::size_t parts) {
+    std::vector<std::size_t> bounds;
+    bounds.reserve(parts + 1);
+    for (std::size_t d = 0; d <= parts; ++d) {
+        bounds.push_back(extent * d / parts);
+    }
+    return bounds;
+}
+
+MultiGpuResult assess_multigpu(std::span<vgpu::Device> devices, const zc::Tensor3f& orig,
+                               const zc::Tensor3f& dec, const zc::MetricsConfig& cfg) {
+    MultiGpuResult result;
+    const std::size_t num_dev = devices.size();
+    if (num_dev == 0 || orig.size() == 0 || orig.size() != dec.size()) return result;
+    const zc::Dims3 dims = orig.dims();
+
+    std::vector<std::size_t> record_start(num_dev);
+    for (std::size_t d = 0; d < num_dev; ++d) {
+        record_start[d] = devices[d].profiler().records().size();
+    }
+
+    bool have_moments = false;
+    zc::ErrorMoments moments;
+
+    if (cfg.pattern1) {
+        const auto bounds = slab_bounds(dims.l, num_dev);
+        struct DeviceSlab {
+            std::unique_ptr<vgpu::DeviceBuffer<float>> d_orig, d_dec;
+            zc::Dims3 slab_dims;
+            bool active = false;
+        };
+        std::vector<DeviceSlab> slabs(num_dev);
+        zc::ReductionMoments merged;
+        for (std::size_t d = 0; d < num_dev; ++d) {
+            if (bounds[d + 1] <= bounds[d]) continue;
+            const zc::Field so = slice_z(orig, bounds[d], bounds[d + 1]);
+            const zc::Field sd = slice_z(dec, bounds[d], bounds[d + 1]);
+            slabs[d].slab_dims = so.dims();
+            slabs[d].d_orig =
+                std::make_unique<vgpu::DeviceBuffer<float>>(devices[d], so.data());
+            slabs[d].d_dec = std::make_unique<vgpu::DeviceBuffer<float>>(devices[d], sd.data());
+            slabs[d].active = true;
+            Pattern1Options opt;
+            opt.histograms = false;
+            const auto r = pattern1_fused_device(devices[d], *slabs[d].d_orig,
+                                                 *slabs[d].d_dec, slabs[d].slab_dims, cfg, opt);
+            merge_moments(merged, r.moments);
+        }
+        // Allreduce of the per-device moments (modeled as host exchange).
+        result.exchange_bytes += num_dev * 2 * sizeof(zc::ReductionMoments);
+        zc::finalize_reduction(merged, result.report.reduction);
+        moments.mean = result.report.reduction.avg_err;
+        moments.var = std::max(0.0, result.report.reduction.mse -
+                                        moments.mean * moments.mean);
+        have_moments = true;
+
+        // Second pass: histograms against the global ranges.
+        const Pattern1Ranges ranges{merged.min_err, merged.max_err, merged.min_pwr,
+                                    merged.max_pwr, merged.min_val, merged.max_val};
+        const int bins = std::max(1, cfg.pdf_bins);
+        std::vector<double> hist(static_cast<std::size_t>(bins) * 3, 0.0);
+        for (std::size_t d = 0; d < num_dev; ++d) {
+            if (!slabs[d].active) continue;
+            Pattern1Options opt;
+            opt.reductions = false;
+            opt.fixed_ranges = &ranges;
+            const auto r = pattern1_fused_device(devices[d], *slabs[d].d_orig,
+                                                 *slabs[d].d_dec, slabs[d].slab_dims, cfg, opt);
+            for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += r.raw_hist[b];
+        }
+        result.exchange_bytes += num_dev * hist.size() * sizeof(double);
+
+        auto& red = result.report.reduction;
+        red.err_pdf.assign(hist.begin(), hist.begin() + bins);
+        red.pwr_err_pdf.assign(hist.begin() + bins, hist.begin() + 2 * bins);
+        red.err_pdf_min = merged.min_err;
+        red.err_pdf_max = merged.max_err;
+        red.pwr_err_pdf_min = merged.min_pwr;
+        red.pwr_err_pdf_max = merged.max_pwr;
+        const double inv_n = 1.0 / static_cast<double>(merged.n);
+        double entropy = 0.0;
+        for (int b = 0; b < bins; ++b) {
+            red.err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            red.pwr_err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            const double pv = hist[static_cast<std::size_t>(2 * bins + b)] * inv_n;
+            if (pv > 0) entropy -= pv * std::log2(pv);
+        }
+        red.entropy = entropy;
+    }
+
+    if (cfg.pattern2) {
+        if (!have_moments) {
+            // Per-device moments over disjoint slabs, merged via raw sums.
+            const auto bounds = slab_bounds(dims.l, num_dev);
+            double sum = 0, sum_sq = 0;
+            for (std::size_t d = 0; d < num_dev; ++d) {
+                if (bounds[d + 1] <= bounds[d]) continue;
+                const zc::Field so = slice_z(orig, bounds[d], bounds[d + 1]);
+                const zc::Field sd = slice_z(dec, bounds[d], bounds[d + 1]);
+                vgpu::DeviceBuffer<float> b_orig(devices[d], so.data());
+                vgpu::DeviceBuffer<float> b_dec(devices[d], sd.data());
+                const auto m = error_moments_device(devices[d], b_orig, b_dec, so.dims());
+                const auto nd = static_cast<double>(so.size());
+                sum += m.mean * nd;
+                sum_sq += (m.var + m.mean * m.mean) * nd;
+            }
+            const auto n = static_cast<double>(orig.size());
+            moments.mean = sum / n;
+            moments.var = std::max(0.0, sum_sq / n - moments.mean * moments.mean);
+            have_moments = true;
+            result.exchange_bytes += num_dev * 2 * sizeof(double);
+        }
+        const std::size_t halo = static_cast<std::size_t>(
+            std::clamp(cfg.autocorr_max_lag, 1, kPattern2MaxLag));
+        const auto bounds = slab_bounds(dims.l, num_dev);
+        std::vector<double> totals;
+        for (std::size_t d = 0; d < num_dev; ++d) {
+            if (bounds[d + 1] <= bounds[d]) continue;
+            const std::size_t lo = bounds[d] >= 1 ? bounds[d] - 1 : 0;
+            const std::size_t hi = std::min(bounds[d + 1] + halo, dims.l);
+            const zc::Field so = slice_z(orig, lo, hi);
+            const zc::Field sd = slice_z(dec, lo, hi);
+            vgpu::DeviceBuffer<float> b_orig(devices[d], so.data());
+            vgpu::DeviceBuffer<float> b_dec(devices[d], sd.data());
+            Pattern2Options opt;
+            opt.sub.z_center_begin = bounds[d] - lo;
+            opt.sub.z_center_end = bounds[d + 1] - lo;
+            opt.sub.z_global_offset = lo;
+            opt.sub.l_global = dims.l;
+            const auto r = pattern2_fused_device(devices[d], b_orig, b_dec, so.dims(), cfg,
+                                                 moments, opt);
+            merge_pattern2_totals(totals, r.totals);
+        }
+        result.exchange_bytes += num_dev * totals.size() * sizeof(double);
+        finalize_pattern2(totals, dims, cfg, moments, true, cfg.deriv_orders >= 2,
+                          cfg.autocorr_max_lag > 0, result.report.stencil);
+    }
+
+    if (cfg.pattern3) {
+        const auto s = static_cast<std::size_t>(std::max(cfg.ssim_step, 1));
+        const std::size_t wy =
+            zc::effective_window(dims.w, static_cast<std::size_t>(cfg.ssim_window));
+        const std::size_t ny = (dims.w - wy) / s + 1;
+        const auto rows = slab_bounds(ny, num_dev);
+        double ssim_sum = 0;
+        std::size_t windows = 0;
+        for (std::size_t d = 0; d < num_dev; ++d) {
+            if (rows[d + 1] <= rows[d]) continue;
+            const std::size_t y0 = rows[d] * s;
+            const std::size_t y1 = std::min((rows[d + 1] - 1) * s + wy, dims.w);
+            const zc::Field so = slice_y(orig, y0, y1);
+            const zc::Field sd = slice_y(dec, y0, y1);
+            vgpu::DeviceBuffer<float> b_orig(devices[d], so.data());
+            vgpu::DeviceBuffer<float> b_dec(devices[d], sd.data());
+            const auto r =
+                pattern3_ssim_device(devices[d], b_orig, b_dec, so.dims(), cfg, {});
+            ssim_sum += r.report.ssim * static_cast<double>(r.report.windows);
+            windows += r.report.windows;
+        }
+        result.exchange_bytes += num_dev * 2 * sizeof(double);
+        result.report.ssim.windows = windows;
+        result.report.ssim.ssim =
+            windows > 0 ? ssim_sum / static_cast<double>(windows) : 0.0;
+    }
+
+    result.per_device.resize(num_dev);
+    for (std::size_t d = 0; d < num_dev; ++d) {
+        vgpu::KernelStats agg;
+        agg.name = "multigpu/device";
+        agg.launches = 0;
+        const auto& recs = devices[d].profiler().records();
+        for (std::size_t i = record_start[d]; i < recs.size(); ++i) agg.merge(recs[i]);
+        result.per_device[d] = agg;
+    }
+    return result;
+}
+
+}  // namespace cuzc::cuzc

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coordinator.hpp"
+#include "vgpu/vgpu.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/report.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::cuzc {
+
+/// Multi-GPU cuZ-Checker — the extension the paper names as future work
+/// ("extend cuZ-Checker to a multi-node multi-GPU environment ... with
+/// fine-grained design of inter-GPU synchronization and communication").
+///
+/// Decomposition, per pattern:
+///  * pattern 1 splits the domain along z into disjoint slabs; per-device
+///    reductions are allreduced on the host (modeling NCCL), and the
+///    histogram phase re-runs against the global min/max ranges;
+///  * pattern 2 splits along z with one-sided halo slabs (max(lag, 1)
+///    slices high, 1 slice low) so stencils and lagged products near slab
+///    seams read real neighbour data; each device owns a disjoint set of
+///    centre slices and the raw accumulator totals merge by sum/max;
+///  * pattern 3 splits the y-window rows across devices (window rows are
+///    independent), each device receiving the y-slab its windows cover;
+///    local SSIM sums and window counts merge by addition.
+struct MultiGpuResult {
+    zc::AssessmentReport report;
+    /// Aggregated kernel profile of each device (index = device).
+    std::vector<vgpu::KernelStats> per_device;
+    /// Host<->device bytes moved for partial exchange (the allreduce
+    /// traffic; slab distribution is counted by each device's h2d counter).
+    std::uint64_t exchange_bytes = 0;
+};
+
+[[nodiscard]] MultiGpuResult assess_multigpu(std::span<vgpu::Device> devices,
+                                             const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                                             const zc::MetricsConfig& cfg);
+
+/// z-slab boundaries for splitting `extent` across `parts` devices:
+/// device d owns [bounds[d], bounds[d+1]).
+[[nodiscard]] std::vector<std::size_t> slab_bounds(std::size_t extent, std::size_t parts);
+
+}  // namespace cuzc::cuzc

@@ -1,0 +1,317 @@
+#include "pattern1.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "zc/reduction_metrics.hpp"
+
+namespace cuzc::cuzc {
+
+namespace {
+
+using vgpu::BlockCtx;
+using vgpu::Launch;
+using vgpu::RegArray;
+using vgpu::ThreadCtx;
+using vgpu::WarpCtx;
+
+/// Accumulator slot layout of the fused kernel. Each slot is one of the 14+
+/// concurrent reductions the paper's reduce() performs per memory access.
+enum Slot : std::uint32_t {
+    kMinErr, kMaxErr, kSumErr, kSumAbsErr, kSumErrSq,
+    kMinPwr, kMaxPwr, kSumPwrAbs,
+    kMinVal, kMaxVal, kSumVal, kSumValSq,
+    kSumDec, kSumDecSq, kSumCross,
+    kNumSlots,
+};
+
+constexpr bool is_min(std::uint32_t slot) {
+    return slot == kMinErr || slot == kMinPwr || slot == kMinVal;
+}
+constexpr bool is_max(std::uint32_t slot) {
+    return slot == kMaxErr || slot == kMaxPwr || slot == kMaxVal;
+}
+
+double identity(std::uint32_t slot) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (is_min(slot)) return kInf;
+    if (is_max(slot)) return -kInf;
+    return 0.0;
+}
+
+double combine(std::uint32_t slot, double a, double b) {
+    if (is_min(slot)) return a < b ? a : b;
+    if (is_max(slot)) return a > b ? a : b;
+    return a + b;
+}
+
+/// Warp shuffles + cross-warp shared step + slot write-back: the shared
+/// block-level reduction machinery of Algorithm 1 (ln. 7-16), leaving the
+/// block result of every slot in thread 0's registers.
+void block_reduce_slots(BlockCtx& blk, RegArray<double>& acc) {
+    blk.for_each_warp([&](WarpCtx& w) {
+        for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+            w.reduce_shfl_down(acc, slot, [slot](double a, double b) {
+                return combine(slot, a, b);
+            });
+        }
+    });
+    auto warp_out = blk.shared().alloc<double>(std::size_t{kNumSlots} * blk.num_warps());
+    blk.for_each_thread([&](ThreadCtx& t) {
+        if (t.lane == 0) {
+            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                warp_out.st(t.warp * kNumSlots + slot, acc(t, slot));
+            }
+        }
+    });
+    // Cross-warp reduction on warp 0: lanes below num_warps reload the
+    // per-warp partials (ballot mask selects them), then shuffle-reduce.
+    const std::uint32_t nwarps = blk.num_warps();
+    blk.for_each_warp([&](WarpCtx& w) {
+        if (w.warp_id() != 0) return;
+        const std::uint32_t mask = w.ballot([&](std::uint32_t lane) { return lane < nwarps; });
+        for (std::uint32_t lane = 0; lane < w.active_lanes(); ++lane) {
+            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                acc.at(lane, slot) = lane < nwarps ? warp_out.ld(lane * kNumSlots + slot)
+                                                   : identity(slot);
+            }
+        }
+        for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+            w.reduce_shfl_down(acc, slot,
+                               [slot](double a, double b) { return combine(slot, a, b); },
+                               mask);
+        }
+    });
+}
+
+}  // namespace
+
+Pattern1Result pattern1_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
+                                     vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+                                     const zc::MetricsConfig& cfg, const Pattern1Options& opt) {
+    Pattern1Result result;
+    const std::size_t h = dims.h, w = dims.w, l = dims.l;
+    const std::size_t n = dims.volume();
+    if (n == 0) return result;
+    const int bins = std::max(1, cfg.pdf_bins);
+    const double pwr_eps = cfg.pwr_eps;
+
+    vgpu::DeviceBuffer<double> d_part(dev, l * kNumSlots);
+    vgpu::DeviceBuffer<double> d_final(dev, kNumSlots);
+    vgpu::DeviceBuffer<double> d_hist(dev, static_cast<std::size_t>(bins) * 3);
+    d_hist.fill(0.0);
+
+    const vgpu::LaunchConfig cfg1{"cuzc/pattern1", vgpu::Dim3{static_cast<std::uint32_t>(l), 1, 1},
+                                  vgpu::Dim3{32, 8, 1}};
+
+    // Phase 1 (Alg. 1 ln. 4-16): per-slice fused reductions.
+    vgpu::CoopPhase phase_slice = [&](Launch& lnch, BlockCtx& blk) {
+        auto dorig = lnch.span(d_orig);
+        auto ddec = lnch.span(d_dec);
+        auto dpart = lnch.span(d_part);
+        auto acc = blk.make_regs<double>(kNumSlots);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
+        });
+        const std::size_t bidx = blk.block_idx().x;
+        blk.for_each_thread([&](ThreadCtx& t) {
+            std::uint64_t iters = 0;
+            for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
+                for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
+                    const std::size_t idx = (i * w + j) * l + bidx;
+                    const double x = dorig.ld(idx);
+                    const double y = ddec.ld(idx);
+                    const double e = y - x;
+                    const double p = zc::pwr_error(x, y, pwr_eps);
+                    acc(t, kMinErr) = std::min(acc(t, kMinErr), e);
+                    acc(t, kMaxErr) = std::max(acc(t, kMaxErr), e);
+                    acc(t, kSumErr) += e;
+                    acc(t, kSumAbsErr) += std::fabs(e);
+                    acc(t, kSumErrSq) += e * e;
+                    acc(t, kMinPwr) = std::min(acc(t, kMinPwr), p);
+                    acc(t, kMaxPwr) = std::max(acc(t, kMaxPwr), p);
+                    acc(t, kSumPwrAbs) += std::fabs(p);
+                    acc(t, kMinVal) = std::min(acc(t, kMinVal), x);
+                    acc(t, kMaxVal) = std::max(acc(t, kMaxVal), x);
+                    acc(t, kSumVal) += x;
+                    acc(t, kSumValSq) += x * x;
+                    acc(t, kSumDec) += y;
+                    acc(t, kSumDecSq) += y * y;
+                    acc(t, kSumCross) += x * y;
+                    ++iters;
+                }
+            }
+            blk.add_iters(iters);
+            blk.add_ops(iters * 30);
+        });
+        block_reduce_slots(blk, acc);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                    dpart.st(bidx * kNumSlots + slot, acc(t, slot));
+                }
+            }
+        });
+    };
+
+    // Phase 2 (Alg. 1 ln. 18-23, after cg::sync(grid)): block 0 folds the
+    // per-slice partials into the device-wide totals.
+    vgpu::CoopPhase phase_final = [&](Launch& lnch, BlockCtx& blk) {
+        if (blk.block_idx().x != 0) return;
+        auto dpart = lnch.span(d_part);
+        auto dfinal = lnch.span(d_final);
+        auto acc = blk.make_regs<double>(kNumSlots);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
+            std::uint64_t iters = 0;
+            for (std::size_t b = t.linear; b < l; b += blk.num_threads()) {
+                for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                    acc(t, slot) =
+                        combine(slot, acc(t, slot), dpart.ld(b * kNumSlots + slot));
+                }
+                ++iters;
+            }
+            blk.add_iters(iters);
+            blk.add_ops(iters * kNumSlots);
+        });
+        block_reduce_slots(blk, acc);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                    dfinal.st(slot, acc(t, slot));
+                }
+            }
+        });
+    };
+
+    // Phase 3: histogram fill, binning against the phase-2 min/max. Each
+    // block builds its slice's local histograms in shared memory, then
+    // folds them into the global ones (atomicAdd on real hardware; block
+    // execution is serialized in the virtual runtime, so plain RMW has the
+    // same semantics).
+    vgpu::CoopPhase phase_hist = [&](Launch& lnch, BlockCtx& blk) {
+        auto dorig = lnch.span(d_orig);
+        auto ddec = lnch.span(d_dec);
+        auto dfinal = lnch.span(d_final);
+        auto dhist = lnch.span(d_hist);
+        auto local = blk.shared().alloc<double>(static_cast<std::size_t>(bins) * 3);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins) * 3;
+                 b += blk.num_threads()) {
+                local.st(b, 0.0);
+            }
+        });
+        const bool fixed = opt.fixed_ranges != nullptr;
+        const double min_err = fixed ? opt.fixed_ranges->min_err : dfinal.ld(kMinErr);
+        const double max_err = fixed ? opt.fixed_ranges->max_err : dfinal.ld(kMaxErr);
+        const double min_pwr = fixed ? opt.fixed_ranges->min_pwr : dfinal.ld(kMinPwr);
+        const double max_pwr = fixed ? opt.fixed_ranges->max_pwr : dfinal.ld(kMaxPwr);
+        const double min_val = fixed ? opt.fixed_ranges->min_val : dfinal.ld(kMinVal);
+        const double max_val = fixed ? opt.fixed_ranges->max_val : dfinal.ld(kMaxVal);
+        const std::size_t bidx = blk.block_idx().x;
+        blk.for_each_thread([&](ThreadCtx& t) {
+            std::uint64_t iters = 0;
+            for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
+                for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
+                    const std::size_t idx = (i * w + j) * l + bidx;
+                    const double x = dorig.ld(idx);
+                    const double y = ddec.ld(idx);
+                    const double e = y - x;
+                    const double p = zc::pwr_error(x, y, pwr_eps);
+                    const auto be = static_cast<std::size_t>(zc::pdf_bin(e, min_err, max_err, bins));
+                    const auto bp = static_cast<std::size_t>(zc::pdf_bin(p, min_pwr, max_pwr, bins));
+                    const auto bv = static_cast<std::size_t>(zc::pdf_bin(x, min_val, max_val, bins));
+                    local.st(be, local.ld(be) + 1.0);
+                    local.st(static_cast<std::size_t>(bins) + bp,
+                             local.ld(static_cast<std::size_t>(bins) + bp) + 1.0);
+                    local.st(2 * static_cast<std::size_t>(bins) + bv,
+                             local.ld(2 * static_cast<std::size_t>(bins) + bv) + 1.0);
+                    ++iters;
+                }
+            }
+            blk.add_iters(iters);
+            blk.add_ops(iters * 12);
+        });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins) * 3;
+                 b += blk.num_threads()) {
+                dhist.st(b, dhist.ld(b) + local.ld(b));  // atomicAdd on hardware
+            }
+        });
+    };
+
+    std::vector<vgpu::CoopPhase> phases;
+    if (opt.reductions) {
+        phases.push_back(phase_slice);
+        phases.push_back(phase_final);
+    }
+    if (opt.histograms) {
+        assert((opt.reductions || opt.fixed_ranges != nullptr) &&
+               "histogram-only launch requires fixed ranges");
+        phases.push_back(phase_hist);
+    }
+    vgpu::KernelStats& stats = vgpu::coop_launch(dev, cfg1, phases);
+    stats.coalescing = kPattern1Coalescing;
+    stats.serialization = kPattern1Serialization;
+    result.stats = stats;
+
+    // Host-side assembly of the report from the device results.
+    zc::ReductionMoments& m = result.moments;
+    m.n = n;
+    if (opt.reductions) {
+        const std::vector<double> fin = d_final.download();
+        m.min_err = fin[kMinErr];
+        m.max_err = fin[kMaxErr];
+        m.sum_err = fin[kSumErr];
+        m.sum_abs_err = fin[kSumAbsErr];
+        m.sum_err_sq = fin[kSumErrSq];
+        m.min_pwr = fin[kMinPwr];
+        m.max_pwr = fin[kMaxPwr];
+        m.sum_pwr_abs = fin[kSumPwrAbs];
+        m.min_val = fin[kMinVal];
+        m.max_val = fin[kMaxVal];
+        m.sum_val = fin[kSumVal];
+        m.sum_val_sq = fin[kSumValSq];
+        m.sum_dec = fin[kSumDec];
+        m.sum_dec_sq = fin[kSumDecSq];
+        m.sum_cross = fin[kSumCross];
+        zc::finalize_reduction(m, result.report);
+    }
+
+    if (opt.histograms) {
+        result.raw_hist = d_hist.download();
+        const std::vector<double>& hist = result.raw_hist;
+        const double min_err2 = opt.fixed_ranges ? opt.fixed_ranges->min_err : m.min_err;
+        const double max_err2 = opt.fixed_ranges ? opt.fixed_ranges->max_err : m.max_err;
+        const double min_pwr2 = opt.fixed_ranges ? opt.fixed_ranges->min_pwr : m.min_pwr;
+        const double max_pwr2 = opt.fixed_ranges ? opt.fixed_ranges->max_pwr : m.max_pwr;
+        result.report.err_pdf.assign(hist.begin(), hist.begin() + bins);
+        result.report.pwr_err_pdf.assign(hist.begin() + bins, hist.begin() + 2 * bins);
+        result.report.err_pdf_min = min_err2;
+        result.report.err_pdf_max = max_err2;
+        result.report.pwr_err_pdf_min = min_pwr2;
+        result.report.pwr_err_pdf_max = max_pwr2;
+        const double inv_n = 1.0 / static_cast<double>(n);
+        double entropy = 0.0;
+        for (int b = 0; b < bins; ++b) {
+            result.report.err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            result.report.pwr_err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            const double pv = hist[static_cast<std::size_t>(2 * bins + b)] * inv_n;
+            if (pv > 0) entropy -= pv * std::log2(pv);
+        }
+        result.report.entropy = entropy;
+    }
+    return result;
+}
+
+Pattern1Result pattern1_fused(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                              const zc::MetricsConfig& cfg) {
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
+    return pattern1_fused_device(dev, d_orig, d_dec, orig.dims(), cfg);
+}
+
+}  // namespace cuzc::cuzc

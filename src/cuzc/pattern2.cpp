@@ -1,0 +1,433 @@
+#include "pattern2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slot_reduce.hpp"
+#include "zc/derivatives.hpp"
+
+namespace cuzc::cuzc {
+
+namespace {
+
+using vgpu::BlockCtx;
+using vgpu::Launch;
+using vgpu::ThreadCtx;
+
+constexpr std::uint32_t kTile = 16;    // (x, y) tile side == blockDim.x/y
+// z-thickness owned by one block: ssize - max stride (16 - 10), as in the
+// paper's Algorithm 2 where adjacent cubes overlap by the stride. This is
+// what ties the block count to the z-extent (Table II: Hurricane's l=100
+// yields ~17 blocks for 80 SMs while NYX's l=512 yields ~86).
+constexpr std::uint32_t kZChunk = 6;
+
+// Accumulator slot layout: 7 per derivative order, then the element count,
+// then one sum per autocorrelation lag.
+enum DerivSlot : std::uint32_t {
+    kSumO, kMaxO, kSumD, kMaxD, kSumSqDiff, kAxisO, kAxisD, kDerivSlots
+};
+constexpr std::uint32_t kCountSlot = 2 * kDerivSlots;
+constexpr std::uint32_t kLagBase = kCountSlot + 1;
+
+[[nodiscard]] SlotOp op_of_slot(std::uint32_t slot) {
+    const std::uint32_t base = slot < kDerivSlots ? slot
+                               : slot < 2 * kDerivSlots ? slot - kDerivSlots
+                                                        : kCountSlot;
+    if (slot < 2 * kDerivSlots && (base == kMaxO || base == kMaxD)) return SlotOp::kMax;
+    return SlotOp::kSum;
+}
+
+}  // namespace
+
+zc::ErrorMoments error_moments_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
+                                      vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims) {
+    const std::size_t n = dims.volume();
+    vgpu::DeviceBuffer<double> d_out(dev, 2);
+    constexpr std::uint32_t kThreads = 256;
+    const std::uint32_t grid =
+        static_cast<std::uint32_t>(std::min<std::size_t>(256, (n + kThreads - 1) / kThreads));
+    vgpu::DeviceBuffer<double> d_part(dev, std::size_t{grid} * 2);
+
+    const vgpu::LaunchConfig cfg{"cuzc/moments", vgpu::Dim3{grid, 1, 1},
+                                 vgpu::Dim3{kThreads, 1, 1}};
+    vgpu::CoopPhase partial = [&](Launch& l, BlockCtx& blk) {
+        auto dorig = l.span(d_orig);
+        auto ddec = l.span(d_dec);
+        auto dpart = l.span(d_part);
+        auto acc = blk.make_regs<double>(2);
+        const std::uint64_t stride = std::uint64_t{grid} * kThreads;
+        blk.for_each_thread([&](ThreadCtx& t) {
+            std::uint64_t iters = 0;
+            for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n; i += stride) {
+                const double e = static_cast<double>(ddec.ld(i)) - dorig.ld(i);
+                acc(t, 0) += e;
+                acc(t, 1) += e * e;
+                ++iters;
+            }
+            blk.add_iters(iters);
+            blk.add_ops(iters * 5);
+        });
+        block_reduce_slots(blk, acc, 2, [](std::uint32_t) { return SlotOp::kSum; });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                dpart.st(blk.block_idx().x * 2 + 0, acc(t, 0));
+                dpart.st(blk.block_idx().x * 2 + 1, acc(t, 1));
+            }
+        });
+    };
+    vgpu::CoopPhase finish = [&](Launch& l, BlockCtx& blk) {
+        if (blk.block_idx().x != 0) return;
+        auto dpart = l.span(d_part);
+        auto dout = l.span(d_out);
+        auto acc = blk.make_regs<double>(2);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t b = t.linear; b < grid; b += blk.num_threads()) {
+                acc(t, 0) += dpart.ld(std::size_t{b} * 2 + 0);
+                acc(t, 1) += dpart.ld(std::size_t{b} * 2 + 1);
+            }
+        });
+        block_reduce_slots(blk, acc, 2, [](std::uint32_t) { return SlotOp::kSum; });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                dout.st(0, acc(t, 0));
+                dout.st(1, acc(t, 1));
+            }
+        });
+    };
+    vgpu::coop_launch(dev, cfg, {partial, finish});
+
+    const auto sums = d_out.download();
+    zc::ErrorMoments m;
+    m.mean = sums[0] / static_cast<double>(n);
+    m.var = std::max(0.0, sums[1] / static_cast<double>(n) - m.mean * m.mean);
+    return m;
+}
+
+Pattern2Result pattern2_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
+                                     vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+                                     const zc::MetricsConfig& cfg,
+                                     const zc::ErrorMoments& moments,
+                                     const Pattern2Options& opt) {
+    Pattern2Result result;
+    const std::size_t h = dims.h, w = dims.w, l = dims.l;
+    if (dims.volume() == 0) return result;
+
+    const bool do_order1 = opt.order1;
+    const bool do_order2 = opt.order2 && cfg.deriv_orders >= 2;
+    const bool do_deriv = do_order1 || do_order2;
+    // Subdomain (multi-device) context: global coordinates for boundary
+    // predicates, local ownership window for centre accumulation.
+    const std::size_t l_g = opt.sub.l_global != 0 ? opt.sub.l_global : l;
+    const std::size_t z_off = opt.sub.z_global_offset;
+    const std::size_t zc_begin = opt.sub.z_center_begin;
+    const std::size_t zc_end = std::min(opt.sub.z_center_end, l);
+    const auto lag_count = static_cast<std::uint32_t>(
+        opt.autocorr ? std::clamp(cfg.autocorr_max_lag, 0, kPattern2MaxLag) : 0);
+    const std::uint32_t nslots = kLagBase + lag_count;
+    const std::uint32_t halo = std::max<std::uint32_t>(lag_count, 1);
+    const std::uint32_t eh = kTile + halo;  // halo'd error-tile extent
+
+    const auto grid = static_cast<std::uint32_t>((l + kZChunk - 1) / kZChunk);
+    vgpu::DeviceBuffer<double> d_part(dev, std::size_t{grid} * nslots);
+    vgpu::DeviceBuffer<float> d_der1_orig(dev, dims.volume());
+    vgpu::DeviceBuffer<float> d_der1_dec(dev, dims.volume());
+
+    // Interior ranges of the derivative metrics (must match the serial
+    // reference exactly, including degenerate short axes).
+    const zc::AxisRange rx = zc::interior(h, 1);
+    const zc::AxisRange ry = zc::interior(w, 1);
+    const zc::AxisRange rz = zc::interior(l_g, 1);
+    const double err_mean = moments.mean;
+
+    const vgpu::LaunchConfig lcfg{opt.name, vgpu::Dim3{grid, 1, 1},
+                                  vgpu::Dim3{kTile, kTile, 1}};
+
+    vgpu::KernelStats& stats = vgpu::launch(dev, lcfg, [&](Launch& lnch, BlockCtx& blk) {
+        auto dorig = lnch.span(d_orig);
+        auto ddec = lnch.span(d_dec);
+        auto dpart = lnch.span(d_part);
+        auto der_o = lnch.span(d_der1_orig);
+        auto der_d = lnch.span(d_der1_dec);
+
+        auto ehalo = blk.shared().alloc<double>(lag_count > 0 ? std::size_t{eh} * eh : 1);
+        auto fifo = blk.shared().alloc<double>(
+            lag_count > 0 ? std::size_t{halo + 1} * kTile * kTile : 1);
+        auto tile_o =
+            blk.shared().alloc<double>(do_deriv ? std::size_t{kTile + 2} * (kTile + 2) : 1);
+        auto tile_d =
+            blk.shared().alloc<double>(do_deriv ? std::size_t{kTile + 2} * (kTile + 2) : 1);
+
+        auto acc = blk.make_regs<double>(nslots);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t s = 0; s < nslots; ++s) acc(t, s) = slot_identity(op_of_slot(s));
+        });
+
+        const std::size_t z0 = std::size_t{blk.block_idx().x} * kZChunk;
+        const std::size_t z1 = std::min<std::size_t>(z0 + kZChunk, l);
+        const std::size_t z_end =
+            lag_count > 0 ? std::min<std::size_t>(z1 + halo, l) : z1;
+
+        const auto gidx = [&](std::size_t x, std::size_t y, std::size_t z) {
+            return (x * w + y) * l + z;
+        };
+        // Error value with zero padding outside the domain.
+        const auto err_at = [&](std::size_t gx, std::size_t gy, std::size_t z) -> double {
+            if (gx >= h || gy >= w) return 0.0;
+            const std::size_t idx = gidx(gx, gy, z);
+            return static_cast<double>(ddec.ld(idx)) - dorig.ld(idx);
+        };
+
+        for (std::size_t tx0 = 0; tx0 < h; tx0 += kTile) {
+            for (std::size_t ty0 = 0; ty0 < w; ty0 += kTile) {
+                for (std::size_t z = z0; z < z_end; ++z) {
+                    const bool is_center = z < z1;
+                    // --- stage the halo'd error tile of the current slice.
+                    if (lag_count > 0) {
+                        const std::uint32_t stage_extent = is_center ? eh : kTile;
+                        blk.for_each_thread([&](ThreadCtx& t) {
+                            for (std::uint32_t dx = t.tid.x; dx < stage_extent; dx += kTile) {
+                                for (std::uint32_t dy = t.tid.y; dy < stage_extent; dy += kTile) {
+                                    ehalo.st(std::size_t{dx} * eh + dy,
+                                             err_at(tx0 + dx, ty0 + dy, z));
+                                }
+                            }
+                            blk.add_iters(1);
+                        });
+                    } else {
+                        blk.for_each_thread([&](ThreadCtx& t) { blk.add_iters(1); });
+                    }
+
+                    if (is_center && do_deriv) {
+                        // --- stage orig/dec tiles with a +/-1 halo for the
+                        // derivative stencils (x/y neighbours from shared,
+                        // z neighbours straight from coalesced global).
+                        blk.for_each_thread([&](ThreadCtx& t) {
+                            for (std::uint32_t dx = t.tid.x; dx < kTile + 2; dx += kTile) {
+                                for (std::uint32_t dy = t.tid.y; dy < kTile + 2; dy += kTile) {
+                                    const std::size_t gx = tx0 + dx;
+                                    const std::size_t gy = ty0 + dy;
+                                    double vo = 0.0, vd = 0.0;
+                                    if (gx >= 1 && gx - 1 < h && gy >= 1 && gy - 1 < w) {
+                                        const std::size_t idx = gidx(gx - 1, gy - 1, z);
+                                        vo = dorig.ld(idx);
+                                        vd = ddec.ld(idx);
+                                    }
+                                    tile_o.st(std::size_t{dx} * (kTile + 2) + dy, vo);
+                                    tile_d.st(std::size_t{dx} * (kTile + 2) + dy, vd);
+                                }
+                            }
+                        });
+                        blk.for_each_thread([&](ThreadCtx& t) {
+                            const std::size_t gx = tx0 + t.tid.x;
+                            const std::size_t gy = ty0 + t.tid.y;
+                            const std::size_t gz = z + z_off;
+                            const bool in_interior = gx >= rx.begin && gx < rx.end &&
+                                                     gy >= ry.begin && gy < ry.end &&
+                                                     gz >= rz.begin && gz < rz.end &&
+                                                     z >= zc_begin && z < zc_end;
+                            if (!in_interior) return;
+                            const auto lx = std::size_t{t.tid.x} + 1;  // halo'd coords
+                            const auto ly = std::size_t{t.tid.y} + 1;
+                            const auto tat = [&](const auto& tile, std::size_t xx,
+                                                 std::size_t yy) {
+                                return tile.ld(xx * (kTile + 2) + yy);
+                            };
+                            const std::size_t idx = gidx(gx, gy, z);
+                            // Neighbour loads shared by both orders.
+                            const double oxm = rx.active ? tat(tile_o, lx - 1, ly) : 0.0;
+                            const double oxp = rx.active ? tat(tile_o, lx + 1, ly) : 0.0;
+                            const double oym = ry.active ? tat(tile_o, lx, ly - 1) : 0.0;
+                            const double oyp = ry.active ? tat(tile_o, lx, ly + 1) : 0.0;
+                            const double ozm = rz.active ? dorig.ld(idx - 1) : 0.0;
+                            const double ozp = rz.active ? dorig.ld(idx + 1) : 0.0;
+                            const double oc = tat(tile_o, lx, ly);
+                            const double dxm = rx.active ? tat(tile_d, lx - 1, ly) : 0.0;
+                            const double dxp = rx.active ? tat(tile_d, lx + 1, ly) : 0.0;
+                            const double dym = ry.active ? tat(tile_d, lx, ly - 1) : 0.0;
+                            const double dyp = ry.active ? tat(tile_d, lx, ly + 1) : 0.0;
+                            const double dzm = rz.active ? ddec.ld(idx - 1) : 0.0;
+                            const double dzp = rz.active ? ddec.ld(idx + 1) : 0.0;
+                            const double dc = tat(tile_d, lx, ly);
+
+                            const auto fold = [&](std::uint32_t base, double gox, double goy,
+                                                  double goz, double gdx, double gdy,
+                                                  double gdz) {
+                                const double mo =
+                                    std::sqrt(gox * gox + goy * goy + goz * goz);
+                                const double md =
+                                    std::sqrt(gdx * gdx + gdy * gdy + gdz * gdz);
+                                acc(t, base + kSumO) += mo;
+                                acc(t, base + kMaxO) = std::max(acc(t, base + kMaxO), mo);
+                                acc(t, base + kSumD) += md;
+                                acc(t, base + kMaxD) = std::max(acc(t, base + kMaxD), md);
+                                const double diff = md - mo;
+                                acc(t, base + kSumSqDiff) += diff * diff;
+                                acc(t, base + kAxisO) += gox + goy + goz;
+                                acc(t, base + kAxisD) += gdx + gdy + gdz;
+                                return std::pair{mo, md};
+                            };
+                            if (do_order1) {
+                                const auto [mo1, md1] =
+                                    fold(0, rx.active ? (oxp - oxm) / 2 : 0.0,
+                                         ry.active ? (oyp - oym) / 2 : 0.0,
+                                         rz.active ? (ozp - ozm) / 2 : 0.0,
+                                         rx.active ? (dxp - dxm) / 2 : 0.0,
+                                         ry.active ? (dyp - dym) / 2 : 0.0,
+                                         rz.active ? (dzp - dzm) / 2 : 0.0);
+                                der_o.st(idx, static_cast<float>(mo1));
+                                der_d.st(idx, static_cast<float>(md1));
+                            }
+                            if (do_order2) {
+                                fold(kDerivSlots, rx.active ? oxp - 2 * oc + oxm : 0.0,
+                                     ry.active ? oyp - 2 * oc + oym : 0.0,
+                                     rz.active ? ozp - 2 * oc + ozm : 0.0,
+                                     rx.active ? dxp - 2 * dc + dxm : 0.0,
+                                     ry.active ? dyp - 2 * dc + dym : 0.0,
+                                     rz.active ? dzp - 2 * dc + dzm : 0.0);
+                            }
+                            acc(t, kCountSlot) += 1.0;
+                            blk.add_ops(60);
+                        });
+                    }
+
+                    // --- autocorrelation terms.
+                    if (lag_count > 0) blk.for_each_thread([&](ThreadCtx& t) {
+                        const std::size_t gx = tx0 + t.tid.x;
+                        const std::size_t gy = ty0 + t.tid.y;
+                        if (gx >= h || gy >= w) return;
+                        const double e_cur =
+                            ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y) - err_mean;
+                        const std::size_t gz = z + z_off;
+                        for (std::uint32_t lag = 1; lag <= lag_count; ++lag) {
+                            const auto tau = static_cast<std::size_t>(lag);
+                            const bool ax = h > tau, ay = w > tau, az = l_g > tau;
+                            const int valid = (ax ? 1 : 0) + (ay ? 1 : 0) + (az ? 1 : 0);
+                            if (valid == 0) continue;
+                            const double inv_valid = 1.0 / valid;
+                            // x/y terms for centres in the current slice.
+                            if (is_center && z >= zc_begin && z < zc_end &&
+                                gx < (ax ? h - tau : h) && gy < (ay ? w - tau : w) &&
+                                gz < (az ? l_g - tau : l_g)) {
+                                double nb = 0.0;
+                                if (ax) {
+                                    nb += ehalo.ld((t.tid.x + tau) * eh + t.tid.y) - err_mean;
+                                }
+                                if (ay) {
+                                    nb += ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y + tau) -
+                                          err_mean;
+                                }
+                                acc(t, kLagBase + lag - 1) += e_cur * nb * inv_valid;
+                            }
+                            // Deferred z term: centre slice z - tau pairs with the
+                            // current slice through the FIFO of error tiles.
+                            if (az && z >= tau) {
+                                const std::size_t zc = z - tau;
+                                if (zc >= z0 && zc < z1 && zc >= zc_begin && zc < zc_end &&
+                                    gx < (ax ? h - tau : h) && gy < (ay ? w - tau : w) &&
+                                    zc + z_off < l_g - tau) {
+                                    const double e_old =
+                                        fifo.ld((zc % (halo + 1)) * kTile * kTile +
+                                                std::size_t{t.tid.x} * kTile + t.tid.y) -
+                                        err_mean;
+                                    acc(t, kLagBase + lag - 1) += e_old * e_cur * inv_valid;
+                                }
+                            }
+                        }
+                        blk.add_ops(6 * lag_count);
+                    });
+
+                    // --- push the centre error tile into the FIFO.
+                    if (lag_count > 0) {
+                        blk.for_each_thread([&](ThreadCtx& t) {
+                            fifo.st((z % (halo + 1)) * kTile * kTile +
+                                        std::size_t{t.tid.x} * kTile + t.tid.y,
+                                    ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y));
+                        });
+                    }
+                }
+            }
+        }
+
+        block_reduce_slots(blk, acc, nslots, op_of_slot);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                for (std::uint32_t s = 0; s < nslots; ++s) {
+                    dpart.st(std::size_t{blk.block_idx().x} * nslots + s, acc(t, s));
+                }
+            }
+        });
+    });
+
+    stats.coalescing = kPattern2Coalescing;
+    stats.serialization = kPattern2Serialization;
+    result.stats = stats;
+
+    // Fold the per-block partials on the host (the cross-block reduction).
+    const std::vector<double> part = d_part.download();
+    result.totals.assign(nslots, 0.0);
+    for (std::uint32_t s = 0; s < nslots; ++s) {
+        result.totals[s] = slot_identity(op_of_slot(s));
+    }
+    for (std::uint32_t b = 0; b < grid; ++b) {
+        for (std::uint32_t s = 0; s < nslots; ++s) {
+            result.totals[s] = slot_combine(op_of_slot(s), result.totals[s],
+                                            part[std::size_t{b} * nslots + s]);
+        }
+    }
+
+    // A subdomain result stays raw; the multi-device coordinator merges the
+    // totals of all slabs and finalizes against the global dimensions.
+    if (opt.sub.l_global == 0) {
+        finalize_pattern2(result.totals, dims, cfg, moments, do_order1, do_order2,
+                          lag_count > 0, result.report);
+    }
+    return result;
+}
+
+void finalize_pattern2(const std::vector<double>& totals, const zc::Dims3& global_dims,
+                       const zc::MetricsConfig& cfg, const zc::ErrorMoments& moments,
+                       bool order1, bool order2, bool autocorr, zc::StencilReport& rep) {
+    const std::size_t h = global_dims.h, w = global_dims.w, l = global_dims.l;
+    const double count = totals[kCountSlot];
+    if (count > 0) {
+        if (order1) {
+            rep.deriv1_avg_orig = totals[kSumO] / count;
+            rep.deriv1_max_orig = totals[kMaxO];
+            rep.deriv1_avg_dec = totals[kSumD] / count;
+            rep.deriv1_max_dec = totals[kMaxD];
+            rep.deriv1_mse = totals[kSumSqDiff] / count;
+            rep.divergence_avg_orig = totals[kAxisO] / count;
+            rep.divergence_avg_dec = totals[kAxisD] / count;
+        }
+        if (order2) {
+            rep.deriv2_avg_orig = totals[kDerivSlots + kSumO] / count;
+            rep.deriv2_max_orig = totals[kDerivSlots + kMaxO];
+            rep.deriv2_avg_dec = totals[kDerivSlots + kSumD] / count;
+            rep.deriv2_max_dec = totals[kDerivSlots + kMaxD];
+            rep.deriv2_mse = totals[kDerivSlots + kSumSqDiff] / count;
+            rep.laplacian_avg_orig = totals[kDerivSlots + kAxisO] / count;
+            rep.laplacian_avg_dec = totals[kDerivSlots + kAxisD] / count;
+        }
+    }
+    const auto lag_count = static_cast<std::uint32_t>(
+        autocorr ? std::clamp(cfg.autocorr_max_lag, 0, kPattern2MaxLag) : 0);
+    rep.autocorr.assign(autocorr && cfg.autocorr_max_lag > 0 ? cfg.autocorr_max_lag : 0, 0.0);
+    for (std::uint32_t lag = 1; lag <= lag_count && kLagBase + lag - 1 < totals.size(); ++lag) {
+        const auto tau = static_cast<std::size_t>(lag);
+        const bool ax = h > tau, ay = w > tau, az = l > tau;
+        if ((!ax && !ay && !az) || moments.var <= 0) continue;
+        const double ne = static_cast<double>(ax ? h - tau : h) * (ay ? w - tau : w) *
+                          (az ? l - tau : l);
+        rep.autocorr[lag - 1] = totals[kLagBase + lag - 1] / ne / moments.var;
+    }
+}
+
+Pattern2Result pattern2_fused(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                              const zc::MetricsConfig& cfg) {
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
+    const zc::ErrorMoments m = error_moments_device(dev, d_orig, d_dec, orig.dims());
+    return pattern2_fused_device(dev, d_orig, d_dec, orig.dims(), cfg, m);
+}
+
+}  // namespace cuzc::cuzc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "vgpu/vgpu.hpp"
+#include "zc/autocorr.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/report.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::cuzc {
+
+struct Pattern2Result {
+    zc::StencilReport report;
+    /// Raw accumulator totals (mergeable across subdomains): 7 slots per
+    /// derivative order, the interior point count, then one sum per lag.
+    std::vector<double> totals;
+    vgpu::KernelStats stats;
+};
+
+/// x/y-tile staging is mostly sequential in z (the contiguous axis), with
+/// strided halo columns: good but not perfect coalescing.
+inline constexpr double kPattern2Coalescing = 0.80;
+/// Stencil inner loops expose moderate ILP between barriers.
+inline constexpr double kPattern2Serialization = 2.4;
+
+/// Largest autocorrelation lag the fused kernel's shared-memory halo
+/// supports (halo tiles are (kTile + lag)^2).
+inline constexpr int kPattern2MaxLag = 16;
+
+/// Mean/variance of the error field, computed on-device with a small fused
+/// two-slot reduction kernel ("cuzc/moments"); the coordinator instead
+/// derives these from pattern-1's results when both patterns run, saving
+/// the launch (cross-pattern data reuse).
+[[nodiscard]] zc::ErrorMoments error_moments_device(vgpu::Device& dev,
+                                                    vgpu::DeviceBuffer<float>& d_orig,
+                                                    vgpu::DeviceBuffer<float>& d_dec,
+                                                    const zc::Dims3& dims);
+
+/// Which pattern-2 metrics one launch computes. cuZC fuses everything into
+/// a single launch; the moZC baseline issues one launch per metric family
+/// (order-1 derivative + divergence, order-2 derivative + Laplacian,
+/// autocorrelation), re-reading the data each time.
+/// Subdomain description for multi-device decomposition along z. The
+/// kernel runs on a z-slab (the buffer includes halo slices); only centres
+/// with local z in [z_center_begin, z_center_end) are accumulated, and all
+/// domain-boundary predicates use global coordinates so slab seams are not
+/// mistaken for domain edges.
+struct Pattern2Subdomain {
+    std::size_t z_center_begin = 0;
+    std::size_t z_center_end = static_cast<std::size_t>(-1);  // clamped to the slab
+    std::size_t z_global_offset = 0;
+    std::size_t l_global = 0;  ///< 0 => the slab is the whole domain
+};
+
+struct Pattern2Options {
+    bool order1 = true;
+    bool order2 = true;
+    bool autocorr = true;
+    const char* name = "cuzc/pattern2";
+    Pattern2Subdomain sub{};
+};
+
+/// Fold raw kernel totals into a stencil report (the host-side finish used
+/// by both the single-device path and the multi-GPU merge). `global_dims`
+/// are the whole domain's dimensions.
+void finalize_pattern2(const std::vector<double>& totals, const zc::Dims3& global_dims,
+                       const zc::MetricsConfig& cfg, const zc::ErrorMoments& moments,
+                       bool order1, bool order2, bool autocorr, zc::StencilReport& out);
+
+/// The paper's Algorithm 2: a single fused kernel computes both derivative
+/// orders, divergence, Laplacian, and every autocorrelation lag. Thread
+/// blocks own z-chunks (so the block count is governed by the z-extent —
+/// the paper's Table II shape effect for Hurricane/Scale-LETKF); (x,y)
+/// tiles are staged into shared memory with a one-sided halo of `max_lag`
+/// for the lagged error reads, and a shared-memory FIFO of error tiles
+/// serves the z-direction lags so each slice is loaded from global memory
+/// once per tile.
+[[nodiscard]] Pattern2Result pattern2_fused_device(vgpu::Device& dev,
+                                                   vgpu::DeviceBuffer<float>& d_orig,
+                                                   vgpu::DeviceBuffer<float>& d_dec,
+                                                   const zc::Dims3& dims,
+                                                   const zc::MetricsConfig& cfg,
+                                                   const zc::ErrorMoments& moments,
+                                                   const Pattern2Options& opt = {});
+
+[[nodiscard]] Pattern2Result pattern2_fused(vgpu::Device& dev, const zc::Tensor3f& orig,
+                                            const zc::Tensor3f& dec,
+                                            const zc::MetricsConfig& cfg);
+
+}  // namespace cuzc::cuzc

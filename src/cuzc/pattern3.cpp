@@ -1,0 +1,244 @@
+#include "pattern3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slot_reduce.hpp"
+#include "zc/ssim.hpp"
+
+namespace cuzc::cuzc {
+
+namespace {
+
+using vgpu::BlockCtx;
+using vgpu::Launch;
+using vgpu::ThreadCtx;
+using vgpu::WarpCtx;
+
+// Per-thread register slots.
+enum Slot : std::uint32_t {
+    kD1, kD2,                                  // current slice values
+    kMin1, kMax1, kSum1, kSumSq1,              // x-strip reductions, original
+    kMin2, kMax2, kSum2, kSumSq2,              // x-strip reductions, decompressed
+    kCross,                                    // x-strip cross sum
+    kSsimSum, kWinCount,                       // per-owner outputs
+    kNumSlots,
+};
+constexpr std::uint32_t kStripBase = kMin1;
+constexpr std::uint32_t kStripVals = 9;
+
+}  // namespace
+
+Pattern3Result pattern3_ssim_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
+                                    vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+                                    const zc::MetricsConfig& cfg, const Pattern3Options& opt) {
+    Pattern3Result result;
+    const std::size_t h = dims.h, wd = dims.w, l = dims.l;
+    if (dims.volume() == 0 || cfg.ssim_window <= 0 || cfg.ssim_step <= 0) return result;
+
+    const auto wx = static_cast<std::uint32_t>(
+        zc::effective_window(h, static_cast<std::size_t>(cfg.ssim_window)));
+    const auto wy = static_cast<std::uint32_t>(
+        zc::effective_window(wd, static_cast<std::size_t>(cfg.ssim_window)));
+    const auto wz = static_cast<std::uint32_t>(
+        zc::effective_window(l, static_cast<std::size_t>(cfg.ssim_window)));
+    const auto s = static_cast<std::uint32_t>(cfg.ssim_step);
+    if (wx > vgpu::kWarpSize) {
+        // One warp cannot cover a window plus its shuffle sources; the paper
+        // assumes wsize <= warpSize (its evaluation uses 8).
+        return result;
+    }
+
+    const auto ny_win = static_cast<std::uint32_t>((wd - wy) / s + 1);
+    const char* name = opt.use_fifo ? "cuzc/pattern3" : "mozc/ssim";
+    const vgpu::LaunchConfig lcfg{name, vgpu::Dim3{ny_win, 1, 1}, vgpu::Dim3{32, wy, 1}};
+
+    vgpu::DeviceBuffer<double> d_part(dev, std::size_t{ny_win} * 2);
+
+    // Window x-positions served by one warp sweep (paper: xNum = warpSize -
+    // wsize + step), rounded to the step grid; sweeps advance by the number
+    // of covered positions times the step.
+    const std::uint32_t owners_per_sweep = (vgpu::kWarpSize - wx) / s + 1;
+    const std::uint32_t sweep_adv = owners_per_sweep * s;
+
+    vgpu::KernelStats& stats = vgpu::launch(dev, lcfg, [&](Launch& lnch, BlockCtx& blk) {
+        auto dorig = lnch.span(d_orig);
+        auto ddec = lnch.span(d_dec);
+        auto dpart = lnch.span(d_part);
+
+        // Shared memory: per-(lane,row) strip results of the current slice,
+        // plus the FIFO ring of per-slice column reductions (Fig. 8).
+        auto strips =
+            blk.shared().alloc<double>(std::size_t{vgpu::kWarpSize} * wy * kStripVals);
+        auto fifo = blk.shared().alloc<double>(std::size_t{vgpu::kWarpSize} * wz * kStripVals);
+
+        auto reg = blk.make_regs<double>(kNumSlots);
+        const std::size_t y0 = std::size_t{blk.block_idx().x} * s;
+
+        const auto is_owner_lane = [&](std::uint32_t tidx, std::size_t i) {
+            return tidx % s == 0 && tidx + wx <= vgpu::kWarpSize && i + tidx + wx <= h;
+        };
+
+        // Load slice k, reduce along x via shuffles, stage per-row strips,
+        // then fold rows (the shared-memory y reduction) into the FIFO slot.
+        const auto process_slice = [&](std::size_t i, std::size_t k, std::uint32_t fifo_slot) {
+            blk.for_each_thread([&](ThreadCtx& t) {
+                const std::size_t x = i + t.tid.x;
+                const std::size_t y = y0 + t.tid.y;
+                const bool valid = x < h;
+                const std::size_t idx = (x * wd + y) * l + k;
+                reg(t, kD1) = valid ? dorig.ld(idx) : 0.0;
+                reg(t, kD2) = valid ? ddec.ld(idx) : 0.0;
+                reg(t, kMin1) = reg(t, kMax1) = reg(t, kSum1) = reg(t, kD1);
+                reg(t, kSumSq1) = reg(t, kD1) * reg(t, kD1);
+                reg(t, kMin2) = reg(t, kMax2) = reg(t, kSum2) = reg(t, kD2);
+                reg(t, kSumSq2) = reg(t, kD2) * reg(t, kD2);
+                reg(t, kCross) = reg(t, kD1) * reg(t, kD2);
+                blk.add_iters(1);
+            });
+            // Ghost-region sharing along x: every lane accumulates its
+            // wx-wide window from neighbouring lanes' registers.
+            blk.for_each_warp([&](WarpCtx& w) {
+                for (std::uint32_t off = 1; off < wx; ++off) {
+                    const auto g1 = w.shfl_down(reg, kD1, off);
+                    const auto g2 = w.shfl_down(reg, kD2, off);
+                    for (std::uint32_t lane = 0; lane < w.active_lanes(); ++lane) {
+                        const std::uint32_t t = w.base_linear() + lane;
+                        reg.at(t, kMin1) = std::min(reg.at(t, kMin1), g1[lane]);
+                        reg.at(t, kMax1) = std::max(reg.at(t, kMax1), g1[lane]);
+                        reg.at(t, kSum1) += g1[lane];
+                        reg.at(t, kSumSq1) += g1[lane] * g1[lane];
+                        reg.at(t, kMin2) = std::min(reg.at(t, kMin2), g2[lane]);
+                        reg.at(t, kMax2) = std::max(reg.at(t, kMax2), g2[lane]);
+                        reg.at(t, kSum2) += g2[lane];
+                        reg.at(t, kSumSq2) += g2[lane] * g2[lane];
+                        reg.at(t, kCross) += g1[lane] * g2[lane];
+                    }
+                }
+            });
+            blk.for_each_thread([&](ThreadCtx& t) {
+                blk.add_ops(std::uint64_t{wx - 1} * 12 + 8);
+                for (std::uint32_t v = 0; v < kStripVals; ++v) {
+                    strips.st((std::size_t{t.tid.y} * vgpu::kWarpSize + t.tid.x) * kStripVals + v,
+                              reg(t, kStripBase + v));
+                }
+            });
+            // y reduction: row 0's owner lanes fold the wy rows of their
+            // column and deposit the per-slice result into the FIFO ring.
+            blk.for_each_thread([&](ThreadCtx& t) {
+                if (t.tid.y != 0 || !is_owner_lane(t.tid.x, i)) return;
+                double col[kStripVals];
+                for (std::uint32_t v = 0; v < kStripVals; ++v) {
+                    col[v] = v == kMin1 - kStripBase || v == kMin2 - kStripBase
+                                 ? std::numeric_limits<double>::infinity()
+                                 : (v == kMax1 - kStripBase || v == kMax2 - kStripBase
+                                        ? -std::numeric_limits<double>::infinity()
+                                        : 0.0);
+                }
+                for (std::uint32_t r = 0; r < wy; ++r) {
+                    for (std::uint32_t v = 0; v < kStripVals; ++v) {
+                        const double sv =
+                            strips.ld((std::size_t{r} * vgpu::kWarpSize + t.tid.x) * kStripVals + v);
+                        if (v == kMin1 - kStripBase || v == kMin2 - kStripBase) {
+                            col[v] = std::min(col[v], sv);
+                        } else if (v == kMax1 - kStripBase || v == kMax2 - kStripBase) {
+                            col[v] = std::max(col[v], sv);
+                        } else {
+                            col[v] += sv;
+                        }
+                    }
+                }
+                for (std::uint32_t v = 0; v < kStripVals; ++v) {
+                    fifo.st((std::size_t{fifo_slot} * vgpu::kWarpSize + t.tid.x) * kStripVals + v,
+                            col[v]);
+                }
+            });
+            // Divergence cost: only row 0's owner lanes execute the fold,
+            // but the __syncthreads bracketing the phase keeps every warp
+            // of the block resident and idle — charge whole-block slots.
+            blk.add_ops((std::uint64_t{wy} * kStripVals + kStripVals) * blk.num_threads());
+        };
+
+        // Fold the FIFO ring into full-window sums and mix the local SSIM.
+        const auto fold_windows = [&](std::size_t i) {
+            blk.for_each_thread([&](ThreadCtx& t) {
+                if (t.tid.y != 0 || !is_owner_lane(t.tid.x, i)) return;
+                zc::WindowSums a{}, b{};
+                zc::WindowCross c{};
+                a.min = std::numeric_limits<double>::infinity();
+                a.max = -a.min;
+                b.min = a.min;
+                b.max = a.max;
+                for (std::uint32_t slot = 0; slot < wz; ++slot) {
+                    const auto base =
+                        (std::size_t{slot} * vgpu::kWarpSize + t.tid.x) * kStripVals;
+                    a.min = std::min(a.min, fifo.ld(base + 0));
+                    a.max = std::max(a.max, fifo.ld(base + 1));
+                    a.sum += fifo.ld(base + 2);
+                    a.sum_sq += fifo.ld(base + 3);
+                    b.min = std::min(b.min, fifo.ld(base + 4));
+                    b.max = std::max(b.max, fifo.ld(base + 5));
+                    b.sum += fifo.ld(base + 6);
+                    b.sum_sq += fifo.ld(base + 7);
+                    c.sum_xy += fifo.ld(base + 8);
+                }
+                reg(t, kSsimSum) +=
+                    zc::mix_local_ssim(a, b, c, std::size_t{wx} * wy * wz);
+                reg(t, kWinCount) += 1.0;
+            });
+            // Same block-slot charging as the y reduction: the FIFO fold and
+            // mix run on xNum owner lanes of warp 0 while the block waits.
+            blk.add_ops((std::uint64_t{wz} * kStripVals + 40) * blk.num_threads());
+        };
+
+        for (std::size_t i = 0; i + wx <= h; i += sweep_adv) {
+            if (opt.use_fifo) {
+                // Algorithm 3: every slice is read and reduced exactly once;
+                // its column sums stream through the FIFO ring.
+                for (std::size_t k = 0; k < l; ++k) {
+                    process_slice(i, k, static_cast<std::uint32_t>(k % wz));
+                    if (k + 1 >= wz && (k + 1 - wz) % s == 0) fold_windows(i);
+                }
+            } else {
+                // moZC: each window position re-reads its wz slices.
+                for (std::size_t k0 = 0; k0 + wz <= l; k0 += s) {
+                    for (std::uint32_t kk = 0; kk < wz; ++kk) {
+                        process_slice(i, k0 + kk, kk);
+                    }
+                    fold_windows(i);
+                }
+            }
+        }
+
+        block_reduce_slots(blk, reg, kNumSlots,
+                           [](std::uint32_t) { return SlotOp::kSum; });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear == 0) {
+                dpart.st(std::size_t{blk.block_idx().x} * 2 + 0, reg(t, kSsimSum));
+                dpart.st(std::size_t{blk.block_idx().x} * 2 + 1, reg(t, kWinCount));
+            }
+        });
+    });
+    stats.coalescing = kPattern3Coalescing;
+    stats.serialization = kPattern3Serialization;
+    result.stats = stats;
+
+    const std::vector<double> part = d_part.download();
+    double total = 0, count = 0;
+    for (std::uint32_t b = 0; b < ny_win; ++b) {
+        total += part[std::size_t{b} * 2 + 0];
+        count += part[std::size_t{b} * 2 + 1];
+    }
+    result.report.windows = static_cast<std::size_t>(count);
+    result.report.ssim = count > 0 ? total / count : 0.0;
+    return result;
+}
+
+Pattern3Result pattern3_ssim(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                             const zc::MetricsConfig& cfg, const Pattern3Options& opt) {
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
+    return pattern3_ssim_device(dev, d_orig, d_dec, orig.dims(), cfg, opt);
+}
+
+}  // namespace cuzc::cuzc

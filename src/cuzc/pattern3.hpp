@@ -1,0 +1,48 @@
+#pragma once
+
+#include "vgpu/vgpu.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/report.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::cuzc {
+
+struct Pattern3Result {
+    zc::SsimReport report;
+    vgpu::KernelStats stats;
+};
+
+/// Lane t reads element (i + t, y, k): consecutive lanes are l elements
+/// apart in memory (x is the slowest axis), so slice loads are strided.
+inline constexpr double kPattern3Coalescing = 0.35;
+/// The SSIM kernel's per-slice shuffle ladder is a serial dependency chain
+/// bracketed by __syncthreads; its pipelines stall far below peak issue.
+inline constexpr double kPattern3Serialization = 5.5;
+
+struct Pattern3Options {
+    /// true  -> the paper's cuZC kernel: per-slice reduction results stream
+    ///          through a shared-memory FIFO ring, so every slice is read
+    ///          from global memory and reduced exactly once (Algorithm 3);
+    /// false -> the moZC baseline: no FIFO; every window position along z
+    ///          re-reads and re-reduces its wsize slices.
+    bool use_fifo = true;
+};
+
+/// The paper's Algorithm 3: windowed 3-D SSIM. One thread block per group
+/// of y-window rows; within a warp, lanes own the window positions along x
+/// and ghost regions are shared through warp shuffles (supporting arbitrary
+/// step); the y-direction window reduction goes through shared memory; the
+/// z-direction streams slices through the FIFO ring of intermediate
+/// reduction results.
+[[nodiscard]] Pattern3Result pattern3_ssim_device(vgpu::Device& dev,
+                                                  vgpu::DeviceBuffer<float>& d_orig,
+                                                  vgpu::DeviceBuffer<float>& d_dec,
+                                                  const zc::Dims3& dims,
+                                                  const zc::MetricsConfig& cfg,
+                                                  const Pattern3Options& opt = {});
+
+[[nodiscard]] Pattern3Result pattern3_ssim(vgpu::Device& dev, const zc::Tensor3f& orig,
+                                           const zc::Tensor3f& dec, const zc::MetricsConfig& cfg,
+                                           const Pattern3Options& opt = {});
+
+}  // namespace cuzc::cuzc

@@ -1,0 +1,110 @@
+#include "pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sz/sz_compressor.hpp"
+
+namespace cuzc::cuzc {
+
+namespace {
+
+PipelineResult assess_pair(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Field& dec,
+                           const zc::MetricsConfig& cfg, zc::CompressionStats stats,
+                           double bound) {
+    PipelineResult out;
+    out.assessment = assess(dev, orig, dec.view(), cfg);
+    out.compression = stats;
+    out.effective_error_bound = bound;
+    return out;
+}
+
+}  // namespace
+
+PipelineResult compress_and_assess(vgpu::Device& dev, const zc::Tensor3f& orig,
+                                   double rel_error_bound, const zc::MetricsConfig& cfg) {
+    sz::SzConfig scfg;
+    scfg.use_rel_bound = true;
+    scfg.rel_error_bound = rel_error_bound;
+
+    zc::CompressionStats stats;
+    stats.raw_bytes = orig.size() * sizeof(float);
+    const zc::Stopwatch comp_watch;
+    const sz::SzCompressed comp = sz::compress(orig, scfg);
+    stats.compress_seconds = comp_watch.seconds();
+    stats.compressed_bytes = comp.bytes.size();
+
+    const zc::Stopwatch decomp_watch;
+    const zc::Field dec = sz::decompress(comp.bytes);
+    stats.decompress_seconds = decomp_watch.seconds();
+
+    return assess_pair(dev, orig, dec, cfg, stats, comp.effective_error_bound);
+}
+
+PipelineResult assess_compressed(vgpu::Device& dev, const zc::Tensor3f& orig,
+                                 std::span<const std::uint8_t> sz_stream,
+                                 const zc::MetricsConfig& cfg) {
+    zc::CompressionStats stats;
+    stats.raw_bytes = orig.size() * sizeof(float);
+    stats.compressed_bytes = sz_stream.size();
+    const zc::Stopwatch decomp_watch;
+    const zc::Field dec = sz::decompress(sz_stream);
+    stats.decompress_seconds = decomp_watch.seconds();
+    if (dec.dims() != orig.dims()) {
+        throw std::invalid_argument("assess_compressed: stream shape mismatch");
+    }
+    return assess_pair(dev, orig, dec, cfg, stats, 0.0);
+}
+
+std::vector<CuzcResult> assess_batch(vgpu::Device& dev, std::span<const zc::Field> originals,
+                                     std::span<const zc::Field> decompressed,
+                                     const zc::MetricsConfig& cfg) {
+    std::vector<CuzcResult> results;
+    const std::size_t n = std::min(originals.size(), decompressed.size());
+    if (n == 0) return results;
+    const zc::Dims3 dims = originals[0].dims();
+    // One device-resident buffer pair serves the whole batch.
+    vgpu::DeviceBuffer<float> d_orig(dev, dims.volume());
+    vgpu::DeviceBuffer<float> d_dec(dev, dims.volume());
+
+    results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (originals[i].dims() != dims || decompressed[i].dims() != dims) {
+            throw std::invalid_argument("assess_batch: all fields must share one shape");
+        }
+        d_orig.upload(originals[i].data());
+        d_dec.upload(decompressed[i].data());
+
+        CuzcResult r;
+        bool have_moments = false;
+        zc::ErrorMoments moments;
+        if (cfg.pattern1) {
+            const Pattern1Result p1 = pattern1_fused_device(dev, d_orig, d_dec, dims, cfg);
+            r.report.reduction = p1.report;
+            r.pattern1 = p1.stats;
+            moments.mean = p1.report.avg_err;
+            moments.var =
+                std::max(0.0, p1.report.mse - p1.report.avg_err * p1.report.avg_err);
+            have_moments = true;
+        }
+        if (cfg.pattern2) {
+            if (!have_moments) {
+                moments = error_moments_device(dev, d_orig, d_dec, dims);
+            }
+            const Pattern2Result p2 =
+                pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments);
+            r.report.stencil = p2.report;
+            r.pattern2 = p2.stats;
+        }
+        if (cfg.pattern3) {
+            const Pattern3Result p3 = pattern3_ssim_device(dev, d_orig, d_dec, dims, cfg);
+            r.report.ssim = p3.report;
+            r.pattern3 = p3.stats;
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+}  // namespace cuzc::cuzc

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <limits>
+
+#include "vgpu/vgpu.hpp"
+
+namespace cuzc::cuzc {
+
+/// Reduction operator of one accumulator slot in a fused multi-metric
+/// kernel.
+enum class SlotOp { kSum, kMin, kMax };
+
+[[nodiscard]] inline double slot_identity(SlotOp op) noexcept {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    switch (op) {
+        case SlotOp::kMin: return kInf;
+        case SlotOp::kMax: return -kInf;
+        case SlotOp::kSum: return 0.0;
+    }
+    return 0.0;
+}
+
+[[nodiscard]] inline double slot_combine(SlotOp op, double a, double b) noexcept {
+    switch (op) {
+        case SlotOp::kMin: return a < b ? a : b;
+        case SlotOp::kMax: return a > b ? a : b;
+        case SlotOp::kSum: return a + b;
+    }
+    return a + b;
+}
+
+/// Block-level reduction of a multi-slot per-thread accumulator: warp
+/// shuffles within each warp, per-warp partials staged through shared
+/// memory, final shuffle reduction on warp 0 (Algorithm 1 ln. 7-16). After
+/// the call, thread 0 of the block holds every slot's block-wide result.
+/// `op_of(slot)` selects the reduction operator per slot.
+template <class OpOf>
+void block_reduce_slots(vgpu::BlockCtx& blk, vgpu::RegArray<double>& acc, std::uint32_t nslots,
+                        OpOf op_of) {
+    blk.for_each_warp([&](vgpu::WarpCtx& w) {
+        for (std::uint32_t slot = 0; slot < nslots; ++slot) {
+            const SlotOp op = op_of(slot);
+            w.reduce_shfl_down(acc, slot,
+                               [op](double a, double b) { return slot_combine(op, a, b); });
+        }
+    });
+    auto warp_out = blk.shared().alloc<double>(std::size_t{nslots} * blk.num_warps());
+    blk.for_each_thread([&](vgpu::ThreadCtx& t) {
+        if (t.lane == 0) {
+            for (std::uint32_t slot = 0; slot < nslots; ++slot) {
+                warp_out.st(t.warp * nslots + slot, acc(t, slot));
+            }
+        }
+    });
+    const std::uint32_t nwarps = blk.num_warps();
+    blk.for_each_warp([&](vgpu::WarpCtx& w) {
+        if (w.warp_id() != 0) return;
+        const std::uint32_t mask = w.ballot([&](std::uint32_t lane) { return lane < nwarps; });
+        for (std::uint32_t lane = 0; lane < w.active_lanes(); ++lane) {
+            for (std::uint32_t slot = 0; slot < nslots; ++slot) {
+                acc.at(lane, slot) = lane < nwarps ? warp_out.ld(lane * nslots + slot)
+                                                   : slot_identity(op_of(slot));
+            }
+        }
+        for (std::uint32_t slot = 0; slot < nslots; ++slot) {
+            const SlotOp op = op_of(slot);
+            w.reduce_shfl_down(acc, slot,
+                               [op](double a, double b) { return slot_combine(op, a, b); }, mask);
+        }
+    });
+}
+
+}  // namespace cuzc::cuzc

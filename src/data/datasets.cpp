@@ -1,0 +1,192 @@
+#include "datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noise.hpp"
+
+namespace cuzc::data {
+
+namespace {
+
+/// Normalized coordinates in [0, 1]^3 regardless of grid size, so a scaled
+/// dataset samples the same underlying continuous field.
+struct Coords {
+    double u, v, t;
+};
+
+[[nodiscard]] Coords norm_coords(const zc::Dims3& d, std::size_t x, std::size_t y,
+                                 std::size_t z) noexcept {
+    return Coords{d.h > 1 ? static_cast<double>(x) / static_cast<double>(d.h - 1) : 0.0,
+                  d.w > 1 ? static_cast<double>(y) / static_cast<double>(d.w - 1) : 0.0,
+                  d.l > 1 ? static_cast<double>(z) / static_cast<double>(d.l - 1) : 0.0};
+}
+
+[[nodiscard]] double sample(const FieldSpec& f, const Coords& c) {
+    const double u = c.u, v = c.v, t = c.t;
+    switch (f.kind) {
+        case FieldKind::kSmooth:
+            return 0.8 * fbm(f.seed, 3 * u, 3 * v, 3 * t, 2) +
+                   0.5 * std::sin(2.0 * u + 1.3 * v) * std::cos(1.7 * t);
+        case FieldKind::kTurbulent:
+            return fbm(f.seed, 8 * u, 8 * v, 8 * t, 6);
+        case FieldKind::kVortex: {
+            // Tangential velocity around the domain centre's vertical axis,
+            // with an fBm perturbation — hurricane-like rotational flow.
+            const double dx = v - 0.5, dy = t - 0.5;
+            const double r = std::sqrt(dx * dx + dy * dy) + 1e-3;
+            const double swirl = std::exp(-r * r * 8.0) * (-dy / r);
+            return swirl + 0.3 * fbm(f.seed, 6 * u, 6 * v, 6 * t, 4);
+        }
+        case FieldKind::kPointMasses: {
+            // Sparse exponential peaks: hash a coarse lattice; a few cells
+            // host a peak whose tail decays quickly.
+            double acc = 0.002 * (1.0 + fbm(f.seed, 5 * u, 5 * v, 5 * t, 3));
+            constexpr int kCells = 6;
+            for (int px = 0; px < kCells; ++px) {
+                for (int py = 0; py < kCells; ++py) {
+                    for (int pz = 0; pz < kCells; ++pz) {
+                        const std::uint64_t h = hash3(f.seed * 31 + 7, px, py, pz);
+                        if ((h & 7u) != 0) continue;  // ~1/8 cells host a peak
+                        const double cx = (px + to_unit(mix64(h))) / kCells;
+                        const double cy = (py + to_unit(mix64(h + 1))) / kCells;
+                        const double cz = (pz + to_unit(mix64(h + 2))) / kCells;
+                        const double d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy) +
+                                          (t - cz) * (t - cz);
+                        acc += std::exp(-d2 * 900.0);
+                    }
+                }
+            }
+            return acc;
+        }
+        case FieldKind::kLogDensity:
+            return std::exp(2.5 * fbm(f.seed, 6 * u, 6 * v, 6 * t, 5));
+        case FieldKind::kBanded: {
+            // Anisotropic rain bands: stretched noise along one horizontal
+            // direction plus a frontal gradient.
+            const double band = fbm(f.seed, 2 * u, 14 * v, 3 * t, 4);
+            const double front = std::tanh(6.0 * (v - 0.4 - 0.15 * std::sin(4.0 * t)));
+            return std::max(0.0, band + 0.4 * front);
+        }
+        case FieldKind::kInterface: {
+            // Two mixing phases: tanh profile across a perturbed mid-plane.
+            const double wobble = 0.08 * fbm(f.seed, 4 * u, 4 * v, 4 * t, 5);
+            const double phase = std::tanh(24.0 * (u - 0.5 + wobble));
+            return phase + 0.15 * fbm(f.seed + 99, 10 * u, 10 * v, 10 * t, 5);
+        }
+    }
+    return 0.0;
+}
+
+[[nodiscard]] FieldSpec fs(std::string name, FieldKind kind, std::uint64_t seed,
+                           double base = 0.0, double amplitude = 1.0) {
+    return FieldSpec{std::move(name), kind, seed, base, amplitude};
+}
+
+}  // namespace
+
+DatasetSpec hurricane() {
+    DatasetSpec s;
+    s.name = "Hurricane";
+    s.dims = zc::Dims3{500, 500, 100};
+    s.fields = {
+        fs("QCLOUD", FieldKind::kPointMasses, 101, 0.0, 1e-3),
+        fs("QGRAUP", FieldKind::kPointMasses, 102, 0.0, 5e-4),
+        fs("QICE", FieldKind::kPointMasses, 103, 0.0, 2e-4),
+        fs("QRAIN", FieldKind::kPointMasses, 104, 0.0, 8e-4),
+        fs("QSNOW", FieldKind::kPointMasses, 105, 0.0, 3e-4),
+        fs("QVAPOR", FieldKind::kSmooth, 106, 0.01, 0.02),
+        fs("CLOUD", FieldKind::kPointMasses, 107, 0.0, 1e-3),
+        fs("PRECIP", FieldKind::kBanded, 108, 0.0, 1e-2),
+        fs("P", FieldKind::kSmooth, 109, 850.0, 120.0),
+        fs("TC", FieldKind::kSmooth, 110, 15.0, 25.0),
+        fs("U", FieldKind::kVortex, 111, 0.0, 55.0),
+        fs("V", FieldKind::kVortex, 112, 0.0, 55.0),
+        fs("W", FieldKind::kTurbulent, 113, 0.0, 8.0),
+    };
+    return s;
+}
+
+DatasetSpec nyx() {
+    DatasetSpec s;
+    s.name = "NYX";
+    s.dims = zc::Dims3{512, 512, 512};
+    s.fields = {
+        fs("dark_matter_density", FieldKind::kLogDensity, 201, 0.0, 60.0),
+        fs("baryon_density", FieldKind::kLogDensity, 202, 0.0, 25.0),
+        fs("temperature", FieldKind::kLogDensity, 203, 0.0, 4e4),
+        fs("velocity_x", FieldKind::kTurbulent, 204, 0.0, 3e5),
+        fs("velocity_y", FieldKind::kTurbulent, 205, 0.0, 3e5),
+        fs("velocity_z", FieldKind::kTurbulent, 206, 0.0, 3e5),
+    };
+    return s;
+}
+
+DatasetSpec scale_letkf() {
+    DatasetSpec s;
+    s.name = "SCALE-LETKF";
+    s.dims = zc::Dims3{1200, 1200, 98};
+    s.fields = {
+        fs("QC", FieldKind::kBanded, 301, 0.0, 2e-3),
+        fs("QR", FieldKind::kBanded, 302, 0.0, 3e-3),
+        fs("QV", FieldKind::kSmooth, 303, 0.008, 0.015),
+        fs("T", FieldKind::kSmooth, 304, 280.0, 30.0),
+        fs("U", FieldKind::kTurbulent, 305, 0.0, 20.0),
+        fs("V", FieldKind::kTurbulent, 306, 0.0, 20.0),
+    };
+    return s;
+}
+
+DatasetSpec miranda() {
+    DatasetSpec s;
+    s.name = "Miranda";
+    s.dims = zc::Dims3{384, 384, 256};
+    s.fields = {
+        fs("density", FieldKind::kInterface, 401, 1.5, 0.5),
+        fs("pressure", FieldKind::kSmooth, 402, 1.0, 0.2),
+        fs("diffusivity", FieldKind::kTurbulent, 403, 0.0, 0.05),
+        fs("velocityx", FieldKind::kTurbulent, 404, 0.0, 1.2),
+        fs("velocityy", FieldKind::kTurbulent, 405, 0.0, 1.2),
+        fs("velocityz", FieldKind::kTurbulent, 406, 0.0, 1.2),
+        fs("viscocity", FieldKind::kInterface, 407, 0.02, 0.01),
+    };
+    return s;
+}
+
+std::vector<DatasetSpec> paper_datasets() {
+    return {hurricane(), nyx(), scale_letkf(), miranda()};
+}
+
+const DatasetSpec* find_dataset(std::string_view name) {
+    static const std::vector<DatasetSpec> all = paper_datasets();
+    for (const auto& s : all) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+DatasetSpec scaled(const DatasetSpec& spec, unsigned factor) {
+    DatasetSpec s = spec;
+    if (factor <= 1) return s;
+    const auto shrink = [factor](std::size_t extent) {
+        return std::max<std::size_t>(8, extent / factor);
+    };
+    s.dims = zc::Dims3{shrink(spec.dims.h), shrink(spec.dims.w), shrink(spec.dims.l)};
+    return s;
+}
+
+zc::Field generate_field(const FieldSpec& field, const zc::Dims3& dims) {
+    zc::Field out(dims);
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < dims.h; ++x) {
+        for (std::size_t y = 0; y < dims.w; ++y) {
+            for (std::size_t z = 0; z < dims.l; ++z, ++i) {
+                const double v = sample(field, norm_coords(dims, x, y, z));
+                out.data()[i] = static_cast<float>(field.base + field.amplitude * v);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace cuzc::data

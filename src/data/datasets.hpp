@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "zc/tensor.hpp"
+
+namespace cuzc::data {
+
+/// Qualitative character of a synthetic field; each kind reproduces the
+/// dominant structure of one class of SDRBench fields (see DESIGN.md §1).
+enum class FieldKind {
+    kSmooth,      ///< large-scale smooth variation (temperature, pressure)
+    kTurbulent,   ///< multi-octave fBm (velocity components, mixing)
+    kVortex,      ///< rotational flow around an axis plus turbulence (hurricane winds)
+    kPointMasses, ///< sparse exponential peaks on a smooth floor (QCLOUD, densities)
+    kLogDensity,  ///< exp(k * fbm): heavy-tailed cosmological density
+    kBanded,      ///< anisotropic rain-band structures (Scale-LETKF)
+    kInterface,   ///< two phases separated by a perturbed interface (Miranda)
+};
+
+struct FieldSpec {
+    std::string name;
+    FieldKind kind = FieldKind::kSmooth;
+    std::uint64_t seed = 0;
+    double base = 0.0;       ///< additive offset
+    double amplitude = 1.0;  ///< overall scale
+};
+
+/// One of the paper's four evaluation datasets: shape + field inventory.
+struct DatasetSpec {
+    std::string name;
+    zc::Dims3 dims;
+    std::vector<FieldSpec> fields;
+};
+
+/// The four SDRBench datasets of the paper's §IV-A, at their published
+/// shapes: Hurricane ISABEL 500x500x100 x13 fields, NYX 512^3 x6,
+/// Scale-LETKF 1200x1200x98 x6, Miranda 384x384x256 x7 — stored (h,w,l)
+/// with l the contiguous z-axis, so Hurricane/Scale-LETKF keep their short
+/// z-extents (100 / 98), which drives the paper's Table II shape effects.
+[[nodiscard]] std::vector<DatasetSpec> paper_datasets();
+[[nodiscard]] DatasetSpec hurricane();
+[[nodiscard]] DatasetSpec nyx();
+[[nodiscard]] DatasetSpec scale_letkf();
+[[nodiscard]] DatasetSpec miranda();
+[[nodiscard]] const DatasetSpec* find_dataset(std::string_view name);
+
+/// Shrink every linear extent by `factor` (floored at 8 elements) so the
+/// full benchmark matrix runs on laptop-scale hardware; aspect ratios —
+/// which drive all the shape effects in the paper's Table II — are
+/// preserved. factor == 1 reproduces the published dims.
+[[nodiscard]] DatasetSpec scaled(const DatasetSpec& spec, unsigned factor);
+
+/// Synthesize one field of a dataset, deterministically from its spec.
+[[nodiscard]] zc::Field generate_field(const FieldSpec& field, const zc::Dims3& dims);
+
+}  // namespace cuzc::data

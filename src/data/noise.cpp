@@ -1,0 +1,61 @@
+#include "noise.hpp"
+
+#include <cmath>
+
+namespace cuzc::data {
+
+namespace {
+
+[[nodiscard]] double lattice(std::uint64_t seed, std::int64_t x, std::int64_t y,
+                             std::int64_t z) noexcept {
+    return to_unit(hash3(seed, x, y, z)) * 2.0 - 1.0;
+}
+
+[[nodiscard]] constexpr double smoothstep(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+    return a + (b - a) * t;
+}
+
+}  // namespace
+
+double value_noise(std::uint64_t seed, double x, double y, double z) noexcept {
+    const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+    const auto ix = static_cast<std::int64_t>(fx);
+    const auto iy = static_cast<std::int64_t>(fy);
+    const auto iz = static_cast<std::int64_t>(fz);
+    const double tx = smoothstep(x - fx);
+    const double ty = smoothstep(y - fy);
+    const double tz = smoothstep(z - fz);
+
+    const double c000 = lattice(seed, ix, iy, iz);
+    const double c100 = lattice(seed, ix + 1, iy, iz);
+    const double c010 = lattice(seed, ix, iy + 1, iz);
+    const double c110 = lattice(seed, ix + 1, iy + 1, iz);
+    const double c001 = lattice(seed, ix, iy, iz + 1);
+    const double c101 = lattice(seed, ix + 1, iy, iz + 1);
+    const double c011 = lattice(seed, ix, iy + 1, iz + 1);
+    const double c111 = lattice(seed, ix + 1, iy + 1, iz + 1);
+
+    const double x00 = lerp(c000, c100, tx);
+    const double x10 = lerp(c010, c110, tx);
+    const double x01 = lerp(c001, c101, tx);
+    const double x11 = lerp(c011, c111, tx);
+    const double y0 = lerp(x00, x10, ty);
+    const double y1 = lerp(x01, x11, ty);
+    return lerp(y0, y1, tz);
+}
+
+double fbm(std::uint64_t seed, double x, double y, double z, int octaves) noexcept {
+    double sum = 0.0, amp = 0.5, freq = 1.0, norm = 0.0;
+    for (int o = 0; o < octaves; ++o) {
+        sum += amp * value_noise(seed + static_cast<std::uint64_t>(o) * 0x51ed2701ull, x * freq,
+                                 y * freq, z * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    return norm > 0 ? sum / norm : 0.0;
+}
+
+}  // namespace cuzc::data

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuzc::data {
+
+/// Deterministic integer hash (splitmix64 finalizer) — the seeded basis of
+/// all synthetic field generation; identical output on every platform.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t hash3(std::uint64_t seed, std::int64_t x, std::int64_t y,
+                                            std::int64_t z) noexcept {
+    std::uint64_t h = seed;
+    h = mix64(h ^ static_cast<std::uint64_t>(x));
+    h = mix64(h ^ static_cast<std::uint64_t>(y));
+    h = mix64(h ^ static_cast<std::uint64_t>(z));
+    return h;
+}
+
+/// Uniform double in [0, 1) from a hash value.
+[[nodiscard]] constexpr double to_unit(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Smooth lattice value noise in [-1, 1]: hashed lattice values with
+/// smoothstep-weighted trilinear interpolation.
+[[nodiscard]] double value_noise(std::uint64_t seed, double x, double y, double z) noexcept;
+
+/// Fractal Brownian motion: `octaves` layers of value noise with lacunarity
+/// 2 and gain 0.5; output roughly in [-1, 1].
+[[nodiscard]] double fbm(std::uint64_t seed, double x, double y, double z, int octaves) noexcept;
+
+}  // namespace cuzc::data

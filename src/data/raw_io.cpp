@@ -1,0 +1,30 @@
+#include "raw_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cuzc::data {
+
+void write_f32(const std::filesystem::path& path, const zc::Tensor3f& field) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_f32: cannot open " + path.string());
+    out.write(reinterpret_cast<const char*>(field.data().data()),
+              static_cast<std::streamsize>(field.size() * sizeof(float)));
+    if (!out) throw std::runtime_error("write_f32: short write to " + path.string());
+}
+
+zc::Field read_f32(const std::filesystem::path& path, const zc::Dims3& dims) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw std::runtime_error("read_f32: cannot open " + path.string());
+    const auto size = static_cast<std::size_t>(in.tellg());
+    if (size != dims.volume() * sizeof(float)) {
+        throw std::runtime_error("read_f32: size mismatch for " + path.string());
+    }
+    in.seekg(0);
+    zc::Field field(dims);
+    in.read(reinterpret_cast<char*>(field.data().data()), static_cast<std::streamsize>(size));
+    if (!in) throw std::runtime_error("read_f32: short read from " + path.string());
+    return field;
+}
+
+}  // namespace cuzc::data

@@ -1,0 +1,175 @@
+#include "html_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cuzc::io {
+
+namespace {
+
+std::string fmt(double v) {
+    std::ostringstream ss;
+    ss.precision(6);
+    if (std::isinf(v)) {
+        ss << (v > 0 ? "&infin;" : "-&infin;");
+    } else {
+        ss << v;
+    }
+    return ss.str();
+}
+
+void metric_row(std::ostream& os, const char* name, double value) {
+    os << "      <tr><td>" << name << "</td><td class=\"num\">" << fmt(value)
+       << "</td></tr>\n";
+}
+
+}  // namespace
+
+std::string svg_bar_chart(const std::vector<double>& values, double lo, double hi,
+                          std::string_view caption, int width, int height) {
+    std::ostringstream os;
+    os.precision(5);
+    const int margin = 24;
+    const int plot_w = width - 2 * margin;
+    const int plot_h = height - 2 * margin;
+    double vmax = 0;
+    for (const double v : values) vmax = std::max(vmax, v);
+    os << "<figure><svg viewBox=\"0 0 " << width << ' ' << height
+       << "\" role=\"img\" aria-label=\"" << caption << "\">\n";
+    os << "  <rect x=\"0\" y=\"0\" width=\"" << width << "\" height=\"" << height
+       << "\" fill=\"#fafafa\"/>\n";
+    if (!values.empty() && vmax > 0) {
+        const double bw = static_cast<double>(plot_w) / static_cast<double>(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const double bh = values[i] / vmax * plot_h;
+            os << "  <rect x=\"" << margin + bw * static_cast<double>(i) << "\" y=\""
+               << margin + (plot_h - bh) << "\" width=\"" << std::max(bw - 0.5, 0.5)
+               << "\" height=\"" << bh << "\" fill=\"#4878a8\"/>\n";
+        }
+    }
+    os << "  <line x1=\"" << margin << "\" y1=\"" << margin + plot_h << "\" x2=\""
+       << margin + plot_w << "\" y2=\"" << margin + plot_h
+       << "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+    os << "  <text x=\"" << margin << "\" y=\"" << height - 6 << "\" font-size=\"10\">"
+       << fmt(lo) << "</text>\n";
+    os << "  <text x=\"" << margin + plot_w << "\" y=\"" << height - 6
+       << "\" font-size=\"10\" text-anchor=\"end\">" << fmt(hi) << "</text>\n";
+    os << "</svg><figcaption>" << caption << "</figcaption></figure>\n";
+    return os.str();
+}
+
+std::string svg_lag_chart(const std::vector<double>& values, std::string_view caption,
+                          int width, int height) {
+    std::ostringstream os;
+    os.precision(5);
+    const int margin = 24;
+    const int plot_w = width - 2 * margin;
+    const int plot_h = height - 2 * margin;
+    const auto xpos = [&](std::size_t i) {
+        return margin + (values.size() > 1
+                             ? static_cast<double>(i) * plot_w /
+                                   static_cast<double>(values.size() - 1)
+                             : plot_w / 2.0);
+    };
+    const auto ypos = [&](double v) {
+        return margin + (1.0 - std::clamp(v, -1.0, 1.0)) * 0.5 * plot_h;
+    };
+    os << "<figure><svg viewBox=\"0 0 " << width << ' ' << height
+       << "\" role=\"img\" aria-label=\"" << caption << "\">\n";
+    os << "  <rect x=\"0\" y=\"0\" width=\"" << width << "\" height=\"" << height
+       << "\" fill=\"#fafafa\"/>\n";
+    // Zero line.
+    os << "  <line x1=\"" << margin << "\" y1=\"" << ypos(0.0) << "\" x2=\"" << margin + plot_w
+       << "\" y2=\"" << ypos(0.0) << "\" stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n";
+    if (!values.empty()) {
+        os << "  <polyline fill=\"none\" stroke=\"#a84848\" stroke-width=\"1.5\" points=\"";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            os << xpos(i) << ',' << ypos(values[i]) << ' ';
+        }
+        os << "\"/>\n";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            os << "  <circle cx=\"" << xpos(i) << "\" cy=\"" << ypos(values[i])
+               << "\" r=\"2.5\" fill=\"#a84848\"/>\n";
+        }
+    }
+    os << "  <text x=\"" << margin << "\" y=\"" << height - 6
+       << "\" font-size=\"10\">lag 1</text>\n";
+    os << "  <text x=\"" << margin + plot_w << "\" y=\"" << height - 6
+       << "\" font-size=\"10\" text-anchor=\"end\">lag " << values.size() << "</text>\n";
+    os << "</svg><figcaption>" << caption << "</figcaption></figure>\n";
+    return os.str();
+}
+
+void write_html(std::ostream& os, const zc::AssessmentReport& r, const HtmlReportOptions& opt) {
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\"/>\n<title>"
+       << opt.title << "</title>\n<style>\n"
+       << "body{font-family:sans-serif;max-width:72em;margin:2em auto;color:#222}\n"
+       << "table{border-collapse:collapse;margin:1em 0}\n"
+       << "td,th{border:1px solid #ccc;padding:0.3em 0.8em}\n"
+       << "td.num{text-align:right;font-variant-numeric:tabular-nums}\n"
+       << "figure{display:inline-block;margin:1em}\n"
+       << "figcaption{font-size:0.85em;color:#555;text-align:center}\n"
+       << "</style>\n</head>\n<body>\n<h1>" << opt.title << "</h1>\n";
+    if (!opt.field_name.empty()) {
+        os << "<p>field: <strong>" << opt.field_name << "</strong></p>\n";
+    }
+
+    if (opt.compression) {
+        const auto& c = *opt.compression;
+        os << "<h2>Compression</h2>\n<table>\n";
+        metric_row(os, "compression ratio", c.ratio());
+        metric_row(os, "bit rate (bits/value)", c.bit_rate());
+        metric_row(os, "compress throughput (MB/s)", c.compress_bytes_per_sec() / 1e6);
+        metric_row(os, "decompress throughput (MB/s)", c.decompress_bytes_per_sec() / 1e6);
+        os << "</table>\n";
+    }
+
+    os << "<h2>Distortion metrics</h2>\n<table>\n"
+       << "      <tr><th>metric</th><th>value</th></tr>\n";
+    metric_row(os, "PSNR (dB)", r.reduction.psnr_db);
+    metric_row(os, "SNR (dB)", r.reduction.snr_db);
+    metric_row(os, "MSE", r.reduction.mse);
+    metric_row(os, "NRMSE", r.reduction.nrmse);
+    metric_row(os, "max |error|", r.reduction.max_abs_err);
+    metric_row(os, "max pointwise rel. error", r.reduction.max_pwr_err);
+    metric_row(os, "Pearson r", r.reduction.pearson_r);
+    metric_row(os, "SSIM", r.ssim.ssim);
+    os << "</table>\n";
+
+    os << "<h2>Data properties</h2>\n<table>\n";
+    metric_row(os, "min value", r.reduction.min_val);
+    metric_row(os, "max value", r.reduction.max_val);
+    metric_row(os, "mean", r.reduction.mean_val);
+    metric_row(os, "std dev", r.reduction.std_val);
+    metric_row(os, "entropy (bits)", r.reduction.entropy);
+    os << "</table>\n";
+
+    os << "<h2>Derivative metrics</h2>\n<table>\n";
+    metric_row(os, "|grad| mean (original)", r.stencil.deriv1_avg_orig);
+    metric_row(os, "|grad| mean (decompressed)", r.stencil.deriv1_avg_dec);
+    metric_row(os, "gradient-field MSE", r.stencil.deriv1_mse);
+    metric_row(os, "Laplacian mean (original)", r.stencil.laplacian_avg_orig);
+    metric_row(os, "Laplacian mean (decompressed)", r.stencil.laplacian_avg_dec);
+    os << "</table>\n";
+
+    os << "<h2>Distributions</h2>\n";
+    if (!r.reduction.err_pdf.empty()) {
+        os << svg_bar_chart(r.reduction.err_pdf, r.reduction.err_pdf_min,
+                            r.reduction.err_pdf_max, "compression-error PDF");
+        os << svg_bar_chart(r.reduction.pwr_err_pdf, r.reduction.pwr_err_pdf_min,
+                            r.reduction.pwr_err_pdf_max, "pointwise relative error PDF");
+    }
+    if (!r.stencil.autocorr.empty()) {
+        os << svg_lag_chart(r.stencil.autocorr, "error autocorrelation by lag");
+    }
+    os << "</body>\n</html>\n";
+}
+
+std::string to_html(const zc::AssessmentReport& report, const HtmlReportOptions& opt) {
+    std::ostringstream ss;
+    write_html(ss, report, opt);
+    return ss.str();
+}
+
+}  // namespace cuzc::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "zc/compression_stats.hpp"
+#include "zc/report.hpp"
+
+namespace cuzc::io {
+
+/// The Z-server substitute: Z-checker's online visualization component is
+/// a web service; this build renders the same content — metric tables,
+/// error-distribution charts, autocorrelation plots — as a self-contained
+/// static HTML page with inline SVG (no network, no JavaScript
+/// dependencies), suitable for archiving next to the data.
+struct HtmlReportOptions {
+    std::string title = "cuZ-Checker assessment";
+    std::string field_name;
+    std::optional<zc::CompressionStats> compression;
+};
+
+void write_html(std::ostream& os, const zc::AssessmentReport& report,
+                const HtmlReportOptions& opt = {});
+
+[[nodiscard]] std::string to_html(const zc::AssessmentReport& report,
+                                  const HtmlReportOptions& opt = {});
+
+/// Inline SVG bar chart of a distribution (exposed for tests).
+[[nodiscard]] std::string svg_bar_chart(const std::vector<double>& values, double lo, double hi,
+                                        std::string_view caption, int width = 560,
+                                        int height = 160);
+
+/// Inline SVG line+marker chart of per-lag values in [-1, 1].
+[[nodiscard]] std::string svg_lag_chart(const std::vector<double>& values,
+                                        std::string_view caption, int width = 560,
+                                        int height = 160);
+
+}  // namespace cuzc::io

@@ -1,0 +1,104 @@
+#include "visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cuzc::io {
+
+namespace {
+
+void check_slice(const zc::Tensor3f& field, std::size_t z) {
+    if (z >= field.dims().l) {
+        throw std::out_of_range("visualize: slice index beyond the z extent");
+    }
+}
+
+std::ofstream open_binary(const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("visualize: cannot open " + path.string());
+    return out;
+}
+
+}  // namespace
+
+void write_slice_pgm(const std::filesystem::path& path, const zc::Tensor3f& field,
+                     std::size_t z) {
+    check_slice(field, z);
+    const auto& d = field.dims();
+    float lo = field(0, 0, z), hi = lo;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            lo = std::min(lo, field(x, y, z));
+            hi = std::max(hi, field(x, y, z));
+        }
+    }
+    const double range = hi > lo ? static_cast<double>(hi) - lo : 1.0;
+
+    auto out = open_binary(path);
+    out << "P5\n" << d.w << ' ' << d.h << "\n255\n";
+    std::vector<unsigned char> row(d.w);
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            const double t = (static_cast<double>(field(x, y, z)) - lo) / range;
+            row[y] = static_cast<unsigned char>(std::lround(255.0 * std::clamp(t, 0.0, 1.0)));
+        }
+        out.write(reinterpret_cast<const char*>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+    if (!out) throw std::runtime_error("visualize: short write to " + path.string());
+}
+
+void write_error_ppm(const std::filesystem::path& path, const zc::Tensor3f& orig,
+                     const zc::Tensor3f& dec, std::size_t z) {
+    check_slice(orig, z);
+    if (orig.dims() != dec.dims()) {
+        throw std::invalid_argument("visualize: field shapes differ");
+    }
+    const auto& d = orig.dims();
+    double amax = 0;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            amax = std::max(amax, std::fabs(static_cast<double>(dec(x, y, z)) - orig(x, y, z)));
+        }
+    }
+    if (amax == 0) amax = 1.0;
+
+    auto out = open_binary(path);
+    out << "P6\n" << d.w << ' ' << d.h << "\n255\n";
+    std::vector<unsigned char> row(d.w * 3);
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            const double e =
+                (static_cast<double>(dec(x, y, z)) - orig(x, y, z)) / amax;  // in [-1, 1]
+            // Diverging map: -1 -> blue, 0 -> white, +1 -> red.
+            const double mag = std::clamp(std::fabs(e), 0.0, 1.0);
+            const auto fade = static_cast<unsigned char>(std::lround(255.0 * (1.0 - mag)));
+            row[y * 3 + 0] = e > 0 ? 255 : fade;
+            row[y * 3 + 1] = fade;
+            row[y * 3 + 2] = e < 0 ? 255 : fade;
+        }
+        out.write(reinterpret_cast<const char*>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+    if (!out) throw std::runtime_error("visualize: short write to " + path.string());
+}
+
+std::string sparkline(const std::vector<double>& values) {
+    static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                    "▄", "▅", "▆", "▇"};
+    if (values.empty()) return {};
+    double hi = values[0];
+    for (const double v : values) hi = std::max(hi, v);
+    std::string out;
+    for (const double v : values) {
+        const int level =
+            hi > 0 ? std::clamp(static_cast<int>(v / hi * 7.999), 0, 7) : 0;
+        out += kLevels[level];
+    }
+    return out;
+}
+
+}  // namespace cuzc::io

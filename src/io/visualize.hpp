@@ -1,0 +1,29 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+#include <string>
+
+#include "zc/tensor.hpp"
+
+namespace cuzc::io {
+
+/// Z-checker's data-visualization engine, file-based: render z-slices of
+/// fields and error maps as portable graymap/pixmap images (viewable
+/// anywhere, no display dependencies).
+
+/// Render slice z of a field to an 8-bit PGM, min/max-normalized.
+void write_slice_pgm(const std::filesystem::path& path, const zc::Tensor3f& field,
+                     std::size_t z);
+
+/// Render the signed error (dec - orig) of slice z as a diverging-color
+/// PPM: blue = negative error, white = zero, red = positive; the color
+/// scale saturates at the largest |error| in the slice.
+void write_error_ppm(const std::filesystem::path& path, const zc::Tensor3f& orig,
+                     const zc::Tensor3f& dec, std::size_t z);
+
+/// ASCII sparkline of a distribution (for terminal reports): one character
+/// per bin, eight gradations.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace cuzc::io

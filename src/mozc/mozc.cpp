@@ -1,0 +1,261 @@
+#include "mozc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "cuzc/pattern2.hpp"
+#include "cuzc/pattern3.hpp"
+#include "zc/reduction_metrics.hpp"
+
+namespace cuzc::mozc {
+
+namespace {
+
+using vgpu::BlockCtx;
+using vgpu::Launch;
+using vgpu::ThreadCtx;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// CUB-style linear access is near-perfectly coalesced.
+constexpr double kReduceCoalescing = 0.92;
+
+/// One device-wide reduction over a per-element functor of (orig, dec) —
+/// moZC's workhorse; each call is one metric, costing the two CUB launches
+/// and a fresh pass over both arrays.
+template <class T, class Op, class Elem>
+T metric_reduce(vgpu::Device& dev, const std::string& name, vgpu::DeviceBuffer<float>& d_orig,
+                vgpu::DeviceBuffer<float>& d_dec, std::size_t n, T init, Op op, Elem elem) {
+    const std::size_t before = dev.profiler().records().size();
+    T r = vgpu::device_reduce<T>(dev, name, n, init, op, [&](Launch& l) {
+        auto o = l.span(d_orig);
+        auto d = l.span(d_dec);
+        return [o, d, elem](std::size_t i) { return elem(o.ld(i), d.ld(i)); };
+    });
+    // Tag coalescing on the records this metric produced.
+    auto& recs = dev.profiler().mutable_records();
+    for (std::size_t i = before; i < recs.size(); ++i) recs[i].coalescing = kReduceCoalescing;
+    return r;
+}
+
+/// Standalone histogram kernel (one per PDF metric in moZC).
+std::vector<double> histogram_launch(vgpu::Device& dev, const std::string& name,
+                                     vgpu::DeviceBuffer<float>& d_orig,
+                                     vgpu::DeviceBuffer<float>& d_dec, std::size_t n, int bins,
+                                     double lo, double hi, int kind, double pwr_eps) {
+    vgpu::DeviceBuffer<double> d_hist(dev, static_cast<std::size_t>(bins));
+    d_hist.fill(0.0);
+    constexpr std::uint32_t kThreads = 256;
+    const auto grid =
+        static_cast<std::uint32_t>(std::min<std::size_t>(256, (n + kThreads - 1) / kThreads));
+    vgpu::KernelStats& stats = vgpu::launch(
+        dev, vgpu::LaunchConfig{name, vgpu::Dim3{grid, 1, 1}, vgpu::Dim3{kThreads, 1, 1}},
+        [&](Launch& l, BlockCtx& blk) {
+            auto o = l.span(d_orig);
+            auto d = l.span(d_dec);
+            auto h = l.span(d_hist);
+            auto local = blk.shared().alloc<double>(static_cast<std::size_t>(bins));
+            blk.for_each_thread([&](ThreadCtx& t) {
+                for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins);
+                     b += kThreads) {
+                    local.st(b, 0.0);
+                }
+            });
+            const std::uint64_t stride = std::uint64_t{grid} * kThreads;
+            blk.for_each_thread([&](ThreadCtx& t) {
+                std::uint64_t iters = 0;
+                for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n;
+                     i += stride) {
+                    const double x = o.ld(i);
+                    const double y = d.ld(i);
+                    const double v = kind == 0   ? y - x
+                                     : kind == 1 ? zc::pwr_error(x, y, pwr_eps)
+                                                 : x;
+                    const auto b = static_cast<std::size_t>(zc::pdf_bin(v, lo, hi, bins));
+                    local.st(b, local.ld(b) + 1.0);
+                    ++iters;
+                }
+                blk.add_iters(iters);
+                blk.add_ops(iters * 6);
+            });
+            blk.for_each_thread([&](ThreadCtx& t) {
+                for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins);
+                     b += kThreads) {
+                    h.st(b, h.ld(b) + local.ld(b));  // atomicAdd on hardware
+                }
+            });
+        });
+    stats.coalescing = kReduceCoalescing;
+    return d_hist.download();
+}
+
+/// Aggregate all profiler records added since `from` into one stats blob.
+vgpu::KernelStats merge_since(const vgpu::Profiler& prof, std::size_t from, const char* name) {
+    vgpu::KernelStats out;
+    out.name = name;
+    out.launches = 0;
+    for (std::size_t i = from; i < prof.records().size(); ++i) out.merge(prof.records()[i]);
+    return out;
+}
+
+}  // namespace
+
+MozcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                  const zc::MetricsConfig& cfg) {
+    MozcResult result;
+    const std::size_t n = orig.size();
+    if (n == 0 || dec.size() != n) return result;
+
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
+    const zc::Dims3& dims = orig.dims();
+    const double eps = cfg.pwr_eps;
+
+    if (cfg.pattern1) {
+        const std::size_t from = dev.profiler().records().size();
+        zc::ReductionMoments m;
+        m.n = n;
+        using A2 = std::array<double, 2>;
+        using A4 = std::array<double, 4>;
+        const auto sum2 = [](A2 a, A2 b) { return A2{a[0] + b[0], a[1] + b[1]}; };
+
+        m.min_err = metric_reduce<double>(
+            dev, "mozc/min_err", d_orig, d_dec, n, kInf,
+            [](double a, double b) { return std::min(a, b); },
+            [](double x, double y) { return y - x; });
+        m.max_err = metric_reduce<double>(
+            dev, "mozc/max_err", d_orig, d_dec, n, -kInf,
+            [](double a, double b) { return std::max(a, b); },
+            [](double x, double y) { return y - x; });
+        {
+            const A2 r = metric_reduce<A2>(
+                dev, "mozc/avg_err", d_orig, d_dec, n, A2{0, 0}, sum2, [](double x, double y) {
+                    return A2{y - x, std::fabs(y - x)};
+                });
+            m.sum_err = r[0];
+            m.sum_abs_err = r[1];
+        }
+        m.sum_err_sq = metric_reduce<double>(
+            dev, "mozc/mse", d_orig, d_dec, n, 0.0, [](double a, double b) { return a + b; },
+            [](double x, double y) { return (y - x) * (y - x); });
+        m.min_pwr = metric_reduce<double>(
+            dev, "mozc/min_pwr_err", d_orig, d_dec, n, kInf,
+            [](double a, double b) { return std::min(a, b); },
+            [eps](double x, double y) { return zc::pwr_error(x, y, eps); });
+        m.max_pwr = metric_reduce<double>(
+            dev, "mozc/max_pwr_err", d_orig, d_dec, n, -kInf,
+            [](double a, double b) { return std::max(a, b); },
+            [eps](double x, double y) { return zc::pwr_error(x, y, eps); });
+        m.sum_pwr_abs = metric_reduce<double>(
+            dev, "mozc/avg_pwr_err", d_orig, d_dec, n, 0.0,
+            [](double a, double b) { return a + b; },
+            [eps](double x, double y) { return std::fabs(zc::pwr_error(x, y, eps)); });
+        {
+            // Value statistics (min/max/mean/std of the original data):
+            // component-wise reduction, still a single metric kernel.
+            const A4 r = metric_reduce<A4>(
+                dev, "mozc/value_stats", d_orig, d_dec, n, A4{kInf, -kInf, 0, 0},
+                [](A4 a, A4 b) {
+                    return A4{std::min(a[0], b[0]), std::max(a[1], b[1]), a[2] + b[2],
+                              a[3] + b[3]};
+                },
+                [](double x, double) { return A4{x, x, x, x * x}; });
+            m.min_val = r[0];
+            m.max_val = r[1];
+            m.sum_val = r[2];
+            m.sum_val_sq = r[3];
+        }
+        {
+            using A3 = std::array<double, 3>;
+            const A3 r = metric_reduce<A3>(
+                dev, "mozc/pearson", d_orig, d_dec, n, A3{0, 0, 0},
+                [](A3 a, A3 b) {
+                    return A3{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+                },
+                [](double x, double y) { return A3{y, y * y, x * y}; });
+            m.sum_dec = r[0];
+            m.sum_dec_sq = r[1];
+            m.sum_cross = r[2];
+        }
+        zc::finalize_reduction(m, result.report.reduction);
+
+        const int bins = std::max(1, cfg.pdf_bins);
+        auto& red = result.report.reduction;
+        red.err_pdf = histogram_launch(dev, "mozc/err_pdf", d_orig, d_dec, n, bins, m.min_err,
+                                       m.max_err, 0, eps);
+        red.pwr_err_pdf = histogram_launch(dev, "mozc/pwr_err_pdf", d_orig, d_dec, n, bins,
+                                           m.min_pwr, m.max_pwr, 1, eps);
+        const std::vector<double> val_hist = histogram_launch(
+            dev, "mozc/entropy", d_orig, d_dec, n, bins, m.min_val, m.max_val, 2, eps);
+        red.err_pdf_min = m.min_err;
+        red.err_pdf_max = m.max_err;
+        red.pwr_err_pdf_min = m.min_pwr;
+        red.pwr_err_pdf_max = m.max_pwr;
+        const double inv_n = 1.0 / static_cast<double>(n);
+        double entropy = 0.0;
+        for (int b = 0; b < bins; ++b) {
+            red.err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            red.pwr_err_pdf[static_cast<std::size_t>(b)] *= inv_n;
+            const double pv = val_hist[static_cast<std::size_t>(b)] * inv_n;
+            if (pv > 0) entropy -= pv * std::log2(pv);
+        }
+        red.entropy = entropy;
+        result.pattern1 = merge_since(dev.profiler(), from, "mozc/pattern1");
+    }
+
+    if (cfg.pattern2) {
+        const std::size_t from = dev.profiler().records().size();
+        const zc::ErrorMoments moments =
+            ::cuzc::cuzc::error_moments_device(dev, d_orig, d_dec, dims);
+        // Metric-oriented: three separate stencil launches, each re-reading
+        // the data (order-1 derivative + divergence, order-2 derivative +
+        // Laplacian, autocorrelation).
+        ::cuzc::cuzc::Pattern2Options o1;
+        o1.order1 = true;
+        o1.order2 = false;
+        o1.autocorr = false;
+        o1.name = "mozc/deriv_order1";
+        const auto r1 =
+            ::cuzc::cuzc::pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments, o1);
+        ::cuzc::cuzc::Pattern2Options o2;
+        o2.order1 = false;
+        o2.order2 = true;
+        o2.autocorr = false;
+        o2.name = "mozc/deriv_order2";
+        const auto r2 =
+            ::cuzc::cuzc::pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments, o2);
+        ::cuzc::cuzc::Pattern2Options oa;
+        oa.order1 = false;
+        oa.order2 = false;
+        oa.autocorr = true;
+        oa.name = "mozc/autocorr";
+        const auto ra =
+            ::cuzc::cuzc::pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments, oa);
+
+        auto& st = result.report.stencil;
+        st = r1.report;
+        st.deriv2_avg_orig = r2.report.deriv2_avg_orig;
+        st.deriv2_max_orig = r2.report.deriv2_max_orig;
+        st.deriv2_avg_dec = r2.report.deriv2_avg_dec;
+        st.deriv2_max_dec = r2.report.deriv2_max_dec;
+        st.deriv2_mse = r2.report.deriv2_mse;
+        st.laplacian_avg_orig = r2.report.laplacian_avg_orig;
+        st.laplacian_avg_dec = r2.report.laplacian_avg_dec;
+        st.autocorr = ra.report.autocorr;
+        result.pattern2 = merge_since(dev.profiler(), from, "mozc/pattern2");
+    }
+
+    if (cfg.pattern3) {
+        const std::size_t from = dev.profiler().records().size();
+        ::cuzc::cuzc::Pattern3Options p3;
+        p3.use_fifo = false;
+        const auto r3 = ::cuzc::cuzc::pattern3_ssim_device(dev, d_orig, d_dec, dims, cfg, p3);
+        result.report.ssim = r3.report;
+        result.pattern3 = merge_since(dev.profiler(), from, "mozc/pattern3");
+    }
+    return result;
+}
+
+}  // namespace cuzc::mozc

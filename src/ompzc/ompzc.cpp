@@ -1,0 +1,316 @@
+#include "ompzc.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "zc/autocorr.hpp"
+#include "zc/derivatives.hpp"
+#include "zc/reduction_metrics.hpp"
+#include "zc/ssim.hpp"
+
+namespace cuzc::ompzc {
+
+namespace {
+
+[[nodiscard]] int resolve_threads(int threads) {
+    return threads > 0 ? threads : omp_get_max_threads();
+}
+
+}  // namespace
+
+zc::ReductionReport reduction_metrics(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                                      const zc::MetricsConfig& cfg, int threads) {
+    zc::ReductionReport out;
+    const auto n = static_cast<std::int64_t>(orig.size());
+    if (n == 0 || dec.size() != orig.size()) return out;
+    const int nt = resolve_threads(threads);
+
+    zc::ReductionMoments m;
+    m.n = orig.size();
+
+    // Metric-oriented execution: each metric family is its own full pass
+    // over the arrays, parallelized with OpenMP — faithful to how the
+    // paper's ompZC baseline runs Z-checker's per-metric kernels.
+    double min_err = dec[0] - orig[0], max_err = min_err;
+#pragma omp parallel for num_threads(nt) reduction(min : min_err) reduction(max : max_err)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double e = static_cast<double>(dec[i]) - orig[i];
+        min_err = std::min(min_err, e);
+        max_err = std::max(max_err, e);
+    }
+    m.min_err = min_err;
+    m.max_err = max_err;
+
+    double sum_err = 0, sum_abs = 0;
+#pragma omp parallel for num_threads(nt) reduction(+ : sum_err, sum_abs)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double e = static_cast<double>(dec[i]) - orig[i];
+        sum_err += e;
+        sum_abs += std::fabs(e);
+    }
+    m.sum_err = sum_err;
+    m.sum_abs_err = sum_abs;
+
+    double sum_sq = 0;
+#pragma omp parallel for num_threads(nt) reduction(+ : sum_sq)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double e = static_cast<double>(dec[i]) - orig[i];
+        sum_sq += e * e;
+    }
+    m.sum_err_sq = sum_sq;
+
+    double min_pwr = zc::pwr_error(orig[0], dec[0], cfg.pwr_eps), max_pwr = min_pwr,
+           sum_pwr = 0;
+#pragma omp parallel for num_threads(nt) reduction(min : min_pwr) reduction(max : max_pwr) \
+    reduction(+ : sum_pwr)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double p = zc::pwr_error(orig[i], dec[i], cfg.pwr_eps);
+        min_pwr = std::min(min_pwr, p);
+        max_pwr = std::max(max_pwr, p);
+        sum_pwr += std::fabs(p);
+    }
+    m.min_pwr = min_pwr;
+    m.max_pwr = max_pwr;
+    m.sum_pwr_abs = sum_pwr;
+
+    double min_val = orig[0], max_val = orig[0], sum_val = 0, sum_val_sq = 0;
+#pragma omp parallel for num_threads(nt) reduction(min : min_val) reduction(max : max_val) \
+    reduction(+ : sum_val, sum_val_sq)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        min_val = std::min(min_val, x);
+        max_val = std::max(max_val, x);
+        sum_val += x;
+        sum_val_sq += x * x;
+    }
+    m.min_val = min_val;
+    m.max_val = max_val;
+    m.sum_val = sum_val;
+    m.sum_val_sq = sum_val_sq;
+
+    double sum_dec = 0, sum_dec_sq = 0, sum_cross = 0;
+#pragma omp parallel for num_threads(nt) reduction(+ : sum_dec, sum_dec_sq, sum_cross)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        const double y = dec[i];
+        sum_dec += y;
+        sum_dec_sq += y * y;
+        sum_cross += x * y;
+    }
+    m.sum_dec = sum_dec;
+    m.sum_dec_sq = sum_dec_sq;
+    m.sum_cross = sum_cross;
+
+    zc::finalize_reduction(m, out);
+
+    const int bins = std::max(1, cfg.pdf_bins);
+    out.err_pdf.assign(bins, 0.0);
+    out.err_pdf_min = m.min_err;
+    out.err_pdf_max = m.max_err;
+    out.pwr_err_pdf.assign(bins, 0.0);
+    out.pwr_err_pdf_min = m.min_pwr;
+    out.pwr_err_pdf_max = m.max_pwr;
+    std::vector<double> val_hist(bins, 0.0);
+
+#pragma omp parallel num_threads(nt)
+    {
+        std::vector<double> le(bins, 0.0), lp(bins, 0.0), lv(bins, 0.0);
+#pragma omp for nowait
+        for (std::int64_t i = 0; i < n; ++i) {
+            const double x = orig[i];
+            const double e = static_cast<double>(dec[i]) - x;
+            const double p = zc::pwr_error(x, dec[i], cfg.pwr_eps);
+            le[zc::pdf_bin(e, m.min_err, m.max_err, bins)] += 1.0;
+            lp[zc::pdf_bin(p, m.min_pwr, m.max_pwr, bins)] += 1.0;
+            lv[zc::pdf_bin(x, m.min_val, m.max_val, bins)] += 1.0;
+        }
+#pragma omp critical
+        for (int b = 0; b < bins; ++b) {
+            out.err_pdf[b] += le[b];
+            out.pwr_err_pdf[b] += lp[b];
+            val_hist[b] += lv[b];
+        }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double entropy = 0.0;
+    for (int b = 0; b < bins; ++b) {
+        out.err_pdf[b] *= inv_n;
+        out.pwr_err_pdf[b] *= inv_n;
+        const double pv = val_hist[b] * inv_n;
+        if (pv > 0) entropy -= pv * std::log2(pv);
+    }
+    out.entropy = entropy;
+    return out;
+}
+
+namespace {
+
+template <int kOrder>
+void omp_stencil_order(const zc::Tensor3f& orig, const zc::Tensor3f& dec, int nt,
+                       zc::StencilReport& out) {
+    const auto& d = orig.dims();
+    const zc::AxisRange rx = zc::interior(d.h, 1);
+    const zc::AxisRange ry = zc::interior(d.w, 1);
+    const zc::AxisRange rz = zc::interior(d.l, 1);
+    double sum_o = 0, sum_d = 0, max_o = 0, max_d = 0, sum_sq = 0, axis_o = 0, axis_d = 0;
+    std::int64_t count = 0;
+
+#pragma omp parallel for num_threads(nt) collapse(2) reduction(+ : sum_o, sum_d, sum_sq, \
+        axis_o, axis_d, count) reduction(max : max_o, max_d)
+    for (std::int64_t x = static_cast<std::int64_t>(rx.begin);
+         x < static_cast<std::int64_t>(rx.end); ++x) {
+        for (std::int64_t y = static_cast<std::int64_t>(ry.begin);
+             y < static_cast<std::int64_t>(ry.end); ++y) {
+            for (std::size_t z = rz.begin; z < rz.end; ++z) {
+                const auto xo = static_cast<std::size_t>(x);
+                const auto yo = static_cast<std::size_t>(y);
+                const zc::StencilPoint po = kOrder == 1 ? zc::stencil_order1(orig, xo, yo, z)
+                                                        : zc::stencil_order2(orig, xo, yo, z);
+                const zc::StencilPoint pd = kOrder == 1 ? zc::stencil_order1(dec, xo, yo, z)
+                                                        : zc::stencil_order2(dec, xo, yo, z);
+                sum_o += po.magnitude;
+                sum_d += pd.magnitude;
+                max_o = std::max(max_o, po.magnitude);
+                max_d = std::max(max_d, pd.magnitude);
+                const double diff = pd.magnitude - po.magnitude;
+                sum_sq += diff * diff;
+                axis_o += po.axis_sum;
+                axis_d += pd.axis_sum;
+                ++count;
+            }
+        }
+    }
+    if (count == 0) return;
+    const double cn = static_cast<double>(count);
+    if constexpr (kOrder == 1) {
+        out.deriv1_avg_orig = sum_o / cn;
+        out.deriv1_max_orig = max_o;
+        out.deriv1_avg_dec = sum_d / cn;
+        out.deriv1_max_dec = max_d;
+        out.deriv1_mse = sum_sq / cn;
+        out.divergence_avg_orig = axis_o / cn;
+        out.divergence_avg_dec = axis_d / cn;
+    } else {
+        out.deriv2_avg_orig = sum_o / cn;
+        out.deriv2_max_orig = max_o;
+        out.deriv2_avg_dec = sum_d / cn;
+        out.deriv2_max_dec = max_d;
+        out.deriv2_mse = sum_sq / cn;
+        out.laplacian_avg_orig = axis_o / cn;
+        out.laplacian_avg_dec = axis_d / cn;
+    }
+}
+
+}  // namespace
+
+zc::StencilReport stencil_metrics(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                                  const zc::MetricsConfig& cfg, int threads) {
+    zc::StencilReport out;
+    const int nt = resolve_threads(threads);
+    omp_stencil_order<1>(orig, dec, nt, out);
+    if (cfg.deriv_orders >= 2) omp_stencil_order<2>(orig, dec, nt, out);
+
+    // Autocorrelation: one parallel pass per lag (metric-oriented).
+    const int max_lag = std::max(cfg.autocorr_max_lag, 0);
+    out.autocorr.assign(max_lag, 0.0);
+    if (max_lag == 0 || orig.size() == 0) return out;
+    const zc::ErrorMoments m = zc::error_moments(orig, dec);
+    const auto& d = orig.dims();
+    const auto err = [&](std::size_t x, std::size_t y, std::size_t z) {
+        return static_cast<double>(dec(x, y, z)) - orig(x, y, z) - m.mean;
+    };
+    for (int lag = 1; lag <= max_lag; ++lag) {
+        const auto tau = static_cast<std::size_t>(lag);
+        const bool ax = d.h > tau, ay = d.w > tau, az = d.l > tau;
+        const int valid_axes = (ax ? 1 : 0) + (ay ? 1 : 0) + (az ? 1 : 0);
+        if (valid_axes == 0 || m.var <= 0) continue;
+        const auto hx = static_cast<std::int64_t>(ax ? d.h - tau : d.h);
+        const auto hy = static_cast<std::int64_t>(ay ? d.w - tau : d.w);
+        const auto hz = static_cast<std::int64_t>(az ? d.l - tau : d.l);
+        double sum = 0;
+#pragma omp parallel for num_threads(nt) collapse(2) reduction(+ : sum)
+        for (std::int64_t x = 0; x < hx; ++x) {
+            for (std::int64_t y = 0; y < hy; ++y) {
+                for (std::int64_t z = 0; z < hz; ++z) {
+                    const auto xs = static_cast<std::size_t>(x);
+                    const auto ys = static_cast<std::size_t>(y);
+                    const auto zs = static_cast<std::size_t>(z);
+                    const double c = err(xs, ys, zs);
+                    double acc = 0;
+                    if (ax) acc += err(xs + tau, ys, zs);
+                    if (ay) acc += err(xs, ys + tau, zs);
+                    if (az) acc += err(xs, ys, zs + tau);
+                    sum += c * acc / valid_axes;
+                }
+            }
+        }
+        out.autocorr[tau - 1] = sum / (static_cast<double>(hx) * hy * hz) / m.var;
+    }
+    return out;
+}
+
+zc::SsimReport ssim(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                    const zc::MetricsConfig& cfg, int threads) {
+    zc::SsimReport out;
+    const auto& d = orig.dims();
+    if (orig.size() == 0 || cfg.ssim_window <= 0 || cfg.ssim_step <= 0) return out;
+    const int nt = resolve_threads(threads);
+
+    const std::size_t wx = zc::effective_window(d.h, static_cast<std::size_t>(cfg.ssim_window));
+    const std::size_t wy = zc::effective_window(d.w, static_cast<std::size_t>(cfg.ssim_window));
+    const std::size_t wz = zc::effective_window(d.l, static_cast<std::size_t>(cfg.ssim_window));
+    const auto s = static_cast<std::size_t>(cfg.ssim_step);
+    const auto nx = static_cast<std::int64_t>((d.h - wx) / s + 1);
+    const auto ny = static_cast<std::int64_t>((d.w - wy) / s + 1);
+    const auto nz = static_cast<std::int64_t>((d.l - wz) / s + 1);
+
+    double total = 0;
+#pragma omp parallel for num_threads(nt) collapse(2) reduction(+ : total)
+    for (std::int64_t ix = 0; ix < nx; ++ix) {
+        for (std::int64_t iy = 0; iy < ny; ++iy) {
+            for (std::int64_t iz = 0; iz < nz; ++iz) {
+                const std::size_t x0 = static_cast<std::size_t>(ix) * s;
+                const std::size_t y0 = static_cast<std::size_t>(iy) * s;
+                const std::size_t z0 = static_cast<std::size_t>(iz) * s;
+                zc::WindowSums a{orig(x0, y0, z0), orig(x0, y0, z0), 0, 0};
+                zc::WindowSums b{dec(x0, y0, z0), dec(x0, y0, z0), 0, 0};
+                zc::WindowCross c{};
+                for (std::size_t x = x0; x < x0 + wx; ++x) {
+                    for (std::size_t y = y0; y < y0 + wy; ++y) {
+                        for (std::size_t z = z0; z < z0 + wz; ++z) {
+                            const double xv = orig(x, y, z);
+                            const double yv = dec(x, y, z);
+                            a.min = std::min(a.min, xv);
+                            a.max = std::max(a.max, xv);
+                            a.sum += xv;
+                            a.sum_sq += xv * xv;
+                            b.min = std::min(b.min, yv);
+                            b.max = std::max(b.max, yv);
+                            b.sum += yv;
+                            b.sum_sq += yv * yv;
+                            c.sum_xy += xv * yv;
+                        }
+                    }
+                }
+                total += zc::mix_local_ssim(a, b, c, wx * wy * wz);
+            }
+        }
+    }
+    out.windows = static_cast<std::size_t>(nx * ny * nz);
+    out.ssim = out.windows > 0 ? total / static_cast<double>(out.windows) : 0.0;
+    return out;
+}
+
+zc::AssessmentReport assess(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                            const zc::MetricsConfig& cfg, int threads) {
+    zc::AssessmentReport report;
+    if (cfg.pattern1) report.reduction = reduction_metrics(orig, dec, cfg, threads);
+    if (cfg.pattern2) report.stencil = stencil_metrics(orig, dec, cfg, threads);
+    if (cfg.pattern3) report.ssim = ssim(orig, dec, cfg, threads);
+    return report;
+}
+
+}  // namespace cuzc::ompzc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "zc/tensor.hpp"
+
+namespace cuzc::sz {
+
+/// The 3-D Lorenzo predictor of SZ 1.4 (Tao et al., IPDPS'17): each point
+/// is predicted from its already-reconstructed causal neighbours,
+///   pred = f(x-1) + f(y-1) + f(z-1)
+///        - f(x-1,y-1) - f(x-1,z-1) - f(y-1,z-1) + f(x-1,y-1,z-1),
+/// with out-of-domain neighbours treated as 0. Degenerates to the 1-D/2-D
+/// Lorenzo predictors when leading extents are 1.
+///
+/// `recon` must hold the reconstructed values of all causally preceding
+/// points (scan order: x outer, then y, then z).
+[[nodiscard]] inline double lorenzo_predict(std::span<const double> recon,
+                                            const zc::Dims3& d, std::size_t x, std::size_t y,
+                                            std::size_t z) noexcept {
+    const auto at = [&](std::size_t xx, std::size_t yy, std::size_t zz) -> double {
+        return recon[d.index(xx, yy, zz)];
+    };
+    const bool px = x > 0, py = y > 0, pz = z > 0;
+    double pred = 0.0;
+    if (px) pred += at(x - 1, y, z);
+    if (py) pred += at(x, y - 1, z);
+    if (pz) pred += at(x, y, z - 1);
+    if (px && py) pred -= at(x - 1, y - 1, z);
+    if (px && pz) pred -= at(x - 1, y, z - 1);
+    if (py && pz) pred -= at(x, y - 1, z - 1);
+    if (px && py && pz) pred += at(x - 1, y - 1, z - 1);
+    return pred;
+}
+
+}  // namespace cuzc::sz

@@ -1,0 +1,11 @@
+#pragma once
+
+/// Umbrella header for the SZ-style error-bounded lossy compressor
+/// substrate (see DESIGN.md §1: stands in for cuSZ as the producer of
+/// decompressed data to assess).
+
+#include "bitstream.hpp"      // IWYU pragma: export
+#include "huffman.hpp"        // IWYU pragma: export
+#include "lorenzo.hpp"        // IWYU pragma: export
+#include "quantizer.hpp"      // IWYU pragma: export
+#include "sz_compressor.hpp"  // IWYU pragma: export

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "device_props.hpp"
+#include "dim3.hpp"
+#include "profiler.hpp"
+#include "shared_arena.hpp"
+#include "thread_ctx.hpp"
+#include "warp.hpp"
+
+namespace cuzc::vgpu {
+
+/// Execution context of one thread block. The runtime executes a block by
+/// invoking the kernel body once per block; inside the body,
+/// `for_each_thread(fn)` runs `fn` to completion for every thread of the
+/// block before returning — so the gap between two `for_each_*` calls has
+/// exactly the semantics of `__syncthreads()`: all side effects of the
+/// previous region are visible to every thread in the next region.
+/// Per-thread state that must survive across barriers is held in explicit
+/// `RegArray` allocations (the software register file), which also back the
+/// Regs/TB occupancy accounting.
+class BlockCtx {
+public:
+    /// Baseline register footprint of any compiled kernel thread (ABI
+    /// scratch, address arithmetic, loop counters) before explicit state.
+    static constexpr std::uint32_t kBaseRegsPerThread = 8;
+
+    BlockCtx(KernelStats& stats, const DeviceProps& props, Dim3 grid_dim, Dim3 block_dim,
+             Dim3 block_idx, SharedArena& arena) noexcept
+        : stats_(&stats),
+          props_(&props),
+          grid_dim_(grid_dim),
+          block_dim_(block_dim),
+          block_idx_(block_idx),
+          arena_(&arena),
+          num_threads_(static_cast<std::uint32_t>(block_dim.volume())),
+          num_warps_((num_threads_ + kWarpSize - 1) / kWarpSize) {}
+
+    [[nodiscard]] Dim3 block_idx() const noexcept { return block_idx_; }
+    [[nodiscard]] Dim3 block_dim() const noexcept { return block_dim_; }
+    [[nodiscard]] Dim3 grid_dim() const noexcept { return grid_dim_; }
+    [[nodiscard]] std::uint32_t num_threads() const noexcept { return num_threads_; }
+    [[nodiscard]] std::uint32_t num_warps() const noexcept { return num_warps_; }
+
+    [[nodiscard]] SharedArena& shared() noexcept { return *arena_; }
+    [[nodiscard]] KernelStats& stats() noexcept { return *stats_; }
+
+    /// Allocate `width` per-thread registers of type T (one RegArray row per
+    /// thread). Register pressure is accumulated into the kernel's
+    /// regs-per-thread estimate in 32-bit register units.
+    template <class T>
+    [[nodiscard]] RegArray<T> make_regs(std::uint32_t width = 1, const T& init = T{}) {
+        const std::uint32_t words = width * static_cast<std::uint32_t>((sizeof(T) + 3) / 4);
+        reg_words_ += words;
+        const std::uint32_t total = kBaseRegsPerThread + reg_words_;
+        if (total > stats_->regs_per_thread) stats_->regs_per_thread = total;
+        return RegArray<T>(num_threads_, width, init);
+    }
+
+    [[nodiscard]] ThreadCtx thread_at(std::uint32_t linear) const noexcept {
+        ThreadCtx t;
+        t.linear = linear;
+        t.tid.x = linear % block_dim_.x;
+        t.tid.y = (linear / block_dim_.x) % block_dim_.y;
+        t.tid.z = linear / (block_dim_.x * block_dim_.y);
+        t.warp = linear / kWarpSize;
+        t.lane = linear % kWarpSize;
+        return t;
+    }
+
+    /// Run `fn(ThreadCtx&)` for every thread of the block. Returning from
+    /// this call is a block-wide barrier.
+    template <class F>
+    void for_each_thread(F&& fn) {
+        for (std::uint32_t i = 0; i < num_threads_; ++i) {
+            ThreadCtx t = thread_at(i);
+            fn(t);
+        }
+    }
+
+    /// Run `fn(WarpCtx&)` for every warp of the block. Returning from this
+    /// call is a block-wide barrier.
+    template <class F>
+    void for_each_warp(F&& fn) {
+        for (std::uint32_t w = 0; w < num_warps_; ++w) {
+            const std::uint32_t base = w * kWarpSize;
+            const std::uint32_t lanes =
+                num_threads_ - base < kWarpSize ? num_threads_ - base : kWarpSize;
+            WarpCtx warp(w, base, lanes, stats_);
+            fn(warp);
+        }
+    }
+
+    /// Kernel-reported workload counters (per-thread loop trips / FLOPs);
+    /// these back Table II's Iters/thread and the compute term of the cost
+    /// model.
+    void add_iters(std::uint64_t n) noexcept { stats_->thread_iters += n; }
+    void add_ops(std::uint64_t n) noexcept { stats_->lane_ops += n; }
+
+private:
+    KernelStats* stats_;
+    const DeviceProps* props_;
+    Dim3 grid_dim_;
+    Dim3 block_dim_;
+    Dim3 block_idx_;
+    SharedArena* arena_;
+    std::uint32_t num_threads_;
+    std::uint32_t num_warps_;
+    std::uint32_t reg_words_ = 0;
+};
+
+}  // namespace cuzc::vgpu

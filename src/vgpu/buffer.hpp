@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device.hpp"
+
+namespace cuzc::vgpu {
+
+/// RAII allocation in the modeled device's global memory. Host code moves
+/// data in/out with `upload`/`download` (counted as PCIe transfers); kernel
+/// code accesses elements through a `DeviceSpan` obtained from a `Launch`,
+/// which counts every load/store against that launch's `KernelStats`.
+template <class T>
+class DeviceBuffer {
+public:
+    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), mem_(n) {}
+
+    DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev), mem_(host.begin(), host.end()) {
+        dev.note_h2d(host.size_bytes());
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return mem_.size(); }
+    [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+        return mem_.size() * sizeof(T);
+    }
+
+    void upload(std::span<const T> host) {
+        assert(host.size() == mem_.size());
+        std::copy(host.begin(), host.end(), mem_.begin());
+        dev_->note_h2d(host.size_bytes());
+    }
+
+    void download(std::span<T> host) const {
+        assert(host.size() == mem_.size());
+        std::copy(mem_.begin(), mem_.end(), host.begin());
+        dev_->note_d2h(host.size() * sizeof(T));
+    }
+
+    [[nodiscard]] std::vector<T> download() const {
+        dev_->note_d2h(size_bytes());
+        return mem_;
+    }
+
+    void fill(const T& v) { std::fill(mem_.begin(), mem_.end(), v); }
+
+    /// Uncounted access for the host-side runtime itself (e.g. verification);
+    /// kernel code must go through DeviceSpan instead.
+    [[nodiscard]] T* raw() noexcept { return mem_.data(); }
+    [[nodiscard]] const T* raw() const noexcept { return mem_.data(); }
+
+private:
+    Device* dev_;
+    std::vector<T> mem_;
+};
+
+/// Kernel-side view of a DeviceBuffer; every `ld`/`st` is charged to the
+/// owning launch's global-memory counters. Explicit ld/st (rather than
+/// operator[]) keeps global-memory traffic visible in kernel code, mirroring
+/// how CUDA kernels are tuned around memory transactions.
+template <class T>
+class DeviceSpan {
+public:
+    DeviceSpan(T* data, std::size_t n, std::uint64_t* rd, std::uint64_t* wr) noexcept
+        : data_(data), n_(n), rd_(rd), wr_(wr) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+    [[nodiscard]] T ld(std::size_t i) const noexcept {
+        assert(i < n_);
+        *rd_ += sizeof(T);
+        return data_[i];
+    }
+
+    void st(std::size_t i, const T& v) const noexcept {
+        assert(i < n_);
+        *wr_ += sizeof(T);
+        data_[i] = v;
+    }
+
+private:
+    T* data_;
+    std::size_t n_;
+    std::uint64_t* rd_;
+    std::uint64_t* wr_;
+};
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,57 @@
+#include "cost_model.hpp"
+
+#include <algorithm>
+
+namespace cuzc::vgpu {
+
+GpuTimeBreakdown GpuCostModel::kernel_time(const KernelStats& stats,
+                                           double coalescing_override) const {
+    const double coalescing = coalescing_override > 0 ? coalescing_override : stats.coalescing;
+    GpuTimeBreakdown t;
+    const OccupancyResult occ = occupancy(props_, stats);
+    const std::uint64_t blocks_per_launch =
+        stats.blocks / std::max<std::uint64_t>(stats.launches, 1);
+    const std::uint64_t blocks_each =
+        stats.blocks == 0 ? 0 : (blocks_per_launch + props_.num_sms - 1) / props_.num_sms;
+    t.resident_blocks_per_sm = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(occ.max_blocks_per_sm, std::max<std::uint64_t>(blocks_each, 1)));
+    // Small grids leave SMs idle, but not proportionally: the few resident
+    // blocks get the whole memory system and L2, so the penalty saturates
+    // (floor calibrated against the paper's pattern-2 Hurricane/Scale rows).
+    t.sm_utilization = std::clamp(
+        static_cast<double>(std::max<std::uint64_t>(blocks_per_launch, 1)) /
+            static_cast<double>(props_.num_sms),
+        0.35, 1.0);
+
+    switch (t.resident_blocks_per_sm) {
+        case 0:
+        case 1: t.derate = params_.derate_1tb; break;
+        case 2: t.derate = params_.derate_2tb; break;
+        case 3: t.derate = params_.derate_3tb; break;
+        default: t.derate = 1.0; break;
+    }
+    t.derate *= t.sm_utilization;
+
+    t.launch_s = static_cast<double>(stats.launches) * params_.t_launch +
+                 static_cast<double>(stats.grid_syncs) * params_.t_grid_sync;
+    t.mem_s = static_cast<double>(stats.global_bytes()) /
+              (params_.hbm_bw_bytes * std::clamp(coalescing, 0.01, 1.0) * t.derate);
+    t.compute_s = (static_cast<double>(stats.lane_ops) / (params_.lane_throughput * t.derate) +
+                   static_cast<double>(stats.shuffle_ops) /
+                       (params_.shuffle_throughput * t.derate)) *
+                  std::max(stats.serialization, 1.0);
+    t.smem_s = static_cast<double>(stats.shared_bytes()) / (params_.smem_bw_bytes * t.derate);
+    t.total_s = t.launch_s + std::max({t.mem_s, t.compute_s, t.smem_s});
+    return t;
+}
+
+double CpuCostModel::time(const CpuWork& work, int threads) const {
+    const int active = std::clamp(threads, 1, params_.cores);
+    const double mem_s = static_cast<double>(work.bytes) / params_.mem_bw_bytes;
+    const double compute_s =
+        static_cast<double>(work.ops) /
+        (static_cast<double>(active) * params_.clock_hz * params_.scalar_ipc);
+    return std::max(mem_s, compute_s);
+}
+
+}  // namespace cuzc::vgpu

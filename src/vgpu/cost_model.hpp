@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cost_params.hpp"
+#include "device_props.hpp"
+#include "occupancy.hpp"
+#include "profiler.hpp"
+
+namespace cuzc::vgpu {
+
+/// Modeled execution-time breakdown of a kernel (seconds). The dominant
+/// term follows the roofline principle: memory traffic, compute, and
+/// shared-memory traffic overlap, so the kernel-body time is their max;
+/// launch and grid-sync overheads are additive.
+struct GpuTimeBreakdown {
+    double launch_s = 0.0;
+    double mem_s = 0.0;
+    double compute_s = 0.0;
+    double smem_s = 0.0;
+    double total_s = 0.0;
+    double derate = 1.0;
+    /// Fraction of SMs with any work: grids smaller than the SM count leave
+    /// SMs idle outright (the dominant effect behind the paper's pattern-2
+    /// slowdown on Hurricane/Scale-LETKF, whose z-extents yield ~17 blocks
+    /// for 80 SMs).
+    double sm_utilization = 1.0;
+    std::uint32_t resident_blocks_per_sm = 0;
+};
+
+/// Work description for the CPU (ompZC) model: bytes moved through the
+/// memory hierarchy and scalar operations executed, split across threads.
+struct CpuWork {
+    std::uint64_t bytes = 0;
+    std::uint64_t ops = 0;
+};
+
+class GpuCostModel {
+public:
+    GpuCostModel(DeviceProps props, GpuCostParams params) : props_(props), params_(params) {}
+
+    [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
+    [[nodiscard]] const GpuCostParams& params() const noexcept { return params_; }
+
+    /// Modeled wall time of one profiled kernel (aggregate record allowed:
+    /// launch overhead scales with `stats.launches`). Uses the kernel's
+    /// reported coalescing unless a positive override is supplied.
+    [[nodiscard]] GpuTimeBreakdown kernel_time(const KernelStats& stats,
+                                               double coalescing_override = 0.0) const;
+
+private:
+    DeviceProps props_;
+    GpuCostParams params_;
+};
+
+class CpuCostModel {
+public:
+    explicit CpuCostModel(CpuCostParams params) : params_(params) {}
+
+    [[nodiscard]] const CpuCostParams& params() const noexcept { return params_; }
+
+    /// Modeled wall time of an OpenMP region using `threads` workers.
+    [[nodiscard]] double time(const CpuWork& work, int threads) const;
+
+private:
+    CpuCostParams params_;
+};
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,42 @@
+#pragma once
+
+namespace cuzc::vgpu {
+
+/// Calibration constants for the analytical GPU cost model. Values describe
+/// the paper's evaluation platform (NVIDIA Tesla V100 SXM2, CUDA 11.2):
+///   - hbm_bw_bytes: achievable HBM2 bandwidth (~87% of the 900 GB/s peak,
+///     typical of STREAM-like kernels on Volta);
+///   - lane_throughput: FP64 scalar-op rate (V100: half the FP32 cores) —
+///     every assessment metric accumulates in double precision, so compute
+///     is priced at the double-precision pipe;
+///   - shuffle_throughput: warp shuffles issue on 4 sched units/SM at 1/clk;
+///   - smem_bw_bytes: aggregate shared-memory bandwidth (128 B/clk/SM);
+///   - t_launch / t_grid_sync: kernel-launch and cooperative grid-barrier
+///     overheads measured in the 5 us / 2 us range on Volta;
+///   - derate_*: latency-hiding derating when too few thread blocks are
+///     resident per SM to cover memory latency (the effect the paper
+///     observes for pattern 2 on Hurricane and Scale-LETKF).
+struct GpuCostParams {
+    double t_launch = 5.0e-6;
+    double t_grid_sync = 2.0e-6;
+    double hbm_bw_bytes = 780.0e9;
+    double smem_bw_bytes = 14.0e12;
+    double lane_throughput = 3.533e12;
+    double shuffle_throughput = 0.442e12;
+    double derate_1tb = 0.75;
+    double derate_2tb = 0.90;
+    double derate_3tb = 0.95;
+};
+
+/// Calibration constants for the CPU baseline (Intel Xeon Gold 6148,
+/// 20 cores @ 2.4 GHz, ~100 GB/s sustained socket bandwidth). `scalar_ipc`
+/// reflects that Z-checker's metric loops are scalar, branchy, unvectorized
+/// C (the paper's ompZC is the original code with OpenMP pragmas).
+struct CpuCostParams {
+    int cores = 20;
+    double clock_hz = 2.4e9;
+    double scalar_ipc = 0.75;
+    double mem_bw_bytes = 100.0e9;
+};
+
+}  // namespace cuzc::vgpu

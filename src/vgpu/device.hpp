@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "device_props.hpp"
+#include "profiler.hpp"
+
+namespace cuzc::vgpu {
+
+/// A modeled GPU device: architectural properties plus the profiler that
+/// records every kernel launch and host<->device transfer executed on it.
+/// Passed by reference everywhere (no global device state).
+class Device {
+public:
+    Device() = default;
+    explicit Device(DeviceProps props) : props_(props) {}
+
+    [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
+    [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
+    [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
+
+    void note_h2d(std::uint64_t bytes) noexcept { h2d_bytes_ += bytes; }
+    void note_d2h(std::uint64_t bytes) noexcept { d2h_bytes_ += bytes; }
+    [[nodiscard]] std::uint64_t h2d_bytes() const noexcept { return h2d_bytes_; }
+    [[nodiscard]] std::uint64_t d2h_bytes() const noexcept { return d2h_bytes_; }
+
+    void reset_counters() {
+        profiler_.clear();
+        h2d_bytes_ = 0;
+        d2h_bytes_ = 0;
+    }
+
+private:
+    DeviceProps props_{};
+    Profiler profiler_{};
+    std::uint64_t h2d_bytes_ = 0;
+    std::uint64_t d2h_bytes_ = 0;
+};
+
+}  // namespace cuzc::vgpu

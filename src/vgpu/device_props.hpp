@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuzc::vgpu {
+
+/// Architectural limits of the modeled device. Defaults describe an
+/// NVIDIA Tesla V100 (Volta, SM 7.0), the evaluation platform of the
+/// cuZ-Checker paper: 80 SMs, 64 CUDA cores per SM, 64K 32-bit registers
+/// per SM, 96 KiB shared memory per SM (48 KiB default per-block carve-out),
+/// 2048 resident threads and at most 32 resident blocks per SM.
+struct DeviceProps {
+    std::uint32_t warp_size = 32;
+    std::uint32_t num_sms = 80;
+    std::uint32_t cores_per_sm = 64;
+    std::uint32_t max_threads_per_block = 1024;
+    std::uint32_t max_threads_per_sm = 2048;
+    std::uint32_t max_blocks_per_sm = 32;
+    std::uint32_t regs_per_sm = 64 * 1024;
+    std::uint32_t max_regs_per_thread = 255;
+    std::uint64_t smem_per_sm = 96 * 1024;
+    std::uint64_t smem_per_block = 48 * 1024;
+    std::uint64_t global_mem_bytes = 32ull * 1024 * 1024 * 1024;
+    double core_clock_ghz = 1.38;
+
+    [[nodiscard]] static DeviceProps v100() { return DeviceProps{}; }
+};
+
+}  // namespace cuzc::vgpu

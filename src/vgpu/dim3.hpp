@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuzc::vgpu {
+
+/// CUDA-style 3-component extent used for grid and block dimensions.
+struct Dim3 {
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    [[nodiscard]] constexpr std::uint64_t volume() const noexcept {
+        return static_cast<std::uint64_t>(x) * y * z;
+    }
+
+    friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+}  // namespace cuzc::vgpu

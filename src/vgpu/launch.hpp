@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block.hpp"
+#include "buffer.hpp"
+#include "device.hpp"
+#include "shared_arena.hpp"
+
+namespace cuzc::vgpu {
+
+struct LaunchConfig {
+    std::string name;
+    Dim3 grid{};
+    Dim3 block{};
+};
+
+/// Handle given to a kernel body for binding device buffers; every span it
+/// hands out charges its loads/stores to this launch's stats record.
+class Launch {
+public:
+    explicit Launch(KernelStats& stats) noexcept : stats_(&stats) {}
+
+    template <class T>
+    [[nodiscard]] DeviceSpan<T> span(DeviceBuffer<T>& buf) const noexcept {
+        return DeviceSpan<T>(buf.raw(), buf.size(), &stats_->global_bytes_read,
+                             &stats_->global_bytes_written);
+    }
+
+    [[nodiscard]] KernelStats& stats() noexcept { return *stats_; }
+
+private:
+    KernelStats* stats_;
+};
+
+namespace detail {
+
+inline void check_config(const Device& dev, const LaunchConfig& cfg) {
+    assert(cfg.grid.volume() > 0 && cfg.block.volume() > 0);
+    assert(cfg.block.volume() <= dev.props().max_threads_per_block &&
+           "block exceeds device max threads per block");
+    (void)dev;
+    (void)cfg;
+}
+
+}  // namespace detail
+
+/// Launch a kernel: `body(Launch&, BlockCtx&)` runs once per block of the
+/// grid. Blocks execute independently (no inter-block communication except
+/// through global memory after the launch), matching CUDA's guarantees for
+/// a non-cooperative launch. Execution is deterministic: blocks run in
+/// linearized grid order.
+template <class Body>
+KernelStats& launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
+    detail::check_config(dev, cfg);
+    KernelStats& stats = dev.profiler().begin_launch(cfg.name);
+    stats.blocks = cfg.grid.volume();
+    stats.threads_per_block = static_cast<std::uint32_t>(cfg.block.volume());
+    Launch handle(stats);
+    for (std::uint32_t bz = 0; bz < cfg.grid.z; ++bz) {
+        for (std::uint32_t by = 0; by < cfg.grid.y; ++by) {
+            for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
+                SharedArena arena(dev.props().smem_per_block, &stats.shared_bytes_read,
+                                  &stats.shared_bytes_written);
+                BlockCtx blk(stats, dev.props(), cfg.grid, cfg.block, Dim3{bx, by, bz}, arena);
+                body(handle, blk);
+                if (arena.peak_bytes() > stats.smem_per_block) {
+                    stats.smem_per_block = arena.peak_bytes();
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+/// Cooperative launch (cooperative groups): the kernel is a sequence of
+/// phases with a grid-wide barrier (`cg::sync(grid)`) between consecutive
+/// phases. All blocks stay resident for the whole launch, so shared memory
+/// persists across phases — the runtime keeps one arena per block alive
+/// until the last phase completes.
+using CoopPhase = std::function<void(Launch&, BlockCtx&)>;
+
+inline KernelStats& coop_launch(Device& dev, const LaunchConfig& cfg,
+                                const std::vector<CoopPhase>& phases) {
+    detail::check_config(dev, cfg);
+    assert(cfg.grid.y == 1 && cfg.grid.z == 1 && "cooperative grids are 1-D in this runtime");
+    KernelStats& stats = dev.profiler().begin_launch(cfg.name);
+    stats.blocks = cfg.grid.volume();
+    stats.threads_per_block = static_cast<std::uint32_t>(cfg.block.volume());
+    stats.grid_syncs = phases.empty() ? 0 : phases.size() - 1;
+    Launch handle(stats);
+
+    std::vector<std::unique_ptr<SharedArena>> arenas;
+    arenas.reserve(cfg.grid.x);
+    for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
+        arenas.push_back(std::make_unique<SharedArena>(
+            dev.props().smem_per_block, &stats.shared_bytes_read, &stats.shared_bytes_written));
+    }
+
+    for (const auto& phase : phases) {
+        for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
+            BlockCtx blk(stats, dev.props(), cfg.grid, cfg.block, Dim3{bx, 0, 0}, *arenas[bx]);
+            phase(handle, blk);
+        }
+    }
+    for (const auto& arena : arenas) {
+        if (arena->peak_bytes() > stats.smem_per_block) {
+            stats.smem_per_block = arena->peak_bytes();
+        }
+    }
+    return stats;
+}
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,63 @@
+#include "occupancy.hpp"
+
+#include <algorithm>
+
+namespace cuzc::vgpu {
+
+std::string_view to_string(OccupancyLimiter lim) noexcept {
+    switch (lim) {
+        case OccupancyLimiter::kRegisters: return "registers";
+        case OccupancyLimiter::kSharedMemory: return "shared-memory";
+        case OccupancyLimiter::kThreads: return "threads";
+        case OccupancyLimiter::kBlocks: return "blocks";
+    }
+    return "?";
+}
+
+OccupancyResult occupancy(const DeviceProps& props, std::uint32_t threads_per_block,
+                          std::uint32_t regs_per_thread, std::uint64_t smem_per_block) {
+    OccupancyResult r;
+    if (threads_per_block == 0) return r;
+
+    const std::uint64_t regs_per_block =
+        static_cast<std::uint64_t>(std::max(regs_per_thread, 1u)) * threads_per_block;
+    const std::uint64_t by_regs = props.regs_per_sm / regs_per_block;
+    const std::uint64_t by_smem =
+        smem_per_block == 0 ? props.max_blocks_per_sm : props.smem_per_sm / smem_per_block;
+    const std::uint64_t by_threads = props.max_threads_per_sm / threads_per_block;
+    const std::uint64_t by_blocks = props.max_blocks_per_sm;
+
+    // The block-count cap is the architectural default; a resource is the
+    // limiter only when it is strictly tighter.
+    std::uint64_t lim = by_blocks;
+    r.limiter = OccupancyLimiter::kBlocks;
+    if (by_regs < lim) {
+        lim = by_regs;
+        r.limiter = OccupancyLimiter::kRegisters;
+    }
+    if (by_smem < lim) {
+        lim = by_smem;
+        r.limiter = OccupancyLimiter::kSharedMemory;
+    }
+    if (by_threads < lim) {
+        lim = by_threads;
+        r.limiter = OccupancyLimiter::kThreads;
+    }
+
+    r.max_blocks_per_sm = static_cast<std::uint32_t>(lim);
+    r.occupancy = static_cast<double>(lim * threads_per_block) /
+                  static_cast<double>(props.max_threads_per_sm);
+    r.occupancy = std::min(r.occupancy, 1.0);
+    return r;
+}
+
+OccupancyResult occupancy(const DeviceProps& props, const KernelStats& stats) {
+    return occupancy(props, stats.threads_per_block, stats.regs_per_thread,
+                     stats.smem_per_block);
+}
+
+std::uint32_t blocks_per_sm(const DeviceProps& props, std::uint64_t grid_blocks) {
+    return static_cast<std::uint32_t>((grid_blocks + props.num_sms - 1) / props.num_sms);
+}
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "device_props.hpp"
+#include "profiler.hpp"
+
+namespace cuzc::vgpu {
+
+/// What capped the number of concurrently resident blocks on an SM.
+enum class OccupancyLimiter { kRegisters, kSharedMemory, kThreads, kBlocks };
+
+[[nodiscard]] std::string_view to_string(OccupancyLimiter lim) noexcept;
+
+/// Result of the CUDA-style occupancy calculation for one kernel
+/// configuration: how many of a kernel's blocks can be resident on one SM
+/// at once, which resource is the bottleneck, and the resulting warp
+/// occupancy in [0, 1].
+struct OccupancyResult {
+    std::uint32_t max_blocks_per_sm = 0;
+    OccupancyLimiter limiter = OccupancyLimiter::kBlocks;
+    double occupancy = 0.0;
+};
+
+/// Compute resident blocks/SM the way nvcc's occupancy calculator does:
+/// the minimum over the register-file, shared-memory, thread-count, and
+/// block-count constraints. Register allocation is modeled per thread
+/// (regs_per_thread * threads_per_block <= regs_per_sm per block).
+[[nodiscard]] OccupancyResult occupancy(const DeviceProps& props, std::uint32_t threads_per_block,
+                                        std::uint32_t regs_per_thread,
+                                        std::uint64_t smem_per_block);
+
+/// Occupancy from a measured kernel profile.
+[[nodiscard]] OccupancyResult occupancy(const DeviceProps& props, const KernelStats& stats);
+
+/// Blocks of this kernel assigned to each SM (grid spread round-robin over
+/// SMs) — the "TB/SM" column of Table II.
+[[nodiscard]] std::uint32_t blocks_per_sm(const DeviceProps& props, std::uint64_t grid_blocks);
+
+}  // namespace cuzc::vgpu

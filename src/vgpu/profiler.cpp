@@ -1,0 +1,55 @@
+#include "profiler.hpp"
+
+#include <algorithm>
+
+namespace cuzc::vgpu {
+
+void KernelStats::merge(const KernelStats& other) {
+    launches += other.launches;
+    grid_syncs += other.grid_syncs;
+    blocks += other.blocks;
+    threads_per_block = std::max(threads_per_block, other.threads_per_block);
+    regs_per_thread = std::max(regs_per_thread, other.regs_per_thread);
+    smem_per_block = std::max(smem_per_block, other.smem_per_block);
+    global_bytes_read += other.global_bytes_read;
+    global_bytes_written += other.global_bytes_written;
+    shared_bytes_read += other.shared_bytes_read;
+    shared_bytes_written += other.shared_bytes_written;
+    shuffle_ops += other.shuffle_ops;
+    thread_iters += other.thread_iters;
+    lane_ops += other.lane_ops;
+    coalescing = std::min(coalescing, other.coalescing);
+    serialization = std::max(serialization, other.serialization);
+}
+
+KernelStats& Profiler::begin_launch(std::string name) {
+    KernelStats stats;
+    stats.name = std::move(name);
+    stats.launches = 1;
+    records_.push_back(std::move(stats));
+    return records_.back();
+}
+
+KernelStats Profiler::aggregate(const std::string& name) const {
+    KernelStats out;
+    out.name = name;
+    for (const auto& rec : records_) {
+        if (rec.name == name) out.merge(rec);
+    }
+    return out;
+}
+
+KernelStats Profiler::total() const {
+    KernelStats out;
+    out.name = "<total>";
+    for (const auto& rec : records_) out.merge(rec);
+    return out;
+}
+
+std::uint64_t Profiler::launch_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& rec : records_) n += rec.launches;
+    return n;
+}
+
+}  // namespace cuzc::vgpu

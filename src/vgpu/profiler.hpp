@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dim3.hpp"
+
+namespace cuzc::vgpu {
+
+/// Counters accumulated during one (possibly cooperative) kernel launch.
+/// All byte counts refer to the modeled memories: `global_*` to device
+/// global memory (HBM), `shared_*` to per-block shared memory (SRAM).
+/// `thread_iters` counts per-thread work-loop iterations as reported by the
+/// kernel body; it backs the "Iters/thread" column of the paper's Table II.
+struct KernelStats {
+    std::string name;
+    std::uint64_t launches = 0;
+    std::uint64_t grid_syncs = 0;
+    std::uint64_t blocks = 0;
+    std::uint32_t threads_per_block = 0;
+    std::uint32_t regs_per_thread = 0;
+    std::uint64_t smem_per_block = 0;
+    std::uint64_t global_bytes_read = 0;
+    std::uint64_t global_bytes_written = 0;
+    std::uint64_t shared_bytes_read = 0;
+    std::uint64_t shared_bytes_written = 0;
+    std::uint64_t shuffle_ops = 0;
+    std::uint64_t thread_iters = 0;
+    std::uint64_t lane_ops = 0;
+    /// Effective DRAM-coalescing of the kernel's access pattern (fraction of
+    /// each memory transaction that is useful); set by the kernel, consumed
+    /// by the cost model's memory term.
+    double coalescing = 1.0;
+    /// Dependency-stall multiplier on the compute term: barrier-delimited
+    /// phases whose inner loops are serial dependency chains (e.g. the
+    /// shuffle ladder of the SSIM kernel) stall the pipelines between
+    /// instructions. Calibrated per kernel class against the paper's
+    /// measured Fig. 11 throughputs; see EXPERIMENTS.md.
+    double serialization = 1.0;
+
+    [[nodiscard]] std::uint64_t global_bytes() const noexcept {
+        return global_bytes_read + global_bytes_written;
+    }
+    [[nodiscard]] std::uint64_t shared_bytes() const noexcept {
+        return shared_bytes_read + shared_bytes_written;
+    }
+    [[nodiscard]] double iters_per_thread() const noexcept {
+        const std::uint64_t threads =
+            blocks * static_cast<std::uint64_t>(threads_per_block);
+        return threads == 0 ? 0.0
+                            : static_cast<double>(thread_iters) /
+                                  static_cast<double>(threads);
+    }
+
+    /// Registers consumed by one resident thread block (paper: "Regs/TB").
+    [[nodiscard]] std::uint64_t regs_per_block() const noexcept {
+        return static_cast<std::uint64_t>(regs_per_thread) * threads_per_block;
+    }
+
+    void merge(const KernelStats& other);
+};
+
+/// Per-device collection of kernel launch records. Records are kept in
+/// launch order; `aggregate(name)` folds every record with a matching
+/// kernel name, and `total()` folds everything.
+class Profiler {
+public:
+    KernelStats& begin_launch(std::string name);
+
+    [[nodiscard]] const std::vector<KernelStats>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] std::vector<KernelStats>& mutable_records() noexcept { return records_; }
+    [[nodiscard]] KernelStats aggregate(const std::string& name) const;
+    [[nodiscard]] KernelStats total() const;
+    [[nodiscard]] std::uint64_t launch_count() const noexcept;
+
+    void clear() { records_.clear(); }
+
+private:
+    std::vector<KernelStats> records_;
+};
+
+}  // namespace cuzc::vgpu

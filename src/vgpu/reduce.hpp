@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "buffer.hpp"
+#include "launch.hpp"
+
+namespace cuzc::vgpu {
+
+/// CUB-style device-wide reduction: the generic, metric-agnostic primitive
+/// the paper's moZC baseline builds on (one such reduction per metric).
+/// Implemented like cub::DeviceReduce — a grid-stride partial-reduction
+/// kernel followed by a single-block finish kernel — so each call costs two
+/// kernel launches and one extra pass over the partials, exactly the
+/// overheads the pattern-oriented design removes.
+///
+/// `make_loader(Launch&)` returns a callable `T(std::size_t)` producing the
+/// i-th input element (this is where a metric computes, e.g., the squared
+/// error from two device arrays). `op` must be associative + commutative.
+template <class T, class Op, class MakeLoader>
+[[nodiscard]] T device_reduce(Device& dev, const std::string& name, std::size_t n, T init, Op op,
+                              MakeLoader make_loader) {
+    constexpr std::uint32_t kThreads = 256;
+    const std::uint32_t grid = static_cast<std::uint32_t>(
+        std::min<std::size_t>(1024, (n + kThreads - 1) / kThreads));
+
+    DeviceBuffer<T> partials(dev, grid);
+
+    launch(dev, LaunchConfig{name + "/partial", Dim3{grid, 1, 1}, Dim3{kThreads, 1, 1}},
+           [&](Launch& l, BlockCtx& blk) {
+               auto load = make_loader(l);
+               auto dpart = l.span(partials);
+               auto acc = blk.make_regs<T>(1, init);
+               const std::uint64_t stride =
+                   static_cast<std::uint64_t>(grid) * kThreads;
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   std::uint64_t iters = 0;
+                   for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n;
+                        i += stride) {
+                       acc(t) = op(acc(t), load(i));
+                       ++iters;
+                   }
+                   blk.add_iters(iters);
+                   blk.add_ops(iters * 2);
+               });
+               blk.for_each_warp([&](WarpCtx& w) { w.reduce_shfl_down(acc, 0, op); });
+               auto warp_out = blk.shared().alloc<T>(blk.num_warps());
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   if (t.lane == 0) warp_out.st(t.warp, acc(t));
+               });
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   if (t.linear == 0) {
+                       T r = init;
+                       for (std::uint32_t wid = 0; wid < blk.num_warps(); ++wid) {
+                           r = op(r, warp_out.ld(wid));
+                       }
+                       dpart.st(blk.block_idx().x, r);
+                   }
+               });
+           });
+
+    DeviceBuffer<T> result(dev, 1);
+    launch(dev, LaunchConfig{name + "/final", Dim3{1, 1, 1}, Dim3{kThreads, 1, 1}},
+           [&](Launch& l, BlockCtx& blk) {
+               auto dpart = l.span(partials);
+               auto dres = l.span(result);
+               auto acc = blk.make_regs<T>(1, init);
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   std::uint64_t iters = 0;
+                   for (std::uint64_t i = t.linear; i < grid; i += kThreads) {
+                       acc(t) = op(acc(t), dpart.ld(i));
+                       ++iters;
+                   }
+                   blk.add_iters(iters);
+                   blk.add_ops(iters);
+               });
+               blk.for_each_warp([&](WarpCtx& w) { w.reduce_shfl_down(acc, 0, op); });
+               auto warp_out = blk.shared().alloc<T>(blk.num_warps());
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   if (t.lane == 0) warp_out.st(t.warp, acc(t));
+               });
+               blk.for_each_thread([&](ThreadCtx& t) {
+                   if (t.linear == 0) {
+                       T r = init;
+                       for (std::uint32_t wid = 0; wid < blk.num_warps(); ++wid) {
+                           r = op(r, warp_out.ld(wid));
+                       }
+                       dres.st(0, r);
+                   }
+               });
+           });
+
+    return result.download()[0];
+}
+
+}  // namespace cuzc::vgpu

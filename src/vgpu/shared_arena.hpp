@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cuzc::vgpu {
+
+/// Kernel-side view of a shared-memory allocation; loads/stores are charged
+/// to the launch's shared-memory counters.
+template <class T>
+class SharedArray {
+public:
+    SharedArray(T* data, std::size_t n, std::uint64_t* rd, std::uint64_t* wr) noexcept
+        : data_(data), n_(n), rd_(rd), wr_(wr) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+    [[nodiscard]] T ld(std::size_t i) const noexcept {
+        assert(i < n_);
+        *rd_ += sizeof(T);
+        return data_[i];
+    }
+
+    void st(std::size_t i, const T& v) const noexcept {
+        assert(i < n_);
+        *wr_ += sizeof(T);
+        data_[i] = v;
+    }
+
+private:
+    T* data_;
+    std::size_t n_;
+    std::uint64_t* rd_;
+    std::uint64_t* wr_;
+};
+
+/// Per-block shared memory modeled as a bump allocator over a fixed-size
+/// byte arena. Peak allocation is tracked and reported as the block's
+/// shared-memory footprint ("SMem/TB" in the paper's Table II). Exceeding
+/// the device's per-block carve-out is a programming error (assert), exactly
+/// as an oversized launch would fail on real hardware.
+class SharedArena {
+public:
+    SharedArena(std::uint64_t capacity, std::uint64_t* rd, std::uint64_t* wr)
+        : storage_(capacity), rd_(rd), wr_(wr) {}
+
+    template <class T>
+    [[nodiscard]] SharedArray<T> alloc(std::size_t n) {
+        const std::size_t align = alignof(T);
+        offset_ = (offset_ + align - 1) / align * align;
+        const std::size_t bytes = n * sizeof(T);
+        assert(offset_ + bytes <= storage_.size() &&
+               "shared memory allocation exceeds per-block capacity");
+        T* p = reinterpret_cast<T*>(storage_.data() + offset_);
+        offset_ += bytes;
+        peak_ = offset_ > peak_ ? offset_ : peak_;
+        return SharedArray<T>(p, n, rd_, wr_);
+    }
+
+    [[nodiscard]] std::uint64_t peak_bytes() const noexcept { return peak_; }
+
+    void reset() noexcept { offset_ = 0; }
+
+private:
+    std::vector<std::byte> storage_;
+    std::size_t offset_ = 0;
+    std::uint64_t peak_ = 0;
+    std::uint64_t* rd_;
+    std::uint64_t* wr_;
+};
+
+}  // namespace cuzc::vgpu

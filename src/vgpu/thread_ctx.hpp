@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dim3.hpp"
+
+namespace cuzc::vgpu {
+
+/// Identity of one thread within a block, following CUDA's linearization:
+/// linear = (tz * blockDim.y + ty) * blockDim.x + tx, warp = linear / 32.
+struct ThreadCtx {
+    Dim3 tid{};
+    std::uint32_t linear = 0;
+    std::uint32_t warp = 0;
+    std::uint32_t lane = 0;
+};
+
+/// A per-thread register variable (or small register array) that lives for
+/// the duration of a block, surviving across barrier phases — the software
+/// model of the SM register file. `width` values of type T are held per
+/// thread. Allocation size feeds the Regs/TB accounting.
+template <class T>
+class RegArray {
+public:
+    RegArray(std::uint32_t threads, std::uint32_t width, const T& init = T{})
+        : width_(width), v_(static_cast<std::size_t>(threads) * width, init) {}
+
+    [[nodiscard]] T& operator()(const ThreadCtx& t, std::uint32_t i = 0) noexcept {
+        return v_[static_cast<std::size_t>(t.linear) * width_ + i];
+    }
+    [[nodiscard]] const T& operator()(const ThreadCtx& t, std::uint32_t i = 0) const noexcept {
+        return v_[static_cast<std::size_t>(t.linear) * width_ + i];
+    }
+    [[nodiscard]] T& at(std::uint32_t linear, std::uint32_t i = 0) noexcept {
+        return v_[static_cast<std::size_t>(linear) * width_ + i];
+    }
+    [[nodiscard]] const T& at(std::uint32_t linear, std::uint32_t i = 0) const noexcept {
+        return v_[static_cast<std::size_t>(linear) * width_ + i];
+    }
+
+    [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+
+private:
+    std::uint32_t width_;
+    std::vector<T> v_;
+};
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,16 @@
+#pragma once
+
+/// Umbrella header for the virtual GPU runtime — the CUDA-semantics
+/// execution substrate this reproduction runs the paper's kernels on.
+/// See DESIGN.md §1 for the substitution rationale.
+
+#include "block.hpp"       // IWYU pragma: export
+#include "buffer.hpp"      // IWYU pragma: export
+#include "cost_model.hpp"  // IWYU pragma: export
+#include "device.hpp"      // IWYU pragma: export
+#include "dim3.hpp"        // IWYU pragma: export
+#include "launch.hpp"      // IWYU pragma: export
+#include "occupancy.hpp"   // IWYU pragma: export
+#include "profiler.hpp"    // IWYU pragma: export
+#include "reduce.hpp"      // IWYU pragma: export
+#include "warp.hpp"        // IWYU pragma: export

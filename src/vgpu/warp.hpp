@@ -1,0 +1,120 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "profiler.hpp"
+#include "thread_ctx.hpp"
+
+namespace cuzc::vgpu {
+
+inline constexpr std::uint32_t kWarpSize = 32;
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+/// One warp of a block during kernel execution. Exposes CUDA's warp-level
+/// collectives with their real semantics: `ballot` builds an active-lane
+/// mask from a per-lane predicate; the `shfl_*` family reads another lane's
+/// register value. Shuffles read the *pre-shuffle* values of all lanes
+/// (they are collective exchanges, not sequential moves), which the
+/// implementation guarantees by gathering into a temporary lane vector.
+class WarpCtx {
+public:
+    WarpCtx(std::uint32_t warp_id, std::uint32_t base_linear, std::uint32_t active_lanes,
+            KernelStats* stats) noexcept
+        : warp_id_(warp_id), base_(base_linear), lanes_(active_lanes), stats_(stats) {}
+
+    [[nodiscard]] std::uint32_t warp_id() const noexcept { return warp_id_; }
+    [[nodiscard]] std::uint32_t base_linear() const noexcept { return base_; }
+    /// Number of lanes backed by real threads (< 32 only in a trailing warp).
+    [[nodiscard]] std::uint32_t active_lanes() const noexcept { return lanes_; }
+
+    [[nodiscard]] bool lane_in(std::uint32_t lane, std::uint32_t mask) const noexcept {
+        return lane < lanes_ && ((mask >> lane) & 1u) != 0;
+    }
+
+    /// __ballot_sync: evaluate `pred(lane)` for every active lane and pack
+    /// the results into a 32-bit mask.
+    template <class Pred>
+    [[nodiscard]] std::uint32_t ballot(Pred&& pred) const {
+        std::uint32_t mask = 0;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            if (pred(l)) mask |= (1u << l);
+        }
+        return mask;
+    }
+
+    /// __shfl_down_sync on a register slot: lane i receives the value held
+    /// by lane i+delta; lanes whose source is out of range or outside the
+    /// mask keep their own value (the well-defined subset of CUDA's
+    /// behaviour that reduction code relies on).
+    template <class T>
+    [[nodiscard]] std::array<T, kWarpSize> shfl_down(const RegArray<T>& reg, std::uint32_t slot,
+                                                     std::uint32_t delta,
+                                                     std::uint32_t mask = kFullMask) const {
+        std::array<T, kWarpSize> out{};
+        stats_->shuffle_ops += lanes_;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            const std::uint32_t src = l + delta;
+            out[l] = lane_in(src, mask) ? reg.at(base_ + src, slot) : reg.at(base_ + l, slot);
+        }
+        return out;
+    }
+
+    /// __shfl_up_sync: lane i receives the value of lane i-delta.
+    template <class T>
+    [[nodiscard]] std::array<T, kWarpSize> shfl_up(const RegArray<T>& reg, std::uint32_t slot,
+                                                   std::uint32_t delta,
+                                                   std::uint32_t mask = kFullMask) const {
+        std::array<T, kWarpSize> out{};
+        stats_->shuffle_ops += lanes_;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            const bool ok = l >= delta && lane_in(l - delta, mask);
+            out[l] = ok ? reg.at(base_ + (l - delta), slot) : reg.at(base_ + l, slot);
+        }
+        return out;
+    }
+
+    /// __shfl_xor_sync: lane i exchanges with lane i^laneMask.
+    template <class T>
+    [[nodiscard]] std::array<T, kWarpSize> shfl_xor(const RegArray<T>& reg, std::uint32_t slot,
+                                                    std::uint32_t lane_mask,
+                                                    std::uint32_t mask = kFullMask) const {
+        std::array<T, kWarpSize> out{};
+        stats_->shuffle_ops += lanes_;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            const std::uint32_t src = l ^ lane_mask;
+            out[l] = lane_in(src, mask) ? reg.at(base_ + src, slot) : reg.at(base_ + l, slot);
+        }
+        return out;
+    }
+
+    /// The canonical warp tree reduction: for offset = 16,8,..,1 combine
+    /// each lane's value with shfl_down(offset). After the call lane 0 of
+    /// the masked subset holds op-fold of all masked lanes' slot values.
+    /// A lane only folds when its shuffle source is a masked lane — the
+    /// guard real masked-reduction code needs, since reading an unmasked
+    /// lane is undefined in CUDA.
+    template <class T, class Op>
+    void reduce_shfl_down(RegArray<T>& reg, std::uint32_t slot, Op&& op,
+                          std::uint32_t mask = kFullMask) const {
+        for (std::uint32_t off = kWarpSize / 2; off > 0; off >>= 1) {
+            auto got = shfl_down(reg, slot, off, mask);
+            stats_->lane_ops += lanes_;
+            for (std::uint32_t l = 0; l < lanes_; ++l) {
+                if (lane_in(l, mask) && lane_in(l + off, mask)) {
+                    T& mine = reg.at(base_ + l, slot);
+                    mine = op(mine, got[l]);
+                }
+            }
+        }
+    }
+
+private:
+    std::uint32_t warp_id_;
+    std::uint32_t base_;
+    std::uint32_t lanes_;
+    KernelStats* stats_;
+};
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,25 @@
+#include "assessor.hpp"
+
+#include "autocorr.hpp"
+#include "derivatives.hpp"
+#include "reduction_metrics.hpp"
+#include "ssim.hpp"
+
+namespace cuzc::zc {
+
+AssessmentReport assess(const Tensor3f& orig, const Tensor3f& dec, const MetricsConfig& cfg) {
+    AssessmentReport report;
+    if (cfg.pattern1) {
+        report.reduction = reduction_metrics(orig, dec, cfg);
+    }
+    if (cfg.pattern2) {
+        stencil_metrics(orig, dec, cfg.deriv_orders, report.stencil);
+        report.stencil.autocorr = autocorrelation(orig, dec, cfg.autocorr_max_lag);
+    }
+    if (cfg.pattern3) {
+        report.ssim = ssim3d(orig, dec, cfg.ssim_window, cfg.ssim_step);
+    }
+    return report;
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "metrics_config.hpp"
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// Z-checker's serial CPU analysis kernel: runs every enabled metric group
+/// and assembles the full report. This is the reference implementation the
+/// accelerated frameworks (ompZC / moZC / cuZC) are validated against.
+[[nodiscard]] AssessmentReport assess(const Tensor3f& orig, const Tensor3f& dec,
+                                      const MetricsConfig& cfg);
+
+}  // namespace cuzc::zc

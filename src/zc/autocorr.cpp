@@ -1,0 +1,61 @@
+#include "autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuzc::zc {
+
+ErrorMoments error_moments(const Tensor3f& orig, const Tensor3f& dec) {
+    ErrorMoments m;
+    const std::size_t n = orig.size();
+    if (n == 0) return m;
+    double sum = 0, sum_sq = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double e = static_cast<double>(dec[i]) - orig[i];
+        sum += e;
+        sum_sq += e * e;
+    }
+    m.mean = sum / static_cast<double>(n);
+    m.var = std::max(0.0, sum_sq / static_cast<double>(n) - m.mean * m.mean);
+    return m;
+}
+
+std::vector<double> autocorrelation(const Tensor3f& orig, const Tensor3f& dec, int max_lag) {
+    std::vector<double> ac(static_cast<std::size_t>(std::max(max_lag, 0)), 0.0);
+    if (max_lag <= 0 || orig.size() == 0) return ac;
+
+    const ErrorMoments m = error_moments(orig, dec);
+    const auto& d = orig.dims();
+    const auto err = [&](std::size_t x, std::size_t y, std::size_t z) {
+        return static_cast<double>(dec(x, y, z)) - orig(x, y, z) - m.mean;
+    };
+
+    for (int lag = 1; lag <= max_lag; ++lag) {
+        const auto tau = static_cast<std::size_t>(lag);
+        const bool ax = d.h > tau, ay = d.w > tau, az = d.l > tau;
+        const int valid_axes = (ax ? 1 : 0) + (ay ? 1 : 0) + (az ? 1 : 0);
+        if (valid_axes == 0 || m.var <= 0) continue;
+
+        const std::size_t hx = ax ? d.h - tau : d.h;
+        const std::size_t hy = ay ? d.w - tau : d.w;
+        const std::size_t hz = az ? d.l - tau : d.l;
+        double sum = 0;
+        for (std::size_t x = 0; x < hx; ++x) {
+            for (std::size_t y = 0; y < hy; ++y) {
+                for (std::size_t z = 0; z < hz; ++z) {
+                    const double c = err(x, y, z);
+                    double acc = 0;
+                    if (ax) acc += err(x + tau, y, z);
+                    if (ay) acc += err(x, y + tau, z);
+                    if (az) acc += err(x, y, z + tau);
+                    sum += c * acc / valid_axes;
+                }
+            }
+        }
+        const double ne = static_cast<double>(hx) * hy * hz;
+        ac[tau - 1] = sum / ne / m.var;
+    }
+    return ac;
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// Mean and population variance of the error field e = dec - orig, the
+/// normalization constants of the autocorrelation (Eq. 2 of the paper).
+struct ErrorMoments {
+    double mean = 0;
+    double var = 0;
+};
+
+[[nodiscard]] ErrorMoments error_moments(const Tensor3f& orig, const Tensor3f& dec);
+
+/// Serial reference of the error-field spatial autocorrelation, paper
+/// Eq. (2): for each lag tau = 1..max_lag the centered products along the
+/// three axes are averaged (only axes longer than tau participate) and
+/// normalized by the number of summed elements and the error variance.
+/// Returns max_lag values; lags with no valid axis or zero variance give 0.
+[[nodiscard]] std::vector<double> autocorrelation(const Tensor3f& orig, const Tensor3f& dec,
+                                                  int max_lag);
+
+}  // namespace cuzc::zc

@@ -1,0 +1,59 @@
+#include "compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuzc::zc {
+
+namespace {
+
+int judge(double a, double b, bool higher_is_better, double tol) {
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    if (std::isinf(a) && std::isinf(b)) return 0;
+    if (std::isinf(a)) return higher_is_better == (a > 0) ? 1 : -1;
+    if (std::isinf(b)) return higher_is_better == (b > 0) ? -1 : 1;
+    if (std::fabs(a - b) <= tol * scale) return 0;
+    const bool a_higher = a > b;
+    return a_higher == higher_is_better ? 1 : -1;
+}
+
+}  // namespace
+
+ComparisonReport compare_reports(const AssessmentReport& a, const AssessmentReport& b,
+                                 double tol) {
+    ComparisonReport out;
+    const auto add = [&](const char* name, double va, double vb, bool higher_better) {
+        MetricComparison c;
+        c.metric = name;
+        c.a = va;
+        c.b = vb;
+        c.winner = judge(va, vb, higher_better, tol);
+        if (c.winner > 0) {
+            ++out.wins_a;
+        } else if (c.winner < 0) {
+            ++out.wins_b;
+        } else {
+            ++out.ties;
+        }
+        out.metrics.push_back(std::move(c));
+    };
+
+    add("psnr_db", a.reduction.psnr_db, b.reduction.psnr_db, true);
+    add("snr_db", a.reduction.snr_db, b.reduction.snr_db, true);
+    add("mse", a.reduction.mse, b.reduction.mse, false);
+    add("nrmse", a.reduction.nrmse, b.reduction.nrmse, false);
+    add("max_abs_err", a.reduction.max_abs_err, b.reduction.max_abs_err, false);
+    add("max_pwr_err", std::fabs(a.reduction.max_pwr_err), std::fabs(b.reduction.max_pwr_err),
+        false);
+    add("pearson_r", a.reduction.pearson_r, b.reduction.pearson_r, true);
+    add("ssim", a.ssim.ssim, b.ssim.ssim, true);
+    add("deriv1_mse", a.stencil.deriv1_mse, b.stencil.deriv1_mse, false);
+    if (!a.stencil.autocorr.empty() && !b.stencil.autocorr.empty()) {
+        // Error autocorrelation closer to zero (whiter errors) is better.
+        add("autocorr_lag1", std::fabs(a.stencil.autocorr[0]),
+            std::fabs(b.stencil.autocorr[0]), false);
+    }
+    return out;
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+namespace cuzc::zc {
+
+/// Side-by-side comparison of two compressors' assessments of the same
+/// field (Z-checker's compareCompressors workflow): per metric, which
+/// configuration wins and by how much, plus an overall verdict at equal
+/// compression ratio.
+struct MetricComparison {
+    std::string metric;
+    double a = 0;
+    double b = 0;
+    /// +1 a better, -1 b better, 0 tie; "better" follows the metric's
+    /// orientation (PSNR/SSIM/Pearson up, errors down).
+    int winner = 0;
+};
+
+struct ComparisonReport {
+    std::vector<MetricComparison> metrics;
+    int wins_a = 0;
+    int wins_b = 0;
+    int ties = 0;
+};
+
+[[nodiscard]] ComparisonReport compare_reports(const AssessmentReport& a,
+                                               const AssessmentReport& b,
+                                               double tie_rel_tolerance = 1e-3);
+
+}  // namespace cuzc::zc

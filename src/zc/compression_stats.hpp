@@ -1,0 +1,48 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cuzc::zc {
+
+/// The compression-performance side of Z-checker's metric list: ratio,
+/// bit rate, and compression/decompression throughputs.
+struct CompressionStats {
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t compressed_bytes = 0;
+    double compress_seconds = 0;
+    double decompress_seconds = 0;
+
+    [[nodiscard]] double ratio() const noexcept {
+        return compressed_bytes > 0
+                   ? static_cast<double>(raw_bytes) / static_cast<double>(compressed_bytes)
+                   : 0.0;
+    }
+    [[nodiscard]] double bit_rate() const noexcept {
+        return raw_bytes > 0 ? 32.0 * static_cast<double>(compressed_bytes) /
+                                   static_cast<double>(raw_bytes)
+                             : 0.0;  // bits per (float32) value
+    }
+    [[nodiscard]] double compress_bytes_per_sec() const noexcept {
+        return compress_seconds > 0 ? static_cast<double>(raw_bytes) / compress_seconds : 0.0;
+    }
+    [[nodiscard]] double decompress_bytes_per_sec() const noexcept {
+        return decompress_seconds > 0 ? static_cast<double>(raw_bytes) / decompress_seconds
+                                      : 0.0;
+    }
+};
+
+/// Stopwatch helper so callers measure codec phases uniformly.
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cuzc::zc

@@ -1,0 +1,114 @@
+#include "derivatives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuzc::zc {
+
+namespace {
+
+/// Central difference along one axis; 0 when the axis is too short.
+template <int kOrder>
+double axis_diff(const Tensor3f& f, std::size_t x, std::size_t y, std::size_t z, int axis) {
+    const auto& d = f.dims();
+    const std::size_t extent = axis == 0 ? d.h : (axis == 1 ? d.w : d.l);
+    const std::size_t pos = axis == 0 ? x : (axis == 1 ? y : z);
+    if (extent < 3 || pos == 0 || pos + 1 >= extent) return 0.0;
+    const std::size_t xp = axis == 0 ? x + 1 : x, xm = axis == 0 ? x - 1 : x;
+    const std::size_t yp = axis == 1 ? y + 1 : y, ym = axis == 1 ? y - 1 : y;
+    const std::size_t zp = axis == 2 ? z + 1 : z, zm = axis == 2 ? z - 1 : z;
+    const double fp = f(xp, yp, zp);
+    const double fm = f(xm, ym, zm);
+    if constexpr (kOrder == 1) {
+        return (fp - fm) / 2.0;
+    } else {
+        return fp - 2.0 * static_cast<double>(f(x, y, z)) + fm;
+    }
+}
+
+template <int kOrder>
+StencilPoint stencil_point(const Tensor3f& f, std::size_t x, std::size_t y, std::size_t z) {
+    const double dx = axis_diff<kOrder>(f, x, y, z, 0);
+    const double dy = axis_diff<kOrder>(f, x, y, z, 1);
+    const double dz = axis_diff<kOrder>(f, x, y, z, 2);
+    StencilPoint p;
+    p.magnitude = std::sqrt(dx * dx + dy * dy + dz * dz);
+    p.axis_sum = dx + dy + dz;
+    return p;
+}
+
+struct OrderAccum {
+    double sum_orig = 0, max_orig = 0;
+    double sum_dec = 0, max_dec = 0;
+    double sum_sq_diff = 0;
+    double sum_axis_orig = 0, sum_axis_dec = 0;
+    std::size_t count = 0;
+};
+
+template <int kOrder>
+OrderAccum accumulate(const Tensor3f& orig, const Tensor3f& dec) {
+    const auto& d = orig.dims();
+    const AxisRange rx = interior(d.h, 1);
+    const AxisRange ry = interior(d.w, 1);
+    const AxisRange rz = interior(d.l, 1);
+    OrderAccum a;
+    for (std::size_t x = rx.begin; x < rx.end; ++x) {
+        for (std::size_t y = ry.begin; y < ry.end; ++y) {
+            for (std::size_t z = rz.begin; z < rz.end; ++z) {
+                const StencilPoint po = stencil_point<kOrder>(orig, x, y, z);
+                const StencilPoint pd = stencil_point<kOrder>(dec, x, y, z);
+                a.sum_orig += po.magnitude;
+                a.max_orig = std::max(a.max_orig, po.magnitude);
+                a.sum_dec += pd.magnitude;
+                a.max_dec = std::max(a.max_dec, pd.magnitude);
+                const double diff = pd.magnitude - po.magnitude;
+                a.sum_sq_diff += diff * diff;
+                a.sum_axis_orig += po.axis_sum;
+                a.sum_axis_dec += pd.axis_sum;
+                ++a.count;
+            }
+        }
+    }
+    return a;
+}
+
+}  // namespace
+
+StencilPoint stencil_order1(const Tensor3f& f, std::size_t x, std::size_t y, std::size_t z) noexcept {
+    return stencil_point<1>(f, x, y, z);
+}
+
+StencilPoint stencil_order2(const Tensor3f& f, std::size_t x, std::size_t y, std::size_t z) noexcept {
+    return stencil_point<2>(f, x, y, z);
+}
+
+void stencil_metrics(const Tensor3f& orig, const Tensor3f& dec, int orders, StencilReport& out) {
+    {
+        const OrderAccum a = accumulate<1>(orig, dec);
+        if (a.count > 0) {
+            const double n = static_cast<double>(a.count);
+            out.deriv1_avg_orig = a.sum_orig / n;
+            out.deriv1_max_orig = a.max_orig;
+            out.deriv1_avg_dec = a.sum_dec / n;
+            out.deriv1_max_dec = a.max_dec;
+            out.deriv1_mse = a.sum_sq_diff / n;
+            out.divergence_avg_orig = a.sum_axis_orig / n;
+            out.divergence_avg_dec = a.sum_axis_dec / n;
+        }
+    }
+    if (orders >= 2) {
+        const OrderAccum a = accumulate<2>(orig, dec);
+        if (a.count > 0) {
+            const double n = static_cast<double>(a.count);
+            out.deriv2_avg_orig = a.sum_orig / n;
+            out.deriv2_max_orig = a.max_orig;
+            out.deriv2_avg_dec = a.sum_dec / n;
+            out.deriv2_max_dec = a.max_dec;
+            out.deriv2_mse = a.sum_sq_diff / n;
+            out.laplacian_avg_orig = a.sum_axis_orig / n;
+            out.laplacian_avg_dec = a.sum_axis_dec / n;
+        }
+    }
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// Interior range of one axis for a stencil of half-width `half`: positions
+/// [half, extent-half). Axes too short for the stencil contribute a single
+/// position 0 and a zero difference (how Z-checker generalizes its 3-D
+/// stencils to lower-rank data).
+struct AxisRange {
+    std::size_t begin = 0;
+    std::size_t end = 1;
+    bool active = false;
+};
+
+[[nodiscard]] constexpr AxisRange interior(std::size_t extent, std::size_t half) noexcept {
+    if (extent >= 2 * half + 1) return AxisRange{half, extent - half, true};
+    return AxisRange{0, extent > 0 ? std::size_t{1} : std::size_t{0}, false};
+}
+
+/// Per-point stencil values shared by all frameworks. Order-1 uses central
+/// differences (f(+1)-f(-1))/2 per axis (Algorithm 2 of the paper); order-2
+/// uses the second central difference f(+1)-2f+f(-1). The derivative
+/// magnitude is sqrt(dx^2+dy^2+dz^2); divergence and Laplacian are the sums
+/// dx+dy+dz of first and second differences respectively (paper §III-B2).
+struct StencilPoint {
+    double magnitude = 0;   ///< sqrt of sum of squared per-axis differences
+    double axis_sum = 0;    ///< dx + dy + dz (divergence for order 1, Laplacian for 2)
+};
+
+[[nodiscard]] StencilPoint stencil_order1(const Tensor3f& f, std::size_t x, std::size_t y,
+                                          std::size_t z) noexcept;
+[[nodiscard]] StencilPoint stencil_order2(const Tensor3f& f, std::size_t x, std::size_t y,
+                                          std::size_t z) noexcept;
+
+/// Serial reference for every pattern-2 stencil metric except
+/// autocorrelation: derivative orders 1 and 2 on both fields, their MSEs,
+/// mean divergence, and mean Laplacian. `orders` is 1 or 2.
+void stencil_metrics(const Tensor3f& orig, const Tensor3f& dec, int orders, StencilReport& out);
+
+}  // namespace cuzc::zc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// Z-checker's spectral analysis: compare the amplitude spectra of the
+/// original and decompressed data to reveal frequency-selective damage
+/// (smoothing compressors kill high frequencies; quantizers add broadband
+/// noise) that pointwise metrics cannot localize.
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform including the
+/// 1/N normalization.
+void fft(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Amplitude spectrum |X_k| (k = 0..N/2) of a real signal; the input is
+/// truncated to the largest power-of-two prefix.
+[[nodiscard]] std::vector<double> amplitude_spectrum(std::span<const float> signal);
+
+struct SpectralReport {
+    std::vector<double> amp_orig;   ///< |X_k| of the original, k <= N/2
+    std::vector<double> amp_dec;    ///< |X_k| of the decompressed data
+    double max_rel_amp_err = 0;     ///< max_k |A_dec - A_orig| / max_amp
+    double mean_rel_amp_err = 0;    ///< mean of the same ratio
+    /// First k where the relative amplitude error exceeds 10% — the lowest
+    /// frequency visibly damaged by compression (size() = none).
+    std::size_t first_damaged_freq = 0;
+};
+
+/// Compare the spectra of a field pair, flattened in storage order as
+/// Z-checker does. `max_coeffs` caps the reported spectra length
+/// (metrics still use all coefficients).
+[[nodiscard]] SpectralReport spectral_metrics(const Tensor3f& orig, const Tensor3f& dec,
+                                              std::size_t max_coeffs = 512);
+
+}  // namespace cuzc::zc

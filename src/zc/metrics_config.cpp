@@ -1,0 +1,41 @@
+#include "metrics_config.hpp"
+
+namespace cuzc::zc {
+
+std::string_view to_string(Metric m) noexcept {
+    switch (m) {
+        case Metric::kMinError: return "min_error";
+        case Metric::kMaxError: return "max_error";
+        case Metric::kAvgError: return "avg_error";
+        case Metric::kErrorPdf: return "error_pdf";
+        case Metric::kMinPwrError: return "min_pwr_error";
+        case Metric::kMaxPwrError: return "max_pwr_error";
+        case Metric::kAvgPwrError: return "avg_pwr_error";
+        case Metric::kPwrErrorPdf: return "pwr_error_pdf";
+        case Metric::kMse: return "mse";
+        case Metric::kRmse: return "rmse";
+        case Metric::kNrmse: return "nrmse";
+        case Metric::kSnr: return "snr";
+        case Metric::kPsnr: return "psnr";
+        case Metric::kPearson: return "pearson";
+        case Metric::kValueStats: return "value_stats";
+        case Metric::kDerivativeOrder1: return "derivative_order1";
+        case Metric::kDerivativeOrder2: return "derivative_order2";
+        case Metric::kDivergence: return "divergence";
+        case Metric::kLaplacian: return "laplacian";
+        case Metric::kAutocorrelation: return "autocorrelation";
+        case Metric::kSsim: return "ssim";
+    }
+    return "?";
+}
+
+std::string_view to_string(Pattern p) noexcept {
+    switch (p) {
+        case Pattern::kGlobalReduction: return "pattern-1/global-reduction";
+        case Pattern::kStencil: return "pattern-2/stencil";
+        case Pattern::kSlidingWindow: return "pattern-3/sliding-window";
+    }
+    return "?";
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,120 @@
+#include "reduction_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cuzc::zc {
+
+void finalize_reduction(const ReductionMoments& m, ReductionReport& out) {
+    const double n = static_cast<double>(m.n);
+    if (m.n == 0) return;
+
+    out.min_val = m.min_val;
+    out.max_val = m.max_val;
+    out.value_range = m.max_val - m.min_val;
+    out.mean_val = m.sum_val / n;
+    out.var_val = std::max(0.0, m.sum_val_sq / n - out.mean_val * out.mean_val);
+    out.std_val = std::sqrt(out.var_val);
+
+    out.min_err = m.min_err;
+    out.max_err = m.max_err;
+    out.avg_err = m.sum_err / n;
+    out.avg_abs_err = m.sum_abs_err / n;
+    out.max_abs_err = std::max(std::fabs(m.min_err), std::fabs(m.max_err));
+
+    out.min_pwr_err = m.min_pwr;
+    out.max_pwr_err = m.max_pwr;
+    out.avg_pwr_err = m.sum_pwr_abs / n;
+
+    out.mse = m.sum_err_sq / n;
+    out.rmse = std::sqrt(out.mse);
+    out.nrmse = out.value_range > 0 ? out.rmse / out.value_range : 0.0;
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    out.snr_db = out.mse > 0 && out.var_val > 0 ? 10.0 * std::log10(out.var_val / out.mse)
+                                                : (out.mse > 0 ? -kInf : kInf);
+    out.psnr_db = out.mse > 0 && out.value_range > 0
+                      ? 20.0 * std::log10(out.value_range) - 10.0 * std::log10(out.mse)
+                      : kInf;
+
+    const double mean_dec = m.sum_dec / n;
+    const double var_dec = std::max(0.0, m.sum_dec_sq / n - mean_dec * mean_dec);
+    const double cov = m.sum_cross / n - out.mean_val * mean_dec;
+    const double denom = std::sqrt(out.var_val) * std::sqrt(var_dec);
+    out.pearson_r = denom > 0 ? cov / denom : (out.var_val == 0 && var_dec == 0 ? 1.0 : 0.0);
+}
+
+ReductionReport reduction_metrics(const Tensor3f& orig, const Tensor3f& dec,
+                                  const MetricsConfig& cfg) {
+    ReductionReport out;
+    const std::size_t n = orig.size();
+    if (n == 0 || dec.size() != n) return out;
+
+    ReductionMoments m;
+    m.n = n;
+    m.min_val = m.max_val = orig[0];
+    {
+        const double e0 = static_cast<double>(dec[0]) - orig[0];
+        m.min_err = m.max_err = e0;
+        m.min_pwr = m.max_pwr = pwr_error(orig[0], dec[0], cfg.pwr_eps);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        const double y = dec[i];
+        const double e = y - x;
+        const double p = pwr_error(x, y, cfg.pwr_eps);
+
+        m.min_val = std::min(m.min_val, x);
+        m.max_val = std::max(m.max_val, x);
+        m.sum_val += x;
+        m.sum_val_sq += x * x;
+
+        m.min_err = std::min(m.min_err, e);
+        m.max_err = std::max(m.max_err, e);
+        m.sum_err += e;
+        m.sum_abs_err += std::fabs(e);
+        m.sum_err_sq += e * e;
+
+        m.min_pwr = std::min(m.min_pwr, p);
+        m.max_pwr = std::max(m.max_pwr, p);
+        m.sum_pwr_abs += std::fabs(p);
+
+        m.sum_dec += y;
+        m.sum_dec_sq += y * y;
+        m.sum_cross += x * y;
+    }
+    finalize_reduction(m, out);
+
+    // Distributions (second pass, using the ranges found above).
+    const int bins = std::max(1, cfg.pdf_bins);
+    out.err_pdf.assign(bins, 0.0);
+    out.err_pdf_min = m.min_err;
+    out.err_pdf_max = m.max_err;
+    out.pwr_err_pdf.assign(bins, 0.0);
+    out.pwr_err_pdf_min = m.min_pwr;
+    out.pwr_err_pdf_max = m.max_pwr;
+    std::vector<double> val_hist(bins, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        const double e = static_cast<double>(dec[i]) - x;
+        const double p = pwr_error(x, dec[i], cfg.pwr_eps);
+        out.err_pdf[pdf_bin(e, m.min_err, m.max_err, bins)] += 1.0;
+        out.pwr_err_pdf[pdf_bin(p, m.min_pwr, m.max_pwr, bins)] += 1.0;
+        val_hist[pdf_bin(x, m.min_val, m.max_val, bins)] += 1.0;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double entropy = 0.0;
+    for (int b = 0; b < bins; ++b) {
+        out.err_pdf[b] *= inv_n;
+        out.pwr_err_pdf[b] *= inv_n;
+        const double pv = val_hist[b] * inv_n;
+        if (pv > 0) entropy -= pv * std::log2(pv);
+    }
+    out.entropy = entropy;
+    return out;
+}
+
+}  // namespace cuzc::zc

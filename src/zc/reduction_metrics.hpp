@@ -1,0 +1,47 @@
+#pragma once
+
+#include "metrics_config.hpp"
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// Serial reference implementation of every pattern-1 (global reduction)
+/// metric: error min/max/avg, error PDFs, pointwise-relative errors,
+/// MSE/RMSE/NRMSE, SNR/PSNR, Pearson correlation, value statistics and
+/// entropy of the original data. This is Z-checker's analysis-kernel
+/// ground truth that every accelerated framework is validated against.
+[[nodiscard]] ReductionReport reduction_metrics(const Tensor3f& orig, const Tensor3f& dec,
+                                                const MetricsConfig& cfg);
+
+/// Pointwise-relative error of one element pair, shared by all frameworks:
+/// (y - x) / max(|x|, pwr_eps).
+[[nodiscard]] inline double pwr_error(double x, double y, double pwr_eps) noexcept {
+    const double ax = x < 0 ? -x : x;
+    return (y - x) / (ax > pwr_eps ? ax : pwr_eps);
+}
+
+/// Histogram bin for value v within [lo, hi] and `bins` bins (the shared
+/// binning rule of the error/pwr-error PDFs and the entropy histogram).
+[[nodiscard]] inline int pdf_bin(double v, double lo, double hi, int bins) noexcept {
+    if (!(hi > lo)) return 0;
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    if (b < 0) b = 0;
+    if (b >= bins) b = bins - 1;
+    return b;
+}
+
+/// Fill the derived scalar metrics (RMSE, NRMSE, SNR, PSNR, Pearson, ...)
+/// from accumulated moments. Shared by all frameworks so the derivation
+/// from raw reductions is identical everywhere.
+struct ReductionMoments {
+    std::size_t n = 0;
+    double min_val = 0, max_val = 0, sum_val = 0, sum_val_sq = 0;
+    double min_err = 0, max_err = 0, sum_err = 0, sum_abs_err = 0, sum_err_sq = 0;
+    double min_pwr = 0, max_pwr = 0, sum_pwr_abs = 0;
+    double sum_dec = 0, sum_dec_sq = 0, sum_cross = 0;
+};
+
+void finalize_reduction(const ReductionMoments& m, ReductionReport& out);
+
+}  // namespace cuzc::zc

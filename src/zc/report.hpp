@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+namespace cuzc::zc {
+
+/// Pattern-1 results: everything derivable from global reductions over the
+/// original data x, the decompressed data y, and the error e = y - x.
+struct ReductionReport {
+    // Value statistics of the original data.
+    double min_val = 0, max_val = 0, value_range = 0, mean_val = 0, var_val = 0, std_val = 0;
+    double entropy = 0;
+    // Raw compression-error statistics.
+    double min_err = 0, max_err = 0, avg_err = 0, avg_abs_err = 0, max_abs_err = 0;
+    // Pointwise-relative ("pwr") error statistics.
+    double min_pwr_err = 0, max_pwr_err = 0, avg_pwr_err = 0;
+    // Distortion metrics.
+    double mse = 0, rmse = 0, nrmse = 0, snr_db = 0, psnr_db = 0, pearson_r = 0;
+    // Error distributions (probability per bin over [pdf range]).
+    std::vector<double> err_pdf;
+    double err_pdf_min = 0, err_pdf_max = 0;
+    std::vector<double> pwr_err_pdf;
+    double pwr_err_pdf_min = 0, pwr_err_pdf_max = 0;
+};
+
+/// Pattern-2 results: stencil metrics on original vs decompressed data plus
+/// autocorrelation of the compression errors.
+struct StencilReport {
+    // Gradient-magnitude (order-1 derivative) field summaries.
+    double deriv1_avg_orig = 0, deriv1_max_orig = 0;
+    double deriv1_avg_dec = 0, deriv1_max_dec = 0;
+    double deriv1_mse = 0;  ///< MSE between the two derivative fields.
+    // Second-derivative-magnitude field summaries.
+    double deriv2_avg_orig = 0, deriv2_max_orig = 0;
+    double deriv2_avg_dec = 0, deriv2_max_dec = 0;
+    double deriv2_mse = 0;
+    // Mean divergence (sum of first partials) and Laplacian (sum of second
+    // partials) over the interior, for both fields.
+    double divergence_avg_orig = 0, divergence_avg_dec = 0;
+    double laplacian_avg_orig = 0, laplacian_avg_dec = 0;
+    // Autocorrelation of the error field at lags 1..max_lag.
+    std::vector<double> autocorr;
+};
+
+/// Pattern-3 result.
+struct SsimReport {
+    double ssim = 0;
+    std::size_t windows = 0;
+};
+
+/// Full assessment output, one per (original, decompressed) field pair.
+struct AssessmentReport {
+    ReductionReport reduction;
+    StencilReport stencil;
+    SsimReport ssim;
+};
+
+}  // namespace cuzc::zc

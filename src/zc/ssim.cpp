@@ -1,0 +1,71 @@
+#include "ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuzc::zc {
+
+double mix_local_ssim(const WindowSums& a, const WindowSums& b, const WindowCross& cross,
+                      std::size_t count) noexcept {
+    const double n = static_cast<double>(count);
+    const double mu_a = a.sum / n;
+    const double mu_b = b.sum / n;
+    const double var_a = std::max(0.0, a.sum_sq / n - mu_a * mu_a);
+    const double var_b = std::max(0.0, b.sum_sq / n - mu_b * mu_b);
+    const double cov = cross.sum_xy / n - mu_a * mu_b;
+
+    const double range = std::max(a.max, b.max) - std::min(a.min, b.min);
+    const double c1 = std::max(kSsimK1 * range * kSsimK1 * range, kSsimCFloor);
+    const double c2 = std::max(kSsimK2 * range * kSsimK2 * range, kSsimCFloor);
+
+    const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+    const double den = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+    return num / den;
+}
+
+SsimReport ssim3d(const Tensor3f& orig, const Tensor3f& dec, int window, int step) {
+    SsimReport out;
+    const auto& d = orig.dims();
+    if (orig.size() == 0 || window <= 0 || step <= 0) return out;
+
+    const std::size_t wx = effective_window(d.h, static_cast<std::size_t>(window));
+    const std::size_t wy = effective_window(d.w, static_cast<std::size_t>(window));
+    const std::size_t wz = effective_window(d.l, static_cast<std::size_t>(window));
+    const auto s = static_cast<std::size_t>(step);
+
+    double total = 0;
+    std::size_t windows = 0;
+    for (std::size_t x0 = 0; x0 + wx <= d.h; x0 += s) {
+        for (std::size_t y0 = 0; y0 + wy <= d.w; y0 += s) {
+            for (std::size_t z0 = 0; z0 + wz <= d.l; z0 += s) {
+                WindowSums a{orig(x0, y0, z0), orig(x0, y0, z0), 0, 0};
+                WindowSums b{dec(x0, y0, z0), dec(x0, y0, z0), 0, 0};
+                WindowCross c{};
+                for (std::size_t x = x0; x < x0 + wx; ++x) {
+                    for (std::size_t y = y0; y < y0 + wy; ++y) {
+                        for (std::size_t z = z0; z < z0 + wz; ++z) {
+                            const double xv = orig(x, y, z);
+                            const double yv = dec(x, y, z);
+                            a.min = std::min(a.min, xv);
+                            a.max = std::max(a.max, xv);
+                            a.sum += xv;
+                            a.sum_sq += xv * xv;
+                            b.min = std::min(b.min, yv);
+                            b.max = std::max(b.max, yv);
+                            b.sum += yv;
+                            b.sum_sq += yv * yv;
+                            c.sum_xy += xv * yv;
+                        }
+                    }
+                }
+                total += mix_local_ssim(a, b, c, wx * wy * wz);
+                ++windows;
+            }
+        }
+    }
+    out.windows = windows;
+    out.ssim = windows > 0 ? total / static_cast<double>(windows) : 0.0;
+    return out;
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// SSIM stabilization constants (Wang et al. 2004); the dynamic range L is
+/// window-local, derived from the min/max window reductions — which is why
+/// the paper's pattern-3 kernel computes window min/max alongside the sums.
+inline constexpr double kSsimK1 = 0.01;
+inline constexpr double kSsimK2 = 0.03;
+/// Floor for the stabilization constants so constant windows compare as
+/// fully similar instead of 0/0.
+inline constexpr double kSsimCFloor = 1e-30;
+
+/// Per-window reduction results for one field: min, max, sum, power sum —
+/// exactly the four local reductions of the paper's Fig. 5.
+struct WindowSums {
+    double min = 0, max = 0, sum = 0, sum_sq = 0;
+};
+
+/// Cross-window sum of products, the fifth accumulator needed for the
+/// covariance term.
+struct WindowCross {
+    double sum_xy = 0;
+};
+
+/// The "mix" step of Fig. 5: combine the two windows' local reductions into
+/// the local SSIM value. `count` is the number of elements per window.
+[[nodiscard]] double mix_local_ssim(const WindowSums& a, const WindowSums& b,
+                                    const WindowCross& cross, std::size_t count) noexcept;
+
+/// Effective window extent along an axis (shrinks for axes shorter than the
+/// configured window, so SSIM generalizes to 1-D/2-D fields and small tests).
+[[nodiscard]] constexpr std::size_t effective_window(std::size_t extent,
+                                                     std::size_t window) noexcept {
+    return window < extent ? window : extent;
+}
+
+/// Serial reference 3-D SSIM: slide a window of side `window` with stride
+/// `step` over both fields, compute the local reductions and mix at every
+/// position, and average the local SSIMs (the final global reduction).
+[[nodiscard]] SsimReport ssim3d(const Tensor3f& orig, const Tensor3f& dec, int window, int step);
+
+}  // namespace cuzc::zc

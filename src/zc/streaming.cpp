@@ -1,0 +1,130 @@
+#include "streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuzc::zc {
+
+StreamingAssessor::StreamingAssessor(const MetricsConfig& cfg) : cfg_(cfg) {
+    const auto bins = static_cast<std::size_t>(std::max(1, cfg.pdf_bins));
+    err_hist_.assign(bins, 0.0);
+    pwr_hist_.assign(bins, 0.0);
+    val_hist_.assign(bins, 0.0);
+}
+
+void StreamingAssessor::rebin(double old_lo, double old_hi, double new_lo, double new_hi,
+                              std::vector<double>& hist) const {
+    if (!(old_hi > old_lo)) return;  // nothing meaningful binned yet
+    const int bins = std::max(1, cfg_.pdf_bins);
+    std::vector<double> next(hist.size(), 0.0);
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+        if (hist[b] == 0) continue;
+        // Old bin centre mapped into the widened range (the documented
+        // approximation of streaming distributions: counts keep their bin
+        // centre, so widening never loses mass, only sub-bin precision).
+        const double centre =
+            old_lo + (static_cast<double>(b) + 0.5) / bins * (old_hi - old_lo);
+        next[static_cast<std::size_t>(pdf_bin(centre, new_lo, new_hi, bins))] += hist[b];
+    }
+    hist = std::move(next);
+}
+
+void StreamingAssessor::feed(std::span<const float> orig, std::span<const float> dec) {
+    const std::size_t n = std::min(orig.size(), dec.size());
+    if (n == 0) return;
+    const int bins = std::max(1, cfg_.pdf_bins);
+
+    // Chunk-local ranges first, so rebinning happens at most once per feed.
+    double c_err_lo = dec[0] - orig[0], c_err_hi = c_err_lo;
+    double c_pwr_lo = pwr_error(orig[0], dec[0], cfg_.pwr_eps), c_pwr_hi = c_pwr_lo;
+    double c_val_lo = orig[0], c_val_hi = c_val_lo;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        const double e = static_cast<double>(dec[i]) - x;
+        const double p = pwr_error(x, dec[i], cfg_.pwr_eps);
+        c_err_lo = std::min(c_err_lo, e);
+        c_err_hi = std::max(c_err_hi, e);
+        c_pwr_lo = std::min(c_pwr_lo, p);
+        c_pwr_hi = std::max(c_pwr_hi, p);
+        c_val_lo = std::min(c_val_lo, x);
+        c_val_hi = std::max(c_val_hi, x);
+    }
+    if (first_) {
+        err_lo_ = c_err_lo; err_hi_ = c_err_hi;
+        pwr_lo_ = c_pwr_lo; pwr_hi_ = c_pwr_hi;
+        val_lo_ = c_val_lo; val_hi_ = c_val_hi;
+        moments_.min_err = c_err_lo;
+        moments_.max_err = c_err_hi;
+        moments_.min_pwr = c_pwr_lo;
+        moments_.max_pwr = c_pwr_hi;
+        moments_.min_val = c_val_lo;
+        moments_.max_val = c_val_hi;
+        first_ = false;
+    } else {
+        const double ne_lo = std::min(err_lo_, c_err_lo), ne_hi = std::max(err_hi_, c_err_hi);
+        const double np_lo = std::min(pwr_lo_, c_pwr_lo), np_hi = std::max(pwr_hi_, c_pwr_hi);
+        const double nv_lo = std::min(val_lo_, c_val_lo), nv_hi = std::max(val_hi_, c_val_hi);
+        if (ne_lo < err_lo_ || ne_hi > err_hi_) {
+            rebin(err_lo_, err_hi_, ne_lo, ne_hi, err_hist_);
+            err_lo_ = ne_lo; err_hi_ = ne_hi;
+        }
+        if (np_lo < pwr_lo_ || np_hi > pwr_hi_) {
+            rebin(pwr_lo_, pwr_hi_, np_lo, np_hi, pwr_hist_);
+            pwr_lo_ = np_lo; pwr_hi_ = np_hi;
+        }
+        if (nv_lo < val_lo_ || nv_hi > val_hi_) {
+            rebin(val_lo_, val_hi_, nv_lo, nv_hi, val_hist_);
+            val_lo_ = nv_lo; val_hi_ = nv_hi;
+        }
+    }
+
+    moments_.n += n;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = orig[i];
+        const double y = dec[i];
+        const double e = y - x;
+        const double p = pwr_error(x, y, cfg_.pwr_eps);
+        moments_.min_err = std::min(moments_.min_err, e);
+        moments_.max_err = std::max(moments_.max_err, e);
+        moments_.sum_err += e;
+        moments_.sum_abs_err += std::fabs(e);
+        moments_.sum_err_sq += e * e;
+        moments_.min_pwr = std::min(moments_.min_pwr, p);
+        moments_.max_pwr = std::max(moments_.max_pwr, p);
+        moments_.sum_pwr_abs += std::fabs(p);
+        moments_.min_val = std::min(moments_.min_val, x);
+        moments_.max_val = std::max(moments_.max_val, x);
+        moments_.sum_val += x;
+        moments_.sum_val_sq += x * x;
+        moments_.sum_dec += y;
+        moments_.sum_dec_sq += y * y;
+        moments_.sum_cross += x * y;
+        err_hist_[static_cast<std::size_t>(pdf_bin(e, err_lo_, err_hi_, bins))] += 1.0;
+        pwr_hist_[static_cast<std::size_t>(pdf_bin(p, pwr_lo_, pwr_hi_, bins))] += 1.0;
+        val_hist_[static_cast<std::size_t>(pdf_bin(x, val_lo_, val_hi_, bins))] += 1.0;
+    }
+}
+
+ReductionReport StreamingAssessor::finalize() const {
+    ReductionReport out;
+    if (moments_.n == 0) return out;
+    finalize_reduction(moments_, out);
+    const double inv_n = 1.0 / static_cast<double>(moments_.n);
+    out.err_pdf = err_hist_;
+    out.pwr_err_pdf = pwr_hist_;
+    out.err_pdf_min = err_lo_;
+    out.err_pdf_max = err_hi_;
+    out.pwr_err_pdf_min = pwr_lo_;
+    out.pwr_err_pdf_max = pwr_hi_;
+    double entropy = 0.0;
+    for (std::size_t b = 0; b < val_hist_.size(); ++b) {
+        out.err_pdf[b] *= inv_n;
+        out.pwr_err_pdf[b] *= inv_n;
+        const double pv = val_hist_[b] * inv_n;
+        if (pv > 0) entropy -= pv * std::log2(pv);
+    }
+    out.entropy = entropy;
+    return out;
+}
+
+}  // namespace cuzc::zc

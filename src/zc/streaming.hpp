@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metrics_config.hpp"
+#include "reduction_metrics.hpp"
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// In-situ (streaming) assessment of the pattern-1 metrics: data chunks
+/// are fed as they are produced — e.g. one snapshot buffer at a time while
+/// a simulation writes — and the global-reduction metrics are finalized at
+/// the end without ever holding the whole dataset.
+///
+/// PDFs and entropy need the global min/max before binning, so the
+/// accumulator keeps reservoir state per chunk (min/max + moment sums) and
+/// builds the distributions in a second pass over *retained* chunk
+/// summaries: callers that cannot re-read data get every scalar metric
+/// (min/max/avg errors, MSE family, SNR/PSNR, Pearson) exactly, and
+/// distributions from chunk-level scans against provisional ranges that
+/// are refined as chunks arrive (bins recorded against the running range
+/// are rebinned conservatively when the range grows).
+class StreamingAssessor {
+public:
+    explicit StreamingAssessor(const MetricsConfig& cfg);
+
+    /// Feed the next chunk of (original, decompressed) values.
+    void feed(std::span<const float> orig, std::span<const float> dec);
+
+    /// Number of elements consumed so far.
+    [[nodiscard]] std::size_t consumed() const noexcept { return moments_.n; }
+
+    /// Finalize all pattern-1 metrics over everything fed so far.
+    [[nodiscard]] ReductionReport finalize() const;
+
+private:
+    void rebin(double old_lo, double old_hi, double new_lo, double new_hi,
+               std::vector<double>& hist) const;
+
+    MetricsConfig cfg_;
+    ReductionMoments moments_{};
+    bool first_ = true;
+    std::vector<double> err_hist_, pwr_hist_, val_hist_;
+    double err_lo_ = 0, err_hi_ = 0, pwr_lo_ = 0, pwr_hi_ = 0, val_lo_ = 0, val_hi_ = 0;
+};
+
+}  // namespace cuzc::zc

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cuzc::zc {
+
+/// Shape of a 3-D scientific field, following the paper's (h, w, l)
+/// convention: `h` along the x-axis (slowest-varying), `w` along y, and
+/// `l` along the z-axis (fastest-varying / contiguous in memory). Lower
+/// dimensional data is represented with leading extents of 1 (a 2-D field
+/// is 1 x w x l, a 1-D field 1 x 1 x l), which is how Z-checker's kernels
+/// generalize across ranks.
+struct Dims3 {
+    std::size_t h = 1;
+    std::size_t w = 1;
+    std::size_t l = 1;
+
+    [[nodiscard]] constexpr std::size_t volume() const noexcept { return h * w * l; }
+    [[nodiscard]] constexpr std::size_t index(std::size_t x, std::size_t y,
+                                              std::size_t z) const noexcept {
+        return (x * w + y) * l + z;
+    }
+    [[nodiscard]] constexpr int rank() const noexcept {
+        return h > 1 ? 3 : (w > 1 ? 2 : 1);
+    }
+
+    friend constexpr bool operator==(const Dims3&, const Dims3&) = default;
+};
+
+/// Non-owning, read-only view of a 3-D single-precision field.
+class Tensor3f {
+public:
+    Tensor3f(std::span<const float> data, Dims3 dims) : data_(data), dims_(dims) {
+        assert(data.size() == dims.volume());
+    }
+
+    [[nodiscard]] const Dims3& dims() const noexcept { return dims_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    [[nodiscard]] float operator()(std::size_t x, std::size_t y, std::size_t z) const noexcept {
+        return data_[dims_.index(x, y, z)];
+    }
+    [[nodiscard]] float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+private:
+    std::span<const float> data_;
+    Dims3 dims_;
+};
+
+/// Owning 3-D field (the host-side representation of one dataset field).
+class Field {
+public:
+    Field() = default;
+    explicit Field(Dims3 dims) : dims_(dims), data_(dims.volume()) {}
+    Field(Dims3 dims, std::vector<float> data) : dims_(dims), data_(std::move(data)) {
+        assert(data_.size() == dims_.volume());
+    }
+
+    [[nodiscard]] const Dims3& dims() const noexcept { return dims_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] std::span<float> data() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    [[nodiscard]] float& operator()(std::size_t x, std::size_t y, std::size_t z) noexcept {
+        return data_[dims_.index(x, y, z)];
+    }
+    [[nodiscard]] float operator()(std::size_t x, std::size_t y, std::size_t z) const noexcept {
+        return data_[dims_.index(x, y, z)];
+    }
+
+    [[nodiscard]] Tensor3f view() const noexcept { return Tensor3f(data_, dims_); }
+
+private:
+    Dims3 dims_{};
+    std::vector<float> data_;
+};
+
+}  // namespace cuzc::zc

@@ -1,0 +1,86 @@
+#include "time_series.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "assessor.hpp"
+#include "streaming.hpp"
+
+namespace cuzc::zc {
+
+TimeSeriesReport assess_time_series(std::span<const Field> orig_steps,
+                                    std::span<const Field> dec_steps,
+                                    const MetricsConfig& cfg) {
+    TimeSeriesReport out;
+    const std::size_t steps = std::min(orig_steps.size(), dec_steps.size());
+    if (steps == 0) return out;
+
+    StreamingAssessor reduction(cfg);
+    double deriv1_sum_o = 0, deriv1_sum_d = 0, deriv2_sum_o = 0, deriv2_sum_d = 0;
+    double deriv1_mse = 0, deriv2_mse = 0, div_o = 0, div_d = 0, lap_o = 0, lap_d = 0;
+    std::vector<double> autocorr_sum;
+    double ssim_sum = 0;
+    std::size_t windows = 0;
+    auto& agg = out.aggregate;
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        assert(orig_steps[t].dims() == dec_steps[t].dims());
+        out.steps.push_back(assess(orig_steps[t].view(), dec_steps[t].view(), cfg));
+        const AssessmentReport& r = out.steps.back();
+
+        if (cfg.pattern1) {
+            reduction.feed(orig_steps[t].data(), dec_steps[t].data());
+        }
+        if (cfg.pattern2) {
+            const auto& s = r.stencil;
+            deriv1_sum_o += s.deriv1_avg_orig;
+            deriv1_sum_d += s.deriv1_avg_dec;
+            deriv2_sum_o += s.deriv2_avg_orig;
+            deriv2_sum_d += s.deriv2_avg_dec;
+            deriv1_mse += s.deriv1_mse;
+            deriv2_mse += s.deriv2_mse;
+            div_o += s.divergence_avg_orig;
+            div_d += s.divergence_avg_dec;
+            lap_o += s.laplacian_avg_orig;
+            lap_d += s.laplacian_avg_dec;
+            agg.stencil.deriv1_max_orig =
+                std::max(agg.stencil.deriv1_max_orig, s.deriv1_max_orig);
+            agg.stencil.deriv1_max_dec = std::max(agg.stencil.deriv1_max_dec, s.deriv1_max_dec);
+            agg.stencil.deriv2_max_orig =
+                std::max(agg.stencil.deriv2_max_orig, s.deriv2_max_orig);
+            agg.stencil.deriv2_max_dec = std::max(agg.stencil.deriv2_max_dec, s.deriv2_max_dec);
+            if (autocorr_sum.size() < s.autocorr.size()) autocorr_sum.resize(s.autocorr.size());
+            for (std::size_t i = 0; i < s.autocorr.size(); ++i) {
+                autocorr_sum[i] += s.autocorr[i];
+            }
+        }
+        if (cfg.pattern3) {
+            ssim_sum += r.ssim.ssim * static_cast<double>(r.ssim.windows);
+            windows += r.ssim.windows;
+        }
+    }
+
+    const double inv_steps = 1.0 / static_cast<double>(steps);
+    if (cfg.pattern1) agg.reduction = reduction.finalize();
+    if (cfg.pattern2) {
+        agg.stencil.deriv1_avg_orig = deriv1_sum_o * inv_steps;
+        agg.stencil.deriv1_avg_dec = deriv1_sum_d * inv_steps;
+        agg.stencil.deriv2_avg_orig = deriv2_sum_o * inv_steps;
+        agg.stencil.deriv2_avg_dec = deriv2_sum_d * inv_steps;
+        agg.stencil.deriv1_mse = deriv1_mse * inv_steps;
+        agg.stencil.deriv2_mse = deriv2_mse * inv_steps;
+        agg.stencil.divergence_avg_orig = div_o * inv_steps;
+        agg.stencil.divergence_avg_dec = div_d * inv_steps;
+        agg.stencil.laplacian_avg_orig = lap_o * inv_steps;
+        agg.stencil.laplacian_avg_dec = lap_d * inv_steps;
+        agg.stencil.autocorr = autocorr_sum;
+        for (auto& v : agg.stencil.autocorr) v *= inv_steps;
+    }
+    if (cfg.pattern3) {
+        agg.ssim.windows = windows;
+        agg.ssim.ssim = windows > 0 ? ssim_sum / static_cast<double>(windows) : 0.0;
+    }
+    return out;
+}
+
+}  // namespace cuzc::zc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metrics_config.hpp"
+#include "report.hpp"
+#include "tensor.hpp"
+
+namespace cuzc::zc {
+
+/// 4-D (time-series) assessment: scientific campaigns produce sequences of
+/// 3-D snapshots, and Z-checker treats the fourth dimension as a sequence
+/// (the paper: the 3-D design "can be easily extended to other dimensions
+/// (including 1D, 2D, and 4D)"). Spatial metrics run per step; the
+/// pattern-1 reductions aggregate exactly over the whole 4-D volume via
+/// the streaming accumulator; stencil/SSIM summaries aggregate across
+/// steps (means weighted by element/window counts, maxima by max).
+struct TimeSeriesReport {
+    std::vector<AssessmentReport> steps;
+    AssessmentReport aggregate;
+};
+
+[[nodiscard]] TimeSeriesReport assess_time_series(std::span<const Field> orig_steps,
+                                                  std::span<const Field> dec_steps,
+                                                  const MetricsConfig& cfg);
+
+}  // namespace cuzc::zc

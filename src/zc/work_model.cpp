@@ -1,0 +1,88 @@
+#include "work_model.hpp"
+
+#include <algorithm>
+
+namespace cuzc::zc {
+
+namespace {
+
+constexpr std::uint64_t kFloatBytes = sizeof(float);
+
+/// Separate passes Z-checker's metric-oriented CPU kernel makes for the
+/// pattern-1 metrics: min/max/avg error (3), error PDF range+fill (2),
+/// min/max/avg pwr error (3), pwr PDF (1), MSE (1), SNR moments (1),
+/// Pearson moments (1), value min/max + moments (2), entropy histogram (1).
+/// RMSE/NRMSE/PSNR are derived scalars (no pass).
+constexpr int kPattern1Passes = 15;
+/// Scalar instructions per element per pass: load/convert, compare or
+/// accumulate, fabs/division where applicable, loop bookkeeping.
+constexpr int kPattern1OpsPerElem = 22;
+
+}  // namespace
+
+vgpu::CpuWork cpu_pattern1_work(const Dims3& dims, const MetricsConfig& cfg) {
+    (void)cfg;
+    vgpu::CpuWork w;
+    const std::uint64_t n = dims.volume();
+    // Each pass touches both the original and decompressed arrays.
+    w.bytes = static_cast<std::uint64_t>(kPattern1Passes) * 2 * n * kFloatBytes;
+    w.ops = static_cast<std::uint64_t>(kPattern1Passes) * kPattern1OpsPerElem * n;
+    return w;
+}
+
+vgpu::CpuWork cpu_pattern2_work(const Dims3& dims, const MetricsConfig& cfg) {
+    vgpu::CpuWork w;
+    const std::uint64_t n = dims.volume();
+    // Derivatives: per order, both fields are scanned and each point reads
+    // 6 neighbours + centre, computes 3 differences, squares, sqrt.
+    const int orders = std::clamp(cfg.deriv_orders, 1, 2);
+    w.bytes += static_cast<std::uint64_t>(orders) * 2 * 7 * n * kFloatBytes;
+    w.ops += static_cast<std::uint64_t>(orders) * 2 * 30 * n;
+    // Autocorrelation: a mean/variance pass plus one pass per lag, each
+    // reading the centre and up to three lagged neighbours of the error
+    // field (errors recomputed from both arrays, as Z-checker does).
+    const int lags = std::max(cfg.autocorr_max_lag, 0);
+    w.bytes += (1 + static_cast<std::uint64_t>(lags)) * 2 * 4 * n * kFloatBytes;
+    w.ops += (1 + static_cast<std::uint64_t>(lags)) * 18 * n;
+    return w;
+}
+
+vgpu::CpuWork cpu_pattern3_work(const Dims3& dims, const MetricsConfig& cfg) {
+    vgpu::CpuWork w;
+    const std::uint64_t win = std::max(cfg.ssim_window, 1);
+    const std::uint64_t step = std::max(cfg.ssim_step, 1);
+    const auto windows_along = [&](std::uint64_t extent) {
+        const std::uint64_t we = std::min<std::uint64_t>(win, extent);
+        return extent >= we ? (extent - we) / step + 1 : 0;
+    };
+    const std::uint64_t nw =
+        windows_along(dims.h) * windows_along(dims.w) * windows_along(dims.l);
+    const std::uint64_t per_window = win * win * win;
+    // Naive per-window evaluation (Z-checker): every element of every
+    // window is re-read and folded into 9 accumulators; plus the mix.
+    w.bytes += nw * per_window * 2 * kFloatBytes;
+    w.ops += nw * (per_window * 12 + 40);
+    return w;
+}
+
+vgpu::CpuWork cpu_total_work(const Dims3& dims, const MetricsConfig& cfg) {
+    vgpu::CpuWork w;
+    if (cfg.pattern1) {
+        const auto p = cpu_pattern1_work(dims, cfg);
+        w.bytes += p.bytes;
+        w.ops += p.ops;
+    }
+    if (cfg.pattern2) {
+        const auto p = cpu_pattern2_work(dims, cfg);
+        w.bytes += p.bytes;
+        w.ops += p.ops;
+    }
+    if (cfg.pattern3) {
+        const auto p = cpu_pattern3_work(dims, cfg);
+        w.bytes += p.bytes;
+        w.ops += p.ops;
+    }
+    return w;
+}
+
+}  // namespace cuzc::zc

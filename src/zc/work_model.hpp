@@ -1,0 +1,23 @@
+#pragma once
+
+#include "metrics_config.hpp"
+#include "tensor.hpp"
+#include "vgpu/cost_model.hpp"
+
+namespace cuzc::zc {
+
+/// Analytical CPU work estimates for Z-checker's metric-oriented CPU code
+/// (the paper's ompZC baseline parallelizes exactly these loops). Each
+/// metric is a separate pass over the data — that is what "metric-oriented"
+/// means — so bytes scale with the number of passes. Per-element op counts
+/// reflect scalar, branchy, unvectorized C: comparisons, fabs, divisions,
+/// and histogram index math all issue as individual instructions.
+///
+/// The formulas are validated against instruction-count reasoning in
+/// EXPERIMENTS.md and drive the ompZC terms of Figs. 10-12.
+[[nodiscard]] vgpu::CpuWork cpu_pattern1_work(const Dims3& dims, const MetricsConfig& cfg);
+[[nodiscard]] vgpu::CpuWork cpu_pattern2_work(const Dims3& dims, const MetricsConfig& cfg);
+[[nodiscard]] vgpu::CpuWork cpu_pattern3_work(const Dims3& dims, const MetricsConfig& cfg);
+[[nodiscard]] vgpu::CpuWork cpu_total_work(const Dims3& dims, const MetricsConfig& cfg);
+
+}  // namespace cuzc::zc

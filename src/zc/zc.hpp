@@ -1,0 +1,20 @@
+#pragma once
+
+/// Umbrella header for the Z-checker core: tensor types, metric
+/// configuration, report structures, and the serial reference
+/// implementations of all assessment metrics.
+
+#include "assessor.hpp"           // IWYU pragma: export
+#include "autocorr.hpp"           // IWYU pragma: export
+#include "compare.hpp"            // IWYU pragma: export
+#include "compression_stats.hpp"  // IWYU pragma: export
+#include "fft.hpp"                // IWYU pragma: export
+#include "derivatives.hpp"        // IWYU pragma: export
+#include "metrics_config.hpp"     // IWYU pragma: export
+#include "reduction_metrics.hpp"  // IWYU pragma: export
+#include "report.hpp"             // IWYU pragma: export
+#include "ssim.hpp"               // IWYU pragma: export
+#include "streaming.hpp"          // IWYU pragma: export
+#include "tensor.hpp"             // IWYU pragma: export
+#include "time_series.hpp"        // IWYU pragma: export
+#include "work_model.hpp"         // IWYU pragma: export

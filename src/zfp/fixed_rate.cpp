@@ -1,0 +1,235 @@
+#include "fixed_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "sz/bitstream.hpp"
+
+namespace cuzc::zfp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43465a46;  // "FZFC"
+constexpr int kBlockSide = 4;
+constexpr int kBlockSize = 64;
+/// Fixed-point position: values scaled to ~2^kQ before the transform, which
+/// can grow magnitudes by up to 2^2 per dimension fold; 25 leaves headroom
+/// in 32-bit integers.
+constexpr int kQ = 25;
+constexpr int kExpBits = 16;
+
+/// Local index within a block: (x*4 + y)*4 + z.
+constexpr std::size_t bidx(int x, int y, int z) {
+    return static_cast<std::size_t>((x * kBlockSide + y) * kBlockSide + z);
+}
+
+[[nodiscard]] std::uint32_t to_negabinary(std::int32_t v) noexcept {
+    const auto u = static_cast<std::uint32_t>(v);
+    return (u + 0xaaaaaaaau) ^ 0xaaaaaaaau;
+}
+
+[[nodiscard]] std::int32_t from_negabinary(std::uint32_t u) noexcept {
+    return static_cast<std::int32_t>((u ^ 0xaaaaaaaau) - 0xaaaaaaaau);
+}
+
+}  // namespace
+
+void fwd_lift(std::int32_t* p, std::size_t s) noexcept {
+    std::int32_t x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
+    // zfp's non-orthogonal transform (lifting steps; exactly invertible).
+    x += w; x >>= 1; w -= x;
+    z += y; z >>= 1; y -= z;
+    x += z; x >>= 1; z -= x;
+    w += y; w >>= 1; y -= w;
+    w += y >> 1; y -= w >> 1;
+    p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+void inv_lift(std::int32_t* p, std::size_t s) noexcept {
+    std::int32_t x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
+    y += w >> 1; w -= y >> 1;
+    y += w; w <<= 1; w -= y;
+    z += x; x <<= 1; x -= z;
+    y += z; z <<= 1; z -= y;
+    w += x; x <<= 1; x -= w;
+    p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+const std::array<std::uint8_t, 64>& sequency_order() noexcept {
+    static const std::array<std::uint8_t, 64> order = [] {
+        std::array<std::uint8_t, 64> o{};
+        std::iota(o.begin(), o.end(), std::uint8_t{0});
+        std::stable_sort(o.begin(), o.end(), [](std::uint8_t a, std::uint8_t b) {
+            const auto deg = [](std::uint8_t i) {
+                return i / 16 + (i / 4) % 4 + i % 4;  // x + y + z frequency
+            };
+            return deg(a) < deg(b);
+        });
+        return o;
+    }();
+    return order;
+}
+
+ZfpCompressed compress_fixed_rate(const zc::Tensor3f& input, const ZfpConfig& cfg) {
+    if (input.size() == 0) throw std::invalid_argument("zfp::compress: empty input");
+    if (cfg.rate_bits < 1.0 || cfg.rate_bits > 32.0) {
+        throw std::invalid_argument("zfp::compress: rate must be in [1, 32] bits/value");
+    }
+    const zc::Dims3 d = input.dims();
+    const auto budget_total = static_cast<int>(cfg.rate_bits * kBlockSize);
+    const int plane_budget = std::max(budget_total - kExpBits, 0);
+
+    sz::BitWriter bits;
+    const auto& order = sequency_order();
+
+    for (std::size_t x0 = 0; x0 < d.h; x0 += kBlockSide) {
+        for (std::size_t y0 = 0; y0 < d.w; y0 += kBlockSide) {
+            for (std::size_t z0 = 0; z0 < d.l; z0 += kBlockSide) {
+                // Gather the block, clamping coordinates at the domain edge
+                // (sample repetition, as zfp's partial-block handling).
+                std::array<float, kBlockSize> vals{};
+                float amax = 0;
+                for (int x = 0; x < kBlockSide; ++x) {
+                    for (int y = 0; y < kBlockSide; ++y) {
+                        for (int z = 0; z < kBlockSide; ++z) {
+                            const std::size_t gx = std::min(x0 + x, d.h - 1);
+                            const std::size_t gy = std::min(y0 + y, d.w - 1);
+                            const std::size_t gz = std::min(z0 + z, d.l - 1);
+                            const float v = input(gx, gy, gz);
+                            vals[bidx(x, y, z)] = v;
+                            amax = std::max(amax, std::fabs(v));
+                        }
+                    }
+                }
+                // Block-floating-point alignment to the common exponent.
+                int e = 0;
+                if (amax > 0) {
+                    (void)std::frexp(amax, &e);
+                }
+                bits.put(static_cast<std::uint16_t>(e + 16384), kExpBits);
+
+                std::array<std::int32_t, kBlockSize> ib{};
+                const double scale = std::ldexp(1.0, kQ - e);
+                for (int i = 0; i < kBlockSize; ++i) {
+                    ib[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+                        std::lrint(static_cast<double>(vals[static_cast<std::size_t>(i)]) *
+                                   scale));
+                }
+                // Decorrelate along z, y, x.
+                for (int x = 0; x < 4; ++x)
+                    for (int y = 0; y < 4; ++y) fwd_lift(&ib[bidx(x, y, 0)], 1);
+                for (int x = 0; x < 4; ++x)
+                    for (int z = 0; z < 4; ++z) fwd_lift(&ib[bidx(x, 0, z)], 4);
+                for (int y = 0; y < 4; ++y)
+                    for (int z = 0; z < 4; ++z) fwd_lift(&ib[bidx(0, y, z)], 16);
+
+                // Negabinary, sequency order, MSB-first bit planes until the
+                // block budget is spent.
+                std::array<std::uint32_t, kBlockSize> nb{};
+                for (int i = 0; i < kBlockSize; ++i) {
+                    nb[static_cast<std::size_t>(i)] = to_negabinary(ib[order[static_cast<std::size_t>(i)]]);
+                }
+                // Bit planes MSB-first with a one-bit emptiness test per
+                // plane (the light-weight analogue of zfp's group testing:
+                // all-zero high planes cost one bit, not 64).
+                int used = 0;
+                for (int plane = 31; plane >= 0 && used < plane_budget; --plane) {
+                    std::uint32_t any = 0;
+                    for (int i = 0; i < kBlockSize; ++i) {
+                        any |= (nb[static_cast<std::size_t>(i)] >> plane) & 1u;
+                    }
+                    bits.put(any, 1);
+                    ++used;
+                    if (any == 0) continue;
+                    for (int i = 0; i < kBlockSize && used < plane_budget; ++i, ++used) {
+                        bits.put((nb[static_cast<std::size_t>(i)] >> plane) & 1u, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    ZfpCompressed out;
+    out.dims = d;
+    out.rate_bits = cfg.rate_bits;
+    sz::ByteWriter w;
+    w.put(kMagic);
+    w.put<std::uint64_t>(d.h);
+    w.put<std::uint64_t>(d.w);
+    w.put<std::uint64_t>(d.l);
+    w.put(cfg.rate_bits);
+    const auto stream = bits.finish();
+    w.put<std::uint64_t>(stream.size());
+    w.put_bytes(stream);
+    out.bytes = w.finish();
+    return out;
+}
+
+zc::Field decompress_fixed_rate(std::span<const std::uint8_t> bytes) {
+    sz::ByteReader r(bytes);
+    if (r.get<std::uint32_t>() != kMagic) {
+        throw std::invalid_argument("zfp::decompress: bad magic");
+    }
+    zc::Dims3 d;
+    d.h = r.get<std::uint64_t>();
+    d.w = r.get<std::uint64_t>();
+    d.l = r.get<std::uint64_t>();
+    const double rate = r.get<double>();
+    const std::uint64_t stream_size = r.get<std::uint64_t>();
+    sz::BitReader bits(r.get_bytes(stream_size));
+
+    const auto budget_total = static_cast<int>(rate * kBlockSize);
+    const int plane_budget = std::max(budget_total - kExpBits, 0);
+    const auto& order = sequency_order();
+    zc::Field field(d);
+
+    for (std::size_t x0 = 0; x0 < d.h; x0 += kBlockSide) {
+        for (std::size_t y0 = 0; y0 < d.w; y0 += kBlockSide) {
+            for (std::size_t z0 = 0; z0 < d.l; z0 += kBlockSide) {
+                const int e = static_cast<int>(bits.get(kExpBits)) - 16384;
+                std::array<std::uint32_t, kBlockSize> nb{};
+                int used = 0;
+                for (int plane = 31; plane >= 0 && used < plane_budget; --plane) {
+                    const bool any = bits.get_bit();
+                    ++used;
+                    if (!any) continue;
+                    for (int i = 0; i < kBlockSize && used < plane_budget; ++i, ++used) {
+                        nb[static_cast<std::size_t>(i)] |=
+                            static_cast<std::uint32_t>(bits.get(1)) << plane;
+                    }
+                }
+                std::array<std::int32_t, kBlockSize> ib{};
+                for (int i = 0; i < kBlockSize; ++i) {
+                    ib[order[static_cast<std::size_t>(i)]] =
+                        from_negabinary(nb[static_cast<std::size_t>(i)]);
+                }
+                for (int y = 0; y < 4; ++y)
+                    for (int z = 0; z < 4; ++z) inv_lift(&ib[bidx(0, y, z)], 16);
+                for (int x = 0; x < 4; ++x)
+                    for (int z = 0; z < 4; ++z) inv_lift(&ib[bidx(x, 0, z)], 4);
+                for (int x = 0; x < 4; ++x)
+                    for (int y = 0; y < 4; ++y) inv_lift(&ib[bidx(x, y, 0)], 1);
+
+                const double inv_scale = std::ldexp(1.0, e - kQ);
+                for (int x = 0; x < kBlockSide; ++x) {
+                    for (int y = 0; y < kBlockSide; ++y) {
+                        for (int z = 0; z < kBlockSide; ++z) {
+                            const std::size_t gx = x0 + static_cast<std::size_t>(x);
+                            const std::size_t gy = y0 + static_cast<std::size_t>(y);
+                            const std::size_t gz = z0 + static_cast<std::size_t>(z);
+                            if (gx < d.h && gy < d.w && gz < d.l) {
+                                field(gx, gy, gz) = static_cast<float>(
+                                    static_cast<double>(ib[bidx(x, y, z)]) * inv_scale);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return field;
+}
+
+}  // namespace cuzc::zfp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "zc/tensor.hpp"
+
+namespace cuzc::zfp {
+
+/// A zfp-style transform codec in fixed-rate mode — the compression scheme
+/// of cuZFP, which the paper contrasts with error-bounded compressors
+/// (§I: "cuZFP supports only fixed-rate mode, which suffers substantially
+/// lower compression quality than its absolute error bound mode").
+///
+/// Fields are partitioned into 4x4x4 blocks; each block is aligned to a
+/// common exponent (block-floating-point), decorrelated with zfp's integer
+/// lifting transform along each axis, reordered by total sequency, mapped
+/// to negabinary, and its bit planes are emitted most-significant-first
+/// until the fixed per-block bit budget is exhausted. Every block costs
+/// exactly `rate_bits` bits per value, so the compressed size is known in
+/// advance — the property GPU implementations need for parallel output
+/// placement, and the reason the mode cannot bound the pointwise error.
+struct ZfpConfig {
+    double rate_bits = 8.0;  ///< bits per value (incl. per-block exponent)
+};
+
+struct ZfpCompressed {
+    std::vector<std::uint8_t> bytes;
+    zc::Dims3 dims;
+    double rate_bits = 0;
+
+    [[nodiscard]] double compression_ratio() const noexcept {
+        const double raw = static_cast<double>(dims.volume()) * sizeof(float);
+        return bytes.empty() ? 0.0 : raw / static_cast<double>(bytes.size());
+    }
+};
+
+[[nodiscard]] ZfpCompressed compress_fixed_rate(const zc::Tensor3f& input, const ZfpConfig& cfg);
+[[nodiscard]] zc::Field decompress_fixed_rate(std::span<const std::uint8_t> bytes);
+
+/// zfp's forward/inverse integer lifting transform on one 4-vector with
+/// stride `s` (exposed for tests: inv(fwd(x)) == x exactly).
+void fwd_lift(std::int32_t* p, std::size_t s) noexcept;
+void inv_lift(std::int32_t* p, std::size_t s) noexcept;
+
+/// Sequency (total-degree) coefficient ordering of a 4x4x4 block.
+[[nodiscard]] const std::array<std::uint8_t, 64>& sequency_order() noexcept;
+
+}  // namespace cuzc::zfp

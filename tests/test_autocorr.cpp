@@ -1,0 +1,95 @@
+// Unit tests for the error-field autocorrelation (paper Eq. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+TEST(Autocorr, WhiteNoiseErrorsDecorrelate) {
+    const zc::Field orig = tst::smooth_field({24, 24, 24}, 11);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 5);  // iid noise errors
+    const auto ac = zc::autocorrelation(orig.view(), dec.view(), 8);
+    ASSERT_EQ(ac.size(), 8u);
+    for (const auto v : ac) EXPECT_LT(std::fabs(v), 0.05) << "white noise should decorrelate";
+}
+
+TEST(Autocorr, ConstantShiftErrorsAreDegenerate) {
+    // e = const -> variance 0 -> defined as 0. Integer-valued data keeps
+    // the +0.5 shift exactly representable so e is bit-identical everywhere.
+    zc::Field orig(zc::Dims3{8, 8, 8});
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        orig.data()[i] = static_cast<float>(i % 32);
+    }
+    zc::Field dec = orig;
+    for (std::size_t i = 0; i < dec.size(); ++i) dec.data()[i] += 0.5f;
+    const auto ac = zc::autocorrelation(orig.view(), dec.view(), 4);
+    for (const auto v : ac) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Autocorr, SmoothErrorsCorrelateAtSmallLags) {
+    // Error field = slowly varying wave -> strong lag-1 correlation,
+    // decaying with lag.
+    const zc::Dims3 d{20, 20, 20};
+    const zc::Field orig = tst::smooth_field(d, 3);
+    zc::Field dec = orig;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            for (std::size_t z = 0; z < d.l; ++z) {
+                dec(x, y, z) += static_cast<float>(
+                    0.01 * std::sin(0.15 * static_cast<double>(x + y + z)));
+            }
+        }
+    }
+    const auto ac = zc::autocorrelation(orig.view(), dec.view(), 6);
+    EXPECT_GT(ac[0], 0.8);
+    EXPECT_GT(ac[0], ac[4]);
+}
+
+TEST(Autocorr, AlternatingSignErrorsAntiCorrelate) {
+    const zc::Dims3 d{1, 1, 64};
+    zc::Field orig(d);
+    zc::Field dec(d);
+    for (std::size_t z = 0; z < d.l; ++z) {
+        orig.data()[z] = 0.0f;
+        dec.data()[z] = (z % 2 == 0) ? 0.01f : -0.01f;
+    }
+    const auto ac = zc::autocorrelation(orig.view(), dec.view(), 2);
+    EXPECT_NEAR(ac[0], -1.0, 0.05);  // lag 1 flips sign
+    EXPECT_NEAR(ac[1], 1.0, 0.05);   // lag 2 realigns
+}
+
+TEST(Autocorr, ErrorMomentsMatchDirectComputation) {
+    const zc::Field orig = tst::random_field({6, 6, 6}, 9);
+    const zc::Field dec = tst::perturbed(orig, 0.1, 4);
+    const auto m = zc::error_moments(orig.view(), dec.view());
+    double sum = 0;
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        sum += static_cast<double>(dec.data()[i]) - orig.data()[i];
+    }
+    EXPECT_NEAR(m.mean, sum / static_cast<double>(orig.size()), 1e-12);
+    EXPECT_GT(m.var, 0.0);
+}
+
+TEST(Autocorr, LagLargerThanEveryAxisGivesZero) {
+    const zc::Field orig = tst::random_field({4, 4, 4}, 2);
+    const zc::Field dec = tst::perturbed(orig, 0.1, 3);
+    const auto ac = zc::autocorrelation(orig.view(), dec.view(), 6);
+    ASSERT_EQ(ac.size(), 6u);
+    EXPECT_DOUBLE_EQ(ac[4], 0.0);  // lag 5 > every extent
+    EXPECT_DOUBLE_EQ(ac[5], 0.0);
+}
+
+TEST(Autocorr, ZeroOrNegativeMaxLag) {
+    const zc::Field f = tst::random_field({4, 4, 4}, 1);
+    EXPECT_TRUE(zc::autocorrelation(f.view(), f.view(), 0).empty());
+    EXPECT_TRUE(zc::autocorrelation(f.view(), f.view(), -3).empty());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// End-to-end tests of the cuzc command-line tool (driven in-process).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hpp"
+#include "data/raw_io.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace cli = ::cuzc::cli;
+namespace zc = ::cuzc::zc;
+namespace sz = ::cuzc::sz;
+namespace data = ::cuzc::data;
+namespace tst = ::cuzc::testing;
+namespace fs = std::filesystem;
+
+struct CliFixture : public ::testing::Test {
+    fs::path dir;
+    zc::Field orig, dec;
+
+    void SetUp() override {
+        dir = fs::temp_directory_path() / "cuzc_cli_test";
+        fs::create_directories(dir);
+        orig = tst::smooth_field({10, 12, 14}, 4);
+        dec = tst::perturbed(orig, 0.01, 8);
+        data::write_f32(dir / "orig.f32", orig.view());
+        data::write_f32(dir / "dec.f32", dec.view());
+        sz::SzConfig scfg;
+        scfg.abs_error_bound = 1e-3;
+        const auto comp = sz::compress(orig.view(), scfg);
+        std::ofstream out(dir / "orig.sz", std::ios::binary);
+        out.write(reinterpret_cast<const char*>(comp.bytes.data()),
+                  static_cast<std::streamsize>(comp.bytes.size()));
+    }
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::optional<cli::CliOptions> parse(std::vector<std::string> args) {
+        args.insert(args.begin(), "cuzc");
+        std::vector<const char*> argv;
+        for (const auto& a : args) argv.push_back(a.c_str());
+        std::ostringstream err;
+        return cli::parse_cli(static_cast<int>(argv.size()), argv.data(), err);
+    }
+
+    int run(std::vector<std::string> args, std::string* out_text = nullptr) {
+        const auto opt = parse(std::move(args));
+        if (!opt) return -1;
+        std::ostringstream out, err;
+        const int rc = cli::run_cli(*opt, out, err);
+        if (out_text) *out_text = out.str();
+        return rc;
+    }
+};
+
+TEST_F(CliFixture, TextReportToStdout) {
+    std::string out;
+    const int rc = run({"--orig=" + (dir / "orig.f32").string(),
+                        "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14"},
+                       &out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("psnr_db"), std::string::npos);
+    EXPECT_NE(out.find("ssim"), std::string::npos);
+}
+
+TEST_F(CliFixture, SzStreamInputDecompressesAndAssesses) {
+    std::string out;
+    const int rc = run({"--orig=" + (dir / "orig.f32").string(),
+                        "--sz=" + (dir / "orig.sz").string(), "--dims=10x12x14",
+                        "--format=json"},
+                       &out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_EQ(out.front(), '{');
+    // The SZ bound must show in the reported max error.
+    const auto pos = out.find("\"max_abs_err\": ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_LE(std::stod(out.substr(pos + 15)), 1e-3 * (1 + 1e-9));
+}
+
+TEST_F(CliFixture, HtmlToFile) {
+    const auto out_path = dir / "report.html";
+    const int rc = run({"--orig=" + (dir / "orig.f32").string(),
+                        "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14",
+                        "--format=html", "--out=" + out_path.string()});
+    EXPECT_EQ(rc, 0);
+    std::ifstream in(out_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST_F(CliFixture, MultiDeviceMatchesSingle) {
+    std::string single, multi;
+    EXPECT_EQ(run({"--orig=" + (dir / "orig.f32").string(),
+                   "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14",
+                   "--format=csv"},
+                  &single),
+              0);
+    EXPECT_EQ(run({"--orig=" + (dir / "orig.f32").string(),
+                   "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14",
+                   "--format=csv", "--devices=3"},
+                  &multi),
+              0);
+    EXPECT_EQ(single, multi);  // CSV values agree to printed precision
+}
+
+TEST_F(CliFixture, ConfigFileControlsMetrics) {
+    const auto cfg_path = dir / "zc.cfg";
+    {
+        std::ofstream cfg(cfg_path);
+        cfg << "[metrics]\npattern3 = off\nssim_window = 4\n";
+    }
+    std::string out;
+    EXPECT_EQ(run({"--orig=" + (dir / "orig.f32").string(),
+                   "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14",
+                   "--config=" + cfg_path.string()},
+                  &out),
+              0);
+    // SSIM disabled -> reported as 0 windows -> value 0.
+    EXPECT_NE(out.find("ssim                   = 0"), std::string::npos);
+}
+
+TEST_F(CliFixture, ParserRejectsBadInput) {
+    EXPECT_FALSE(parse({"--orig=a.f32"}));                                  // missing dec
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--sz=c", "--dims=2x2x2"})); // both inputs
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2"}));             // bad dims
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x0"}));           // zero extent
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--format=xml"}));
+    EXPECT_FALSE(parse({"--bogus"}));
+    EXPECT_TRUE(parse({"--help"}));
+}
+
+TEST_F(CliFixture, MissingFileGivesCleanError) {
+    std::ostringstream out, err;
+    cli::CliOptions opt;
+    opt.orig_path = "/nonexistent.f32";
+    opt.dec_path = "/nonexistent2.f32";
+    opt.dims = {2, 2, 2};
+    EXPECT_EQ(cli::run_cli(opt, out, err), 2);
+    EXPECT_NE(err.str().find("cuzc:"), std::string::npos);
+}
+
+TEST_F(CliFixture, HelpShowsUsage) {
+    std::string out;
+    EXPECT_EQ(run({"--help"}, &out), 0);
+    EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+}  // namespace

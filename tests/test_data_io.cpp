@@ -1,0 +1,198 @@
+// Tests for the synthetic dataset generators, raw I/O, config parser, and
+// report writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "data/datasets.hpp"
+#include "data/noise.hpp"
+#include "data/raw_io.hpp"
+#include "io/config.hpp"
+#include "io/report_writer.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace data = ::cuzc::data;
+namespace io = ::cuzc::io;
+namespace zc = ::cuzc::zc;
+
+TEST(Datasets, PaperShapesArePreserved) {
+    const auto all = data::paper_datasets();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "Hurricane");
+    EXPECT_EQ(all[0].dims, (zc::Dims3{500, 500, 100}));
+    EXPECT_EQ(all[0].fields.size(), 13u);
+    EXPECT_EQ(all[1].name, "NYX");
+    EXPECT_EQ(all[1].dims, (zc::Dims3{512, 512, 512}));
+    EXPECT_EQ(all[1].fields.size(), 6u);
+    EXPECT_EQ(all[2].name, "SCALE-LETKF");
+    EXPECT_EQ(all[2].dims, (zc::Dims3{1200, 1200, 98}));
+    EXPECT_EQ(all[2].fields.size(), 6u);
+    EXPECT_EQ(all[3].name, "Miranda");
+    EXPECT_EQ(all[3].dims, (zc::Dims3{384, 384, 256}));
+    EXPECT_EQ(all[3].fields.size(), 7u);
+}
+
+TEST(Datasets, ScalingPreservesAspectAndFloors) {
+    const auto s = data::scaled(data::nyx(), 4);
+    EXPECT_EQ(s.dims, (zc::Dims3{128, 128, 128}));
+    const auto tiny = data::scaled(data::hurricane(), 100);
+    EXPECT_EQ(tiny.dims, (zc::Dims3{8, 8, 8}));  // floored
+    const auto same = data::scaled(data::nyx(), 1);
+    EXPECT_EQ(same.dims, data::nyx().dims);
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+    const auto spec = data::scaled(data::miranda(), 24);
+    const zc::Field a = data::generate_field(spec.fields[0], spec.dims);
+    const zc::Field b = data::generate_field(spec.fields[0], spec.dims);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+    }
+}
+
+TEST(Datasets, DifferentFieldsDiffer) {
+    const auto spec = data::scaled(data::nyx(), 32);
+    const zc::Field a = data::generate_field(spec.fields[0], spec.dims);
+    const zc::Field b = data::generate_field(spec.fields[3], spec.dims);
+    double diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        diff += std::fabs(static_cast<double>(a.data()[i]) - b.data()[i]);
+    }
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(Datasets, FieldsHaveNonTrivialStructure) {
+    for (const auto& spec_full : data::paper_datasets()) {
+        const auto spec = data::scaled(spec_full, 16);
+        const zc::Field f = data::generate_field(spec.fields[0], spec.dims);
+        zc::MetricsConfig cfg;
+        const auto rep = zc::reduction_metrics(f.view(), f.view(), cfg);
+        EXPECT_GT(rep.value_range, 0.0) << spec.name;
+        EXPECT_GT(rep.entropy, 0.5) << spec.name << " should not be constant";
+    }
+}
+
+TEST(Datasets, FindByName) {
+    EXPECT_NE(data::find_dataset("NYX"), nullptr);
+    EXPECT_EQ(data::find_dataset("NOPE"), nullptr);
+}
+
+TEST(Noise, ValueNoiseIsSmoothAndBounded) {
+    double prev = data::value_noise(1, 0.0, 0.3, 0.7);
+    for (double x = 0.01; x < 2.0; x += 0.01) {
+        const double v = data::value_noise(1, x, 0.3, 0.7);
+        EXPECT_LE(std::fabs(v), 1.0 + 1e-9);
+        EXPECT_LT(std::fabs(v - prev), 0.2) << "noise should vary smoothly";
+        prev = v;
+    }
+}
+
+TEST(Noise, FbmOctavesAddDetail) {
+    // More octaves -> higher high-frequency content (larger mean abs diff
+    // between close samples).
+    double d1 = 0, d6 = 0;
+    for (double x = 0; x < 4.0; x += 0.05) {
+        d1 += std::fabs(data::fbm(3, x + 0.025, 0, 0, 1) - data::fbm(3, x, 0, 0, 1));
+        d6 += std::fabs(data::fbm(3, x + 0.025, 0, 0, 6) - data::fbm(3, x, 0, 0, 6));
+    }
+    EXPECT_GT(d6, d1);
+}
+
+TEST(RawIo, RoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "cuzc_test_field.f32";
+    const zc::Field f = cuzc::testing::random_field({6, 7, 8}, 4);
+    data::write_f32(path, f.view());
+    const zc::Field g = data::read_f32(path, f.dims());
+    for (std::size_t i = 0; i < f.size(); ++i) ASSERT_EQ(f.data()[i], g.data()[i]);
+    std::filesystem::remove(path);
+}
+
+TEST(RawIo, SizeMismatchThrows) {
+    const auto path = std::filesystem::temp_directory_path() / "cuzc_test_field2.f32";
+    const zc::Field f = cuzc::testing::random_field({4, 4, 4}, 4);
+    data::write_f32(path, f.view());
+    EXPECT_THROW((void)data::read_f32(path, zc::Dims3{5, 5, 5}), std::runtime_error);
+    EXPECT_THROW((void)data::read_f32("/nonexistent/x.f32", f.dims()), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(Config, ParsesSectionsCommentsAndTypes) {
+    const auto cfg = io::Config::parse(R"(
+# Z-checker style config
+[metrics]
+pattern1 = true
+pattern3 = off   ; disable SSIM
+pdf_bins = 64
+ssim_window = 16
+pwr_eps = 1e-4
+
+[compression]
+error_bound = 0.001
+mode = ABS
+)");
+    EXPECT_TRUE(cfg.get_bool("metrics", "pattern1", false));
+    EXPECT_FALSE(cfg.get_bool("metrics", "pattern3", true));
+    EXPECT_EQ(cfg.get_int("metrics", "pdf_bins", 0), 64);
+    EXPECT_DOUBLE_EQ(cfg.get_double("compression", "error_bound", 0), 0.001);
+    EXPECT_EQ(cfg.get_or("compression", "mode", "?"), "ABS");
+    EXPECT_EQ(cfg.get_or("compression", "missing", "dflt"), "dflt");
+    EXPECT_FALSE(cfg.get("nope", "nope").has_value());
+}
+
+TEST(Config, MetricsFromConfigAppliesOverrides) {
+    const auto cfg = io::Config::parse("[metrics]\nssim_window = 16\npattern2 = false\n");
+    const auto m = io::metrics_from_config(cfg);
+    EXPECT_EQ(m.ssim_window, 16);
+    EXPECT_FALSE(m.pattern2);
+    EXPECT_TRUE(m.pattern1);
+    EXPECT_EQ(m.autocorr_max_lag, 10);  // paper default preserved
+}
+
+TEST(Config, MalformedInputThrows) {
+    EXPECT_THROW((void)io::Config::parse("[metrics\nx=1"), std::runtime_error);
+    EXPECT_THROW((void)io::Config::parse("keywithoutvalue"), std::runtime_error);
+    EXPECT_TRUE(io::Config::parse("[m]\nb=1").get_bool("m", "b", false));
+    EXPECT_THROW((void)io::Config::parse("[m]\nb=maybe").get_bool("m", "b", false),
+                 std::runtime_error);
+}
+
+TEST(ReportWriter, TextCsvJsonContainKeyMetrics) {
+    const zc::Field orig = cuzc::testing::smooth_field({8, 8, 8}, 1);
+    const zc::Field dec = cuzc::testing::perturbed(orig, 0.01, 2);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto rep = zc::assess(orig.view(), dec.view(), cfg);
+
+    const std::string text = io::to_text(rep);
+    EXPECT_NE(text.find("psnr_db"), std::string::npos);
+    EXPECT_NE(text.find("ssim"), std::string::npos);
+    EXPECT_NE(text.find("autocorr"), std::string::npos);
+
+    std::ostringstream csv;
+    io::write_csv(csv, rep);
+    const std::string c = csv.str();
+    // Header + one data row.
+    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 2);
+    EXPECT_NE(c.find("mse"), std::string::npos);
+
+    const std::string json = io::to_json(rep);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"pearson_r\""), std::string::npos);
+    EXPECT_NE(json.find("\"autocorr\": ["), std::string::npos);
+}
+
+TEST(ReportWriter, JsonHandlesInfinity) {
+    zc::AssessmentReport rep;
+    rep.reduction.psnr_db = std::numeric_limits<double>::infinity();
+    const std::string json = io::to_json(rep);
+    EXPECT_EQ(json.find("inf"), std::string::npos) << "JSON must not contain bare inf";
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Unit tests for the stencil metrics (derivatives, divergence, Laplacian)
+// against closed forms on polynomial fields.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+
+/// f(x,y,z) = a*x + b*y + c*z (linear ramp).
+zc::Field ramp(zc::Dims3 d, double a, double b, double c) {
+    zc::Field f(d);
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            for (std::size_t z = 0; z < d.l; ++z) {
+                f(x, y, z) = static_cast<float>(a * x + b * y + c * z);
+            }
+        }
+    }
+    return f;
+}
+
+/// f(x,y,z) = x^2 + 2 y^2 + 3 z^2.
+zc::Field quadratic(zc::Dims3 d) {
+    zc::Field f(d);
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = 0; y < d.w; ++y) {
+            for (std::size_t z = 0; z < d.l; ++z) {
+                f(x, y, z) = static_cast<float>(1.0 * x * x + 2.0 * y * y + 3.0 * z * z);
+            }
+        }
+    }
+    return f;
+}
+
+TEST(Derivatives, LinearRampHasConstantGradient) {
+    const zc::Field f = ramp({8, 8, 8}, 1.0, 2.0, -2.0);
+    zc::StencilReport rep;
+    zc::stencil_metrics(f.view(), f.view(), 2, rep);
+    const double expected = std::sqrt(1.0 + 4.0 + 4.0);
+    EXPECT_NEAR(rep.deriv1_avg_orig, expected, 1e-6);
+    EXPECT_NEAR(rep.deriv1_max_orig, expected, 1e-6);
+    EXPECT_NEAR(rep.divergence_avg_orig, 1.0 + 2.0 - 2.0, 1e-6);
+    // Second derivatives of a linear field vanish.
+    EXPECT_NEAR(rep.deriv2_avg_orig, 0.0, 1e-5);
+    EXPECT_NEAR(rep.laplacian_avg_orig, 0.0, 1e-5);
+}
+
+TEST(Derivatives, QuadraticHasConstantLaplacian) {
+    const zc::Field f = quadratic({10, 10, 10});
+    zc::StencilReport rep;
+    zc::stencil_metrics(f.view(), f.view(), 2, rep);
+    // Central second difference of x^2 is exactly 2 (grid spacing 1):
+    // Laplacian = 2*1 + 2*2 + 2*3 = 12.
+    EXPECT_NEAR(rep.laplacian_avg_orig, 12.0, 1e-4);
+}
+
+TEST(Derivatives, StencilPointMatchesFiniteDifference) {
+    const zc::Field f = quadratic({6, 6, 6});
+    const auto p = zc::stencil_order1(f.view(), 3, 3, 3);
+    // df/dx = 2x = 6 (exact for central diff of x^2), df/dy = 4y = 12,
+    // df/dz = 6z = 18 at (3,3,3).
+    EXPECT_NEAR(p.magnitude, std::sqrt(36.0 + 144.0 + 324.0), 1e-4);
+    EXPECT_NEAR(p.axis_sum, 6.0 + 12.0 + 18.0, 1e-4);
+    const auto p2 = zc::stencil_order2(f.view(), 3, 3, 3);
+    EXPECT_NEAR(p2.axis_sum, 12.0, 1e-4);
+}
+
+TEST(Derivatives, DerivMseDetectsSmoothing) {
+    // Decompressed = heavily smoothed original -> derivative magnitudes
+    // shrink and deriv MSE is positive.
+    const zc::Field orig = cuzc::testing::random_field({12, 12, 12}, 7);
+    zc::Field dec(orig.dims());
+    for (std::size_t i = 0; i < dec.size(); ++i) dec.data()[i] = 0.0f;
+    zc::StencilReport rep;
+    zc::stencil_metrics(orig.view(), dec.view(), 2, rep);
+    EXPECT_GT(rep.deriv1_avg_orig, rep.deriv1_avg_dec);
+    EXPECT_GT(rep.deriv1_mse, 0.0);
+}
+
+TEST(Derivatives, ShortAxesContributeZero) {
+    // A 2-D field (h == 1): the x-axis is inactive; gradient is 2-D.
+    const zc::Field f = ramp({1, 8, 8}, 0.0, 3.0, 4.0);
+    zc::StencilReport rep;
+    zc::stencil_metrics(f.view(), f.view(), 1, rep);
+    EXPECT_NEAR(rep.deriv1_avg_orig, 5.0, 1e-6);  // 3-4-5 triangle
+    EXPECT_NEAR(rep.divergence_avg_orig, 7.0, 1e-6);
+}
+
+TEST(Derivatives, InteriorRangeHelper) {
+    const auto r = zc::interior(10, 1);
+    EXPECT_TRUE(r.active);
+    EXPECT_EQ(r.begin, 1u);
+    EXPECT_EQ(r.end, 9u);
+    const auto r2 = zc::interior(2, 1);
+    EXPECT_FALSE(r2.active);
+    EXPECT_EQ(r2.begin, 0u);
+    EXPECT_EQ(r2.end, 1u);
+    const auto r3 = zc::interior(0, 1);
+    EXPECT_EQ(r3.end, 0u);
+}
+
+TEST(Derivatives, OrderOneOnlySkipsSecondOrder) {
+    const zc::Field f = quadratic({6, 6, 6});
+    zc::StencilReport rep;
+    zc::stencil_metrics(f.view(), f.view(), 1, rep);
+    EXPECT_DOUBLE_EQ(rep.deriv2_avg_orig, 0.0);
+    EXPECT_DOUBLE_EQ(rep.laplacian_avg_orig, 0.0);
+    EXPECT_GT(rep.deriv1_avg_orig, 0.0);
+}
+
+}  // namespace

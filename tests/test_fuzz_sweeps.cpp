@@ -1,0 +1,89 @@
+// Randomized sweeps: many (shape, seed, noise, config) combinations pushed
+// through the full stack — serial reference vs cuZC equality on the scalar
+// metrics, and SZ round-trips under randomized bounds. These are the
+// wide-net property tests that catch seam/edge regressions the targeted
+// unit tests miss.
+
+#include <gtest/gtest.h>
+
+#include "cuzc/cuzc.hpp"
+#include "data/noise.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace sz = ::cuzc::sz;
+namespace tst = ::cuzc::testing;
+namespace data = ::cuzc::data;
+
+/// Deterministic "random" draw in [lo, hi).
+std::size_t draw(std::uint64_t& state, std::size_t lo, std::size_t hi) {
+    state = data::mix64(state);
+    return lo + state % (hi - lo);
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, CuzcMatchesSerialOnRandomShapeAndConfig) {
+    std::uint64_t s = GetParam() * 7919 + 13;
+    const zc::Dims3 dims{draw(s, 3, 40), draw(s, 3, 40), draw(s, 3, 40)};
+    const double amp = 0.001 * static_cast<double>(draw(s, 1, 200));
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = static_cast<int>(draw(s, 2, 9));
+    cfg.ssim_step = static_cast<int>(draw(s, 1, 4));
+    cfg.autocorr_max_lag = static_cast<int>(draw(s, 1, 12));
+    cfg.pdf_bins = static_cast<int>(draw(s, 4, 80));
+
+    const zc::Field orig = tst::smooth_field(dims, s);
+    const zc::Field dec = tst::perturbed(orig, amp, s ^ 0xabcdef);
+
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    vgpu::Device dev;
+    const auto got = czc::assess(dev, orig.view(), dec.view(), cfg);
+    tst::expect_reports_close(ref, got.report, 1e-9);
+}
+
+TEST_P(FuzzSeed, MultiGpuMatchesSerialOnRandomDecomposition) {
+    std::uint64_t s = GetParam() * 104729 + 1;
+    const zc::Dims3 dims{draw(s, 4, 28), draw(s, 6, 28), draw(s, 4, 36)};
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = static_cast<int>(draw(s, 2, 6));
+    cfg.autocorr_max_lag = static_cast<int>(draw(s, 1, 9));
+    const std::size_t ndev = draw(s, 1, 7);
+
+    const zc::Field orig = tst::random_field(dims, s);
+    const zc::Field dec = tst::perturbed(orig, 0.05, s + 5);
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    std::vector<vgpu::Device> devices(ndev);
+    const auto got = czc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+    tst::expect_reports_close(ref, got.report, 1e-9);
+}
+
+TEST_P(FuzzSeed, SzBoundHoldsOnRandomizedInputs) {
+    std::uint64_t s = GetParam() * 31337 + 3;
+    const zc::Dims3 dims{draw(s, 2, 24), draw(s, 2, 24), draw(s, 2, 24)};
+    const double eb = std::pow(10.0, -static_cast<double>(draw(s, 1, 7)));
+    const bool rough = draw(s, 0, 2) == 0;
+    const zc::Field orig =
+        rough ? tst::random_field(dims, s) : tst::smooth_field(dims, s);
+
+    sz::SzConfig cfg;
+    cfg.abs_error_bound = eb;
+    const auto comp = sz::compress(orig.view(), cfg);
+    const zc::Field dec = sz::decompress(comp.bytes);
+    ASSERT_EQ(dec.dims(), dims);
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        ASSERT_LE(std::fabs(static_cast<double>(dec.data()[i]) - orig.data()[i]),
+                  eb * (1 + 1e-12))
+            << "element " << i << " eb " << eb;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "data/noise.hpp"
+#include "zc/report.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::testing {
+
+/// Deterministic pseudo-random field in [-1, 1] (hash-based; no global RNG
+/// state, identical across platforms).
+inline zc::Field random_field(zc::Dims3 dims, std::uint64_t seed) {
+    zc::Field f(dims);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        f.data()[i] = static_cast<float>(data::to_unit(data::mix64(seed + i)) * 2.0 - 1.0);
+    }
+    return f;
+}
+
+/// Smooth structured field (superposed waves), compressible and with
+/// non-trivial derivatives.
+inline zc::Field smooth_field(zc::Dims3 dims, std::uint64_t seed) {
+    zc::Field f(dims);
+    const double p = 0.1 + 0.01 * static_cast<double>(seed % 7);
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < dims.h; ++x) {
+        for (std::size_t y = 0; y < dims.w; ++y) {
+            for (std::size_t z = 0; z < dims.l; ++z, ++i) {
+                f.data()[i] = static_cast<float>(
+                    std::sin(p * static_cast<double>(x)) +
+                    0.5 * std::cos(0.23 * static_cast<double>(y)) +
+                    0.25 * std::sin(0.31 * static_cast<double>(z) + p));
+            }
+        }
+    }
+    return f;
+}
+
+/// Perturb a field by deterministic noise of amplitude `amp` — a stand-in
+/// decompressed field with known error scale.
+inline zc::Field perturbed(const zc::Field& src, double amp, std::uint64_t seed) {
+    zc::Field f(src.dims());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const double e = (data::to_unit(data::mix64(seed ^ (i * 2654435761ull))) * 2.0 - 1.0) * amp;
+        f.data()[i] = static_cast<float>(src.data()[i] + e);
+    }
+    return f;
+}
+
+/// Relative-or-absolute closeness for metric comparisons across frameworks
+/// (different summation orders).
+inline void expect_close(double a, double b, double rel, const char* what) {
+    if (std::isinf(a) || std::isinf(b)) {
+        EXPECT_EQ(a, b) << what;
+        return;
+    }
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    EXPECT_LE(std::fabs(a - b), rel * scale + 1e-12) << what << ": " << a << " vs " << b;
+}
+
+/// Compare every scalar of two assessment reports.
+inline void expect_reports_close(const zc::AssessmentReport& a, const zc::AssessmentReport& b,
+                                 double rel, bool p1 = true, bool p2 = true, bool p3 = true) {
+    if (p1) {
+        const auto& ra = a.reduction;
+        const auto& rb = b.reduction;
+        expect_close(ra.min_val, rb.min_val, rel, "min_val");
+        expect_close(ra.max_val, rb.max_val, rel, "max_val");
+        expect_close(ra.mean_val, rb.mean_val, rel, "mean_val");
+        expect_close(ra.std_val, rb.std_val, rel, "std_val");
+        expect_close(ra.entropy, rb.entropy, rel, "entropy");
+        expect_close(ra.min_err, rb.min_err, rel, "min_err");
+        expect_close(ra.max_err, rb.max_err, rel, "max_err");
+        expect_close(ra.avg_err, rb.avg_err, rel, "avg_err");
+        expect_close(ra.avg_abs_err, rb.avg_abs_err, rel, "avg_abs_err");
+        expect_close(ra.min_pwr_err, rb.min_pwr_err, rel, "min_pwr_err");
+        expect_close(ra.max_pwr_err, rb.max_pwr_err, rel, "max_pwr_err");
+        expect_close(ra.avg_pwr_err, rb.avg_pwr_err, rel, "avg_pwr_err");
+        expect_close(ra.mse, rb.mse, rel, "mse");
+        expect_close(ra.rmse, rb.rmse, rel, "rmse");
+        expect_close(ra.nrmse, rb.nrmse, rel, "nrmse");
+        expect_close(ra.snr_db, rb.snr_db, rel, "snr_db");
+        expect_close(ra.psnr_db, rb.psnr_db, rel, "psnr_db");
+        expect_close(ra.pearson_r, rb.pearson_r, rel, "pearson_r");
+        ASSERT_EQ(ra.err_pdf.size(), rb.err_pdf.size());
+        for (std::size_t i = 0; i < ra.err_pdf.size(); ++i) {
+            expect_close(ra.err_pdf[i], rb.err_pdf[i], rel, "err_pdf[i]");
+            expect_close(ra.pwr_err_pdf[i], rb.pwr_err_pdf[i], rel, "pwr_err_pdf[i]");
+        }
+    }
+    if (p2) {
+        const auto& sa = a.stencil;
+        const auto& sb = b.stencil;
+        expect_close(sa.deriv1_avg_orig, sb.deriv1_avg_orig, rel, "deriv1_avg_orig");
+        expect_close(sa.deriv1_max_orig, sb.deriv1_max_orig, rel, "deriv1_max_orig");
+        expect_close(sa.deriv1_avg_dec, sb.deriv1_avg_dec, rel, "deriv1_avg_dec");
+        expect_close(sa.deriv1_max_dec, sb.deriv1_max_dec, rel, "deriv1_max_dec");
+        expect_close(sa.deriv1_mse, sb.deriv1_mse, rel, "deriv1_mse");
+        expect_close(sa.deriv2_avg_orig, sb.deriv2_avg_orig, rel, "deriv2_avg_orig");
+        expect_close(sa.deriv2_max_orig, sb.deriv2_max_orig, rel, "deriv2_max_orig");
+        expect_close(sa.deriv2_avg_dec, sb.deriv2_avg_dec, rel, "deriv2_avg_dec");
+        expect_close(sa.deriv2_max_dec, sb.deriv2_max_dec, rel, "deriv2_max_dec");
+        expect_close(sa.deriv2_mse, sb.deriv2_mse, rel, "deriv2_mse");
+        expect_close(sa.divergence_avg_orig, sb.divergence_avg_orig, rel, "divergence_avg_orig");
+        expect_close(sa.divergence_avg_dec, sb.divergence_avg_dec, rel, "divergence_avg_dec");
+        expect_close(sa.laplacian_avg_orig, sb.laplacian_avg_orig, rel, "laplacian_avg_orig");
+        expect_close(sa.laplacian_avg_dec, sb.laplacian_avg_dec, rel, "laplacian_avg_dec");
+        ASSERT_EQ(sa.autocorr.size(), sb.autocorr.size());
+        for (std::size_t i = 0; i < sa.autocorr.size(); ++i) {
+            expect_close(sa.autocorr[i], sb.autocorr[i], rel, "autocorr[i]");
+        }
+    }
+    if (p3) {
+        EXPECT_EQ(a.ssim.windows, b.ssim.windows);
+        expect_close(a.ssim.ssim, b.ssim.ssim, rel, "ssim");
+    }
+}
+
+}  // namespace cuzc::testing

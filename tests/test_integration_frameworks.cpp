@@ -1,0 +1,111 @@
+// Cross-framework equivalence — the reproduction of the paper's §IV-B
+// correctness statement: cuZ-Checker (and moZC, ompZC) must produce the
+// same metric values as the serial Z-checker reference on every metric.
+
+#include <gtest/gtest.h>
+
+#include "cuzc/cuzc.hpp"
+#include "mozc/mozc.hpp"
+#include "ompzc/ompzc.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace sz = ::cuzc::sz;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace ompzc = ::cuzc::ompzc;
+namespace tst = ::cuzc::testing;
+using tst::expect_reports_close;
+
+struct Case {
+    zc::Dims3 dims;
+    std::uint64_t seed;
+    double amp;
+};
+
+class FrameworkEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FrameworkEquivalence, AllFrameworksMatchSerialReference) {
+    const Case c = GetParam();
+    const zc::Field orig = tst::smooth_field(c.dims, c.seed);
+    const zc::Field dec = tst::perturbed(orig, c.amp, c.seed * 31 + 7);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    cfg.autocorr_max_lag = 5;
+    cfg.pdf_bins = 32;
+
+    const zc::AssessmentReport ref = zc::assess(orig.view(), dec.view(), cfg);
+
+    const zc::AssessmentReport omp = ompzc::assess(orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, omp, 1e-9);
+
+    vgpu::Device dev;
+    const auto cu = czc::assess(dev, orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, cu.report, 1e-9);
+
+    const auto mo = mozc::assess(dev, orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, mo.report, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FrameworkEquivalence,
+    ::testing::Values(Case{{24, 20, 18}, 1, 0.01},    // generic 3-D
+                      Case{{33, 17, 40}, 2, 0.001},   // non-multiple-of-tile dims
+                      Case{{64, 8, 8}, 3, 0.05},      // long x
+                      Case{{8, 8, 64}, 4, 0.05},      // long z (FIFO stress)
+                      Case{{16, 48, 16}, 5, 0.1},     // many y-window blocks
+                      Case{{1, 32, 32}, 6, 0.01},     // 2-D field
+                      Case{{1, 1, 256}, 7, 0.01},     // 1-D field
+                      Case{{5, 5, 5}, 8, 0.02}));     // tiny
+
+TEST(FrameworkEquivalence, SzDecompressedData) {
+    // End-to-end like the paper's workflow: compress with the SZ-style
+    // codec, assess the real decompressed output on all frameworks.
+    const zc::Dims3 dims{20, 24, 28};
+    const zc::Field orig = tst::smooth_field(dims, 42);
+    sz::SzConfig scfg;
+    scfg.abs_error_bound = 1e-3;
+    const sz::SzCompressed comp = sz::compress(orig.view(), scfg);
+    const zc::Field dec = sz::decompress(comp.bytes);
+
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    EXPECT_LE(ref.reduction.max_abs_err, 1e-3 + 1e-12);
+    EXPECT_GT(ref.ssim.ssim, 0.9);
+
+    vgpu::Device dev;
+    const auto cu = czc::assess(dev, orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, cu.report, 1e-9);
+    const auto omp = ompzc::assess(orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, omp, 1e-9);
+    const auto mo = mozc::assess(dev, orig.view(), dec.view(), cfg);
+    expect_reports_close(ref, mo.report, 1e-9);
+}
+
+TEST(FrameworkEquivalence, CuzcSsimStepTwo) {
+    const zc::Dims3 dims{20, 20, 20};
+    const zc::Field orig = tst::smooth_field(dims, 9);
+    const zc::Field dec = tst::perturbed(orig, 0.02, 77);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    cfg.ssim_step = 2;
+    const auto ref = zc::ssim3d(orig.view(), dec.view(), cfg.ssim_window, cfg.ssim_step);
+    vgpu::Device dev;
+    const auto cu = czc::pattern3_ssim(dev, orig.view(), dec.view(), cfg);
+    EXPECT_EQ(ref.windows, cu.report.windows);
+    tst::expect_close(ref.ssim, cu.report.ssim, 1e-9, "ssim step2");
+
+    czc::Pattern3Options no_fifo;
+    no_fifo.use_fifo = false;
+    const auto mo = czc::pattern3_ssim(dev, orig.view(), dec.view(), cfg, no_fifo);
+    EXPECT_EQ(ref.windows, mo.report.windows);
+    tst::expect_close(ref.ssim, mo.report.ssim, 1e-9, "ssim step2 no fifo");
+}
+
+}  // namespace

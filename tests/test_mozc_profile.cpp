@@ -1,0 +1,107 @@
+// moZC-specific profile checks (the metric-oriented baseline's cost
+// structure) and remaining small-surface coverage: array-valued CUB
+// reductions, bench-config parsing, slab-bound properties.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "cuzc/cuzc.hpp"
+#include "mozc/mozc.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace tst = ::cuzc::testing;
+
+TEST(MozcKernels, MetricOrientedNamingInventory) {
+    // Each pattern-1 metric must appear as its own kernel in the profiler —
+    // the design property that costs moZC its performance.
+    vgpu::Device dev;
+    const zc::Field orig = tst::smooth_field({12, 12, 12}, 1);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 2);
+    (void)mozc::assess(dev, orig.view(), dec.view(),
+                       zc::MetricsConfig::only(zc::Pattern::kGlobalReduction));
+    for (const char* name :
+         {"mozc/min_err/partial", "mozc/max_err/partial", "mozc/avg_err/partial",
+          "mozc/mse/partial", "mozc/min_pwr_err/partial", "mozc/max_pwr_err/partial",
+          "mozc/avg_pwr_err/partial", "mozc/value_stats/partial", "mozc/pearson/partial",
+          "mozc/err_pdf", "mozc/pwr_err_pdf", "mozc/entropy"}) {
+        EXPECT_EQ(dev.profiler().aggregate(name).launches, 1u) << name;
+    }
+}
+
+TEST(MozcKernels, PatternTwoIsThreeStencilLaunchesPlusMoments) {
+    vgpu::Device dev;
+    const zc::Field orig = tst::smooth_field({16, 16, 16}, 1);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 2);
+    (void)mozc::assess(dev, orig.view(), dec.view(),
+                       zc::MetricsConfig::only(zc::Pattern::kStencil));
+    EXPECT_EQ(dev.profiler().aggregate("mozc/deriv_order1").launches, 1u);
+    EXPECT_EQ(dev.profiler().aggregate("mozc/deriv_order2").launches, 1u);
+    EXPECT_EQ(dev.profiler().aggregate("mozc/autocorr").launches, 1u);
+    EXPECT_EQ(dev.profiler().aggregate("cuzc/moments").launches, 1u);
+}
+
+TEST(MozcKernels, SsimKernelIsTheNoFifoVariant) {
+    vgpu::Device dev;
+    const zc::Field orig = tst::smooth_field({16, 16, 24}, 1);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 2);
+    zc::MetricsConfig cfg = zc::MetricsConfig::only(zc::Pattern::kSlidingWindow);
+    cfg.ssim_window = 4;
+    (void)mozc::assess(dev, orig.view(), dec.view(), cfg);
+    EXPECT_EQ(dev.profiler().aggregate("mozc/ssim").launches, 1u);
+    EXPECT_EQ(dev.profiler().aggregate("cuzc/pattern3").launches, 0u);
+}
+
+TEST(VgpuReduce, ArrayValuedReductionWithMixedOps) {
+    // The component-wise reductions moZC's value_stats kernel relies on.
+    vgpu::Device dev;
+    std::vector<float> host(500);
+    for (std::size_t i = 0; i < host.size(); ++i) {
+        host[i] = static_cast<float>(i) - 100.0f;
+    }
+    vgpu::DeviceBuffer<float> buf(dev, std::span<const float>(host));
+    using A3 = std::array<double, 3>;
+    const A3 r = vgpu::device_reduce<A3>(
+        dev, "t/a3", host.size(), A3{1e300, -1e300, 0.0},
+        [](A3 a, A3 b) {
+            return A3{std::min(a[0], b[0]), std::max(a[1], b[1]), a[2] + b[2]};
+        },
+        [&](vgpu::Launch& l) {
+            auto s = l.span(buf);
+            return [s](std::size_t i) {
+                const double v = s.ld(i);
+                return A3{v, v, v};
+            };
+        });
+    EXPECT_DOUBLE_EQ(r[0], -100.0);
+    EXPECT_DOUBLE_EQ(r[1], 399.0);
+    EXPECT_DOUBLE_EQ(r[2], (0.0 + 499.0) * 500.0 / 2.0 - 100.0 * 500.0);
+}
+
+TEST(MultiGpuBounds, PartitionIsMonotoneAndComplete) {
+    for (const std::size_t extent : {1ul, 7ul, 80ul, 513ul}) {
+        for (const std::size_t parts : {1ul, 2ul, 3ul, 8ul}) {
+            const auto b = czc::slab_bounds(extent, parts);
+            ASSERT_EQ(b.size(), parts + 1);
+            EXPECT_EQ(b.front(), 0u);
+            EXPECT_EQ(b.back(), extent);
+            std::size_t covered = 0;
+            for (std::size_t d = 0; d < parts; ++d) {
+                EXPECT_LE(b[d], b[d + 1]);
+                covered += b[d + 1] - b[d];
+                // Balanced within one element.
+                EXPECT_LE(b[d + 1] - b[d], extent / parts + 1);
+            }
+            EXPECT_EQ(covered, extent);
+        }
+    }
+}
+
+}  // namespace

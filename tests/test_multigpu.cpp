@@ -1,0 +1,118 @@
+// Multi-GPU extension tests: domain-decomposed assessment across K virtual
+// devices must reproduce the single-device results exactly (up to summation
+// order), including stencils and lagged products that cross slab seams.
+
+#include <gtest/gtest.h>
+
+#include "cuzc/cuzc.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace tst = ::cuzc::testing;
+
+struct MgCase {
+    zc::Dims3 dims;
+    std::size_t devices;
+    int max_lag;
+};
+
+class MultiGpuEquivalence : public ::testing::TestWithParam<MgCase> {};
+
+TEST_P(MultiGpuEquivalence, MatchesSingleDevice) {
+    const MgCase c = GetParam();
+    const zc::Field orig = tst::smooth_field(c.dims, 21);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 77);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    cfg.autocorr_max_lag = c.max_lag;
+    cfg.pdf_bins = 24;
+
+    const zc::AssessmentReport ref = zc::assess(orig.view(), dec.view(), cfg);
+
+    std::vector<vgpu::Device> devices(c.devices);
+    const auto mg = czc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+    tst::expect_reports_close(ref, mg.report, 1e-9);
+    EXPECT_GT(mg.exchange_bytes, 0u);
+    EXPECT_EQ(mg.per_device.size(), c.devices);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, MultiGpuEquivalence,
+    ::testing::Values(MgCase{{20, 20, 24}, 1, 5},   // degenerate: one device
+                      MgCase{{20, 20, 24}, 2, 5},   // even split
+                      MgCase{{20, 20, 24}, 3, 5},   // uneven split
+                      MgCase{{18, 22, 30}, 5, 5},   // many small slabs
+                      MgCase{{16, 16, 20}, 3, 10},  // lag comparable to slab depth
+                      MgCase{{16, 16, 9}, 4, 5},    // slabs thinner than the lag
+                      MgCase{{12, 40, 12}, 4, 3},   // many y-window rows to split
+                      MgCase{{16, 16, 16}, 7, 4})); // more devices than z-chunks
+
+TEST(MultiGpu, MoreDevicesThanSlicesSkipsIdleDevices) {
+    const zc::Field orig = tst::smooth_field({8, 8, 3}, 4);
+    const zc::Field dec = tst::perturbed(orig, 0.02, 5);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    cfg.autocorr_max_lag = 2;
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    std::vector<vgpu::Device> devices(8);  // 8 devices, 3 z-slices
+    const auto mg = czc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+    tst::expect_reports_close(ref, mg.report, 1e-9);
+}
+
+TEST(MultiGpu, WorkSplitsAcrossDevices) {
+    const zc::Field orig = tst::smooth_field({24, 24, 24}, 9);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 10);
+    const zc::MetricsConfig cfg = zc::MetricsConfig::all();
+
+    std::vector<vgpu::Device> devices(4);
+    const auto mg = czc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+
+    vgpu::Device single;
+    const auto sg = czc::assess(single, orig.view(), dec.view(), cfg);
+    const std::uint64_t single_bytes = sg.total().global_bytes();
+
+    std::uint64_t max_dev = 0, total_dev = 0;
+    for (const auto& s : mg.per_device) {
+        EXPECT_GT(s.launches, 0u) << "every device should get work";
+        max_dev = std::max(max_dev, s.global_bytes());
+        total_dev += s.global_bytes();
+    }
+    // Each device moves roughly a quarter of the traffic (halo overheads
+    // allow some slack), and the sum stays in the same ballpark.
+    EXPECT_LT(max_dev, single_bytes / 2);
+    EXPECT_GT(total_dev, single_bytes / 2);
+}
+
+TEST(MultiGpu, SlabBounds) {
+    const auto b = czc::slab_bounds(10, 3);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0u);
+    EXPECT_EQ(b[3], 10u);
+    EXPECT_EQ(b[1], 3u);
+    EXPECT_EQ(b[2], 6u);
+    const auto tiny = czc::slab_bounds(2, 4);  // more parts than work
+    EXPECT_EQ(tiny.front(), 0u);
+    EXPECT_EQ(tiny.back(), 2u);
+}
+
+TEST(MultiGpu, SzWorkflowEndToEnd) {
+    const zc::Field orig = tst::smooth_field({20, 20, 28}, 33);
+    cuzc::sz::SzConfig scfg;
+    scfg.abs_error_bound = 1e-3;
+    const auto comp = cuzc::sz::compress(orig.view(), scfg);
+    const zc::Field dec = cuzc::sz::decompress(comp.bytes);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    std::vector<vgpu::Device> devices(3);
+    const auto mg = czc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+    tst::expect_reports_close(ref, mg.report, 1e-9);
+}
+
+}  // namespace

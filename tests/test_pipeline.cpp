@@ -1,0 +1,101 @@
+// Tests for the compressor-integration pipeline and batch assessment.
+
+#include <gtest/gtest.h>
+
+#include "cuzc/cuzc.hpp"
+#include "cuzc/pipeline.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace sz = ::cuzc::sz;
+namespace tst = ::cuzc::testing;
+
+TEST(Pipeline, CompressAndAssessReportsQualityAndPerformance) {
+    const zc::Field orig = tst::smooth_field({16, 16, 16}, 3);
+    vgpu::Device dev;
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto r = czc::compress_and_assess(dev, orig.view(), 1e-3, cfg);
+    EXPECT_GT(r.compression.ratio(), 1.0);
+    EXPECT_GT(r.compression.compress_seconds, 0.0);
+    EXPECT_GT(r.compression.decompress_seconds, 0.0);
+    EXPECT_GT(r.effective_error_bound, 0.0);
+    // The assessment must agree with the bound.
+    EXPECT_LE(r.assessment.report.reduction.max_abs_err,
+              r.effective_error_bound * (1 + 1e-12));
+    EXPECT_GT(r.assessment.report.ssim.ssim, 0.9);
+}
+
+TEST(Pipeline, AssessCompressedStream) {
+    const zc::Field orig = tst::smooth_field({12, 12, 12}, 7);
+    sz::SzConfig scfg;
+    scfg.abs_error_bound = 1e-2;
+    const auto comp = sz::compress(orig.view(), scfg);
+    vgpu::Device dev;
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto r = czc::assess_compressed(dev, orig.view(), comp.bytes, cfg);
+    EXPECT_DOUBLE_EQ(r.compression.ratio(), comp.compression_ratio());
+    EXPECT_LE(r.assessment.report.reduction.max_abs_err, 1e-2 * (1 + 1e-12));
+}
+
+TEST(Pipeline, AssessCompressedRejectsWrongShape) {
+    const zc::Field a = tst::smooth_field({8, 8, 8}, 1);
+    const zc::Field b = tst::smooth_field({8, 8, 9}, 1);
+    sz::SzConfig scfg;
+    const auto comp = sz::compress(b.view(), scfg);
+    vgpu::Device dev;
+    EXPECT_THROW((void)czc::assess_compressed(dev, a.view(), comp.bytes, zc::MetricsConfig{}),
+                 std::invalid_argument);
+}
+
+TEST(Pipeline, BatchMatchesIndividualAssessment) {
+    const zc::Dims3 dims{12, 12, 12};
+    std::vector<zc::Field> origs, decs;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+        origs.push_back(tst::smooth_field(dims, s + 1));
+        decs.push_back(tst::perturbed(origs.back(), 0.01, s + 50));
+    }
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+
+    vgpu::Device dev;
+    const auto batch = czc::assess_batch(dev, origs, decs, cfg);
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        vgpu::Device solo;
+        const auto single = czc::assess(solo, origs[i].view(), decs[i].view(), cfg);
+        tst::expect_reports_close(single.report, batch[i].report, 1e-12);
+    }
+}
+
+TEST(Pipeline, BatchReusesDeviceBuffers) {
+    const zc::Dims3 dims{10, 10, 10};
+    std::vector<zc::Field> origs, decs;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        origs.push_back(tst::smooth_field(dims, s + 9));
+        decs.push_back(tst::perturbed(origs.back(), 0.02, s));
+    }
+    vgpu::Device dev;
+    (void)czc::assess_batch(dev, origs, decs, zc::MetricsConfig::all());
+    // 2 uploads per field, nothing else (buffer construction uploads none).
+    EXPECT_EQ(dev.h2d_bytes(), 4u * 2 * dims.volume() * sizeof(float));
+}
+
+TEST(Pipeline, BatchRejectsMixedShapes) {
+    std::vector<zc::Field> origs, decs;
+    origs.push_back(tst::smooth_field({8, 8, 8}, 1));
+    origs.push_back(tst::smooth_field({8, 8, 9}, 2));
+    decs = origs;
+    vgpu::Device dev;
+    EXPECT_THROW((void)czc::assess_batch(dev, origs, decs, zc::MetricsConfig{}),
+                 std::invalid_argument);
+}
+
+}  // namespace

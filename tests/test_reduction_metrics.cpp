@@ -1,0 +1,144 @@
+// Unit tests for the serial pattern-1 (global reduction) reference metrics
+// against hand-computed values and closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+zc::Field make_field(std::vector<float> v) {
+    return zc::Field(zc::Dims3{1, 1, v.size()}, std::move(v));
+}
+
+TEST(ReductionMetrics, HandComputedErrors) {
+    const zc::Field orig = make_field({1.0f, 2.0f, 3.0f, 4.0f});
+    const zc::Field dec = make_field({1.5f, 1.5f, 3.0f, 4.25f});
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    EXPECT_DOUBLE_EQ(r.min_err, -0.5);
+    EXPECT_DOUBLE_EQ(r.max_err, 0.5);
+    EXPECT_DOUBLE_EQ(r.avg_err, (0.5 - 0.5 + 0.0 + 0.25) / 4.0);
+    EXPECT_DOUBLE_EQ(r.avg_abs_err, (0.5 + 0.5 + 0.0 + 0.25) / 4.0);
+    EXPECT_DOUBLE_EQ(r.max_abs_err, 0.5);
+    EXPECT_DOUBLE_EQ(r.mse, (0.25 + 0.25 + 0.0 + 0.0625) / 4.0);
+    EXPECT_DOUBLE_EQ(r.rmse, std::sqrt(r.mse));
+    EXPECT_DOUBLE_EQ(r.value_range, 3.0);
+    EXPECT_DOUBLE_EQ(r.nrmse, r.rmse / 3.0);
+    EXPECT_DOUBLE_EQ(r.mean_val, 2.5);
+    EXPECT_DOUBLE_EQ(r.var_val, 1.25);
+}
+
+TEST(ReductionMetrics, PwrErrorsAreValueRelative) {
+    const zc::Field orig = make_field({2.0f, -4.0f, 10.0f});
+    const zc::Field dec = make_field({2.2f, -4.4f, 9.0f});
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    EXPECT_NEAR(r.max_pwr_err, 0.1, 1e-6);    // +0.2/2
+    EXPECT_NEAR(r.min_pwr_err, -0.1, 1e-6);   // -0.4/4 and -1/10
+    EXPECT_NEAR(r.avg_pwr_err, (0.1 + 0.1 + 0.1) / 3.0, 1e-6);
+}
+
+TEST(ReductionMetrics, PwrErrorGuardsNearZeroValues) {
+    EXPECT_DOUBLE_EQ(zc::pwr_error(0.0, 1e-3, 1e-6), 1e-3 / 1e-6);
+    EXPECT_DOUBLE_EQ(zc::pwr_error(2.0, 2.5, 1e-6), 0.25);
+    EXPECT_DOUBLE_EQ(zc::pwr_error(-2.0, -2.5, 1e-6), -0.25);
+}
+
+TEST(ReductionMetrics, PsnrOfKnownPerturbation) {
+    // Uniform +delta error on range-R data: MSE = delta^2,
+    // PSNR = 20 log10(R / delta).
+    zc::Field orig(zc::Dims3{4, 4, 4});
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        orig.data()[i] = static_cast<float>(i % 16);  // range 15
+    }
+    zc::Field dec = orig;
+    for (std::size_t i = 0; i < dec.size(); ++i) dec.data()[i] += 0.125f;
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    EXPECT_NEAR(r.psnr_db, 20.0 * std::log10(15.0 / 0.125), 1e-6);
+    EXPECT_NEAR(r.snr_db, 10.0 * std::log10(r.var_val / r.mse), 1e-9);
+}
+
+TEST(ReductionMetrics, IdenticalDataGivesInfinitePsnrAndUnitPearson) {
+    const zc::Field f = tst::random_field({4, 4, 4}, 3);
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(f.view(), f.view(), cfg);
+    EXPECT_TRUE(std::isinf(r.psnr_db));
+    EXPECT_GT(r.psnr_db, 0);
+    EXPECT_DOUBLE_EQ(r.mse, 0.0);
+    EXPECT_DOUBLE_EQ(r.pearson_r, 1.0);
+}
+
+TEST(ReductionMetrics, PearsonOfLinearTransformIsOne) {
+    const zc::Field orig = tst::random_field({8, 8, 8}, 5);
+    zc::Field dec(orig.dims());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        dec.data()[i] = 3.0f * orig.data()[i] + 2.0f;
+    }
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    EXPECT_NEAR(r.pearson_r, 1.0, 1e-9);
+    // Negated data correlates at -1.
+    for (std::size_t i = 0; i < orig.size(); ++i) dec.data()[i] = -orig.data()[i];
+    const auto r2 = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    EXPECT_NEAR(r2.pearson_r, -1.0, 1e-9);
+}
+
+TEST(ReductionMetrics, PdfSumsToOneAndPeaksAtErrorMode) {
+    const zc::Field orig = tst::smooth_field({10, 10, 10}, 1);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 2);
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 50;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    double total = 0;
+    for (const auto p : r.err_pdf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    total = 0;
+    for (const auto p : r.pwr_err_pdf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_EQ(r.err_pdf.size(), 50u);
+    EXPECT_LE(r.err_pdf_min, r.err_pdf_max);
+}
+
+TEST(ReductionMetrics, EntropyOfConstantDataIsZero) {
+    zc::Field f(zc::Dims3{4, 4, 4});
+    f.data()[0] = 1.0f;
+    for (std::size_t i = 0; i < f.size(); ++i) f.data()[i] = 1.0f;
+    zc::MetricsConfig cfg;
+    const auto r = zc::reduction_metrics(f.view(), f.view(), cfg);
+    EXPECT_DOUBLE_EQ(r.entropy, 0.0);
+}
+
+TEST(ReductionMetrics, EntropyOfUniformBinsIsLogBins) {
+    // One value per bin, equally weighted -> H = log2(bins).
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 16;
+    zc::Field f(zc::Dims3{1, 1, 16});
+    for (std::size_t i = 0; i < 16; ++i) f.data()[i] = static_cast<float>(i);
+    const auto r = zc::reduction_metrics(f.view(), f.view(), cfg);
+    EXPECT_NEAR(r.entropy, 4.0, 1e-9);
+}
+
+TEST(ReductionMetrics, PdfBinClampsToRange) {
+    EXPECT_EQ(zc::pdf_bin(-100.0, 0.0, 1.0, 10), 0);
+    EXPECT_EQ(zc::pdf_bin(100.0, 0.0, 1.0, 10), 9);
+    EXPECT_EQ(zc::pdf_bin(0.55, 0.0, 1.0, 10), 5);
+    EXPECT_EQ(zc::pdf_bin(0.5, 0.5, 0.5, 10), 0);  // degenerate range
+}
+
+TEST(ReductionMetrics, EmptyAndMismatchedInputsAreSafe) {
+    zc::MetricsConfig cfg;
+    zc::Field empty;
+    const auto r = zc::reduction_metrics(empty.view(), empty.view(), cfg);
+    EXPECT_DOUBLE_EQ(r.mse, 0.0);
+    EXPECT_TRUE(r.err_pdf.empty());
+}
+
+}  // namespace

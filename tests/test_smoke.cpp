@@ -1,0 +1,27 @@
+#include <gtest/gtest.h>
+#include "vgpu/vgpu.hpp"
+#include "zc/zc.hpp"
+
+TEST(Smoke, IdenticalDataIsPerfect) {
+    using namespace cuzc;
+    zc::Field f(zc::Dims3{4, 5, 6});
+    for (std::size_t i = 0; i < f.size(); ++i) f.data()[i] = static_cast<float>(i % 17);
+    auto rep = zc::assess(f.view(), f.view(), zc::MetricsConfig::all());
+    EXPECT_DOUBLE_EQ(rep.reduction.mse, 0.0);
+    EXPECT_NEAR(rep.ssim.ssim, 1.0, 1e-12);
+}
+
+TEST(Smoke, VgpuReduceSums) {
+    using namespace cuzc::vgpu;
+    Device dev;
+    std::vector<float> host(1000);
+    for (std::size_t i = 0; i < host.size(); ++i) host[i] = 1.0f;
+    DeviceBuffer<float> buf(dev, std::span<const float>(host));
+    double r = device_reduce<double>(dev, "sum", host.size(), 0.0,
+                                     [](double a, double b) { return a + b; },
+                                     [&](Launch& l) {
+                                         auto s = l.span(buf);
+                                         return [s](std::size_t i) { return double(s.ld(i)); };
+                                     });
+    EXPECT_DOUBLE_EQ(r, 1000.0);
+}

@@ -1,0 +1,99 @@
+// Unit tests for 3-D windowed SSIM (serial reference semantics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+TEST(Ssim, IdenticalDataScoresOne) {
+    const zc::Field f = tst::smooth_field({16, 16, 16}, 1);
+    const auto r = zc::ssim3d(f.view(), f.view(), 8, 1);
+    EXPECT_NEAR(r.ssim, 1.0, 1e-12);
+    EXPECT_EQ(r.windows, 9u * 9 * 9);
+}
+
+TEST(Ssim, ConstantWindowsCompareAsIdentical) {
+    zc::Field a(zc::Dims3{8, 8, 8});
+    zc::Field b(zc::Dims3{8, 8, 8});
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a.data()[i] = 3.0f;
+        b.data()[i] = 3.0f;
+    }
+    const auto r = zc::ssim3d(a.view(), b.view(), 8, 1);
+    EXPECT_NEAR(r.ssim, 1.0, 1e-9);
+}
+
+TEST(Ssim, ScoreDegradesMonotonicallyWithNoise) {
+    const zc::Field orig = tst::smooth_field({20, 20, 20}, 4);
+    double prev = 1.1;
+    for (const double amp : {0.001, 0.01, 0.1, 0.5}) {
+        const zc::Field dec = tst::perturbed(orig, amp, 17);
+        const auto r = zc::ssim3d(orig.view(), dec.view(), 8, 1);
+        EXPECT_LT(r.ssim, prev) << "amp=" << amp;
+        EXPECT_GT(r.ssim, -1.0);
+        prev = r.ssim;
+    }
+}
+
+TEST(Ssim, UncorrelatedDataScoresNearZero) {
+    const zc::Field a = tst::random_field({16, 16, 16}, 1);
+    const zc::Field b = tst::random_field({16, 16, 16}, 999);
+    const auto r = zc::ssim3d(a.view(), b.view(), 8, 1);
+    EXPECT_LT(std::fabs(r.ssim), 0.2);
+}
+
+TEST(Ssim, WindowCountsForStrides) {
+    const zc::Field f = tst::smooth_field({17, 12, 9}, 2);
+    EXPECT_EQ(zc::ssim3d(f.view(), f.view(), 4, 1).windows, 14u * 9 * 6);
+    EXPECT_EQ(zc::ssim3d(f.view(), f.view(), 4, 2).windows, 7u * 5 * 3);
+    EXPECT_EQ(zc::ssim3d(f.view(), f.view(), 4, 4).windows, 4u * 3 * 2);
+}
+
+TEST(Ssim, WindowShrinksOnShortAxes) {
+    // 2-D data: the x window shrinks to extent 1 and SSIM stays defined.
+    const zc::Field f = tst::smooth_field({1, 32, 32}, 6);
+    const zc::Field g = tst::perturbed(f, 0.01, 3);
+    const auto r = zc::ssim3d(f.view(), g.view(), 8, 1);
+    EXPECT_EQ(r.windows, 1u * 25 * 25);
+    EXPECT_GT(r.ssim, 0.0);
+    EXPECT_LE(r.ssim, 1.0);
+}
+
+TEST(Ssim, MixLocalSsimClosedForm) {
+    // Two windows with known moments: a = {0,2} (mu .5? no: mu=1, var=1),
+    // b = a -> ssim 1.
+    zc::WindowSums a{0.0, 2.0, 2.0, 4.0};
+    zc::WindowCross c{4.0};
+    EXPECT_NEAR(zc::mix_local_ssim(a, a, c, 2), 1.0, 1e-12);
+}
+
+TEST(Ssim, MeanShiftReducesLuminanceTerm) {
+    zc::WindowSums a{0.0, 1.0, 8.0, 6.0};   // 16 elems around mu=0.5
+    zc::WindowSums b = a;
+    b.sum += 8.0;  // mean shifted by +0.5
+    b.min += 0.5;
+    b.max += 0.5;
+    b.sum_sq = 0;  // recompute-ish: keep variance similar via sum_sq adjust
+    // Use a simple direct construction instead: x={0..}, compare vs shifted.
+    const zc::Field f = tst::smooth_field({8, 8, 8}, 3);
+    zc::Field g = f;
+    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] += 0.3f;
+    const auto r = zc::ssim3d(f.view(), g.view(), 8, 1);
+    EXPECT_LT(r.ssim, 0.99);
+    EXPECT_GT(r.ssim, 0.0);
+}
+
+TEST(Ssim, InvalidConfigReturnsEmpty) {
+    const zc::Field f = tst::smooth_field({8, 8, 8}, 1);
+    EXPECT_EQ(zc::ssim3d(f.view(), f.view(), 0, 1).windows, 0u);
+    EXPECT_EQ(zc::ssim3d(f.view(), f.view(), 4, 0).windows, 0u);
+}
+
+}  // namespace

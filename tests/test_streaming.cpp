@@ -1,0 +1,105 @@
+// Streaming (in-situ) assessment tests: chunked feeding must reproduce the
+// one-shot pattern-1 metrics.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+struct ChunkCase {
+    std::size_t chunk;
+};
+
+class StreamingChunks : public ::testing::TestWithParam<ChunkCase> {};
+
+TEST_P(StreamingChunks, MatchesOneShotScalars) {
+    const zc::Field orig = tst::smooth_field({12, 14, 16}, 3);
+    const zc::Field dec = tst::perturbed(orig, 0.02, 9);
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 32;
+    const auto ref = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+
+    zc::StreamingAssessor sa(cfg);
+    const std::size_t chunk = GetParam().chunk;
+    for (std::size_t off = 0; off < orig.size(); off += chunk) {
+        const std::size_t n = std::min(chunk, orig.size() - off);
+        sa.feed(orig.data().subspan(off, n), dec.data().subspan(off, n));
+    }
+    EXPECT_EQ(sa.consumed(), orig.size());
+    const auto got = sa.finalize();
+
+    // Every scalar is exact (moments merge associatively).
+    tst::expect_close(ref.min_err, got.min_err, 1e-12, "min_err");
+    tst::expect_close(ref.max_err, got.max_err, 1e-12, "max_err");
+    tst::expect_close(ref.avg_err, got.avg_err, 1e-12, "avg_err");
+    tst::expect_close(ref.mse, got.mse, 1e-12, "mse");
+    tst::expect_close(ref.psnr_db, got.psnr_db, 1e-12, "psnr");
+    tst::expect_close(ref.snr_db, got.snr_db, 1e-12, "snr");
+    tst::expect_close(ref.pearson_r, got.pearson_r, 1e-12, "pearson");
+    tst::expect_close(ref.min_pwr_err, got.min_pwr_err, 1e-12, "min_pwr");
+    tst::expect_close(ref.max_pwr_err, got.max_pwr_err, 1e-12, "max_pwr");
+    tst::expect_close(ref.mean_val, got.mean_val, 1e-12, "mean_val");
+    tst::expect_close(ref.std_val, got.std_val, 1e-12, "std_val");
+
+    // Distributions: mass is conserved and the ranges match.
+    double mass = 0;
+    for (const auto p : got.err_pdf) mass += p;
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(got.err_pdf_min, ref.err_pdf_min);
+    EXPECT_DOUBLE_EQ(got.err_pdf_max, ref.err_pdf_max);
+    // Entropy within sub-bin rebinning tolerance.
+    tst::expect_close(ref.entropy, got.entropy, 0.05, "entropy");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamingChunks,
+                         ::testing::Values(ChunkCase{1}, ChunkCase{7}, ChunkCase{128},
+                                           ChunkCase{1000}, ChunkCase{100000}));
+
+TEST(Streaming, SingleFeedMatchesPdfExactly) {
+    // With one chunk the ranges are final from the start, so even the PDFs
+    // are bit-identical to the one-shot computation.
+    const zc::Field orig = tst::smooth_field({10, 10, 10}, 6);
+    const zc::Field dec = tst::perturbed(orig, 0.05, 2);
+    zc::MetricsConfig cfg;
+    const auto ref = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+    zc::StreamingAssessor sa(cfg);
+    sa.feed(orig.data(), dec.data());
+    const auto got = sa.finalize();
+    ASSERT_EQ(got.err_pdf.size(), ref.err_pdf.size());
+    for (std::size_t b = 0; b < ref.err_pdf.size(); ++b) {
+        EXPECT_DOUBLE_EQ(got.err_pdf[b], ref.err_pdf[b]) << "bin " << b;
+        EXPECT_DOUBLE_EQ(got.pwr_err_pdf[b], ref.pwr_err_pdf[b]) << "bin " << b;
+    }
+    EXPECT_DOUBLE_EQ(got.entropy, ref.entropy);
+}
+
+TEST(Streaming, EmptyFinalizeIsZero) {
+    zc::StreamingAssessor sa(zc::MetricsConfig{});
+    const auto got = sa.finalize();
+    EXPECT_DOUBLE_EQ(got.mse, 0.0);
+    EXPECT_EQ(sa.consumed(), 0u);
+}
+
+TEST(Streaming, RangeGrowthRebinsWithoutLosingMass) {
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 10;
+    zc::StreamingAssessor sa(cfg);
+    // First chunk has tiny errors, later chunks 100x larger -> the error
+    // range grows drastically and the early counts must be rebinned.
+    std::vector<float> o1(100, 1.0f), d1(100, 1.001f);
+    std::vector<float> o2(100, 1.0f), d2(100, 1.5f);
+    sa.feed(o1, d1);
+    sa.feed(o2, d2);
+    const auto got = sa.finalize();
+    double mass = 0;
+    for (const auto p : got.err_pdf) mass += p;
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+    EXPECT_NEAR(got.max_err, 0.5, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Unit tests for the bit-level and byte-level stream primitives.
+
+#include <gtest/gtest.h>
+
+#include "data/noise.hpp"
+#include "sz/bitstream.hpp"
+
+namespace {
+
+namespace sz = ::cuzc::sz;
+
+TEST(Bitstream, SingleBitsRoundTrip) {
+    sz::BitWriter w;
+    const std::vector<int> bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+    for (const int b : bits) w.put(static_cast<std::uint64_t>(b), 1);
+    const auto bytes = w.finish();
+    EXPECT_EQ(bytes.size(), 2u);  // 11 bits -> 2 bytes
+    sz::BitReader r(bytes);
+    for (const int b : bits) EXPECT_EQ(r.get_bit(), b != 0);
+}
+
+TEST(Bitstream, MixedWidthFieldsRoundTrip) {
+    sz::BitWriter w;
+    w.put(0x5, 3);
+    w.put(0x1234, 16);
+    w.put(0x1, 1);
+    w.put(0xABCDE, 20);
+    w.put(0x1FFFFFFFFFFFFF, 53);
+    const auto bytes = w.finish();
+    sz::BitReader r(bytes);
+    EXPECT_EQ(r.get(3), 0x5u);
+    EXPECT_EQ(r.get(16), 0x1234u);
+    EXPECT_EQ(r.get(1), 0x1u);
+    EXPECT_EQ(r.get(20), 0xABCDEu);
+    EXPECT_EQ(r.get(53), 0x1FFFFFFFFFFFFFull);
+}
+
+TEST(Bitstream, RandomizedWidthsProperty) {
+    sz::BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        state = cuzc::data::mix64(state);
+        const unsigned width = 1 + static_cast<unsigned>(state % 57);
+        state = cuzc::data::mix64(state);
+        const std::uint64_t value =
+            width == 64 ? state : (state & ((1ull << width) - 1));
+        fields.emplace_back(value, width);
+        w.put(value, width);
+    }
+    const auto bytes = w.finish();
+    sz::BitReader r(bytes);
+    for (const auto& [value, width] : fields) {
+        EXPECT_EQ(r.get(width), value) << "width=" << width;
+    }
+}
+
+TEST(Bitstream, BitCountTracksWrites) {
+    sz::BitWriter w;
+    w.put(1, 5);
+    EXPECT_EQ(w.bit_count(), 5u);
+    w.put(1, 11);
+    EXPECT_EQ(w.bit_count(), 16u);
+}
+
+TEST(Bitstream, ByteWriterRoundTripsPods) {
+    sz::ByteWriter w;
+    w.put<std::uint32_t>(0xDEADBEEF);
+    w.put<double>(3.14159);
+    w.put<std::uint8_t>(7);
+    const std::vector<std::uint8_t> raw{1, 2, 3};
+    w.put_bytes(raw);
+    const auto bytes = w.finish();
+    EXPECT_EQ(bytes.size(), 4 + 8 + 1 + 3);
+
+    sz::ByteReader r(bytes);
+    EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+    EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+    EXPECT_EQ(r.get<std::uint8_t>(), 7);
+    const auto tail = r.get_bytes(3);
+    EXPECT_EQ(tail[0], 1);
+    EXPECT_EQ(tail[2], 3);
+    EXPECT_EQ(r.position(), bytes.size());
+}
+
+TEST(Bitstream, ReaderPastEndReturnsZeros) {
+    const std::vector<std::uint8_t> one{0xFF};
+    sz::BitReader r(one);
+    EXPECT_EQ(r.get(8), 0xFFu);
+    EXPECT_EQ(r.get(8), 0x00u);  // zero-fill past the end
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// 4-D (time-series) assessment tests.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+std::vector<zc::Field> make_steps(std::size_t steps, zc::Dims3 d, std::uint64_t seed) {
+    std::vector<zc::Field> out;
+    for (std::size_t t = 0; t < steps; ++t) {
+        out.push_back(tst::smooth_field(d, seed + t * 13));
+    }
+    return out;
+}
+
+TEST(TimeSeries, PerStepReportsAndExactAggregateReductions) {
+    const zc::Dims3 d{10, 10, 12};
+    const auto orig = make_steps(4, d, 5);
+    std::vector<zc::Field> dec;
+    for (const auto& f : orig) dec.push_back(tst::perturbed(f, 0.01, 99));
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+
+    const auto ts = zc::assess_time_series(orig, dec, cfg);
+    ASSERT_EQ(ts.steps.size(), 4u);
+
+    // The aggregate pattern-1 metrics equal the metrics of the
+    // concatenated 4-D volume.
+    std::vector<float> all_o, all_d;
+    for (std::size_t t = 0; t < 4; ++t) {
+        all_o.insert(all_o.end(), orig[t].data().begin(), orig[t].data().end());
+        all_d.insert(all_d.end(), dec[t].data().begin(), dec[t].data().end());
+    }
+    const zc::Field fo(zc::Dims3{1, 1, all_o.size()}, std::move(all_o));
+    const zc::Field fd(zc::Dims3{1, 1, all_d.size()}, std::move(all_d));
+    const auto ref = zc::reduction_metrics(fo.view(), fd.view(), cfg);
+    tst::expect_close(ref.mse, ts.aggregate.reduction.mse, 1e-12, "mse");
+    tst::expect_close(ref.psnr_db, ts.aggregate.reduction.psnr_db, 1e-12, "psnr");
+    tst::expect_close(ref.min_err, ts.aggregate.reduction.min_err, 1e-12, "min_err");
+    tst::expect_close(ref.pearson_r, ts.aggregate.reduction.pearson_r, 1e-12, "pearson");
+}
+
+TEST(TimeSeries, AggregateSsimIsWindowWeightedMean) {
+    const zc::Dims3 d{8, 8, 8};
+    const auto orig = make_steps(3, d, 2);
+    std::vector<zc::Field> dec;
+    for (const auto& f : orig) dec.push_back(tst::perturbed(f, 0.02, 7));
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto ts = zc::assess_time_series(orig, dec, cfg);
+    double sum = 0;
+    std::size_t windows = 0;
+    for (const auto& step : ts.steps) {
+        sum += step.ssim.ssim * static_cast<double>(step.ssim.windows);
+        windows += step.ssim.windows;
+    }
+    EXPECT_EQ(ts.aggregate.ssim.windows, windows);
+    EXPECT_NEAR(ts.aggregate.ssim.ssim, sum / static_cast<double>(windows), 1e-12);
+}
+
+TEST(TimeSeries, DerivativeMaximaAreMaxOverSteps) {
+    const zc::Dims3 d{8, 8, 8};
+    const auto orig = make_steps(3, d, 11);
+    std::vector<zc::Field> dec;
+    for (const auto& f : orig) dec.push_back(tst::perturbed(f, 0.01, 3));
+    const auto ts = zc::assess_time_series(orig, dec, zc::MetricsConfig{});
+    double m = 0;
+    for (const auto& step : ts.steps) m = std::max(m, step.stencil.deriv1_max_orig);
+    EXPECT_DOUBLE_EQ(ts.aggregate.stencil.deriv1_max_orig, m);
+}
+
+TEST(TimeSeries, EmptyInput) {
+    const auto ts = zc::assess_time_series({}, {}, zc::MetricsConfig{});
+    EXPECT_TRUE(ts.steps.empty());
+    EXPECT_EQ(ts.aggregate.ssim.windows, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Unit tests for the virtual GPU execution model: launches, blocks,
+// barrier semantics, shared memory, register accounting, cooperative grid
+// sync, and profiler counters.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "vgpu/vgpu.hpp"
+
+namespace {
+
+using namespace cuzc::vgpu;
+
+TEST(VgpuLaunch, EveryBlockAndThreadRuns) {
+    Device dev;
+    DeviceBuffer<float> out(dev, 6 * 64);
+    out.fill(0.0f);
+    launch(dev, LaunchConfig{"t", Dim3{3, 2, 1}, Dim3{8, 8, 1}}, [&](Launch& l, BlockCtx& blk) {
+        auto o = l.span(out);
+        const std::size_t base =
+            (std::size_t{blk.block_idx().y} * 3 + blk.block_idx().x) * 64;
+        blk.for_each_thread([&](ThreadCtx& t) { o.st(base + t.linear, 1.0f); });
+    });
+    const auto host = out.download();
+    EXPECT_DOUBLE_EQ(std::accumulate(host.begin(), host.end(), 0.0), 6.0 * 64.0);
+}
+
+TEST(VgpuLaunch, ThreadLinearizationMatchesCuda) {
+    Device dev;
+    std::vector<std::uint32_t> seen;
+    launch(dev, LaunchConfig{"t", Dim3{1, 1, 1}, Dim3{4, 2, 2}}, [&](Launch&, BlockCtx& blk) {
+        blk.for_each_thread([&](ThreadCtx& t) {
+            EXPECT_EQ(t.linear, (t.tid.z * 2 + t.tid.y) * 4 + t.tid.x);
+            EXPECT_EQ(t.warp, t.linear / 32);
+            EXPECT_EQ(t.lane, t.linear % 32);
+            seen.push_back(t.linear);
+        });
+    });
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(VgpuLaunch, ForEachIsABarrier) {
+    // All writes of region A must be visible to every thread of region B.
+    Device dev;
+    bool ok = true;
+    launch(dev, LaunchConfig{"t", Dim3{1, 1, 1}, Dim3{64, 1, 1}}, [&](Launch&, BlockCtx& blk) {
+        auto sh = blk.shared().alloc<int>(64);
+        blk.for_each_thread([&](ThreadCtx& t) { sh.st(t.linear, static_cast<int>(t.linear)); });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            // Read the value written by the "opposite" thread.
+            if (sh.ld(63 - t.linear) != static_cast<int>(63 - t.linear)) ok = false;
+        });
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(VgpuLaunch, SharedMemoryPeakIsTracked) {
+    Device dev;
+    const KernelStats& stats =
+        launch(dev, LaunchConfig{"t", Dim3{2, 1, 1}, Dim3{32, 1, 1}}, [&](Launch&, BlockCtx& blk) {
+            (void)blk.shared().alloc<double>(100);
+            (void)blk.shared().alloc<float>(64);
+        });
+    EXPECT_EQ(stats.smem_per_block, 100 * 8 + 64 * 4);
+}
+
+TEST(VgpuLaunch, RegisterAccountingIncludesBaseline) {
+    Device dev;
+    const KernelStats& stats =
+        launch(dev, LaunchConfig{"t", Dim3{1, 1, 1}, Dim3{32, 1, 1}}, [&](Launch&, BlockCtx& blk) {
+            auto a = blk.make_regs<double>(3);  // 6 words
+            auto b = blk.make_regs<float>(2);   // 2 words
+            (void)a;
+            (void)b;
+        });
+    EXPECT_EQ(stats.regs_per_thread, BlockCtx::kBaseRegsPerThread + 8);
+    EXPECT_EQ(stats.regs_per_block(), (BlockCtx::kBaseRegsPerThread + 8) * 32u);
+}
+
+TEST(VgpuLaunch, GlobalTrafficIsCounted) {
+    Device dev;
+    std::vector<float> host(128, 2.0f);
+    DeviceBuffer<float> in(dev, std::span<const float>(host));
+    DeviceBuffer<float> out(dev, 128);
+    const KernelStats& stats =
+        launch(dev, LaunchConfig{"t", Dim3{1, 1, 1}, Dim3{128, 1, 1}}, [&](Launch& l, BlockCtx& blk) {
+            auto i = l.span(in);
+            auto o = l.span(out);
+            blk.for_each_thread([&](ThreadCtx& t) { o.st(t.linear, i.ld(t.linear) * 2); });
+        });
+    EXPECT_EQ(stats.global_bytes_read, 128 * sizeof(float));
+    EXPECT_EQ(stats.global_bytes_written, 128 * sizeof(float));
+    EXPECT_EQ(dev.h2d_bytes(), 128 * sizeof(float));
+}
+
+TEST(VgpuLaunch, CoopLaunchSharedMemoryPersistsAcrossPhases) {
+    Device dev;
+    DeviceBuffer<float> out(dev, 4);
+    std::vector<CoopPhase> phases;
+    phases.push_back([&](Launch&, BlockCtx& blk) {
+        auto sh = blk.shared().alloc<float>(1);
+        sh.st(0, static_cast<float>(blk.block_idx().x + 10));
+    });
+    phases.push_back([&](Launch& l, BlockCtx& blk) {
+        // Re-allocating from the persistent arena returns the same storage.
+        blk.shared().reset();
+        auto sh = blk.shared().alloc<float>(1);
+        auto o = l.span(out);
+        o.st(blk.block_idx().x, sh.ld(0));
+    });
+    const KernelStats& stats =
+        coop_launch(dev, LaunchConfig{"t", Dim3{4, 1, 1}, Dim3{32, 1, 1}}, phases);
+    EXPECT_EQ(stats.grid_syncs, 1u);
+    const auto host = out.download();
+    for (std::size_t b = 0; b < 4; ++b) EXPECT_FLOAT_EQ(host[b], static_cast<float>(b + 10));
+}
+
+TEST(VgpuLaunch, CoopPhasesAreGridBarriers) {
+    // Block 0 in phase 2 must observe writes from every block in phase 1.
+    Device dev;
+    DeviceBuffer<double> partial(dev, 8);
+    DeviceBuffer<double> result(dev, 1);
+    std::vector<CoopPhase> phases;
+    phases.push_back([&](Launch& l, BlockCtx& blk) {
+        auto p = l.span(partial);
+        p.st(blk.block_idx().x, static_cast<double>(blk.block_idx().x + 1));
+    });
+    phases.push_back([&](Launch& l, BlockCtx& blk) {
+        if (blk.block_idx().x != 0) return;
+        auto p = l.span(partial);
+        auto r = l.span(result);
+        double sum = 0;
+        for (std::size_t i = 0; i < 8; ++i) sum += p.ld(i);
+        r.st(0, sum);
+    });
+    coop_launch(dev, LaunchConfig{"t", Dim3{8, 1, 1}, Dim3{32, 1, 1}}, phases);
+    EXPECT_DOUBLE_EQ(result.download()[0], 36.0);
+}
+
+TEST(VgpuLaunch, ProfilerAggregatesByName) {
+    Device dev;
+    for (int i = 0; i < 3; ++i) {
+        launch(dev, LaunchConfig{"k", Dim3{2, 1, 1}, Dim3{32, 1, 1}},
+               [&](Launch&, BlockCtx& blk) { blk.add_ops(10); });
+    }
+    launch(dev, LaunchConfig{"other", Dim3{1, 1, 1}, Dim3{32, 1, 1}},
+           [&](Launch&, BlockCtx& blk) { blk.add_ops(1); });
+    const KernelStats agg = dev.profiler().aggregate("k");
+    EXPECT_EQ(agg.launches, 3u);
+    EXPECT_EQ(agg.blocks, 6u);
+    EXPECT_EQ(agg.lane_ops, 60u);
+    EXPECT_EQ(dev.profiler().launch_count(), 4u);
+    EXPECT_EQ(dev.profiler().total().lane_ops, 61u);
+}
+
+TEST(VgpuLaunch, DeviceResetClearsCounters) {
+    Device dev;
+    launch(dev, LaunchConfig{"k", Dim3{1, 1, 1}, Dim3{32, 1, 1}}, [&](Launch&, BlockCtx&) {});
+    dev.reset_counters();
+    EXPECT_EQ(dev.profiler().records().size(), 0u);
+    EXPECT_EQ(dev.h2d_bytes(), 0u);
+}
+
+TEST(VgpuLaunch, DeviceReduceMatchesSerialForVariousSizes) {
+    Device dev;
+    for (const std::size_t n : {1ul, 31ul, 32ul, 255ul, 256ul, 1000ul, 70000ul}) {
+        std::vector<float> host(n);
+        for (std::size_t i = 0; i < n; ++i) host[i] = static_cast<float>((i * 37 + 11) % 101);
+        DeviceBuffer<float> buf(dev, std::span<const float>(host));
+        const double serial = std::accumulate(host.begin(), host.end(), 0.0);
+        const double gpu = device_reduce<double>(
+            dev, "sum", n, 0.0, [](double a, double b) { return a + b; },
+            [&](Launch& l) {
+                auto s = l.span(buf);
+                return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+            });
+        EXPECT_DOUBLE_EQ(gpu, serial) << "n=" << n;
+    }
+}
+
+TEST(VgpuLaunch, DeviceReduceMinWithInit) {
+    Device dev;
+    std::vector<float> host{5, 3, 9, -2, 7};
+    DeviceBuffer<float> buf(dev, std::span<const float>(host));
+    const double m = device_reduce<double>(
+        dev, "min", host.size(), 1e30, [](double a, double b) { return a < b ? a : b; },
+        [&](Launch& l) {
+            auto s = l.span(buf);
+            return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+        });
+    EXPECT_DOUBLE_EQ(m, -2.0);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Unit tests for the virtual GPU memory primitives: device buffers,
+// transfer accounting, shared-memory arenas, and register arrays.
+
+#include <gtest/gtest.h>
+
+#include "vgpu/vgpu.hpp"
+
+namespace {
+
+using namespace cuzc::vgpu;
+
+TEST(VgpuBuffer, UploadDownloadRoundTripAndCounting) {
+    Device dev;
+    std::vector<float> host{1.5f, -2.0f, 3.25f};
+    DeviceBuffer<float> buf(dev, std::span<const float>(host));
+    EXPECT_EQ(dev.h2d_bytes(), 3 * sizeof(float));
+
+    const auto back = buf.download();
+    EXPECT_EQ(back, host);
+    EXPECT_EQ(dev.d2h_bytes(), 3 * sizeof(float));
+
+    std::vector<float> next{9.0f, 8.0f, 7.0f};
+    buf.upload(next);
+    EXPECT_EQ(dev.h2d_bytes(), 6 * sizeof(float));
+    std::vector<float> sink(3);
+    buf.download(std::span<float>(sink));
+    EXPECT_EQ(sink, next);
+}
+
+TEST(VgpuBuffer, UninitializedAllocationThenFill) {
+    Device dev;
+    DeviceBuffer<double> buf(dev, 16);
+    EXPECT_EQ(dev.h2d_bytes(), 0u);  // plain allocation moves no data
+    buf.fill(4.5);
+    for (const double v : buf.download()) EXPECT_DOUBLE_EQ(v, 4.5);
+}
+
+TEST(VgpuSharedArena, AlignmentAndPeakTracking) {
+    std::uint64_t rd = 0, wr = 0;
+    SharedArena arena(1024, &rd, &wr);
+    auto bytes = arena.alloc<std::uint8_t>(3);  // offset now 3
+    auto doubles = arena.alloc<double>(2);      // must align to 8 -> offset 8..24
+    (void)bytes;
+    (void)doubles;
+    EXPECT_EQ(arena.peak_bytes(), 24u);
+    arena.reset();
+    auto again = arena.alloc<double>(1);  // reuses from offset 0
+    (void)again;
+    EXPECT_EQ(arena.peak_bytes(), 24u);  // peak survives reset
+}
+
+TEST(VgpuSharedArena, LoadStoreCounting) {
+    std::uint64_t rd = 0, wr = 0;
+    SharedArena arena(256, &rd, &wr);
+    auto a = arena.alloc<float>(4);
+    a.st(0, 1.0f);
+    a.st(1, 2.0f);
+    EXPECT_EQ(wr, 2 * sizeof(float));
+    EXPECT_FLOAT_EQ(a.ld(0), 1.0f);
+    EXPECT_EQ(rd, sizeof(float));
+}
+
+TEST(VgpuRegArray, MultiSlotPerThreadState) {
+    RegArray<double> regs(4, 3, -1.0);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        for (std::uint32_t s = 0; s < 3; ++s) {
+            EXPECT_DOUBLE_EQ(regs.at(t, s), -1.0);
+            regs.at(t, s) = t * 10.0 + s;
+        }
+    }
+    ThreadCtx ctx;
+    ctx.linear = 2;
+    EXPECT_DOUBLE_EQ(regs(ctx, 1), 21.0);
+    EXPECT_EQ(regs.width(), 3u);
+}
+
+TEST(VgpuBlock, ThreadAtMapsAllDims) {
+    KernelStats stats;
+    DeviceProps props;
+    SharedArena arena(1024, &stats.shared_bytes_read, &stats.shared_bytes_written);
+    BlockCtx blk(stats, props, Dim3{1, 1, 1}, Dim3{4, 3, 2}, Dim3{0, 0, 0}, arena);
+    EXPECT_EQ(blk.num_threads(), 24u);
+    EXPECT_EQ(blk.num_warps(), 1u);
+    const ThreadCtx t = blk.thread_at(4 * 3 + 4 * 1 + 2);  // z=1, y=1, x=2
+    EXPECT_EQ(t.tid.x, 2u);
+    EXPECT_EQ(t.tid.y, 1u);
+    EXPECT_EQ(t.tid.z, 1u);
+}
+
+TEST(VgpuBlock, IterAndOpCountersAccumulate) {
+    Device dev;
+    const KernelStats& stats =
+        launch(dev, LaunchConfig{"k", Dim3{2, 1, 1}, Dim3{32, 1, 1}}, [&](Launch&, BlockCtx& blk) {
+            blk.for_each_thread([&](ThreadCtx&) {
+                blk.add_iters(3);
+                blk.add_ops(7);
+            });
+        });
+    EXPECT_EQ(stats.thread_iters, 2u * 32 * 3);
+    EXPECT_EQ(stats.lane_ops, 2u * 32 * 7);
+    EXPECT_DOUBLE_EQ(stats.iters_per_thread(), 3.0);
+}
+
+TEST(VgpuDeviceSpan, CountsPerElementBytes) {
+    Device dev;
+    DeviceBuffer<double> buf(dev, 8);
+    launch(dev, LaunchConfig{"k", Dim3{1, 1, 1}, Dim3{32, 1, 1}}, [&](Launch& l, BlockCtx& blk) {
+        auto s = l.span(buf);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear < 8) s.st(t.linear, 1.0);
+        });
+        blk.for_each_thread([&](ThreadCtx& t) {
+            if (t.linear < 4) (void)s.ld(t.linear);
+        });
+    });
+    const auto rec = dev.profiler().records().back();
+    EXPECT_EQ(rec.global_bytes_written, 8 * sizeof(double));
+    EXPECT_EQ(rec.global_bytes_read, 4 * sizeof(double));
+}
+
+}  // namespace

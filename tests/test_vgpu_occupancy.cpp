@@ -1,0 +1,150 @@
+// Occupancy calculator and cost model tests, pinned against the V100
+// limits the paper's Table II analysis relies on.
+
+#include <gtest/gtest.h>
+
+#include "vgpu/vgpu.hpp"
+
+namespace {
+
+using namespace cuzc::vgpu;
+
+TEST(VgpuOccupancy, RegisterLimited) {
+    // The paper's pattern-1 case: ~14K registers per block -> 64K/14K = 4
+    // concurrent blocks per SM, register limited.
+    const DeviceProps props = DeviceProps::v100();
+    const auto r = occupancy(props, 512, 28, 1024);  // 28 regs * 512 = 14336/TB
+    EXPECT_EQ(r.max_blocks_per_sm, 4u);
+    EXPECT_EQ(r.limiter, OccupancyLimiter::kRegisters);
+    EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(VgpuOccupancy, SharedMemoryLimited) {
+    const DeviceProps props = DeviceProps::v100();
+    const auto r = occupancy(props, 128, 16, 33 * 1024);
+    EXPECT_EQ(r.max_blocks_per_sm, 96u * 1024 / (33u * 1024));
+    EXPECT_EQ(r.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(VgpuOccupancy, ThreadLimited) {
+    const DeviceProps props = DeviceProps::v100();
+    const auto r = occupancy(props, 1024, 16, 0);
+    EXPECT_EQ(r.max_blocks_per_sm, 2u);
+    EXPECT_EQ(r.limiter, OccupancyLimiter::kThreads);
+    EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(VgpuOccupancy, BlockCountLimited) {
+    const DeviceProps props = DeviceProps::v100();
+    const auto r = occupancy(props, 32, 8, 0);
+    EXPECT_EQ(r.max_blocks_per_sm, 32u);
+    EXPECT_EQ(r.limiter, OccupancyLimiter::kBlocks);
+    EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+}
+
+TEST(VgpuOccupancy, BlocksPerSmRoundsUp) {
+    const DeviceProps props = DeviceProps::v100();
+    EXPECT_EQ(blocks_per_sm(props, 80), 1u);
+    EXPECT_EQ(blocks_per_sm(props, 81), 2u);
+    EXPECT_EQ(blocks_per_sm(props, 512), 7u);  // the paper's NYX pattern-1 case
+    EXPECT_EQ(blocks_per_sm(props, 7), 1u);
+}
+
+TEST(VgpuCostModel, MemoryBoundKernel) {
+    const GpuCostModel model(DeviceProps::v100(), GpuCostParams{});
+    KernelStats s;
+    s.launches = 1;
+    s.blocks = 1024;
+    s.threads_per_block = 256;
+    s.regs_per_thread = 32;
+    s.global_bytes_read = 1'000'000'000;
+    s.lane_ops = 1000;  // negligible compute
+    const auto t = model.kernel_time(s);
+    EXPECT_GT(t.mem_s, t.compute_s);
+    EXPECT_NEAR(t.total_s, t.launch_s + t.mem_s, 1e-12);
+    EXPECT_EQ(t.resident_blocks_per_sm, 8u);  // regs-limited 64K/(32*256)
+    EXPECT_DOUBLE_EQ(t.derate, 1.0);
+}
+
+TEST(VgpuCostModel, SingleResidentBlockIsDerated) {
+    // The paper's pattern-2 Hurricane/Scale-LETKF effect: too few blocks
+    // per SM -> no latency hiding -> derated throughput.
+    const GpuCostParams params;
+    const GpuCostModel model(DeviceProps::v100(), params);
+    KernelStats s;
+    s.launches = 1;
+    s.blocks = 7;  // << 80 SMs
+    s.threads_per_block = 256;
+    s.regs_per_thread = 32;
+    s.global_bytes_read = 1'000'000'000;
+    const auto t = model.kernel_time(s);
+    EXPECT_EQ(t.resident_blocks_per_sm, 1u);
+    // 7 blocks on 80 SMs: single-resident latency derate plus the idle-SM
+    // utilization factor (floored at 0.35).
+    EXPECT_DOUBLE_EQ(t.sm_utilization, 0.35);
+    EXPECT_DOUBLE_EQ(t.derate, params.derate_1tb * 0.35);
+
+    KernelStats s2 = s;
+    s2.blocks = 512;
+    const auto t2 = model.kernel_time(s2);
+    EXPECT_DOUBLE_EQ(t2.derate, 1.0);
+    EXPECT_DOUBLE_EQ(t2.sm_utilization, 1.0);
+    EXPECT_GT(t.total_s, t2.total_s);  // same bytes, fewer blocks -> slower
+}
+
+TEST(VgpuCostModel, CoalescingScalesMemoryTime) {
+    const GpuCostModel model(DeviceProps::v100(), GpuCostParams{});
+    KernelStats s;
+    s.launches = 1;
+    s.blocks = 1024;
+    s.threads_per_block = 256;
+    s.regs_per_thread = 32;
+    s.global_bytes_read = 1'000'000'000;
+    s.coalescing = 0.25;
+    const auto bad = model.kernel_time(s);
+    const auto good = model.kernel_time(s, 1.0);
+    EXPECT_NEAR(bad.mem_s / good.mem_s, 4.0, 1e-9);
+}
+
+TEST(VgpuCostModel, LaunchOverheadScalesWithLaunches) {
+    const GpuCostParams params;
+    const GpuCostModel model(DeviceProps::v100(), params);
+    KernelStats s;
+    s.launches = 10;
+    s.grid_syncs = 2;
+    s.blocks = 1000;
+    s.threads_per_block = 256;
+    s.regs_per_thread = 16;
+    const auto t = model.kernel_time(s);
+    EXPECT_NEAR(t.launch_s, 10 * params.t_launch + 2 * params.t_grid_sync, 1e-15);
+}
+
+TEST(VgpuCostModel, CpuModelRooflines) {
+    const CpuCostParams params;
+    const CpuCostModel model(params);
+    // Memory bound: 10 GB at 100 GB/s = 0.1 s regardless of threads.
+    EXPECT_NEAR(model.time(CpuWork{10'000'000'000ull, 1000}, 20), 0.1, 1e-9);
+    // Compute bound: ops dominate; halving threads doubles time.
+    const CpuWork heavy{1000, 100'000'000'000ull};
+    EXPECT_NEAR(model.time(heavy, 10) / model.time(heavy, 20), 2.0, 1e-9);
+    // Threads clamp at physical cores.
+    EXPECT_DOUBLE_EQ(model.time(heavy, 20), model.time(heavy, 200));
+}
+
+TEST(VgpuCostModel, StatsMergeTakesMinCoalescing) {
+    KernelStats a;
+    a.coalescing = 0.9;
+    KernelStats b;
+    b.coalescing = 0.3;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.coalescing, 0.3);
+}
+
+TEST(VgpuOccupancy, LimiterNamesAreStable) {
+    EXPECT_EQ(to_string(OccupancyLimiter::kRegisters), "registers");
+    EXPECT_EQ(to_string(OccupancyLimiter::kSharedMemory), "shared-memory");
+    EXPECT_EQ(to_string(OccupancyLimiter::kThreads), "threads");
+    EXPECT_EQ(to_string(OccupancyLimiter::kBlocks), "blocks");
+}
+
+}  // namespace

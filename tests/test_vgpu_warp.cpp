@@ -1,0 +1,121 @@
+// Unit tests for the virtual GPU warp primitives: shuffle semantics,
+// ballot masks, and the masked tree reduction.
+
+#include <gtest/gtest.h>
+
+#include "vgpu/vgpu.hpp"
+
+namespace {
+
+using namespace cuzc::vgpu;
+
+struct WarpFixture {
+    KernelStats stats;
+    RegArray<double> reg{kWarpSize, 1};
+
+    WarpFixture() {
+        for (std::uint32_t i = 0; i < kWarpSize; ++i) reg.at(i) = i;
+    }
+    WarpCtx warp() { return WarpCtx(0, 0, kWarpSize, &stats); }
+};
+
+TEST(VgpuWarp, ShflDownMovesValuesDownward) {
+    WarpFixture f;
+    auto w = f.warp();
+    const auto got = w.shfl_down(f.reg, 0, 4);
+    for (std::uint32_t l = 0; l < kWarpSize; ++l) {
+        const double expected = l + 4 < kWarpSize ? l + 4 : l;  // own value past the edge
+        EXPECT_DOUBLE_EQ(got[l], expected) << "lane " << l;
+    }
+}
+
+TEST(VgpuWarp, ShflUpMovesValuesUpward) {
+    WarpFixture f;
+    auto w = f.warp();
+    const auto got = w.shfl_up(f.reg, 0, 3);
+    for (std::uint32_t l = 0; l < kWarpSize; ++l) {
+        const double expected = l >= 3 ? l - 3 : l;
+        EXPECT_DOUBLE_EQ(got[l], expected) << "lane " << l;
+    }
+}
+
+TEST(VgpuWarp, ShflXorExchangesPairs) {
+    WarpFixture f;
+    auto w = f.warp();
+    const auto got = w.shfl_xor(f.reg, 0, 1);
+    for (std::uint32_t l = 0; l < kWarpSize; ++l) {
+        EXPECT_DOUBLE_EQ(got[l], l ^ 1u) << "lane " << l;
+    }
+}
+
+TEST(VgpuWarp, ShflRespectsMask) {
+    WarpFixture f;
+    auto w = f.warp();
+    const std::uint32_t mask = 0x0000ffffu;  // lanes 0..15
+    const auto got = w.shfl_down(f.reg, 0, 8, mask);
+    EXPECT_DOUBLE_EQ(got[0], 8.0);    // source lane 8 in mask
+    EXPECT_DOUBLE_EQ(got[10], 10.0);  // source lane 18 outside mask -> own value
+}
+
+TEST(VgpuWarp, BallotPacksPredicates) {
+    WarpFixture f;
+    auto w = f.warp();
+    const std::uint32_t mask = w.ballot([](std::uint32_t lane) { return lane % 2 == 0; });
+    EXPECT_EQ(mask, 0x55555555u);
+    EXPECT_EQ(w.ballot([](std::uint32_t) { return true; }), kFullMask);
+    EXPECT_EQ(w.ballot([](std::uint32_t) { return false; }), 0u);
+}
+
+TEST(VgpuWarp, FullMaskSumReduction) {
+    WarpFixture f;
+    auto w = f.warp();
+    w.reduce_shfl_down(f.reg, 0, [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(f.reg.at(0), 31.0 * 32.0 / 2.0);
+}
+
+TEST(VgpuWarp, MaskedSumReductionOnlyFoldsMaskedLanes) {
+    // The regression that inflated every fused metric: lanes whose shuffle
+    // source lies outside the mask must not fold their own value again.
+    for (std::uint32_t active : {1u, 3u, 5u, 8u, 17u, 32u}) {
+        WarpFixture f;
+        auto w = f.warp();
+        const std::uint32_t mask = w.ballot([&](std::uint32_t lane) { return lane < active; });
+        w.reduce_shfl_down(f.reg, 0, [](double a, double b) { return a + b; }, mask);
+        const double expected = static_cast<double>(active - 1) * active / 2.0;
+        EXPECT_DOUBLE_EQ(f.reg.at(0), expected) << "active=" << active;
+    }
+}
+
+TEST(VgpuWarp, MinMaxReductions) {
+    WarpFixture f;
+    for (std::uint32_t i = 0; i < kWarpSize; ++i) f.reg.at(i) = (i * 7 + 3) % 31;
+    auto w = f.warp();
+    RegArray<double> mx(kWarpSize, 1);
+    for (std::uint32_t i = 0; i < kWarpSize; ++i) mx.at(i) = f.reg.at(i);
+    w.reduce_shfl_down(f.reg, 0, [](double a, double b) { return a < b ? a : b; });
+    w.reduce_shfl_down(mx, 0, [](double a, double b) { return a > b ? a : b; });
+    EXPECT_DOUBLE_EQ(f.reg.at(0), 0.0);
+    EXPECT_DOUBLE_EQ(mx.at(0), 30.0);
+}
+
+TEST(VgpuWarp, PartialWarpHasFewerLanes) {
+    KernelStats stats;
+    RegArray<double> reg(40, 1);
+    for (std::uint32_t i = 0; i < 40; ++i) reg.at(i) = 1.0;
+    WarpCtx w(1, 32, 8, &stats);  // trailing warp of a 40-thread block
+    EXPECT_EQ(w.active_lanes(), 8u);
+    w.reduce_shfl_down(reg, 0, [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(reg.at(32), 8.0);
+}
+
+TEST(VgpuWarp, ShuffleOpsAreCounted) {
+    WarpFixture f;
+    auto w = f.warp();
+    (void)w.shfl_down(f.reg, 0, 1);
+    EXPECT_EQ(f.stats.shuffle_ops, kWarpSize);
+    (void)w.shfl_up(f.reg, 0, 1);
+    (void)w.shfl_xor(f.reg, 0, 1);
+    EXPECT_EQ(f.stats.shuffle_ops, 3 * kWarpSize);
+}
+
+}  // namespace

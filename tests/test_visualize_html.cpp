@@ -1,0 +1,150 @@
+// Tests for the visualization engine (PGM/PPM slice rendering, sparklines)
+// and the HTML report generator (the Z-server substitute).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/html_report.hpp"
+#include "io/visualize.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace io = ::cuzc::io;
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+namespace fs = std::filesystem;
+
+std::vector<char> slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+TEST(Visualize, PgmSliceHasValidHeaderAndSize) {
+    const zc::Field f = tst::smooth_field({10, 14, 6}, 3);
+    const auto path = fs::temp_directory_path() / "cuzc_slice.pgm";
+    io::write_slice_pgm(path, f.view(), 2);
+    const auto bytes = slurp(path);
+    const std::string head(bytes.begin(), bytes.begin() + 2);
+    EXPECT_EQ(head, "P5");
+    // Header "P5\n14 10\n255\n" + 10*14 payload bytes.
+    const std::string expected_header = "P5\n14 10\n255\n";
+    ASSERT_GT(bytes.size(), expected_header.size());
+    EXPECT_EQ(std::string(bytes.begin(),
+                          bytes.begin() + static_cast<long>(expected_header.size())),
+              expected_header);
+    EXPECT_EQ(bytes.size(), expected_header.size() + 10 * 14);
+    fs::remove(path);
+}
+
+TEST(Visualize, PgmNormalizesFullRange) {
+    zc::Field f(zc::Dims3{1, 2, 1});
+    f.data()[0] = -5.0f;
+    f.data()[1] = 5.0f;
+    const auto path = fs::temp_directory_path() / "cuzc_norm.pgm";
+    io::write_slice_pgm(path, f.view(), 0);
+    const auto bytes = slurp(path);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 2]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 1]), 255);
+    fs::remove(path);
+}
+
+TEST(Visualize, ErrorPpmEncodesSign) {
+    zc::Field orig(zc::Dims3{1, 2, 1});
+    zc::Field dec(zc::Dims3{1, 2, 1});
+    orig.data()[0] = 0.0f;
+    orig.data()[1] = 0.0f;
+    dec.data()[0] = 1.0f;   // positive error -> red
+    dec.data()[1] = -1.0f;  // negative error -> blue
+    const auto path = fs::temp_directory_path() / "cuzc_err.ppm";
+    io::write_error_ppm(path, orig.view(), dec.view(), 0);
+    const auto bytes = slurp(path);
+    // Payload = last 6 bytes (2 pixels x RGB).
+    const auto* px = reinterpret_cast<const unsigned char*>(bytes.data() + bytes.size() - 6);
+    EXPECT_EQ(px[0], 255);  // red channel saturated for positive error
+    EXPECT_EQ(px[2], 0);
+    EXPECT_EQ(px[3 + 2], 255);  // blue channel saturated for negative error
+    EXPECT_EQ(px[3 + 0], 0);
+    fs::remove(path);
+}
+
+TEST(Visualize, BadSliceIndexThrows) {
+    const zc::Field f = tst::smooth_field({4, 4, 4}, 1);
+    EXPECT_THROW(io::write_slice_pgm("/tmp/x.pgm", f.view(), 99), std::out_of_range);
+}
+
+TEST(Visualize, Sparkline) {
+    const std::string s = io::sparkline({0.0, 0.5, 1.0});
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(io::sparkline({}), "");
+    // Monotone input -> last glyph is the tallest level.
+    EXPECT_NE(s.find("▇"), std::string::npos);
+}
+
+TEST(HtmlReport, ContainsMetricsAndCharts) {
+    const zc::Field orig = tst::smooth_field({10, 10, 10}, 4);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 5);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto rep = zc::assess(orig.view(), dec.view(), cfg);
+
+    io::HtmlReportOptions opt;
+    opt.field_name = "testfield";
+    zc::CompressionStats cs;
+    cs.raw_bytes = 4000;
+    cs.compressed_bytes = 400;
+    cs.compress_seconds = 0.01;
+    opt.compression = cs;
+
+    const std::string html = io::to_html(rep, opt);
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("PSNR"), std::string::npos);
+    EXPECT_NE(html.find("SSIM"), std::string::npos);
+    EXPECT_NE(html.find("testfield"), std::string::npos);
+    EXPECT_NE(html.find("compression ratio"), std::string::npos);
+    // Two PDF bar charts + one autocorrelation chart.
+    std::size_t svgs = 0;
+    for (std::size_t pos = 0; (pos = html.find("<svg", pos)) != std::string::npos; ++pos) {
+        ++svgs;
+    }
+    EXPECT_EQ(svgs, 3u);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReport, SvgChartsHandleEmptyAndDegenerate) {
+    const std::string empty_bar = io::svg_bar_chart({}, 0, 1, "empty");
+    EXPECT_NE(empty_bar.find("<svg"), std::string::npos);
+    const std::string zero_bar = io::svg_bar_chart({0, 0, 0}, 0, 1, "zeros");
+    EXPECT_NE(zero_bar.find("<svg"), std::string::npos);
+    const std::string one_lag = io::svg_lag_chart({0.5}, "one");
+    EXPECT_NE(one_lag.find("circle"), std::string::npos);
+}
+
+TEST(HtmlReport, InfinityIsRenderedAsEntity) {
+    zc::AssessmentReport rep;
+    rep.reduction.psnr_db = std::numeric_limits<double>::infinity();
+    const std::string html = io::to_html(rep);
+    EXPECT_NE(html.find("&infin;"), std::string::npos);
+    EXPECT_EQ(html.find("inf<"), std::string::npos);
+}
+
+TEST(CompressionStats, DerivedQuantities) {
+    zc::CompressionStats cs;
+    cs.raw_bytes = 4000;
+    cs.compressed_bytes = 1000;
+    cs.compress_seconds = 2.0;
+    cs.decompress_seconds = 0.5;
+    EXPECT_DOUBLE_EQ(cs.ratio(), 4.0);
+    EXPECT_DOUBLE_EQ(cs.bit_rate(), 8.0);
+    EXPECT_DOUBLE_EQ(cs.compress_bytes_per_sec(), 2000.0);
+    EXPECT_DOUBLE_EQ(cs.decompress_bytes_per_sec(), 8000.0);
+    const zc::CompressionStats zero;
+    EXPECT_DOUBLE_EQ(zero.ratio(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.bit_rate(), 0.0);
+}
+
+}  // namespace

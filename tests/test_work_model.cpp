@@ -1,0 +1,100 @@
+// Tests for the CPU work model (the analytic basis of the ompZC baseline
+// timings) and remaining zc plumbing: tensors, metric naming, ompZC thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include "ompzc/ompzc.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace ompzc = ::cuzc::ompzc;
+namespace tst = ::cuzc::testing;
+
+TEST(WorkModel, ScalesWithVolume) {
+    zc::MetricsConfig cfg;
+    // Pattern 1 is exactly volume-linear.
+    const auto p1s = zc::cpu_pattern1_work({50, 50, 50}, cfg);
+    const auto p1b = zc::cpu_pattern1_work({100, 100, 100}, cfg);
+    EXPECT_NEAR(static_cast<double>(p1b.ops) / static_cast<double>(p1s.ops), 8.0, 1e-9);
+    // The total is near-linear once window-boundary effects are small
+    // (SSIM window counts are (d - w + 1)^3, not d^3).
+    const auto small = zc::cpu_total_work({200, 200, 200}, cfg);
+    const auto big = zc::cpu_total_work({400, 400, 400}, cfg);
+    EXPECT_NEAR(static_cast<double>(big.ops) / static_cast<double>(small.ops), 8.0, 0.5);
+    EXPECT_NEAR(static_cast<double>(big.bytes) / static_cast<double>(small.bytes), 8.0, 0.5);
+}
+
+TEST(WorkModel, PatternTogglesPartitionTheTotal) {
+    zc::MetricsConfig cfg;
+    const zc::Dims3 d{64, 64, 64};
+    const auto total = zc::cpu_total_work(d, cfg);
+    const auto p1 = zc::cpu_pattern1_work(d, cfg);
+    const auto p2 = zc::cpu_pattern2_work(d, cfg);
+    const auto p3 = zc::cpu_pattern3_work(d, cfg);
+    EXPECT_EQ(total.ops, p1.ops + p2.ops + p3.ops);
+    EXPECT_EQ(total.bytes, p1.bytes + p2.bytes + p3.bytes);
+
+    zc::MetricsConfig only1 = zc::MetricsConfig::only(zc::Pattern::kGlobalReduction);
+    EXPECT_EQ(zc::cpu_total_work(d, only1).ops, p1.ops);
+}
+
+TEST(WorkModel, SsimWorkGrowsWithWindowAndShrinksWithStep) {
+    zc::MetricsConfig small, large, strided;
+    small.ssim_window = 4;
+    large.ssim_window = 8;
+    strided.ssim_window = 8;
+    strided.ssim_step = 2;
+    const zc::Dims3 d{64, 64, 64};
+    EXPECT_GT(zc::cpu_pattern3_work(d, large).ops, zc::cpu_pattern3_work(d, small).ops);
+    EXPECT_GT(zc::cpu_pattern3_work(d, large).ops, zc::cpu_pattern3_work(d, strided).ops);
+}
+
+TEST(WorkModel, AutocorrWorkGrowsWithLagCount) {
+    zc::MetricsConfig few, many;
+    few.autocorr_max_lag = 2;
+    many.autocorr_max_lag = 10;
+    const zc::Dims3 d{64, 64, 64};
+    EXPECT_GT(zc::cpu_pattern2_work(d, many).ops, zc::cpu_pattern2_work(d, few).ops);
+}
+
+TEST(Tensor, IndexingAndRank) {
+    zc::Dims3 d{3, 4, 5};
+    EXPECT_EQ(d.volume(), 60u);
+    EXPECT_EQ(d.index(1, 2, 3), (1u * 4 + 2) * 5 + 3);
+    EXPECT_EQ(d.rank(), 3);
+    EXPECT_EQ((zc::Dims3{1, 4, 5}).rank(), 2);
+    EXPECT_EQ((zc::Dims3{1, 1, 5}).rank(), 1);
+
+    zc::Field f(d);
+    f(1, 2, 3) = 42.0f;
+    EXPECT_FLOAT_EQ(f.view()(1, 2, 3), 42.0f);
+    EXPECT_FLOAT_EQ(f.view()[d.index(1, 2, 3)], 42.0f);
+}
+
+TEST(MetricNames, EveryMetricAndPatternHasAName) {
+    using zc::Metric;
+    for (const auto m : {Metric::kMinError, Metric::kPsnr, Metric::kSsim, Metric::kLaplacian,
+                         Metric::kValueStats, Metric::kAutocorrelation}) {
+        EXPECT_NE(zc::to_string(m), "?");
+    }
+    EXPECT_EQ(zc::to_string(zc::Pattern::kGlobalReduction), "pattern-1/global-reduction");
+    EXPECT_EQ(zc::to_string(zc::Pattern::kSlidingWindow), "pattern-3/sliding-window");
+}
+
+TEST(OmpZc, ExplicitThreadCountsAgree) {
+    const zc::Field orig = tst::smooth_field({14, 14, 14}, 2);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 6);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    const auto ref = zc::assess(orig.view(), dec.view(), cfg);
+    for (const int threads : {1, 2, 4, 8}) {
+        const auto got = ompzc::assess(orig.view(), dec.view(), cfg, threads);
+        tst::expect_reports_close(ref, got, 1e-9);
+    }
+}
+
+}  // namespace

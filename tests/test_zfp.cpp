@@ -1,0 +1,156 @@
+// Tests for the zfp-style fixed-rate codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+#include "zfp/fixed_rate.hpp"
+
+namespace {
+
+namespace zfp = ::cuzc::zfp;
+namespace zc = ::cuzc::zc;
+namespace tst = ::cuzc::testing;
+
+TEST(ZfpLift, ForwardInverseIsNearExact) {
+    // zfp's lifting pair is a scaled transform whose >>1 steps drop low
+    // bits by design; round-tripping recovers the input to within a few
+    // integer units (the documented behaviour of the real codec).
+    for (std::uint64_t seed = 1; seed < 500; ++seed) {
+        std::int32_t v[4];
+        for (int i = 0; i < 4; ++i) {
+            v[i] = static_cast<std::int32_t>(
+                       cuzc::data::mix64(seed * 4 + static_cast<std::uint64_t>(i)) % (1u << 26)) -
+                   (1 << 25);
+        }
+        std::int32_t w[4] = {v[0], v[1], v[2], v[3]};
+        zfp::fwd_lift(w, 1);
+        zfp::inv_lift(w, 1);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_LE(std::abs(static_cast<long>(w[i]) - v[i]), 8) << "seed " << seed;
+        }
+    }
+}
+
+TEST(ZfpLift, ConstantBlockConcentratesInDc) {
+    std::int32_t v[4] = {1000, 1000, 1000, 1000};
+    zfp::fwd_lift(v, 1);
+    EXPECT_EQ(v[0], 1000);  // DC coefficient
+    EXPECT_EQ(v[1], 0);
+    EXPECT_EQ(v[2], 0);
+    EXPECT_EQ(v[3], 0);
+}
+
+TEST(ZfpOrder, SequencyOrderIsAPermutationByDegree) {
+    const auto& o = zfp::sequency_order();
+    std::array<bool, 64> seen{};
+    int prev_deg = -1;
+    for (const auto idx : o) {
+        ASSERT_LT(idx, 64);
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+        const int deg = idx / 16 + (idx / 4) % 4 + idx % 4;
+        EXPECT_GE(deg, prev_deg);
+        prev_deg = deg;
+    }
+    EXPECT_EQ(o[0], 0);  // DC first
+}
+
+TEST(ZfpCodec, CompressedSizeMatchesRate) {
+    const zc::Field f = tst::smooth_field({16, 16, 16}, 3);
+    for (const double rate : {4.0, 8.0, 16.0}) {
+        zfp::ZfpConfig cfg;
+        cfg.rate_bits = rate;
+        const auto comp = zfp::compress_fixed_rate(f.view(), cfg);
+        const double expected_ratio = 32.0 / rate;
+        EXPECT_NEAR(comp.compression_ratio(), expected_ratio, expected_ratio * 0.05)
+            << "rate " << rate;
+    }
+}
+
+TEST(ZfpCodec, HighRateIsNearLossless) {
+    const zc::Field orig = tst::smooth_field({12, 12, 12}, 7);
+    zfp::ZfpConfig cfg;
+    cfg.rate_bits = 30.0;
+    const auto comp = zfp::compress_fixed_rate(orig.view(), cfg);
+    const zc::Field dec = zfp::decompress_fixed_rate(comp.bytes);
+    zc::MetricsConfig mcfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), mcfg);
+    EXPECT_GT(r.psnr_db, 120.0);
+}
+
+TEST(ZfpCodec, QualityImprovesWithRate) {
+    const zc::Field orig = tst::smooth_field({20, 20, 20}, 5);
+    double prev_psnr = -1;
+    zc::MetricsConfig mcfg;
+    for (const double rate : {2.0, 4.0, 8.0, 12.0, 16.0}) {
+        zfp::ZfpConfig cfg;
+        cfg.rate_bits = rate;
+        const auto comp = zfp::compress_fixed_rate(orig.view(), cfg);
+        const zc::Field dec = zfp::decompress_fixed_rate(comp.bytes);
+        const auto r = zc::reduction_metrics(orig.view(), dec.view(), mcfg);
+        EXPECT_GT(r.psnr_db, prev_psnr) << "rate " << rate;
+        prev_psnr = r.psnr_db;
+    }
+    EXPECT_GT(prev_psnr, 90.0);
+}
+
+TEST(ZfpCodec, NonMultipleOfFourDims) {
+    const zc::Field orig = tst::smooth_field({9, 7, 5}, 11);
+    zfp::ZfpConfig cfg;
+    cfg.rate_bits = 16.0;
+    const auto comp = zfp::compress_fixed_rate(orig.view(), cfg);
+    const zc::Field dec = zfp::decompress_fixed_rate(comp.bytes);
+    ASSERT_EQ(dec.dims(), orig.dims());
+    zc::MetricsConfig mcfg;
+    const auto r = zc::reduction_metrics(orig.view(), dec.view(), mcfg);
+    EXPECT_GT(r.psnr_db, 60.0);
+}
+
+TEST(ZfpCodec, ConstantFieldIsExactAtLowRate) {
+    zc::Field orig(zc::Dims3{8, 8, 8});
+    for (std::size_t i = 0; i < orig.size(); ++i) orig.data()[i] = 3.75f;
+    zfp::ZfpConfig cfg;
+    cfg.rate_bits = 4.0;
+    const auto comp = zfp::compress_fixed_rate(orig.view(), cfg);
+    const zc::Field dec = zfp::decompress_fixed_rate(comp.bytes);
+    for (std::size_t i = 0; i < dec.size(); ++i) {
+        EXPECT_NEAR(dec.data()[i], 3.75f, 1e-4f);
+    }
+}
+
+TEST(ZfpCodec, InvalidInputsThrow) {
+    zc::Field empty;
+    zfp::ZfpConfig cfg;
+    EXPECT_THROW((void)zfp::compress_fixed_rate(empty.view(), cfg), std::invalid_argument);
+    const zc::Field f = tst::smooth_field({4, 4, 4}, 1);
+    cfg.rate_bits = 0.5;
+    EXPECT_THROW((void)zfp::compress_fixed_rate(f.view(), cfg), std::invalid_argument);
+    cfg.rate_bits = 8.0;
+    auto comp = zfp::compress_fixed_rate(f.view(), cfg);
+    comp.bytes[0] ^= 0xFF;
+    EXPECT_THROW((void)zfp::decompress_fixed_rate(comp.bytes), std::invalid_argument);
+}
+
+TEST(ZfpCodec, FixedRateCannotBoundPointwiseError) {
+    // The paper's motivating observation: fixed-rate gives no pointwise
+    // guarantee — a block with one outlier sacrifices the rest.
+    zc::Field orig(zc::Dims3{4, 4, 4});
+    for (std::size_t i = 0; i < orig.size(); ++i) orig.data()[i] = 0.001f;
+    orig.data()[0] = 1000.0f;  // outlier inflates the block exponent
+    zfp::ZfpConfig cfg;
+    cfg.rate_bits = 4.0;
+    const auto comp = zfp::compress_fixed_rate(orig.view(), cfg);
+    const zc::Field dec = zfp::decompress_fixed_rate(comp.bytes);
+    double max_rel = 0;
+    for (std::size_t i = 1; i < dec.size(); ++i) {
+        max_rel = std::max(max_rel,
+                           std::fabs(static_cast<double>(dec.data()[i]) - orig.data()[i]) /
+                               orig.data()[i]);
+    }
+    EXPECT_GT(max_rel, 0.5) << "small values should be wiped out by the outlier";
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+#include "cli.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "cuzc/cuzc.hpp"
+#include "data/raw_io.hpp"
+#include "io/config.hpp"
+#include "io/html_report.hpp"
+#include "io/report_writer.hpp"
+#include "sz/sz.hpp"
+
+namespace cuzc::cli {
+
+namespace {
+
+[[nodiscard]] bool parse_dims(std::string_view s, zc::Dims3& dims) {
+    std::size_t parts[3] = {0, 0, 0};
+    int idx = 0;
+    const char* p = s.data();
+    const char* end = s.data() + s.size();
+    while (p < end && idx < 3) {
+        const auto [next, ec] = std::from_chars(p, end, parts[idx]);
+        if (ec != std::errc{}) return false;
+        ++idx;
+        p = next;
+        if (p < end) {
+            if (*p != 'x' && *p != 'X') return false;
+            ++p;
+        }
+    }
+    if (idx != 3 || p != end) return false;
+    dims = zc::Dims3{parts[0], parts[1], parts[2]};
+    return dims.volume() > 0;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+    return bytes;
+}
+
+}  // namespace
+
+std::string usage() {
+    return "usage: cuzc --orig=orig.f32 (--dec=dec.f32 | --sz=stream.sz) --dims=HxWxL\n"
+           "            [--config=zc.cfg] [--format=text|csv|json|html] [--out=report]\n"
+           "            [--devices=N] [--profile]\n"
+           "\n"
+           "Assess the quality of lossy-compressed scientific data with the\n"
+           "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n";
+}
+
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostream& err) {
+    CliOptions opt;
+    const auto value_of = [](const char* arg, const char* flag) -> const char* {
+        const std::size_t n = std::strlen(flag);
+        return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+            opt.help = true;
+            return opt;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            opt.show_profile = true;
+        } else if (const char* v = value_of(a, "--orig=")) {
+            opt.orig_path = v;
+        } else if (const char* v2 = value_of(a, "--dec=")) {
+            opt.dec_path = v2;
+        } else if (const char* v3 = value_of(a, "--sz=")) {
+            opt.sz_stream_path = v3;
+        } else if (const char* v4 = value_of(a, "--dims=")) {
+            if (!parse_dims(v4, opt.dims)) {
+                err << "cuzc: bad --dims, expected HxWxL with positive extents\n";
+                return std::nullopt;
+            }
+        } else if (const char* v5 = value_of(a, "--config=")) {
+            opt.config_path = v5;
+        } else if (const char* v6 = value_of(a, "--format=")) {
+            opt.format = v6;
+        } else if (const char* v7 = value_of(a, "--out=")) {
+            opt.out_path = v7;
+        } else if (const char* v8 = value_of(a, "--devices=")) {
+            opt.devices = static_cast<unsigned>(std::atoi(v8));
+            if (opt.devices == 0) {
+                err << "cuzc: --devices must be >= 1\n";
+                return std::nullopt;
+            }
+        } else {
+            err << "cuzc: unknown argument '" << a << "'\n";
+            return std::nullopt;
+        }
+    }
+    if (opt.orig_path.empty() || (opt.dec_path.empty() == opt.sz_stream_path.empty())) {
+        err << "cuzc: need --orig and exactly one of --dec / --sz\n";
+        return std::nullopt;
+    }
+    if (opt.dims.volume() == 0) {
+        err << "cuzc: --dims is required\n";
+        return std::nullopt;
+    }
+    if (opt.format != "text" && opt.format != "csv" && opt.format != "json" &&
+        opt.format != "html") {
+        err << "cuzc: unknown --format '" << opt.format << "'\n";
+        return std::nullopt;
+    }
+    return opt;
+}
+
+int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    if (opt.help) {
+        out << usage();
+        return 0;
+    }
+    try {
+        zc::MetricsConfig cfg;
+        if (!opt.config_path.empty()) {
+            cfg = io::metrics_from_config(io::Config::load(opt.config_path));
+        }
+        const zc::Field orig = data::read_f32(opt.orig_path, opt.dims);
+        zc::Field dec;
+        std::optional<zc::CompressionStats> comp_stats;
+        if (!opt.sz_stream_path.empty()) {
+            const auto stream = read_bytes(opt.sz_stream_path);
+            zc::CompressionStats cs;
+            cs.raw_bytes = opt.dims.volume() * sizeof(float);
+            cs.compressed_bytes = stream.size();
+            const zc::Stopwatch watch;
+            dec = sz::decompress(stream);
+            cs.decompress_seconds = watch.seconds();
+            if (dec.dims() != opt.dims) {
+                err << "cuzc: SZ stream shape disagrees with --dims\n";
+                return 2;
+            }
+            comp_stats = cs;
+        } else {
+            dec = data::read_f32(opt.dec_path, opt.dims);
+        }
+
+        zc::AssessmentReport report;
+        std::vector<vgpu::KernelStats> profiles;
+        if (opt.devices > 1) {
+            std::vector<vgpu::Device> devices(opt.devices);
+            const auto r = ::cuzc::cuzc::assess_multigpu(devices, orig.view(), dec.view(), cfg);
+            report = r.report;
+            profiles = r.per_device;
+        } else {
+            vgpu::Device device;
+            const auto r = ::cuzc::cuzc::assess(device, orig.view(), dec.view(), cfg);
+            report = r.report;
+            profiles = {r.pattern1, r.pattern2, r.pattern3};
+        }
+
+        std::ofstream file;
+        std::ostream* sink = &out;
+        if (!opt.out_path.empty()) {
+            file.open(opt.out_path);
+            if (!file) {
+                err << "cuzc: cannot open output " << opt.out_path << "\n";
+                return 2;
+            }
+            sink = &file;
+        }
+        if (opt.format == "csv") {
+            io::write_csv(*sink, report);
+        } else if (opt.format == "json") {
+            io::write_json(*sink, report);
+        } else if (opt.format == "html") {
+            io::HtmlReportOptions hopt;
+            hopt.field_name = opt.orig_path;
+            hopt.compression = comp_stats;
+            io::write_html(*sink, report, hopt);
+        } else {
+            io::write_text(*sink, report);
+        }
+
+        if (opt.show_profile) {
+            for (const auto& p : profiles) {
+                err << p.name << ": launches=" << p.launches << " global=" << p.global_bytes()
+                    << "B shared=" << p.shared_bytes() << "B shuffles=" << p.shuffle_ops
+                    << "\n";
+            }
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        err << "cuzc: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+}  // namespace cuzc::cli

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "zc/metrics_config.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::cli {
+
+/// Parsed command line of the cuzc tool (factored out of main so tests can
+/// drive the whole CLI in-process).
+struct CliOptions {
+    std::string orig_path;
+    std::string dec_path;           ///< decompressed .f32; or
+    std::string sz_stream_path;     ///< an SZ stream to decompress + assess
+    zc::Dims3 dims{};
+    std::string config_path;
+    std::string format = "text";    ///< text | csv | json | html
+    std::string out_path;           ///< empty = stdout
+    unsigned devices = 1;           ///< >1 selects the multi-GPU path
+    bool show_profile = false;
+    bool help = false;
+};
+
+/// Parse argv. Returns std::nullopt plus a message on `err` for invalid
+/// input. Recognized flags:
+///   --orig=PATH --dec=PATH | --sz=PATH   input pair
+///   --dims=HxWxL                         field shape
+///   --config=PATH                        Z-checker .cfg for metrics
+///   --format=text|csv|json|html          output format
+///   --out=PATH                           output file (default stdout)
+///   --devices=N                          multi-GPU decomposition
+///   --profile                            print kernel profiles to stderr
+///   --help
+[[nodiscard]] std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                                  std::ostream& err);
+
+[[nodiscard]] std::string usage();
+
+/// Run the assessment described by `opt`; writes the report in the chosen
+/// format. Returns a process exit code.
+[[nodiscard]] int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err);
+
+}  // namespace cuzc::cli

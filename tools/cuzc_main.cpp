@@ -1,0 +1,14 @@
+// The cuzc command-line tool — the Z-checker executable of this build.
+
+#include <iostream>
+
+#include "cli.hpp"
+
+int main(int argc, char** argv) {
+    const auto opt = cuzc::cli::parse_cli(argc, argv, std::cerr);
+    if (!opt) {
+        std::cerr << cuzc::cli::usage();
+        return 2;
+    }
+    return cuzc::cli::run_cli(*opt, std::cout, std::cerr);
+}
