@@ -108,7 +108,10 @@ void BM_VgpuDeviceReduce(benchmark::State& state) {
             dev, "bm", n, 0.0, [](double a, double b) { return a + b; },
             [&](vgpu::Launch& l) {
                 auto s = l.span(buf);
-                return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+                return [s](std::size_t base, std::size_t count) {
+                    const float* p = s.ld_bulk(base, count);
+                    return [p, base](std::size_t i) { return static_cast<double>(p[i - base]); };
+                };
             }));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -89,8 +89,8 @@ void block_reduce_slots(BlockCtx& blk, RegArray<double>& acc) {
 
 }  // namespace
 
-Pattern1Result pattern1_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
-                                     vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
+                                     const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
                                      const zc::MetricsConfig& cfg, const Pattern1Options& opt) {
     Pattern1Result result;
     const std::size_t h = dims.h, w = dims.w, l = dims.l;
@@ -117,13 +117,17 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float
             for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
         });
         const std::size_t bidx = blk.block_idx().x;
+        // The block reads each of the slice's h*w elements of both inputs
+        // exactly once (strided by l); charge each span as one footprint.
+        const float* po = dorig.ld_footprint(h * w);
+        const float* pd = ddec.ld_footprint(h * w);
         blk.for_each_thread([&](ThreadCtx& t) {
             std::uint64_t iters = 0;
             for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
                 for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
                     const std::size_t idx = (i * w + j) * l + bidx;
-                    const double x = dorig.ld(idx);
-                    const double y = ddec.ld(idx);
+                    const double x = po[idx];
+                    const double y = pd[idx];
                     const double e = y - x;
                     const double p = zc::pwr_error(x, y, pwr_eps);
                     acc(t, kMinErr) = std::min(acc(t, kMinErr), e);
@@ -164,13 +168,15 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float
         auto dpart = lnch.span(d_part);
         auto dfinal = lnch.span(d_final);
         auto acc = blk.make_regs<double>(kNumSlots);
+        // Block 0 consumes the whole partial array; one bulk load charges
+        // the same bytes as the per-slot loads.
+        const double* pp = dpart.ld_bulk(0, l * kNumSlots);
         blk.for_each_thread([&](ThreadCtx& t) {
             for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
             std::uint64_t iters = 0;
             for (std::size_t b = t.linear; b < l; b += blk.num_threads()) {
                 for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
-                    acc(t, slot) =
-                        combine(slot, acc(t, slot), dpart.ld(b * kNumSlots + slot));
+                    acc(t, slot) = combine(slot, acc(t, slot), pp[b * kNumSlots + slot]);
                 }
                 ++iters;
             }
@@ -212,13 +218,16 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float
         const double min_val = fixed ? opt.fixed_ranges->min_val : dfinal.ld(kMinVal);
         const double max_val = fixed ? opt.fixed_ranges->max_val : dfinal.ld(kMaxVal);
         const std::size_t bidx = blk.block_idx().x;
+        // Same slice-footprint charging as the reduction phase.
+        const float* po = dorig.ld_footprint(h * w);
+        const float* pd = ddec.ld_footprint(h * w);
         blk.for_each_thread([&](ThreadCtx& t) {
             std::uint64_t iters = 0;
             for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
                 for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
                     const std::size_t idx = (i * w + j) * l + bidx;
-                    const double x = dorig.ld(idx);
-                    const double y = ddec.ld(idx);
+                    const double x = po[idx];
+                    const double y = pd[idx];
                     const double e = y - x;
                     const double p = zc::pwr_error(x, y, pwr_eps);
                     const auto be = static_cast<std::size_t>(zc::pdf_bin(e, min_err, max_err, bins));

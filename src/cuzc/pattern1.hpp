@@ -61,8 +61,8 @@ inline constexpr double kPattern1Serialization = 1.2;
 /// Same kernel driven from already-uploaded device buffers (used by the
 /// coordinator to avoid repeated H2D transfers across patterns).
 [[nodiscard]] Pattern1Result pattern1_fused_device(vgpu::Device& dev,
-                                                   vgpu::DeviceBuffer<float>& d_orig,
-                                                   vgpu::DeviceBuffer<float>& d_dec,
+                                                   const vgpu::DeviceBuffer<float>& d_orig,
+                                                   const vgpu::DeviceBuffer<float>& d_dec,
                                                    const zc::Dims3& dims,
                                                    const zc::MetricsConfig& cfg,
                                                    const Pattern1Options& opt = {});

@@ -1,6 +1,7 @@
 #include "pattern2.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "slot_reduce.hpp"
@@ -39,8 +40,8 @@ constexpr std::uint32_t kLagBase = kCountSlot + 1;
 
 }  // namespace
 
-zc::ErrorMoments error_moments_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
-                                      vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims) {
+zc::ErrorMoments error_moments_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
+                                      const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims) {
     const std::size_t n = dims.volume();
     vgpu::DeviceBuffer<double> d_out(dev, 2);
     constexpr std::uint32_t kThreads = 256;
@@ -56,17 +57,25 @@ zc::ErrorMoments error_moments_device(vgpu::Device& dev, vgpu::DeviceBuffer<floa
         auto dpart = l.span(d_part);
         auto acc = blk.make_regs<double>(2);
         const std::uint64_t stride = std::uint64_t{grid} * kThreads;
-        blk.for_each_thread([&](ThreadCtx& t) {
-            std::uint64_t iters = 0;
-            for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n; i += stride) {
-                const double e = static_cast<double>(ddec.ld(i)) - dorig.ld(i);
+        // Round-major grid-stride walk: each round bulk-loads the block's
+        // contiguous chunk of both inputs, and thread t folds element
+        // base + t — the same element sequence per thread as the
+        // thread-major loop, with one charge per chunk instead of per
+        // element.
+        for (std::uint64_t base = std::uint64_t{blk.block_idx().x} * kThreads; base < n;
+             base += stride) {
+            const std::size_t count = std::min<std::uint64_t>(kThreads, n - base);
+            const float* po = dorig.ld_bulk(base, count);
+            const float* pd = ddec.ld_bulk(base, count);
+            blk.for_each_thread([&](ThreadCtx& t) {
+                if (t.linear >= count) return;
+                const double e = static_cast<double>(pd[t.linear]) - po[t.linear];
                 acc(t, 0) += e;
                 acc(t, 1) += e * e;
-                ++iters;
-            }
-            blk.add_iters(iters);
-            blk.add_ops(iters * 5);
-        });
+            });
+            blk.add_iters(count);
+            blk.add_ops(std::uint64_t{count} * 5);
+        }
         block_reduce_slots(blk, acc, 2, [](std::uint32_t) { return SlotOp::kSum; });
         blk.for_each_thread([&](ThreadCtx& t) {
             if (t.linear == 0) {
@@ -103,8 +112,8 @@ zc::ErrorMoments error_moments_device(vgpu::Device& dev, vgpu::DeviceBuffer<floa
     return m;
 }
 
-Pattern2Result pattern2_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
-                                     vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+Pattern2Result pattern2_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
+                                     const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
                                      const zc::MetricsConfig& cfg,
                                      const zc::ErrorMoments& moments,
                                      const Pattern2Options& opt) {
@@ -170,53 +179,101 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float
         const auto gidx = [&](std::size_t x, std::size_t y, std::size_t z) {
             return (x * w + y) * l + z;
         };
-        // Error value with zero padding outside the domain.
-        const auto err_at = [&](std::size_t gx, std::size_t gy, std::size_t z) -> double {
-            if (gx >= h || gy >= w) return 0.0;
-            const std::size_t idx = gidx(gx, gy, z);
-            return static_cast<double>(ddec.ld(idx)) - dorig.ld(idx);
+        // Per-lag bounds and the 1/valid weight depend only on the domain
+        // shape; hoist them out of the per-thread lag loop.
+        struct LagInfo {
+            bool ax, ay, az, any;
+            std::size_t x_lim, y_lim, z_lim;
+            double inv_valid;
         };
-
+        std::array<LagInfo, static_cast<std::size_t>(kPattern2MaxLag)> lag_tab{};
+        for (std::uint32_t lag = 1; lag <= lag_count; ++lag) {
+            const auto tau = static_cast<std::size_t>(lag);
+            LagInfo& li = lag_tab[lag - 1];
+            li.ax = h > tau;
+            li.ay = w > tau;
+            li.az = l_g > tau;
+            const int valid = (li.ax ? 1 : 0) + (li.ay ? 1 : 0) + (li.az ? 1 : 0);
+            li.any = valid > 0;
+            li.inv_valid = li.any ? 1.0 / valid : 0.0;
+            li.x_lim = li.ax ? h - tau : h;
+            li.y_lim = li.ay ? w - tau : w;
+            li.z_lim = li.az ? l_g - tau : l_g;
+        }
         for (std::size_t tx0 = 0; tx0 < h; tx0 += kTile) {
             for (std::size_t ty0 = 0; ty0 < w; ty0 += kTile) {
                 for (std::size_t z = z0; z < z_end; ++z) {
                     const bool is_center = z < z1;
                     // --- stage the halo'd error tile of the current slice.
+                    // Collective store: the block writes every cell of the
+                    // staged extent (zero-padded outside the domain), so the
+                    // in-bounds loads of both inputs are charged as one
+                    // footprint each and each ehalo row as one bulk store —
+                    // the same bytes err_at's per-cell loads would charge.
                     if (lag_count > 0) {
                         const std::uint32_t stage_extent = is_center ? eh : kTile;
-                        blk.for_each_thread([&](ThreadCtx& t) {
-                            for (std::uint32_t dx = t.tid.x; dx < stage_extent; dx += kTile) {
-                                for (std::uint32_t dy = t.tid.y; dy < stage_extent; dy += kTile) {
-                                    ehalo.st(std::size_t{dx} * eh + dy,
-                                             err_at(tx0 + dx, ty0 + dy, z));
-                                }
+                        const std::size_t inb_x = std::min<std::size_t>(stage_extent, h - tx0);
+                        const std::size_t inb_y = std::min<std::size_t>(stage_extent, w - ty0);
+                        const float* po = dorig.ld_footprint(inb_x * inb_y);
+                        const float* pd = ddec.ld_footprint(inb_x * inb_y);
+                        for (std::uint32_t dx = 0; dx < stage_extent; ++dx) {
+                            double* row = ehalo.st_bulk(std::size_t{dx} * eh, stage_extent);
+                            const std::size_t gx = tx0 + dx;
+                            if (gx >= h) {
+                                std::fill_n(row, stage_extent, 0.0);
+                                continue;
                             }
-                            blk.add_iters(1);
-                        });
-                    } else {
-                        blk.for_each_thread([&](ThreadCtx& t) { blk.add_iters(1); });
+                            const std::size_t base = (gx * w + ty0) * l + z;
+                            for (std::uint32_t dy = 0; dy < stage_extent; ++dy) {
+                                const std::size_t off = std::size_t{dy} * l;
+                                row[dy] = ty0 + dy < w
+                                              ? static_cast<double>(pd[base + off]) -
+                                                    po[base + off]
+                                              : 0.0;
+                            }
+                        }
                     }
+                    blk.add_iters(blk.num_threads());
 
                     if (is_center && do_deriv) {
                         // --- stage orig/dec tiles with a +/-1 halo for the
                         // derivative stencils (x/y neighbours from shared,
                         // z neighbours straight from coalesced global).
-                        blk.for_each_thread([&](ThreadCtx& t) {
-                            for (std::uint32_t dx = t.tid.x; dx < kTile + 2; dx += kTile) {
-                                for (std::uint32_t dy = t.tid.y; dy < kTile + 2; dy += kTile) {
-                                    const std::size_t gx = tx0 + dx;
-                                    const std::size_t gy = ty0 + dy;
-                                    double vo = 0.0, vd = 0.0;
-                                    if (gx >= 1 && gx - 1 < h && gy >= 1 && gy - 1 < w) {
-                                        const std::size_t idx = gidx(gx - 1, gy - 1, z);
-                                        vo = dorig.ld(idx);
-                                        vd = ddec.ld(idx);
-                                    }
-                                    tile_o.st(std::size_t{dx} * (kTile + 2) + dy, vo);
-                                    tile_d.st(std::size_t{dx} * (kTile + 2) + dy, vd);
+                        // Same collective-staging shape as the error tile:
+                        // count the in-bounds halo'd cells, charge each input
+                        // once, write rows with bulk stores.
+                        std::size_t inb_x = 0, inb_y = 0;
+                        for (std::uint32_t dx = 0; dx < kTile + 2; ++dx) {
+                            const std::size_t gx = tx0 + dx;
+                            if (gx >= 1 && gx - 1 < h) ++inb_x;
+                        }
+                        for (std::uint32_t dy = 0; dy < kTile + 2; ++dy) {
+                            const std::size_t gy = ty0 + dy;
+                            if (gy >= 1 && gy - 1 < w) ++inb_y;
+                        }
+                        const float* po = dorig.ld_footprint(inb_x * inb_y);
+                        const float* pd = ddec.ld_footprint(inb_x * inb_y);
+                        for (std::uint32_t dx = 0; dx < kTile + 2; ++dx) {
+                            double* ro = tile_o.st_bulk(std::size_t{dx} * (kTile + 2), kTile + 2);
+                            double* rd = tile_d.st_bulk(std::size_t{dx} * (kTile + 2), kTile + 2);
+                            const std::size_t gx = tx0 + dx;
+                            if (gx < 1 || gx - 1 >= h) {
+                                std::fill_n(ro, kTile + 2, 0.0);
+                                std::fill_n(rd, kTile + 2, 0.0);
+                                continue;
+                            }
+                            for (std::uint32_t dy = 0; dy < kTile + 2; ++dy) {
+                                const std::size_t gy = ty0 + dy;
+                                if (gy >= 1 && gy - 1 < w) {
+                                    const std::size_t idx = gidx(gx - 1, gy - 1, z);
+                                    ro[dy] = po[idx];
+                                    rd[dy] = pd[idx];
+                                } else {
+                                    ro[dy] = 0.0;
+                                    rd[dy] = 0.0;
                                 }
                             }
-                        });
+                        }
                         blk.for_each_thread([&](ThreadCtx& t) {
                             const std::size_t gx = tx0 + t.tid.x;
                             const std::size_t gy = ty0 + t.tid.y;
@@ -298,51 +355,55 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, vgpu::DeviceBuffer<float
                         const double e_cur =
                             ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y) - err_mean;
                         const std::size_t gz = z + z_off;
+                        const bool xy_slice_ok = is_center && z >= zc_begin && z < zc_end;
                         for (std::uint32_t lag = 1; lag <= lag_count; ++lag) {
+                            const LagInfo& li = lag_tab[lag - 1];
+                            if (!li.any) continue;
                             const auto tau = static_cast<std::size_t>(lag);
-                            const bool ax = h > tau, ay = w > tau, az = l_g > tau;
-                            const int valid = (ax ? 1 : 0) + (ay ? 1 : 0) + (az ? 1 : 0);
-                            if (valid == 0) continue;
-                            const double inv_valid = 1.0 / valid;
                             // x/y terms for centres in the current slice.
-                            if (is_center && z >= zc_begin && z < zc_end &&
-                                gx < (ax ? h - tau : h) && gy < (ay ? w - tau : w) &&
-                                gz < (az ? l_g - tau : l_g)) {
+                            if (xy_slice_ok && gx < li.x_lim && gy < li.y_lim &&
+                                gz < li.z_lim) {
                                 double nb = 0.0;
-                                if (ax) {
+                                if (li.ax) {
                                     nb += ehalo.ld((t.tid.x + tau) * eh + t.tid.y) - err_mean;
                                 }
-                                if (ay) {
+                                if (li.ay) {
                                     nb += ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y + tau) -
                                           err_mean;
                                 }
-                                acc(t, kLagBase + lag - 1) += e_cur * nb * inv_valid;
+                                acc(t, kLagBase + lag - 1) += e_cur * nb * li.inv_valid;
                             }
                             // Deferred z term: centre slice z - tau pairs with the
                             // current slice through the FIFO of error tiles.
-                            if (az && z >= tau) {
+                            if (li.az && z >= tau) {
                                 const std::size_t zc = z - tau;
                                 if (zc >= z0 && zc < z1 && zc >= zc_begin && zc < zc_end &&
-                                    gx < (ax ? h - tau : h) && gy < (ay ? w - tau : w) &&
+                                    gx < li.x_lim && gy < li.y_lim &&
                                     zc + z_off < l_g - tau) {
                                     const double e_old =
                                         fifo.ld((zc % (halo + 1)) * kTile * kTile +
                                                 std::size_t{t.tid.x} * kTile + t.tid.y) -
                                         err_mean;
-                                    acc(t, kLagBase + lag - 1) += e_old * e_cur * inv_valid;
+                                    acc(t, kLagBase + lag - 1) += e_old * e_cur * li.inv_valid;
                                 }
                             }
                         }
                         blk.add_ops(6 * lag_count);
                     });
 
-                    // --- push the centre error tile into the FIFO.
+                    // --- push the centre error tile into the FIFO (one
+                    // bulk read of the tile core, one bulk store of the
+                    // ring slot — same bytes as the per-thread copy).
                     if (lag_count > 0) {
-                        blk.for_each_thread([&](ThreadCtx& t) {
-                            fifo.st((z % (halo + 1)) * kTile * kTile +
-                                        std::size_t{t.tid.x} * kTile + t.tid.y,
-                                    ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y));
-                        });
+                        const double* src = ehalo.ld_footprint(std::size_t{kTile} * kTile);
+                        double* dst = fifo.st_bulk((z % (halo + 1)) * kTile * kTile,
+                                                   std::size_t{kTile} * kTile);
+                        for (std::uint32_t tx = 0; tx < kTile; ++tx) {
+                            for (std::uint32_t ty = 0; ty < kTile; ++ty) {
+                                dst[std::size_t{tx} * kTile + ty] =
+                                    src[std::size_t{tx} * eh + ty];
+                            }
+                        }
                     }
                 }
             }

@@ -33,8 +33,8 @@ inline constexpr int kPattern2MaxLag = 16;
 /// derives these from pattern-1's results when both patterns run, saving
 /// the launch (cross-pattern data reuse).
 [[nodiscard]] zc::ErrorMoments error_moments_device(vgpu::Device& dev,
-                                                    vgpu::DeviceBuffer<float>& d_orig,
-                                                    vgpu::DeviceBuffer<float>& d_dec,
+                                                    const vgpu::DeviceBuffer<float>& d_orig,
+                                                    const vgpu::DeviceBuffer<float>& d_dec,
                                                     const zc::Dims3& dims);
 
 /// Which pattern-2 metrics one launch computes. cuZC fuses everything into
@@ -77,8 +77,8 @@ void finalize_pattern2(const std::vector<double>& totals, const zc::Dims3& globa
 /// serves the z-direction lags so each slice is loaded from global memory
 /// once per tile.
 [[nodiscard]] Pattern2Result pattern2_fused_device(vgpu::Device& dev,
-                                                   vgpu::DeviceBuffer<float>& d_orig,
-                                                   vgpu::DeviceBuffer<float>& d_dec,
+                                                   const vgpu::DeviceBuffer<float>& d_orig,
+                                                   const vgpu::DeviceBuffer<float>& d_dec,
                                                    const zc::Dims3& dims,
                                                    const zc::MetricsConfig& cfg,
                                                    const zc::ErrorMoments& moments,

@@ -29,8 +29,8 @@ constexpr std::uint32_t kStripVals = 9;
 
 }  // namespace
 
-Pattern3Result pattern3_ssim_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>& d_orig,
-                                    vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+Pattern3Result pattern3_ssim_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
+                                    const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
                                     const zc::MetricsConfig& cfg, const Pattern3Options& opt) {
     Pattern3Result result;
     const std::size_t h = dims.h, wd = dims.w, l = dims.l;
@@ -82,77 +82,96 @@ Pattern3Result pattern3_ssim_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>
         // Load slice k, reduce along x via shuffles, stage per-row strips,
         // then fold rows (the shared-memory y reduction) into the FIFO slot.
         const auto process_slice = [&](std::size_t i, std::size_t k, std::uint32_t fifo_slot) {
-            blk.for_each_thread([&](ThreadCtx& t) {
-                const std::size_t x = i + t.tid.x;
-                const std::size_t y = y0 + t.tid.y;
-                const bool valid = x < h;
-                const std::size_t idx = (x * wd + y) * l + k;
-                reg(t, kD1) = valid ? dorig.ld(idx) : 0.0;
-                reg(t, kD2) = valid ? ddec.ld(idx) : 0.0;
-                reg(t, kMin1) = reg(t, kMax1) = reg(t, kSum1) = reg(t, kD1);
-                reg(t, kSumSq1) = reg(t, kD1) * reg(t, kD1);
-                reg(t, kMin2) = reg(t, kMax2) = reg(t, kSum2) = reg(t, kD2);
-                reg(t, kSumSq2) = reg(t, kD2) * reg(t, kD2);
-                reg(t, kCross) = reg(t, kD1) * reg(t, kD2);
-                blk.add_iters(1);
-            });
-            // Ghost-region sharing along x: every lane accumulates its
-            // wx-wide window from neighbouring lanes' registers.
+            // Exactly min(32, h-i) lanes per row are in bounds; charge both
+            // input spans' slice loads in one footprint each, then read off
+            // the raw base pointers (same bytes as per-element ld).
+            const std::size_t rows = std::min<std::size_t>(vgpu::kWarpSize, h - i);
+            const float* po = dorig.ld_footprint(rows * wy);
+            const float* pd = ddec.ld_footprint(rows * wy);
+            // Load, ghost-region sharing, and strip staging fused into one
+            // warp pass: the wx-window fold only ever reads same-warp lanes
+            // (warp w is row w of the block), so each lane's slice values go
+            // into a warp-local lane vector and every lane folds its window
+            // from there, off = 1..wx-1 in order — the exact fold sequence
+            // of the per-offset shuffle ladder, whose shuffle count is
+            // charged in bulk.
             blk.for_each_warp([&](WarpCtx& w) {
-                for (std::uint32_t off = 1; off < wx; ++off) {
-                    const auto g1 = w.shfl_down(reg, kD1, off);
-                    const auto g2 = w.shfl_down(reg, kD2, off);
-                    for (std::uint32_t lane = 0; lane < w.active_lanes(); ++lane) {
-                        const std::uint32_t t = w.base_linear() + lane;
-                        reg.at(t, kMin1) = std::min(reg.at(t, kMin1), g1[lane]);
-                        reg.at(t, kMax1) = std::max(reg.at(t, kMax1), g1[lane]);
-                        reg.at(t, kSum1) += g1[lane];
-                        reg.at(t, kSumSq1) += g1[lane] * g1[lane];
-                        reg.at(t, kMin2) = std::min(reg.at(t, kMin2), g2[lane]);
-                        reg.at(t, kMax2) = std::max(reg.at(t, kMax2), g2[lane]);
-                        reg.at(t, kSum2) += g2[lane];
-                        reg.at(t, kSumSq2) += g2[lane] * g2[lane];
-                        reg.at(t, kCross) += g1[lane] * g2[lane];
+                const std::uint32_t yrow = w.warp_id();
+                const std::size_t y = y0 + yrow;
+                const std::uint32_t lanes = w.active_lanes();
+                w.add_shuffles(std::uint64_t{2} * (wx - 1) * lanes);
+                double v1[vgpu::kWarpSize];
+                double v2[vgpu::kWarpSize];
+                const std::size_t stride_x = wd * l;
+                const std::size_t idx0 = (i * wd + y) * l + k;
+                for (std::uint32_t ln = 0; ln < lanes; ++ln) {
+                    const bool valid = i + ln < h;
+                    const std::size_t idx = idx0 + ln * stride_x;
+                    v1[ln] = valid ? static_cast<double>(po[idx]) : 0.0;
+                    v2[ln] = valid ? static_cast<double>(pd[idx]) : 0.0;
+                }
+                double* srow = strips.st_bulk(std::size_t{yrow} * vgpu::kWarpSize * kStripVals,
+                                              std::size_t{lanes} * kStripVals);
+                for (std::uint32_t ln = 0; ln < lanes; ++ln) {
+                    const double d1 = v1[ln], d2 = v2[ln];
+                    double mn1 = d1, mx1 = d1, s1 = d1, ss1 = d1 * d1;
+                    double mn2 = d2, mx2 = d2, s2 = d2, ss2 = d2 * d2;
+                    double cr = d1 * d2;
+                    for (std::uint32_t off = 1; off < wx; ++off) {
+                        // Out-of-range sources keep the lane's own value,
+                        // exactly as shfl_down does.
+                        const std::uint32_t src = ln + off < lanes ? ln + off : ln;
+                        const double g1 = v1[src], g2 = v2[src];
+                        mn1 = std::min(mn1, g1);
+                        mx1 = std::max(mx1, g1);
+                        s1 += g1;
+                        ss1 += g1 * g1;
+                        mn2 = std::min(mn2, g2);
+                        mx2 = std::max(mx2, g2);
+                        s2 += g2;
+                        ss2 += g2 * g2;
+                        cr += g1 * g2;
                     }
+                    double* sp = srow + std::size_t{ln} * kStripVals;
+                    sp[kMin1 - kStripBase] = mn1;
+                    sp[kMax1 - kStripBase] = mx1;
+                    sp[kSum1 - kStripBase] = s1;
+                    sp[kSumSq1 - kStripBase] = ss1;
+                    sp[kMin2 - kStripBase] = mn2;
+                    sp[kMax2 - kStripBase] = mx2;
+                    sp[kSum2 - kStripBase] = s2;
+                    sp[kSumSq2 - kStripBase] = ss2;
+                    sp[kCross - kStripBase] = cr;
                 }
             });
-            blk.for_each_thread([&](ThreadCtx& t) {
-                blk.add_ops(std::uint64_t{wx - 1} * 12 + 8);
-                for (std::uint32_t v = 0; v < kStripVals; ++v) {
-                    strips.st((std::size_t{t.tid.y} * vgpu::kWarpSize + t.tid.x) * kStripVals + v,
-                              reg(t, kStripBase + v));
-                }
-            });
+            blk.add_iters(blk.num_threads());
+            blk.add_ops((std::uint64_t{wx - 1} * 12 + 8) * blk.num_threads());
             // y reduction: row 0's owner lanes fold the wy rows of their
             // column and deposit the per-slice result into the FIFO ring.
-            blk.for_each_thread([&](ThreadCtx& t) {
-                if (t.tid.y != 0 || !is_owner_lane(t.tid.x, i)) return;
-                double col[kStripVals];
-                for (std::uint32_t v = 0; v < kStripVals; ++v) {
-                    col[v] = v == kMin1 - kStripBase || v == kMin2 - kStripBase
-                                 ? std::numeric_limits<double>::infinity()
-                                 : (v == kMax1 - kStripBase || v == kMax2 - kStripBase
-                                        ? -std::numeric_limits<double>::infinity()
-                                        : 0.0);
-                }
+            // Only those lanes do work, so iterate them directly instead of
+            // scanning the whole block (per-owner charges are unchanged).
+            for (std::uint32_t ox = 0; ox + wx <= vgpu::kWarpSize; ox += s) {
+                if (!is_owner_lane(ox, i)) continue;
+                constexpr double kInf = std::numeric_limits<double>::infinity();
+                double col[kStripVals] = {kInf, -kInf, 0.0, 0.0, kInf, -kInf, 0.0, 0.0, 0.0};
+                const double* sp = strips.ld_footprint(std::size_t{wy} * kStripVals);
                 for (std::uint32_t r = 0; r < wy; ++r) {
-                    for (std::uint32_t v = 0; v < kStripVals; ++v) {
-                        const double sv =
-                            strips.ld((std::size_t{r} * vgpu::kWarpSize + t.tid.x) * kStripVals + v);
-                        if (v == kMin1 - kStripBase || v == kMin2 - kStripBase) {
-                            col[v] = std::min(col[v], sv);
-                        } else if (v == kMax1 - kStripBase || v == kMax2 - kStripBase) {
-                            col[v] = std::max(col[v], sv);
-                        } else {
-                            col[v] += sv;
-                        }
-                    }
+                    const double* row =
+                        sp + (std::size_t{r} * vgpu::kWarpSize + ox) * kStripVals;
+                    col[0] = std::min(col[0], row[0]);
+                    col[1] = std::max(col[1], row[1]);
+                    col[2] += row[2];
+                    col[3] += row[3];
+                    col[4] = std::min(col[4], row[4]);
+                    col[5] = std::max(col[5], row[5]);
+                    col[6] += row[6];
+                    col[7] += row[7];
+                    col[8] += row[8];
                 }
-                for (std::uint32_t v = 0; v < kStripVals; ++v) {
-                    fifo.st((std::size_t{fifo_slot} * vgpu::kWarpSize + t.tid.x) * kStripVals + v,
-                            col[v]);
-                }
-            });
+                double* fp = fifo.st_bulk(
+                    (std::size_t{fifo_slot} * vgpu::kWarpSize + ox) * kStripVals, kStripVals);
+                for (std::uint32_t v = 0; v < kStripVals; ++v) fp[v] = col[v];
+            }
             // Divergence cost: only row 0's owner lanes execute the fold,
             // but the __syncthreads bracketing the phase keeps every warp
             // of the block resident and idle — charge whole-block slots.
@@ -161,31 +180,34 @@ Pattern3Result pattern3_ssim_device(vgpu::Device& dev, vgpu::DeviceBuffer<float>
 
         // Fold the FIFO ring into full-window sums and mix the local SSIM.
         const auto fold_windows = [&](std::size_t i) {
-            blk.for_each_thread([&](ThreadCtx& t) {
-                if (t.tid.y != 0 || !is_owner_lane(t.tid.x, i)) return;
+            // As in the y reduction, only row 0's owner lanes participate
+            // (lane ox is linear thread ox); iterate them directly.
+            for (std::uint32_t ox = 0; ox + wx <= vgpu::kWarpSize; ox += s) {
+                if (!is_owner_lane(ox, i)) continue;
                 zc::WindowSums a{}, b{};
                 zc::WindowCross c{};
                 a.min = std::numeric_limits<double>::infinity();
                 a.max = -a.min;
                 b.min = a.min;
                 b.max = a.max;
+                const double* fp = fifo.ld_footprint(std::size_t{wz} * kStripVals);
                 for (std::uint32_t slot = 0; slot < wz; ++slot) {
-                    const auto base =
-                        (std::size_t{slot} * vgpu::kWarpSize + t.tid.x) * kStripVals;
-                    a.min = std::min(a.min, fifo.ld(base + 0));
-                    a.max = std::max(a.max, fifo.ld(base + 1));
-                    a.sum += fifo.ld(base + 2);
-                    a.sum_sq += fifo.ld(base + 3);
-                    b.min = std::min(b.min, fifo.ld(base + 4));
-                    b.max = std::max(b.max, fifo.ld(base + 5));
-                    b.sum += fifo.ld(base + 6);
-                    b.sum_sq += fifo.ld(base + 7);
-                    c.sum_xy += fifo.ld(base + 8);
+                    const double* ring =
+                        fp + (std::size_t{slot} * vgpu::kWarpSize + ox) * kStripVals;
+                    a.min = std::min(a.min, ring[0]);
+                    a.max = std::max(a.max, ring[1]);
+                    a.sum += ring[2];
+                    a.sum_sq += ring[3];
+                    b.min = std::min(b.min, ring[4]);
+                    b.max = std::max(b.max, ring[5]);
+                    b.sum += ring[6];
+                    b.sum_sq += ring[7];
+                    c.sum_xy += ring[8];
                 }
-                reg(t, kSsimSum) +=
+                reg.at(ox, kSsimSum) +=
                     zc::mix_local_ssim(a, b, c, std::size_t{wx} * wy * wz);
-                reg(t, kWinCount) += 1.0;
-            });
+                reg.at(ox, kWinCount) += 1.0;
+            }
             // Same block-slot charging as the y reduction: the FIFO fold and
             // mix run on xNum owner lanes of warp 0 while the block waits.
             blk.add_ops((std::uint64_t{wz} * kStripVals + 40) * blk.num_threads());

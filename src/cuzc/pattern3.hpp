@@ -35,8 +35,8 @@ struct Pattern3Options {
 /// z-direction streams slices through the FIFO ring of intermediate
 /// reduction results.
 [[nodiscard]] Pattern3Result pattern3_ssim_device(vgpu::Device& dev,
-                                                  vgpu::DeviceBuffer<float>& d_orig,
-                                                  vgpu::DeviceBuffer<float>& d_dec,
+                                                  const vgpu::DeviceBuffer<float>& d_orig,
+                                                  const vgpu::DeviceBuffer<float>& d_dec,
                                                   const zc::Dims3& dims,
                                                   const zc::MetricsConfig& cfg,
                                                   const Pattern3Options& opt = {});

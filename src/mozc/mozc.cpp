@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "cuzc/pattern2.hpp"
 #include "cuzc/pattern3.hpp"
@@ -26,13 +27,19 @@ constexpr double kReduceCoalescing = 0.92;
 /// moZC's workhorse; each call is one metric, costing the two CUB launches
 /// and a fresh pass over both arrays.
 template <class T, class Op, class Elem>
-T metric_reduce(vgpu::Device& dev, const std::string& name, vgpu::DeviceBuffer<float>& d_orig,
-                vgpu::DeviceBuffer<float>& d_dec, std::size_t n, T init, Op op, Elem elem) {
+T metric_reduce(vgpu::Device& dev, const std::string& name, const vgpu::DeviceBuffer<float>& d_orig,
+                const vgpu::DeviceBuffer<float>& d_dec, std::size_t n, T init, Op op, Elem elem) {
     const std::size_t before = dev.profiler().records().size();
     T r = vgpu::device_reduce<T>(dev, name, n, init, op, [&](Launch& l) {
-        auto o = l.span(d_orig);
-        auto d = l.span(d_dec);
-        return [o, d, elem](std::size_t i) { return elem(o.ld(i), d.ld(i)); };
+        auto o = l.span(std::as_const(d_orig));
+        auto d = l.span(std::as_const(d_dec));
+        // Chunk loader: both input runs are charged in bulk per grid-stride
+        // round, then elements come off the raw pointers.
+        return [o, d, elem](std::size_t base, std::size_t count) {
+            const float* po = o.ld_bulk(base, count);
+            const float* pd = d.ld_bulk(base, count);
+            return [po, pd, base, elem](std::size_t i) { return elem(po[i - base], pd[i - base]); };
+        };
     });
     // Tag coalescing on the records this metric produced.
     auto& recs = dev.profiler().mutable_records();
@@ -42,8 +49,8 @@ T metric_reduce(vgpu::Device& dev, const std::string& name, vgpu::DeviceBuffer<f
 
 /// Standalone histogram kernel (one per PDF metric in moZC).
 std::vector<double> histogram_launch(vgpu::Device& dev, const std::string& name,
-                                     vgpu::DeviceBuffer<float>& d_orig,
-                                     vgpu::DeviceBuffer<float>& d_dec, std::size_t n, int bins,
+                                     const vgpu::DeviceBuffer<float>& d_orig,
+                                     const vgpu::DeviceBuffer<float>& d_dec, std::size_t n, int bins,
                                      double lo, double hi, int kind, double pwr_eps) {
     vgpu::DeviceBuffer<double> d_hist(dev, static_cast<std::size_t>(bins));
     d_hist.fill(0.0);
@@ -64,26 +71,33 @@ std::vector<double> histogram_launch(vgpu::Device& dev, const std::string& name,
                 }
             });
             const std::uint64_t stride = std::uint64_t{grid} * kThreads;
-            blk.for_each_thread([&](ThreadCtx& t) {
-                std::uint64_t iters = 0;
-                for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n;
-                     i += stride) {
-                    const double x = o.ld(i);
-                    const double y = d.ld(i);
+            // Chunk-major grid-stride walk: each round covers one contiguous
+            // run of both inputs, charged in bulk (same bytes as per-element
+            // loads). Thread t handles element base+t of the round, matching
+            // the original per-thread stride loop element-for-element.
+            for (std::uint64_t base = std::uint64_t{blk.block_idx().x} * kThreads; base < n;
+                 base += stride) {
+                const auto count =
+                    static_cast<std::uint32_t>(std::min<std::uint64_t>(kThreads, n - base));
+                const float* po = o.ld_bulk(base, count);
+                const float* pd = d.ld_bulk(base, count);
+                blk.for_each_thread([&](ThreadCtx& t) {
+                    if (t.linear >= count) return;
+                    const double x = po[t.linear];
+                    const double y = pd[t.linear];
                     const double v = kind == 0   ? y - x
                                      : kind == 1 ? zc::pwr_error(x, y, pwr_eps)
                                                  : x;
                     const auto b = static_cast<std::size_t>(zc::pdf_bin(v, lo, hi, bins));
                     local.st(b, local.ld(b) + 1.0);
-                    ++iters;
-                }
-                blk.add_iters(iters);
-                blk.add_ops(iters * 6);
-            });
+                });
+                blk.add_iters(count);
+                blk.add_ops(std::uint64_t{count} * 6);
+            }
             blk.for_each_thread([&](ThreadCtx& t) {
                 for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins);
                      b += kThreads) {
-                    h.st(b, h.ld(b) + local.ld(b));  // atomicAdd on hardware
+                    h.atomic_add(b, local.ld(b));  // atomicAdd, as on hardware
                 }
             });
         });

@@ -130,7 +130,9 @@ zc::Field decompress(std::span<const std::uint8_t> bytes) {
     const std::uint64_t n_unpred = r.get<std::uint64_t>();
     const auto unpred_bytes = r.get_bytes(n_unpred * sizeof(float));
     std::vector<float> unpred(n_unpred);
-    std::memcpy(unpred.data(), unpred_bytes.data(), unpred_bytes.size());
+    if (!unpred_bytes.empty()) {
+        std::memcpy(unpred.data(), unpred_bytes.data(), unpred_bytes.size());
+    }
     const std::uint64_t stream_size = r.get<std::uint64_t>();
     const auto stream = r.get_bytes(stream_size);
 

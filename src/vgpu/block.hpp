@@ -5,6 +5,7 @@
 
 #include "device_props.hpp"
 #include "dim3.hpp"
+#include "exec_pool.hpp"
 #include "profiler.hpp"
 #include "shared_arena.hpp"
 #include "thread_ctx.hpp"
@@ -28,13 +29,16 @@ public:
     static constexpr std::uint32_t kBaseRegsPerThread = 8;
 
     BlockCtx(KernelStats& stats, const DeviceProps& props, Dim3 grid_dim, Dim3 block_dim,
-             Dim3 block_idx, SharedArena& arena) noexcept
+             Dim3 block_idx, SharedArena& arena, RegSlab* slab = nullptr,
+             const ThreadCtx* thread_table = nullptr) noexcept
         : stats_(&stats),
           props_(&props),
           grid_dim_(grid_dim),
           block_dim_(block_dim),
           block_idx_(block_idx),
           arena_(&arena),
+          slab_(slab),
+          thread_table_(thread_table),
           num_threads_(static_cast<std::uint32_t>(block_dim.volume())),
           num_warps_((num_threads_ + kWarpSize - 1) / kWarpSize) {}
 
@@ -49,13 +53,21 @@ public:
 
     /// Allocate `width` per-thread registers of type T (one RegArray row per
     /// thread). Register pressure is accumulated into the kernel's
-    /// regs-per-thread estimate in 32-bit register units.
+    /// regs-per-thread estimate in 32-bit register units. When the block
+    /// runs under the execution pool, storage comes from the worker's
+    /// recycled register slab instead of a per-block heap allocation.
     template <class T>
     [[nodiscard]] RegArray<T> make_regs(std::uint32_t width = 1, const T& init = T{}) {
         const std::uint32_t words = width * static_cast<std::uint32_t>((sizeof(T) + 3) / 4);
         reg_words_ += words;
         const std::uint32_t total = kBaseRegsPerThread + reg_words_;
         if (total > stats_->regs_per_thread) stats_->regs_per_thread = total;
+        if constexpr (std::is_trivially_destructible_v<T> && std::is_trivially_copyable_v<T>) {
+            if (slab_ != nullptr) {
+                T* p = slab_->alloc<T>(static_cast<std::size_t>(num_threads_) * width);
+                return RegArray<T>(p, num_threads_, width, init);
+            }
+        }
         return RegArray<T>(num_threads_, width, init);
     }
 
@@ -74,6 +86,13 @@ public:
     /// this call is a block-wide barrier.
     template <class F>
     void for_each_thread(F&& fn) {
+        if (thread_table_ != nullptr) {
+            for (std::uint32_t i = 0; i < num_threads_; ++i) {
+                ThreadCtx t = thread_table_[i];
+                fn(t);
+            }
+            return;
+        }
         for (std::uint32_t i = 0; i < num_threads_; ++i) {
             ThreadCtx t = thread_at(i);
             fn(t);
@@ -106,6 +125,8 @@ private:
     Dim3 block_dim_;
     Dim3 block_idx_;
     SharedArena* arena_;
+    RegSlab* slab_ = nullptr;
+    const ThreadCtx* thread_table_ = nullptr;
     std::uint32_t num_threads_;
     std::uint32_t num_warps_;
     std::uint32_t reg_words_ = 0;

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "device.hpp"
@@ -61,24 +63,90 @@ private:
 /// owning launch's global-memory counters. Explicit ld/st (rather than
 /// operator[]) keeps global-memory traffic visible in kernel code, mirroring
 /// how CUDA kernels are tuned around memory transactions.
+///
+/// A `DeviceSpan<const T>` (from `Launch::span(const DeviceBuffer<T>&)`)
+/// is a read-only view: it only carries a read counter and the store
+/// members do not exist.
+///
+/// Hot loops should use the bulk accessors, which charge a whole access
+/// footprint with one counter update and hand back a raw pointer:
+///  - `ld_bulk(first, n)` / `st_bulk(first, n)` — a contiguous range;
+///  - `ld_footprint(n)` / `st_footprint(n)` — the span's base pointer for
+///    loops whose footprint is strided/tiled but whose element count is
+///    known exactly (the caller must touch exactly `n` elements).
+/// Counter totals are bit-identical to per-element ld/st of the same
+/// elements; only the number of counter updates changes.
 template <class T>
 class DeviceSpan {
 public:
+    using value_type = std::remove_const_t<T>;
+
     DeviceSpan(T* data, std::size_t n, std::uint64_t* rd, std::uint64_t* wr) noexcept
         : data_(data), n_(n), rd_(rd), wr_(wr) {}
 
     [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
-    [[nodiscard]] T ld(std::size_t i) const noexcept {
+    [[nodiscard]] value_type ld(std::size_t i) const noexcept {
         assert(i < n_);
         *rd_ += sizeof(T);
         return data_[i];
     }
 
-    void st(std::size_t i, const T& v) const noexcept {
+    /// One charged load of `n` contiguous elements starting at `first`.
+    [[nodiscard]] const value_type* ld_bulk(std::size_t first, std::size_t n) const noexcept {
+        assert(first + n <= n_);
+        *rd_ += n * sizeof(T);
+        return data_ + first;
+    }
+
+    /// Charge `n` element loads and return the span base for a strided or
+    /// tiled loop that will read exactly `n` (not necessarily contiguous)
+    /// elements through the returned pointer.
+    [[nodiscard]] const value_type* ld_footprint(std::size_t n) const noexcept {
+        assert(n <= n_);
+        *rd_ += n * sizeof(T);
+        return data_;
+    }
+
+    void st(std::size_t i, const value_type& v) const noexcept
+        requires(!std::is_const_v<T>)
+    {
         assert(i < n_);
         *wr_ += sizeof(T);
         data_[i] = v;
+    }
+
+    /// One charged store window of `n` contiguous elements at `first`.
+    [[nodiscard]] value_type* st_bulk(std::size_t first, std::size_t n) const noexcept
+        requires(!std::is_const_v<T>)
+    {
+        assert(first + n <= n_);
+        *wr_ += n * sizeof(T);
+        return data_ + first;
+    }
+
+    /// Charge `n` element stores and return the span base (strided/tiled
+    /// write loops; the caller must write exactly `n` elements).
+    [[nodiscard]] value_type* st_footprint(std::size_t n) const noexcept
+        requires(!std::is_const_v<T>)
+    {
+        assert(n <= n_);
+        *wr_ += n * sizeof(T);
+        return data_;
+    }
+
+    /// Read-modify-write accumulation, the modeled `atomicAdd`: charges one
+    /// load and one store (exactly what the serial `st(i, ld(i) + v)` idiom
+    /// charged) and is safe under the parallel block scheduler. Histogram
+    /// counts are integer-valued doubles, so the sum is exact and the
+    /// result is independent of block execution order.
+    void atomic_add(std::size_t i, const value_type& v) const noexcept
+        requires(!std::is_const_v<T>)
+    {
+        assert(i < n_);
+        *rd_ += sizeof(T);
+        *wr_ += sizeof(T);
+        std::atomic_ref<value_type>(data_[i]).fetch_add(v, std::memory_order_relaxed);
     }
 
 private:

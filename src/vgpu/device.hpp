@@ -3,13 +3,16 @@
 #include <cstdint>
 
 #include "device_props.hpp"
+#include "exec_pool.hpp"
 #include "profiler.hpp"
 
 namespace cuzc::vgpu {
 
 /// A modeled GPU device: architectural properties plus the profiler that
 /// records every kernel launch and host<->device transfer executed on it.
-/// Passed by reference everywhere (no global device state).
+/// Passed by reference everywhere (no global device state). The execution
+/// pool holds the device's recycled per-worker arenas, register slabs, and
+/// counter shards.
 class Device {
 public:
     Device() = default;
@@ -18,6 +21,7 @@ public:
     [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
     [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
     [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
+    [[nodiscard]] ExecutionPool& exec_pool() noexcept { return pool_; }
 
     void note_h2d(std::uint64_t bytes) noexcept { h2d_bytes_ += bytes; }
     void note_d2h(std::uint64_t bytes) noexcept { d2h_bytes_ += bytes; }
@@ -35,6 +39,7 @@ private:
     Profiler profiler_{};
     std::uint64_t h2d_bytes_ = 0;
     std::uint64_t d2h_bytes_ = 0;
+    ExecutionPool pool_{props_.smem_per_block};
 };
 
 }  // namespace cuzc::vgpu

@@ -1,14 +1,16 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "block.hpp"
 #include "buffer.hpp"
 #include "device.hpp"
+#include "exec_pool.hpp"
+#include "scheduler.hpp"
 #include "shared_arena.hpp"
 
 namespace cuzc::vgpu {
@@ -20,7 +22,8 @@ struct LaunchConfig {
 };
 
 /// Handle given to a kernel body for binding device buffers; every span it
-/// hands out charges its loads/stores to this launch's stats record.
+/// hands out charges its loads/stores to the executing worker's counter
+/// shard (the launch record itself when execution is serial).
 class Launch {
 public:
     explicit Launch(KernelStats& stats) noexcept : stats_(&stats) {}
@@ -29,6 +32,14 @@ public:
     [[nodiscard]] DeviceSpan<T> span(DeviceBuffer<T>& buf) const noexcept {
         return DeviceSpan<T>(buf.raw(), buf.size(), &stats_->global_bytes_read,
                              &stats_->global_bytes_written);
+    }
+
+    /// Read-only view of a buffer the kernel only consumes: stores are a
+    /// compile error and only the read counter is carried.
+    template <class T>
+    [[nodiscard]] DeviceSpan<const T> span(const DeviceBuffer<T>& buf) const noexcept {
+        return DeviceSpan<const T>(buf.raw(), buf.size(), &stats_->global_bytes_read,
+                                   &stats_->global_bytes_written);
     }
 
     [[nodiscard]] KernelStats& stats() noexcept { return *stats_; }
@@ -47,41 +58,69 @@ inline void check_config(const Device& dev, const LaunchConfig& cfg) {
     (void)cfg;
 }
 
+[[nodiscard]] inline Dim3 delinearize_block(std::size_t b, const Dim3& grid) noexcept {
+    const auto gx = static_cast<std::size_t>(grid.x);
+    const auto gy = static_cast<std::size_t>(grid.y);
+    return Dim3{static_cast<std::uint32_t>(b % gx), static_cast<std::uint32_t>((b / gx) % gy),
+                static_cast<std::uint32_t>(b / (gx * gy))};
+}
+
 }  // namespace detail
 
 /// Launch a kernel: `body(Launch&, BlockCtx&)` runs once per block of the
 /// grid. Blocks execute independently (no inter-block communication except
-/// through global memory after the launch), matching CUDA's guarantees for
-/// a non-cooperative launch. Execution is deterministic: blocks run in
-/// linearized grid order.
+/// through global memory after the launch — or `DeviceSpan::atomic_add`
+/// during it), matching CUDA's guarantees for a non-cooperative launch.
+///
+/// Execution is parallel across host workers (see BlockScheduler) yet fully
+/// deterministic: each worker runs a contiguous range of the linearized
+/// grid, charging its private counter shard from the device's execution
+/// pool, and the shards are merged into the launch record in worker order.
+/// Every merged field is a sum or maximum, so the record is bit-identical
+/// to a serial grid-order sweep for any worker count. Arenas and register
+/// slabs are pooled per worker and recycled per block — the steady-state
+/// per-block cost is two pointer resets, not allocations.
 template <class Body>
 KernelStats& launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
     detail::check_config(dev, cfg);
     KernelStats& stats = dev.profiler().begin_launch(cfg.name);
     stats.blocks = cfg.grid.volume();
     stats.threads_per_block = static_cast<std::uint32_t>(cfg.block.volume());
-    Launch handle(stats);
-    for (std::uint32_t bz = 0; bz < cfg.grid.z; ++bz) {
-        for (std::uint32_t by = 0; by < cfg.grid.y; ++by) {
-            for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
-                SharedArena arena(dev.props().smem_per_block, &stats.shared_bytes_read,
-                                  &stats.shared_bytes_written);
-                BlockCtx blk(stats, dev.props(), cfg.grid, cfg.block, Dim3{bx, by, bz}, arena);
-                body(handle, blk);
-                if (arena.peak_bytes() > stats.smem_per_block) {
-                    stats.smem_per_block = arena.peak_bytes();
-                }
+
+    const auto nblocks = static_cast<std::size_t>(cfg.grid.volume());
+    ExecutionPool& pool = dev.exec_pool();
+    BlockScheduler& sched = BlockScheduler::instance();
+    const std::size_t workers = sched.plan_workers(nblocks);
+    for (std::size_t w = 0; w < workers; ++w) pool.slot(w).shard.reset_counters();
+
+    sched.run(nblocks, workers, [&](std::size_t w, std::size_t begin, std::size_t end) {
+        WorkerSlot& slot = pool.slot(w);
+        Launch handle(slot.shard);
+        const ThreadCtx* tids = slot.tids.get(cfg.block);
+        for (std::size_t b = begin; b < end; ++b) {
+            slot.arena.begin_block(&slot.shard.shared_bytes_read,
+                                   &slot.shard.shared_bytes_written);
+            slot.regs.reset();
+            BlockCtx blk(slot.shard, dev.props(), cfg.grid, cfg.block,
+                         detail::delinearize_block(b, cfg.grid), slot.arena, &slot.regs, tids);
+            body(handle, blk);
+            if (slot.arena.peak_bytes() > slot.shard.smem_per_block) {
+                slot.shard.smem_per_block = slot.arena.peak_bytes();
             }
         }
-    }
+    });
+
+    for (std::size_t w = 0; w < workers; ++w) stats.merge_counters(pool.slot(w).shard);
     return stats;
 }
 
 /// Cooperative launch (cooperative groups): the kernel is a sequence of
 /// phases with a grid-wide barrier (`cg::sync(grid)`) between consecutive
 /// phases. All blocks stay resident for the whole launch, so shared memory
-/// persists across phases — the runtime keeps one arena per block alive
-/// until the last phase completes.
+/// persists across phases — the runtime keeps one pooled arena per block
+/// alive until the last phase completes. Cooperative grids execute serially
+/// in block order: resident-grid kernels may (and pattern1's histogram
+/// phase does) perform cross-block read-modify-writes that rely on it.
 using CoopPhase = std::function<void(Launch&, BlockCtx&)>;
 
 inline KernelStats& coop_launch(Device& dev, const LaunchConfig& cfg,
@@ -94,22 +133,23 @@ inline KernelStats& coop_launch(Device& dev, const LaunchConfig& cfg,
     stats.grid_syncs = phases.empty() ? 0 : phases.size() - 1;
     Launch handle(stats);
 
-    std::vector<std::unique_ptr<SharedArena>> arenas;
-    arenas.reserve(cfg.grid.x);
+    ExecutionPool& pool = dev.exec_pool();
     for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
-        arenas.push_back(std::make_unique<SharedArena>(
-            dev.props().smem_per_block, &stats.shared_bytes_read, &stats.shared_bytes_written));
+        pool.coop_arena(bx).begin_block(&stats.shared_bytes_read, &stats.shared_bytes_written);
     }
 
+    const ThreadCtx* tids = pool.coop_tids().get(cfg.block);
     for (const auto& phase : phases) {
         for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
-            BlockCtx blk(stats, dev.props(), cfg.grid, cfg.block, Dim3{bx, 0, 0}, *arenas[bx]);
+            pool.coop_regs().reset();
+            BlockCtx blk(stats, dev.props(), cfg.grid, cfg.block, Dim3{bx, 0, 0},
+                         pool.coop_arena(bx), &pool.coop_regs(), tids);
             phase(handle, blk);
         }
     }
-    for (const auto& arena : arenas) {
-        if (arena->peak_bytes() > stats.smem_per_block) {
-            stats.smem_per_block = arena->peak_bytes();
+    for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
+        if (pool.coop_arena(bx).peak_bytes() > stats.smem_per_block) {
+            stats.smem_per_block = pool.coop_arena(bx).peak_bytes();
         }
     }
     return stats;

@@ -22,6 +22,30 @@ void KernelStats::merge(const KernelStats& other) {
     serialization = std::max(serialization, other.serialization);
 }
 
+void KernelStats::merge_counters(const KernelStats& shard) noexcept {
+    regs_per_thread = std::max(regs_per_thread, shard.regs_per_thread);
+    smem_per_block = std::max(smem_per_block, shard.smem_per_block);
+    global_bytes_read += shard.global_bytes_read;
+    global_bytes_written += shard.global_bytes_written;
+    shared_bytes_read += shard.shared_bytes_read;
+    shared_bytes_written += shard.shared_bytes_written;
+    shuffle_ops += shard.shuffle_ops;
+    thread_iters += shard.thread_iters;
+    lane_ops += shard.lane_ops;
+}
+
+void KernelStats::reset_counters() noexcept {
+    regs_per_thread = 0;
+    smem_per_block = 0;
+    global_bytes_read = 0;
+    global_bytes_written = 0;
+    shared_bytes_read = 0;
+    shared_bytes_written = 0;
+    shuffle_ops = 0;
+    thread_iters = 0;
+    lane_ops = 0;
+}
+
 KernelStats& Profiler::begin_launch(std::string name) {
     KernelStats stats;
     stats.name = std::move(name);

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "dim3.hpp"
 
@@ -59,19 +59,32 @@ struct KernelStats {
     }
 
     void merge(const KernelStats& other);
+
+    /// Fold a per-worker counter shard into this launch record. Every
+    /// merged field is commutative (sums and maxima), so folding the
+    /// workers' contiguous block ranges in worker order yields exactly the
+    /// counts of a serial grid-order sweep, for any worker count.
+    void merge_counters(const KernelStats& shard) noexcept;
+
+    /// Zero the fields a worker shard accumulates into (cheap per-launch
+    /// reset of a pooled shard).
+    void reset_counters() noexcept;
 };
 
 /// Per-device collection of kernel launch records. Records are kept in
 /// launch order; `aggregate(name)` folds every record with a matching
-/// kernel name, and `total()` folds everything.
+/// kernel name, and `total()` folds everything. Records live in a deque so
+/// the reference `begin_launch` returns stays valid across later launches
+/// (a vector would invalidate it on reallocation — the nested/batched
+/// launch hazard).
 class Profiler {
 public:
     KernelStats& begin_launch(std::string name);
 
-    [[nodiscard]] const std::vector<KernelStats>& records() const noexcept {
+    [[nodiscard]] const std::deque<KernelStats>& records() const noexcept {
         return records_;
     }
-    [[nodiscard]] std::vector<KernelStats>& mutable_records() noexcept { return records_; }
+    [[nodiscard]] std::deque<KernelStats>& mutable_records() noexcept { return records_; }
     [[nodiscard]] KernelStats aggregate(const std::string& name) const;
     [[nodiscard]] KernelStats total() const;
     [[nodiscard]] std::uint64_t launch_count() const noexcept;
@@ -79,7 +92,7 @@ public:
     void clear() { records_.clear(); }
 
 private:
-    std::vector<KernelStats> records_;
+    std::deque<KernelStats> records_;
 };
 
 }  // namespace cuzc::vgpu

@@ -16,9 +16,15 @@ namespace cuzc::vgpu {
 /// kernel launches and one extra pass over the partials, exactly the
 /// overheads the pattern-oriented design removes.
 ///
-/// `make_loader(Launch&)` returns a callable `T(std::size_t)` producing the
-/// i-th input element (this is where a metric computes, e.g., the squared
-/// error from two device arrays). `op` must be associative + commutative.
+/// `make_loader(Launch&)` returns a *chunk loader*: a callable
+/// `loader(base, count)` that charges the loads for the contiguous element
+/// range [base, base+count) in bulk and returns a per-element callable
+/// `T(std::size_t i)` valid for exactly that range (this is where a metric
+/// computes, e.g., the squared error from two device arrays). The partial
+/// kernel walks its grid-stride rounds chunk-major — each round of block b
+/// touches one contiguous run — so loaders charge one bulk load per span
+/// per round instead of one per element. `op` must be associative +
+/// commutative.
 template <class T, class Op, class MakeLoader>
 [[nodiscard]] T device_reduce(Device& dev, const std::string& name, std::size_t n, T init, Op op,
                               MakeLoader make_loader) {
@@ -35,16 +41,19 @@ template <class T, class Op, class MakeLoader>
                auto acc = blk.make_regs<T>(1, init);
                const std::uint64_t stride =
                    static_cast<std::uint64_t>(grid) * kThreads;
-               blk.for_each_thread([&](ThreadCtx& t) {
-                   std::uint64_t iters = 0;
-                   for (std::uint64_t i = blk.block_idx().x * kThreads + t.linear; i < n;
-                        i += stride) {
-                       acc(t) = op(acc(t), load(i));
-                       ++iters;
-                   }
-                   blk.add_iters(iters);
-                   blk.add_ops(iters * 2);
-               });
+               for (std::uint64_t base = std::uint64_t{blk.block_idx().x} * kThreads; base < n;
+                    base += stride) {
+                   const auto count =
+                       static_cast<std::uint32_t>(std::min<std::uint64_t>(kThreads, n - base));
+                   auto at = load(static_cast<std::size_t>(base), std::size_t{count});
+                   blk.for_each_thread([&](ThreadCtx& t) {
+                       if (t.linear < count) {
+                           acc(t) = op(acc(t), at(static_cast<std::size_t>(base) + t.linear));
+                       }
+                   });
+                   blk.add_iters(count);
+                   blk.add_ops(std::uint64_t{count} * 2);
+               }
                blk.for_each_warp([&](WarpCtx& w) { w.reduce_shfl_down(acc, 0, op); });
                auto warp_out = blk.shared().alloc<T>(blk.num_warps());
                blk.for_each_thread([&](ThreadCtx& t) {
@@ -67,15 +76,17 @@ template <class T, class Op, class MakeLoader>
                auto dpart = l.span(partials);
                auto dres = l.span(result);
                auto acc = blk.make_regs<T>(1, init);
-               blk.for_each_thread([&](ThreadCtx& t) {
-                   std::uint64_t iters = 0;
-                   for (std::uint64_t i = t.linear; i < grid; i += kThreads) {
-                       acc(t) = op(acc(t), dpart.ld(i));
-                       ++iters;
-                   }
-                   blk.add_iters(iters);
-                   blk.add_ops(iters);
-               });
+               for (std::uint32_t base = 0; base < grid; base += kThreads) {
+                   const std::uint32_t count = std::min(kThreads, grid - base);
+                   const T* part = dpart.ld_bulk(base, count);
+                   blk.for_each_thread([&](ThreadCtx& t) {
+                       if (t.linear < count) {
+                           acc(t) = op(acc(t), part[t.linear]);
+                       }
+                   });
+                   blk.add_iters(count);
+                   blk.add_ops(count);
+               }
                blk.for_each_warp([&](WarpCtx& w) { w.reduce_shfl_down(acc, 0, op); });
                auto warp_out = blk.shared().alloc<T>(blk.num_warps());
                blk.for_each_thread([&](ThreadCtx& t) {

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cuzc::vgpu {
+
+/// Host-side thread pool that executes the independent blocks of a
+/// non-cooperative launch in parallel. CUDA guarantees nothing about block
+/// scheduling beyond independence, so any partition is semantically valid;
+/// this one is chosen to be *deterministic*: the grid is split into
+/// contiguous block ranges, one per worker, with a static partition that
+/// depends only on (nblocks, workers). Combined with per-worker counter
+/// shards (all merged fields are commutative sums/maxima) and kernels whose
+/// cross-block global writes are disjoint or exact atomic adds, both the
+/// numerical results and the profiler counts are bit-identical for every
+/// worker count, including 1.
+///
+/// Worker count resolution: `set_num_threads` override, else the
+/// CUZC_VGPU_THREADS environment variable, else hardware concurrency.
+/// Workers are lazily spawned, persistent, and shared by all devices;
+/// `run` calls are serialized. A `run` issued from inside a worker (nested
+/// launch) degrades to inline serial execution.
+class BlockScheduler {
+public:
+    static BlockScheduler& instance();
+
+    /// Workers a launch of `nblocks` blocks will use (>= 1).
+    [[nodiscard]] std::size_t plan_workers(std::size_t nblocks) const noexcept;
+
+    [[nodiscard]] std::size_t max_workers() const noexcept;
+
+    /// Override the worker count for subsequent launches (0 restores the
+    /// environment/hardware default). Must not be called during a run.
+    void set_num_threads(std::size_t n);
+
+    using RangeFn = std::function<void(std::size_t worker, std::size_t begin, std::size_t end)>;
+
+    /// Execute `fn(w, begin, end)` for the `workers` contiguous ranges of
+    /// [0, nblocks). Worker 0's range runs on the calling thread. Returns
+    /// after every range completes. `workers` must come from
+    /// `plan_workers(nblocks)`.
+    void run(std::size_t nblocks, std::size_t workers, const RangeFn& fn);
+
+    BlockScheduler(const BlockScheduler&) = delete;
+    BlockScheduler& operator=(const BlockScheduler&) = delete;
+
+private:
+    BlockScheduler();
+    ~BlockScheduler();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace cuzc::vgpu

@@ -8,7 +8,10 @@
 namespace cuzc::vgpu {
 
 /// Kernel-side view of a shared-memory allocation; loads/stores are charged
-/// to the launch's shared-memory counters.
+/// to the launch's shared-memory counters. Hot loops over contiguous runs
+/// should use `ld_bulk`/`st_bulk` (or the strided `*_footprint` forms),
+/// which charge the whole run with one counter update — totals are
+/// bit-identical to per-element ld/st of the same elements.
 template <class T>
 class SharedArray {
 public:
@@ -29,6 +32,35 @@ public:
         data_[i] = v;
     }
 
+    /// One charged load of `n` contiguous elements starting at `first`.
+    [[nodiscard]] const T* ld_bulk(std::size_t first, std::size_t n) const noexcept {
+        assert(first + n <= n_);
+        *rd_ += n * sizeof(T);
+        return data_ + first;
+    }
+
+    /// One charged store window of `n` contiguous elements at `first`.
+    [[nodiscard]] T* st_bulk(std::size_t first, std::size_t n) const noexcept {
+        assert(first + n <= n_);
+        *wr_ += n * sizeof(T);
+        return data_ + first;
+    }
+
+    /// Charge `n` element loads and return the array base for a strided loop
+    /// that reads exactly `n` elements through the returned pointer.
+    [[nodiscard]] const T* ld_footprint(std::size_t n) const noexcept {
+        assert(n <= n_);
+        *rd_ += n * sizeof(T);
+        return data_;
+    }
+
+    /// Charge `n` element stores and return the array base (strided writes).
+    [[nodiscard]] T* st_footprint(std::size_t n) const noexcept {
+        assert(n <= n_);
+        *wr_ += n * sizeof(T);
+        return data_;
+    }
+
 private:
     T* data_;
     std::size_t n_;
@@ -41,6 +73,12 @@ private:
 /// shared-memory footprint ("SMem/TB" in the paper's Table II). Exceeding
 /// the device's per-block carve-out is a programming error (assert), exactly
 /// as an oversized launch would fail on real hardware.
+///
+/// Arenas are pooled: the execution engine keeps one per worker (plus one
+/// per resident block for cooperative launches) and recycles it with
+/// `begin_block`, so steady-state launches perform no shared-memory
+/// allocation at all. Like real shared memory, a recycled arena's contents
+/// are unspecified — kernels must write before reading.
 class SharedArena {
 public:
     SharedArena(std::uint64_t capacity, std::uint64_t* rd, std::uint64_t* wr)
@@ -61,6 +99,19 @@ public:
 
     [[nodiscard]] std::uint64_t peak_bytes() const noexcept { return peak_; }
 
+    /// Recycle the arena for a new block of a (possibly different) launch:
+    /// clears the bump offset AND the peak tracker, and rebinds the charge
+    /// counters to the new launch's shard. Without the peak reset a pooled
+    /// arena would leak one launch's footprint into the next launch's
+    /// SMem/TB figure.
+    void begin_block(std::uint64_t* rd, std::uint64_t* wr) noexcept {
+        offset_ = 0;
+        peak_ = 0;
+        rd_ = rd;
+        wr_ = wr;
+    }
+
+    /// Release all allocations but keep the peak (intra-block reuse).
     void reset() noexcept { offset_ = 0; }
 
 private:

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,23 +21,35 @@ struct ThreadCtx {
 /// the duration of a block, surviving across barrier phases — the software
 /// model of the SM register file. `width` values of type T are held per
 /// thread. Allocation size feeds the Regs/TB accounting.
+///
+/// Two storage modes: owning (a private heap vector, the standalone form
+/// used directly in tests) and view (a caller-provided slab region from the
+/// per-worker register pool, the form `BlockCtx::make_regs` hands out on the
+/// hot path — no allocation per block). Both fill the storage with `init`.
 template <class T>
 class RegArray {
 public:
     RegArray(std::uint32_t threads, std::uint32_t width, const T& init = T{})
-        : width_(width), v_(static_cast<std::size_t>(threads) * width, init) {}
+        : width_(width), v_(static_cast<std::size_t>(threads) * width, init), data_(v_.data()) {}
+
+    /// View mode over pooled storage; `slab` must hold threads*width Ts and
+    /// stay valid for the lifetime of this array (one block).
+    RegArray(T* slab, std::uint32_t threads, std::uint32_t width, const T& init)
+        : width_(width), data_(slab) {
+        std::fill_n(slab, static_cast<std::size_t>(threads) * width, init);
+    }
 
     [[nodiscard]] T& operator()(const ThreadCtx& t, std::uint32_t i = 0) noexcept {
-        return v_[static_cast<std::size_t>(t.linear) * width_ + i];
+        return data_[static_cast<std::size_t>(t.linear) * width_ + i];
     }
     [[nodiscard]] const T& operator()(const ThreadCtx& t, std::uint32_t i = 0) const noexcept {
-        return v_[static_cast<std::size_t>(t.linear) * width_ + i];
+        return data_[static_cast<std::size_t>(t.linear) * width_ + i];
     }
     [[nodiscard]] T& at(std::uint32_t linear, std::uint32_t i = 0) noexcept {
-        return v_[static_cast<std::size_t>(linear) * width_ + i];
+        return data_[static_cast<std::size_t>(linear) * width_ + i];
     }
     [[nodiscard]] const T& at(std::uint32_t linear, std::uint32_t i = 0) const noexcept {
-        return v_[static_cast<std::size_t>(linear) * width_ + i];
+        return data_[static_cast<std::size_t>(linear) * width_ + i];
     }
 
     [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
@@ -44,6 +57,7 @@ public:
 private:
     std::uint32_t width_;
     std::vector<T> v_;
+    T* data_;
 };
 
 }  // namespace cuzc::vgpu

@@ -9,8 +9,10 @@
 #include "cost_model.hpp"  // IWYU pragma: export
 #include "device.hpp"      // IWYU pragma: export
 #include "dim3.hpp"        // IWYU pragma: export
+#include "exec_pool.hpp"   // IWYU pragma: export
 #include "launch.hpp"      // IWYU pragma: export
 #include "occupancy.hpp"   // IWYU pragma: export
 #include "profiler.hpp"    // IWYU pragma: export
 #include "reduce.hpp"      // IWYU pragma: export
+#include "scheduler.hpp"   // IWYU pragma: export
 #include "warp.hpp"        // IWYU pragma: export

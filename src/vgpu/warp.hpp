@@ -33,6 +33,12 @@ public:
         return lane < lanes_ && ((mask >> lane) & 1u) != 0;
     }
 
+    /// Bulk-charge `n` shuffle operations. The warp-fused counterpart of the
+    /// span bulk accessors: a kernel that computes an exchange pattern with
+    /// plain lane loops (instead of per-offset `shfl_*` calls) charges the
+    /// same shuffle count in one add.
+    void add_shuffles(std::uint64_t n) const noexcept { stats_->shuffle_ops += n; }
+
     /// __ballot_sync: evaluate `pred(lane)` for every active lane and pack
     /// the results into a 32-bit mask.
     template <class Pred>
@@ -89,22 +95,56 @@ public:
         return out;
     }
 
+    /// Streaming shfl_down: invokes `fn(lane, value)` with the value each
+    /// lane receives, without materializing a lane array. Charges exactly
+    /// like `shfl_down`. `fn` must not modify the source slot (the fused
+    /// form reads lanes in ascending order instead of snapshotting them).
+    template <class T, class F>
+    void shfl_down_each(const RegArray<T>& reg, std::uint32_t slot, std::uint32_t delta, F&& fn,
+                        std::uint32_t mask = kFullMask) const {
+        stats_->shuffle_ops += lanes_;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            const std::uint32_t src = l + delta;
+            fn(l, reg.at(base_ + (lane_in(src, mask) ? src : l), slot));
+        }
+    }
+
+    /// Two shfl_downs of the same delta on two slots, fused into one lane
+    /// sweep: `fn(lane, a, b)`. Charges as two shuffles. Neither slot may be
+    /// modified by `fn`.
+    template <class T, class F>
+    void shfl_down_each2(const RegArray<T>& reg, std::uint32_t slot_a, std::uint32_t slot_b,
+                         std::uint32_t delta, F&& fn, std::uint32_t mask = kFullMask) const {
+        stats_->shuffle_ops += 2 * lanes_;
+        for (std::uint32_t l = 0; l < lanes_; ++l) {
+            const std::uint32_t src = l + delta;
+            const std::uint32_t from = base_ + (lane_in(src, mask) ? src : l);
+            fn(l, reg.at(from, slot_a), reg.at(from, slot_b));
+        }
+    }
+
     /// The canonical warp tree reduction: for offset = 16,8,..,1 combine
     /// each lane's value with shfl_down(offset). After the call lane 0 of
     /// the masked subset holds op-fold of all masked lanes' slot values.
     /// A lane only folds when its shuffle source is a masked lane — the
     /// guard real masked-reduction code needs, since reading an unmasked
     /// lane is undefined in CUDA.
+    ///
+    /// The fold is done in place, in ascending lane order: lane l's source
+    /// l+off has not been folded yet when l is, so the values read are the
+    /// pre-round values — identical to snapshotting all lanes first, minus
+    /// the 32-element copy per round. Charges match shfl_down + one lane op
+    /// per active lane per round.
     template <class T, class Op>
     void reduce_shfl_down(RegArray<T>& reg, std::uint32_t slot, Op&& op,
                           std::uint32_t mask = kFullMask) const {
         for (std::uint32_t off = kWarpSize / 2; off > 0; off >>= 1) {
-            auto got = shfl_down(reg, slot, off, mask);
+            stats_->shuffle_ops += lanes_;
             stats_->lane_ops += lanes_;
             for (std::uint32_t l = 0; l < lanes_; ++l) {
                 if (lane_in(l, mask) && lane_in(l + off, mask)) {
                     T& mine = reg.at(base_ + l, slot);
-                    mine = op(mine, got[l]);
+                    mine = op(mine, reg.at(base_ + l + off, slot));
                 }
             }
         }

@@ -1,6 +1,7 @@
 // End-to-end tests of the cuzc command-line tool (driven in-process).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -26,7 +27,11 @@ struct CliFixture : public ::testing::Test {
     zc::Field orig, dec;
 
     void SetUp() override {
-        dir = fs::temp_directory_path() / "cuzc_cli_test";
+        // Unique per test so parallel ctest runs don't race on TearDown.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir = fs::temp_directory_path() /
+              (std::string("cuzc_cli_test_") + info->name() + "_" +
+               std::to_string(static_cast<unsigned long>(::getpid())));
         fs::create_directories(dir);
         orig = tst::smooth_field({10, 12, 14}, 4);
         dec = tst::perturbed(orig, 0.01, 8);

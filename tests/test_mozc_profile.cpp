@@ -75,9 +75,12 @@ TEST(VgpuReduce, ArrayValuedReductionWithMixedOps) {
         },
         [&](vgpu::Launch& l) {
             auto s = l.span(buf);
-            return [s](std::size_t i) {
-                const double v = s.ld(i);
-                return A3{v, v, v};
+            return [s](std::size_t base, std::size_t count) {
+                const float* p = s.ld_bulk(base, count);
+                return [p, base](std::size_t i) {
+                    const double v = p[i - base];
+                    return A3{v, v, v};
+                };
             };
         });
     EXPECT_DOUBLE_EQ(r[0], -100.0);

@@ -21,7 +21,12 @@ TEST(Smoke, VgpuReduceSums) {
                                      [](double a, double b) { return a + b; },
                                      [&](Launch& l) {
                                          auto s = l.span(buf);
-                                         return [s](std::size_t i) { return double(s.ld(i)); };
+                                         return [s](std::size_t base, std::size_t count) {
+                                             const float* p = s.ld_bulk(base, count);
+                                             return [p, base](std::size_t i) {
+                                                 return double(p[i - base]);
+                                             };
+                                         };
                                      });
     EXPECT_DOUBLE_EQ(r, 1000.0);
 }

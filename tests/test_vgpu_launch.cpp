@@ -174,7 +174,10 @@ TEST(VgpuLaunch, DeviceReduceMatchesSerialForVariousSizes) {
             dev, "sum", n, 0.0, [](double a, double b) { return a + b; },
             [&](Launch& l) {
                 auto s = l.span(buf);
-                return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+                return [s](std::size_t base, std::size_t count) {
+                    const float* p = s.ld_bulk(base, count);
+                    return [p, base](std::size_t i) { return static_cast<double>(p[i - base]); };
+                };
             });
         EXPECT_DOUBLE_EQ(gpu, serial) << "n=" << n;
     }
@@ -188,7 +191,10 @@ TEST(VgpuLaunch, DeviceReduceMinWithInit) {
         dev, "min", host.size(), 1e30, [](double a, double b) { return a < b ? a : b; },
         [&](Launch& l) {
             auto s = l.span(buf);
-            return [s](std::size_t i) { return static_cast<double>(s.ld(i)); };
+            return [s](std::size_t base, std::size_t count) {
+                const float* p = s.ld_bulk(base, count);
+                return [p, base](std::size_t i) { return static_cast<double>(p[i - base]); };
+            };
         });
     EXPECT_DOUBLE_EQ(m, -2.0);
 }
