@@ -1,0 +1,176 @@
+// Throughput of the cuzc::serve assessment service against a naive
+// one-request-at-a-time client on the same mixed workload trace.
+//
+// The naive baseline is what an in-situ consumer without the service would
+// write: one `cuzc::assess` call per request, paying fresh device buffers
+// and full kernels every time. The service run replays the identical trace
+// through `AssessService` with request coalescing and the content-addressed
+// result cache enabled. Both runs see pre-materialized fields, so the
+// measured interval is pure assessment work.
+//
+// Every non-degraded service response is cross-checked against the naive
+// result for the same trace entry (exact equality — same kernels, same
+// order), so the speedup is never bought with wrong answers.
+//
+// Usage: bench_serve_throughput [--requests=200] [--distinct=32]
+//                               [--tight=0.1] [--devices=1]
+//                               [--out=BENCH_serve_throughput.json]
+//
+// Emits JSON (stdout, and --out=PATH) with naive_seconds, serve_seconds,
+// speedup, and the full service telemetry block.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hpp"
+#include "vgpu/vgpu.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace serve = cuzc::serve;
+namespace zc = cuzc::zc;
+namespace vgpu = cuzc::vgpu;
+
+double now_seconds() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    serve::TraceGenConfig gen;
+    std::size_t devices = 1;
+    std::string out_path = "BENCH_serve_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+            gen.requests = static_cast<std::size_t>(std::atoll(argv[i] + 11));
+        } else if (std::strncmp(argv[i], "--distinct=", 11) == 0) {
+            gen.distinct = static_cast<std::size_t>(std::atoll(argv[i] + 11));
+        } else if (std::strncmp(argv[i], "--tight=", 8) == 0) {
+            gen.tight_deadline_fraction = std::atof(argv[i] + 8);
+        } else if (std::strncmp(argv[i], "--devices=", 10) == 0) {
+            devices = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            std::fprintf(stderr, "bench_serve_throughput: unknown argument '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (gen.requests == 0 || devices == 0) {
+        std::fprintf(stderr, "bench_serve_throughput: --requests and --devices must be >= 1\n");
+        return 2;
+    }
+
+    const auto trace = serve::generate_trace(gen);
+
+    // Materialize everything up front; neither run pays for field synthesis.
+    std::vector<zc::Field> origs, decs;
+    origs.reserve(trace.size());
+    decs.reserve(trace.size());
+    for (const auto& e : trace) {
+        auto [orig, dec] = serve::materialize(e);
+        origs.push_back(std::move(orig));
+        decs.push_back(std::move(dec));
+    }
+
+    // Naive baseline: one assess per request, no reuse of any kind.
+    std::vector<zc::AssessmentReport> naive_reports;
+    naive_reports.reserve(trace.size());
+    const double naive_t0 = now_seconds();
+    {
+        vgpu::Device dev;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            naive_reports.push_back(
+                ::cuzc::cuzc::assess(dev, origs[i].view(), decs[i].view(), trace[i].metrics())
+                    .report);
+        }
+    }
+    const double naive_seconds = now_seconds() - naive_t0;
+
+    // Service run: batching + caching on, same trace.
+    serve::ServiceConfig scfg;
+    scfg.devices = devices;
+    serve::AssessService service(scfg);
+    std::vector<std::future<serve::AssessResponse>> futures;
+    futures.reserve(trace.size());
+    const double serve_t0 = now_seconds();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        serve::AssessRequest req;
+        req.orig = origs[i];
+        req.dec = decs[i];
+        req.cfg = trace[i].metrics();
+        req.deadline_model_s = trace[i].deadline_us * 1e-6;
+        req.priority = trace[i].priority;
+        futures.push_back(service.submit(std::move(req)));
+    }
+    std::vector<serve::AssessResponse> responses;
+    responses.reserve(trace.size());
+    for (auto& f : futures) responses.push_back(f.get());
+    const double serve_seconds = now_seconds() - serve_t0;
+
+    // Correctness gate: non-degraded responses must match the naive run.
+    std::size_t checked = 0, degraded = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto& resp = responses[i];
+        if (resp.rejected) {
+            std::fprintf(stderr, "bench_serve_throughput: request %zu rejected: %s\n", i,
+                         resp.error.c_str());
+            return 1;
+        }
+        if (resp.degraded) {
+            ++degraded;
+            continue;
+        }
+        const auto& got = resp.result.report.reduction;
+        const auto& want = naive_reports[i].reduction;
+        if (got.psnr_db != want.psnr_db || got.mse != want.mse ||
+            resp.result.report.ssim.ssim != naive_reports[i].ssim.ssim) {
+            std::fprintf(stderr,
+                         "bench_serve_throughput: request %zu diverged from direct assess\n", i);
+            return 1;
+        }
+        ++checked;
+    }
+
+    const serve::ServiceTelemetry tele = service.telemetry();
+    const double speedup = serve_seconds > 0 ? naive_seconds / serve_seconds : 0;
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"cuzc-serve-throughput-v1\",\n"
+       << "  \"requests\": " << trace.size() << ",\n"
+       << "  \"distinct\": " << gen.distinct << ",\n"
+       << "  \"devices\": " << devices << ",\n"
+       << "  \"tight_deadline_fraction\": " << gen.tight_deadline_fraction << ",\n"
+       << "  \"checked_against_direct\": " << checked << ",\n"
+       << "  \"degraded\": " << degraded << ",\n"
+       << "  \"naive_seconds\": " << naive_seconds << ",\n"
+       << "  \"serve_seconds\": " << serve_seconds << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"telemetry\": ";
+    tele.write_json(os, 2);
+    os << "\n}\n";
+
+    std::fputs(os.str().c_str(), stdout);
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        f << os.str();
+        if (!f) {
+            std::fprintf(stderr, "bench_serve_throughput: cannot write '%s'\n", out_path.c_str());
+            return 1;
+        }
+    }
+    std::fprintf(stderr, "bench_serve_throughput: naive %.3fs, serve %.3fs, speedup %.2fx\n",
+                 naive_seconds, serve_seconds, speedup);
+    return 0;
+}

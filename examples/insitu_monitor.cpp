@@ -1,22 +1,34 @@
-// In-situ compression monitoring: a mock simulation produces one snapshot
-// per "timestep"; each snapshot is compressed, and its quality is assessed
-// on the fly with the streaming accumulator (per-chunk feeding, as an
-// in-situ pipeline would) plus the 4-D time-series aggregate at the end —
-// without ever holding the full campaign in memory twice.
+// In-situ compression monitoring through the assessment service: a mock
+// simulation produces one snapshot per "timestep"; each snapshot is
+// compressed and submitted to `cuzc::serve::AssessService`, which owns the
+// virtual devices, coalesces same-shape snapshots, and memoizes results.
+// The streaming accumulator still ingests chunks in-band, and the end of
+// the campaign computes the exact 4-D time-series aggregate.
+//
+// The example also shows the two service behaviors an in-situ pipeline
+// leans on:
+//   * cache hits — a post-hoc re-validation pass resubmits every snapshot
+//     and is served entirely from the result cache (zero kernel work);
+//   * graceful degradation — a tight-deadline probe request comes back
+//     with degraded=true and the expensive metrics shed, instead of
+//     stalling the simulation.
 //
 //   $ ./examples/insitu_monitor [steps]
 
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <vector>
 
 #include "data/datasets.hpp"
 #include "io/visualize.hpp"
+#include "serve/serve.hpp"
 #include "sz/sz.hpp"
 #include "zc/zc.hpp"
 
 int main(int argc, char** argv) {
     namespace data = cuzc::data;
+    namespace serve = cuzc::serve;
     namespace sz = cuzc::sz;
     namespace zc = cuzc::zc;
 
@@ -25,12 +37,20 @@ int main(int argc, char** argv) {
     zc::MetricsConfig cfg;
     cfg.ssim_window = 4;
 
-    std::printf("mock %s campaign: %zu steps of %zux%zux%zu, SZ rel bound 1e-3\n\n",
+    serve::ServiceConfig scfg;
+    scfg.devices = 2;
+    serve::AssessService service(scfg);
+
+    std::printf("mock %s campaign: %zu steps of %zux%zux%zu, SZ rel bound 1e-3\n",
                 spec.name.c_str(), steps, spec.dims.h, spec.dims.w, spec.dims.l);
+    std::printf("assessed by cuzc::serve (%zu devices, cache %zu entries)\n\n",
+                service.config().devices, service.config().cache_capacity);
     std::printf("%6s %9s %9s %9s %9s\n", "step", "ratio", "PSNR", "SSIM", "stream-PSNR");
 
     zc::StreamingAssessor stream(cfg);
     std::vector<zc::Field> orig_steps, dec_steps;
+    std::vector<double> ratios;
+    std::vector<std::future<serve::AssessResponse>> futures;
     for (std::size_t t = 0; t < steps; ++t) {
         // The "simulation": each step uses a different seed, standing in
         // for time evolution of the rain field.
@@ -38,11 +58,12 @@ int main(int argc, char** argv) {
         fs.seed += t * 17;
         zc::Field orig = data::generate_field(fs, spec.dims);
 
-        sz::SzConfig scfg;
-        scfg.use_rel_bound = true;
-        scfg.rel_error_bound = 1e-3;
-        const auto comp = sz::compress(orig.view(), scfg);
+        sz::SzConfig szc;
+        szc.use_rel_bound = true;
+        szc.rel_error_bound = 1e-3;
+        const auto comp = sz::compress(orig.view(), szc);
         zc::Field dec = sz::decompress(comp.bytes);
+        ratios.push_back(comp.compression_ratio());
 
         // In-situ: feed the snapshot to the streaming accumulator in
         // write-buffer-sized chunks (64 KiB of floats here).
@@ -52,14 +73,52 @@ int main(int argc, char** argv) {
             stream.feed(orig.data().subspan(off, n), dec.data().subspan(off, n));
         }
 
-        const auto step_rep = zc::assess(orig.view(), dec.view(), cfg);
-        const auto so_far = stream.finalize();
-        std::printf("%6zu %8.1f:1 %9.2f %9.5f %9.2f\n", t, comp.compression_ratio(),
-                    step_rep.reduction.psnr_db, step_rep.ssim.ssim, so_far.psnr_db);
+        // Hand the full assessment to the service; the simulation moves on.
+        serve::AssessRequest req;
+        req.orig = orig;
+        req.dec = dec;
+        req.cfg = cfg;
+        futures.push_back(service.submit(std::move(req)));
 
         orig_steps.push_back(std::move(orig));
         dec_steps.push_back(std::move(dec));
     }
+
+    const auto so_far = stream.finalize();
+    for (std::size_t t = 0; t < steps; ++t) {
+        const auto resp = futures[t].get();
+        std::printf("%6zu %8.1f:1 %9.2f %9.5f %9.2f\n", t, ratios[t],
+                    resp.result.report.reduction.psnr_db, resp.result.report.ssim.ssim,
+                    so_far.psnr_db);
+    }
+
+    // Post-hoc re-validation: resubmit every snapshot. Identical bytes +
+    // config means every request is served from the result cache.
+    std::size_t revalidation_hits = 0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        serve::AssessRequest req;
+        req.orig = orig_steps[t];
+        req.dec = dec_steps[t];
+        req.cfg = cfg;
+        revalidation_hits += service.submit(std::move(req)).get().cache_hit;
+    }
+    std::printf("\nre-validation pass: %zu/%zu snapshots served from cache\n",
+                revalidation_hits, steps);
+
+    // A probe under an impossible deadline: the service sheds the heavy
+    // metrics (SSIM first) instead of blocking the pipeline.
+    serve::AssessRequest probe;
+    probe.orig = orig_steps[0];
+    probe.dec = dec_steps[0];
+    probe.cfg = cfg;
+    probe.deadline_model_s = 1e-9;  // modeled device seconds; far below cost
+    probe.priority = 1;
+    const auto probed = service.submit(std::move(probe)).get();
+    std::printf("tight-deadline probe: degraded=%s, shed = [", probed.degraded ? "yes" : "no");
+    for (std::size_t i = 0; i < probed.shed.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", probed.shed[i].c_str());
+    }
+    std::printf("], PSNR still reported: %.2f dB\n", probed.result.report.reduction.psnr_db);
 
     // Campaign-level verdict: exact 4-D aggregate.
     const auto ts = zc::assess_time_series(orig_steps, dec_steps, cfg);
@@ -69,5 +128,15 @@ int main(int argc, char** argv) {
                 ts.aggregate.ssim.ssim, ts.aggregate.ssim.windows);
     std::printf("error PDF over the whole campaign |%s|\n",
                 cuzc::io::sparkline(ts.aggregate.reduction.err_pdf).c_str());
+
+    const auto tele = service.telemetry();
+    std::printf("\nservice telemetry: %llu served, %llu cache hits, %llu misses, %llu shed, "
+                "%llu batches (%llu coalesced)\n",
+                static_cast<unsigned long long>(tele.served),
+                static_cast<unsigned long long>(tele.cache_hits),
+                static_cast<unsigned long long>(tele.cache_misses),
+                static_cast<unsigned long long>(tele.shed),
+                static_cast<unsigned long long>(tele.batches),
+                static_cast<unsigned long long>(tele.coalesced));
     return 0;
 }

@@ -6,12 +6,20 @@ namespace cuzc::cuzc {
 
 CuzcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
                   const zc::MetricsConfig& cfg, const Pattern3Options& p3_opt) {
-    CuzcResult result;
-    if (orig.size() == 0 || orig.size() != dec.size()) return result;
+    if (orig.size() == 0 || orig.size() != dec.size()) return CuzcResult{};
 
     vgpu::DeviceBuffer<float> d_orig(dev, orig.data());
     vgpu::DeviceBuffer<float> d_dec(dev, dec.data());
-    const zc::Dims3& dims = orig.dims();
+    return assess_device(dev, d_orig, d_dec, orig.dims(), cfg, p3_opt);
+}
+
+CuzcResult assess_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
+                         const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
+                         const zc::MetricsConfig& cfg, const Pattern3Options& p3_opt) {
+    CuzcResult result;
+    if (dims.volume() == 0 || d_orig.size() != dims.volume() || d_dec.size() != dims.volume()) {
+        return result;
+    }
 
     bool have_moments = false;
     zc::ErrorMoments moments;

@@ -75,34 +75,7 @@ std::vector<CuzcResult> assess_batch(vgpu::Device& dev, std::span<const zc::Fiel
         }
         d_orig.upload(originals[i].data());
         d_dec.upload(decompressed[i].data());
-
-        CuzcResult r;
-        bool have_moments = false;
-        zc::ErrorMoments moments;
-        if (cfg.pattern1) {
-            const Pattern1Result p1 = pattern1_fused_device(dev, d_orig, d_dec, dims, cfg);
-            r.report.reduction = p1.report;
-            r.pattern1 = p1.stats;
-            moments.mean = p1.report.avg_err;
-            moments.var =
-                std::max(0.0, p1.report.mse - p1.report.avg_err * p1.report.avg_err);
-            have_moments = true;
-        }
-        if (cfg.pattern2) {
-            if (!have_moments) {
-                moments = error_moments_device(dev, d_orig, d_dec, dims);
-            }
-            const Pattern2Result p2 =
-                pattern2_fused_device(dev, d_orig, d_dec, dims, cfg, moments);
-            r.report.stencil = p2.report;
-            r.pattern2 = p2.stats;
-        }
-        if (cfg.pattern3) {
-            const Pattern3Result p3 = pattern3_ssim_device(dev, d_orig, d_dec, dims, cfg);
-            r.report.ssim = p3.report;
-            r.pattern3 = p3.stats;
-        }
-        results.push_back(std::move(r));
+        results.push_back(assess_device(dev, d_orig, d_dec, dims, cfg));
     }
     return results;
 }

@@ -1,0 +1,104 @@
+#include "cache.hpp"
+
+#include <cstring>
+#include <span>
+
+namespace cuzc::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+template <class T>
+void mix_value(std::uint64_t& h, const T& v) {
+    mix_bytes(h, &v, sizeof(v));
+}
+
+std::uint64_t hash_request(std::uint64_t seed, const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                           const zc::MetricsConfig& cfg) {
+    std::uint64_t h = seed;
+    mix_value(h, orig.dims().h);
+    mix_value(h, orig.dims().w);
+    mix_value(h, orig.dims().l);
+    mix_value(h, cfg.pattern1);
+    mix_value(h, cfg.pattern2);
+    mix_value(h, cfg.pattern3);
+    mix_value(h, cfg.pdf_bins);
+    mix_value(h, cfg.autocorr_max_lag);
+    mix_value(h, cfg.deriv_orders);
+    mix_value(h, cfg.ssim_window);
+    mix_value(h, cfg.ssim_step);
+    mix_value(h, cfg.pwr_eps);
+    mix_bytes(h, orig.data().data(), orig.data().size_bytes());
+    mix_bytes(h, dec.data().data(), dec.data().size_bytes());
+    return h;
+}
+
+}  // namespace
+
+CacheKey result_cache_key(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                          const zc::MetricsConfig& cfg) {
+    // Two FNV-1a streams with distinct offset bases.
+    return CacheKey{hash_request(14695981039346656037ull, orig, dec, cfg),
+                    hash_request(0x6c62272e07bb0142ull, orig, dec, cfg)};
+}
+
+std::optional<::cuzc::cuzc::CuzcResult> ResultCache::lookup(const CacheKey& key) {
+    std::lock_guard lk(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to most-recent
+    return it->second->result;
+}
+
+void ResultCache::insert(const CacheKey& key, const ::cuzc::cuzc::CuzcResult& result) {
+    if (capacity_ == 0) return;
+    std::lock_guard lk(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->result = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, result});
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+std::size_t ResultCache::size() const {
+    std::lock_guard lk(mu_);
+    return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+    std::lock_guard lk(mu_);
+    return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+    std::lock_guard lk(mu_);
+    return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+    std::lock_guard lk(mu_);
+    return evictions_;
+}
+
+}  // namespace cuzc::serve

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vgpu/cost_model.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::serve {
+
+/// A-priori modeled device time of one request, per pattern, *before* any
+/// kernel runs — the admission-control counterpart of the post-hoc
+/// profiler-driven cost model. Work shapes come from the analytic work
+/// model (zc::cpu_pattern*_work, scaled to the fused GPU kernels' one-pass
+/// data movement); the time conversion goes through vgpu::GpuCostModel so
+/// bandwidth, occupancy derating, and launch overheads match the rest of
+/// the perf trajectory. Coarse by construction: what matters for
+/// degradation is monotonicity in the knobs being shed (SSIM windows,
+/// autocorrelation lags, derivative orders).
+struct ModeledCost {
+    double pattern1_s = 0;
+    double pattern2_s = 0;
+    double pattern3_s = 0;
+    double upload_s = 0;
+
+    [[nodiscard]] double total() const noexcept {
+        return pattern1_s + pattern2_s + pattern3_s + upload_s;
+    }
+};
+
+[[nodiscard]] ModeledCost modeled_request_cost(const zc::Dims3& dims,
+                                               const zc::MetricsConfig& cfg,
+                                               const vgpu::GpuCostModel& model);
+
+/// Outcome of deadline-aware degradation planning for one request.
+struct ShedPlan {
+    zc::MetricsConfig effective;     ///< config after shedding
+    std::vector<std::string> shed;   ///< shed group names, in shed order
+    double modeled_s = 0;            ///< modeled cost of `effective`
+    bool met_deadline = true;        ///< false: ladder exhausted, still over
+};
+
+/// Shed expensive metric groups until the modeled cost fits `budget_s`
+/// (modeled device seconds). The ladder sheds in descending cost-per-value
+/// order — the sliding-window and lag metrics the paper identifies as the
+/// heavy patterns go first:
+///   1. "ssim"     — pattern 3 off
+///   2. "autocorr" — autocorrelation lags off
+///   3. "deriv2"   — second-derivative metrics off (order 1 kept)
+/// A non-positive budget with a deadline set sheds the whole ladder.
+[[nodiscard]] ShedPlan plan_degradation(const zc::Dims3& dims, const zc::MetricsConfig& cfg,
+                                        double budget_s, const vgpu::GpuCostModel& model);
+
+}  // namespace cuzc::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cuzc/coordinator.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::serve {
+
+/// One unit of work for the assessment service: an (original, decompressed)
+/// field pair — or an original plus an SZ stream the worker decompresses —
+/// with the metrics to run, an optional deadline, and a priority.
+struct AssessRequest {
+    zc::Field orig;
+    zc::Field dec;                        ///< used when `sz_stream` is empty
+    std::vector<std::uint8_t> sz_stream;  ///< non-empty: decompress on the worker
+    zc::MetricsConfig cfg;
+    /// Budget in *modeled device seconds* (the cost model's currency, not
+    /// host wall time — the emulator is orders of magnitude slower than the
+    /// V100 it models). 0 means no deadline: never degrade.
+    double deadline_model_s = 0;
+    /// Higher priority dequeues first; ties serve in submission order.
+    int priority = 0;
+};
+
+/// Wall-clock phases of one request's life inside the service.
+struct RequestSpans {
+    double queue_s = 0;   ///< submit -> picked up by a worker
+    double upload_s = 0;  ///< SZ decode + H2D staging
+    double kernel_s = 0;  ///< pattern kernels on the virtual device
+    double report_s = 0;  ///< result finalization + cache insert
+
+    [[nodiscard]] double total() const noexcept {
+        return queue_s + upload_s + kernel_s + report_s;
+    }
+};
+
+struct AssessResponse {
+    ::cuzc::cuzc::CuzcResult result;
+    bool cache_hit = false;
+    bool degraded = false;  ///< one or more metric groups were shed
+    bool rejected = false;  ///< admission control or invalid request
+    std::string error;      ///< non-empty iff rejected for malformed input
+    /// Names of the shed metric groups, in shed order ("ssim", "autocorr",
+    /// "deriv2").
+    std::vector<std::string> shed;
+    /// The config actually executed (post-degradation).
+    zc::MetricsConfig effective_cfg;
+    /// Modeled device-seconds of the executed config (cost-model estimate).
+    double modeled_cost_s = 0;
+    /// Upload epoch this request shared with its coalesced batch mates.
+    std::uint64_t batch_epoch = 0;
+    RequestSpans spans;
+};
+
+}  // namespace cuzc::serve

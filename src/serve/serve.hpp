@@ -1,0 +1,17 @@
+#pragma once
+
+/// cuzc::serve — in-process multi-device assessment service.
+///
+/// A job queue feeds a pool of virtual devices; same-shape requests are
+/// coalesced onto shared upload epochs, results are memoized in a
+/// content-addressed LRU cache, and requests with deadlines are degraded
+/// (expensive metric groups shed by priority) when the modeled cost of the
+/// backlog would blow their budget. See DESIGN.md, "The assessment
+/// service".
+
+#include "cache.hpp"
+#include "cost.hpp"
+#include "request.hpp"
+#include "service.hpp"
+#include "telemetry.hpp"
+#include "trace.hpp"

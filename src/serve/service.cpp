@@ -1,0 +1,325 @@
+#include "service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cost.hpp"
+#include "sz/sz_compressor.hpp"
+#include "vgpu/vgpu.hpp"
+#include "zc/compression_stats.hpp"
+
+namespace cuzc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+struct AssessService::Impl {
+    struct Pending {
+        AssessRequest req;
+        std::promise<AssessResponse> promise;
+        Clock::time_point submitted;
+        double backlog_at_submit_s = 0;
+        double modeled_full_s = 0;
+    };
+
+    explicit Impl(ServiceConfig cfg)
+        : config(cfg),
+          cache(cfg.cache_capacity),
+          model(cfg.props, cfg.cost_params) {}
+
+    ServiceConfig config;
+    ResultCache cache;
+    vgpu::GpuCostModel model;
+
+    mutable std::mutex mu;
+    std::condition_variable work_cv;
+    std::condition_variable drain_cv;
+    std::deque<std::unique_ptr<Pending>> queue;
+    std::vector<std::thread> workers;
+    bool started = false;
+    bool stop = false;
+    std::size_t inflight = 0;
+    double modeled_backlog_s = 0;
+    std::uint64_t next_epoch = 0;
+    ServiceTelemetry tele;
+
+    void start_locked() {
+        if (started) return;
+        started = true;
+        const std::size_t n = std::max<std::size_t>(config.devices, 1);
+        workers.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            workers.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    void worker_loop() {
+        vgpu::Device dev(config.props);
+        zc::Dims3 buf_dims{0, 0, 0};
+        std::unique_ptr<vgpu::DeviceBuffer<float>> d_orig, d_dec;
+
+        for (;;) {
+            std::vector<std::unique_ptr<Pending>> batch;
+            std::uint64_t epoch = 0;
+            {
+                std::unique_lock lk(mu);
+                work_cv.wait(lk, [&] { return stop || !queue.empty(); });
+                if (queue.empty()) {
+                    if (stop) return;
+                    continue;
+                }
+                // Seed: highest priority, earliest submission.
+                std::size_t pick = 0;
+                for (std::size_t i = 1; i < queue.size(); ++i) {
+                    if (queue[i]->req.priority > queue[pick]->req.priority) pick = i;
+                }
+                auto seed = std::move(queue[pick]);
+                queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+                const zc::Dims3 dims = seed->req.orig.dims();
+                batch.push_back(std::move(seed));
+                // Coalesce: every queued same-shape request (any config)
+                // rides this device/buffer epoch, in submission order.
+                if (config.coalesce) {
+                    for (auto it = queue.begin();
+                         it != queue.end() && batch.size() < std::max<std::size_t>(config.max_batch, 1);) {
+                        if ((*it)->req.orig.dims() == dims) {
+                            batch.push_back(std::move(*it));
+                            it = queue.erase(it);
+                        } else {
+                            ++it;
+                        }
+                    }
+                }
+                inflight += batch.size();
+                epoch = ++next_epoch;
+                ++tele.batches;
+                tele.coalesced += batch.size() - 1;
+            }
+
+            for (auto& pending : batch) {
+                process_one(dev, *pending, epoch, buf_dims, d_orig, d_dec);
+            }
+
+            {
+                std::lock_guard lk(mu);
+                inflight -= batch.size();
+                for (const auto& pending : batch) {
+                    modeled_backlog_s = std::max(0.0, modeled_backlog_s - pending->modeled_full_s);
+                }
+                if (queue.empty() && inflight == 0) drain_cv.notify_all();
+            }
+        }
+    }
+
+    void process_one(vgpu::Device& dev, Pending& p, std::uint64_t epoch, zc::Dims3& buf_dims,
+                     std::unique_ptr<vgpu::DeviceBuffer<float>>& d_orig,
+                     std::unique_ptr<vgpu::DeviceBuffer<float>>& d_dec) {
+        AssessResponse resp;
+        resp.batch_epoch = epoch;
+        resp.spans.queue_s = seconds_since(p.submitted);
+        const zc::Dims3 dims = p.req.orig.dims();
+
+        // SZ-stream requests decode on the worker (counted as upload time).
+        const zc::Stopwatch decode_watch;
+        zc::Field dec_storage;
+        const zc::Field* dec = &p.req.dec;
+        if (!p.req.sz_stream.empty()) {
+            try {
+                dec_storage = sz::decompress(p.req.sz_stream);
+            } catch (const std::exception& e) {
+                fail(p, resp, std::string("SZ stream decode failed: ") + e.what());
+                return;
+            }
+            if (dec_storage.dims() != dims) {
+                fail(p, resp, "SZ stream shape disagrees with the original field");
+                return;
+            }
+            dec = &dec_storage;
+            resp.spans.upload_s += decode_watch.seconds();
+        }
+
+        // Deadline-aware degradation: the budget is what remains of the
+        // deadline after the modeled backlog that was ahead at submit time.
+        resp.effective_cfg = p.req.cfg;
+        if (p.req.deadline_model_s > 0) {
+            const double budget = p.req.deadline_model_s - p.backlog_at_submit_s;
+            const ShedPlan plan = plan_degradation(dims, p.req.cfg, budget, model);
+            resp.effective_cfg = plan.effective;
+            resp.shed = plan.shed;
+            resp.degraded = !plan.shed.empty();
+            resp.modeled_cost_s = plan.modeled_s;
+        } else {
+            resp.modeled_cost_s = modeled_request_cost(dims, resp.effective_cfg, model).total();
+        }
+
+        // Content-addressed lookup under the effective config.
+        CacheKey key{};
+        const bool use_cache = config.cache_capacity > 0;
+        if (use_cache) {
+            key = result_cache_key(p.req.orig.view(), dec->view(), resp.effective_cfg);
+            if (auto cached = cache.lookup(key)) {
+                resp.result = std::move(*cached);
+                resp.cache_hit = true;
+                finish(p, std::move(resp));
+                return;
+            }
+        }
+
+        // Miss: stage onto the worker's device, reusing the buffer pair
+        // across every same-shape request this worker ever sees.
+        const zc::Stopwatch upload_watch;
+        if (!d_orig || buf_dims != dims) {
+            d_orig = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
+            d_dec = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
+            buf_dims = dims;
+            std::lock_guard lk(mu);
+            tele.buffer_allocs += 2;
+        }
+        d_orig->upload(p.req.orig.data());
+        d_dec->upload(dec->data());
+        {
+            std::lock_guard lk(mu);
+            tele.uploads += 2;
+        }
+        resp.spans.upload_s += upload_watch.seconds();
+
+        const zc::Stopwatch kernel_watch;
+        resp.result = ::cuzc::cuzc::assess_device(dev, *d_orig, *d_dec, dims, resp.effective_cfg);
+        resp.spans.kernel_s = kernel_watch.seconds();
+
+        const zc::Stopwatch report_watch;
+        if (use_cache) cache.insert(key, resp.result);
+        resp.spans.report_s = report_watch.seconds();
+
+        finish(p, std::move(resp));
+    }
+
+    void fail(Pending& p, AssessResponse resp, std::string message) {
+        resp.rejected = true;
+        resp.error = std::move(message);
+        {
+            std::lock_guard lk(mu);
+            ++tele.rejected;
+        }
+        p.promise.set_value(std::move(resp));
+    }
+
+    void finish(Pending& p, AssessResponse resp) {
+        {
+            std::lock_guard lk(mu);
+            ++tele.served;
+            if (resp.cache_hit) {
+                ++tele.cache_hits;
+            } else {
+                ++tele.cache_misses;
+            }
+            if (resp.degraded) ++tele.shed;
+            tele.queue_s += resp.spans.queue_s;
+            tele.upload_s += resp.spans.upload_s;
+            tele.kernel_s += resp.spans.kernel_s;
+            tele.report_s += resp.spans.report_s;
+            tele.latency.record(resp.spans.total());
+        }
+        p.promise.set_value(std::move(resp));
+    }
+};
+
+AssessService::AssessService(ServiceConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {
+    if (!cfg.start_paused) start();
+}
+
+AssessService::~AssessService() {
+    {
+        std::lock_guard lk(impl_->mu);
+        // Never orphan accepted requests: a paused service with a backlog
+        // spins its workers up to drain before shutdown.
+        if (!impl_->queue.empty()) impl_->start_locked();
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+}
+
+std::future<AssessResponse> AssessService::submit(AssessRequest req) {
+    auto pending = std::make_unique<Impl::Pending>();
+    pending->submitted = Clock::now();
+    auto future = pending->promise.get_future();
+
+    std::string invalid;
+    if (req.orig.size() == 0) {
+        invalid = "empty original field";
+    } else if (req.sz_stream.empty() && req.dec.dims() != req.orig.dims()) {
+        invalid = "original/decompressed shape mismatch";
+    }
+
+    {
+        std::lock_guard lk(impl_->mu);
+        ++impl_->tele.queued;
+        if (!invalid.empty()) {
+            ++impl_->tele.rejected;
+        } else if (impl_->config.max_queue_depth > 0 &&
+                   impl_->queue.size() >= impl_->config.max_queue_depth) {
+            ++impl_->tele.rejected;
+            invalid = "queue full (admission control)";
+        } else {
+            pending->modeled_full_s =
+                modeled_request_cost(req.orig.dims(), req.cfg, impl_->model).total();
+            pending->backlog_at_submit_s = impl_->modeled_backlog_s;
+            impl_->modeled_backlog_s += pending->modeled_full_s;
+            pending->req = std::move(req);
+            impl_->queue.push_back(std::move(pending));
+            impl_->tele.max_queue_depth =
+                std::max<std::uint64_t>(impl_->tele.max_queue_depth, impl_->queue.size());
+            impl_->work_cv.notify_one();
+            return future;
+        }
+    }
+    AssessResponse rejected;
+    rejected.rejected = true;
+    rejected.error = invalid;
+    pending->promise.set_value(std::move(rejected));
+    return future;
+}
+
+void AssessService::start() {
+    std::lock_guard lk(impl_->mu);
+    impl_->start_locked();
+}
+
+void AssessService::drain() {
+    std::unique_lock lk(impl_->mu);
+    impl_->start_locked();  // a paused service would otherwise never drain
+    impl_->drain_cv.wait(lk, [&] { return impl_->queue.empty() && impl_->inflight == 0; });
+}
+
+ServiceTelemetry AssessService::telemetry() const {
+    ServiceTelemetry t;
+    {
+        std::lock_guard lk(impl_->mu);
+        t = impl_->tele;
+    }
+    t.cache_evictions = impl_->cache.evictions();
+    t.cache_size = impl_->cache.size();
+    return t;
+}
+
+std::size_t AssessService::queue_depth() const {
+    std::lock_guard lk(impl_->mu);
+    return impl_->queue.size();
+}
+
+const ServiceConfig& AssessService::config() const noexcept { return impl_->config; }
+
+}  // namespace cuzc::serve

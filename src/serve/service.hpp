@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "cache.hpp"
+#include "request.hpp"
+#include "telemetry.hpp"
+#include "vgpu/cost_model.hpp"
+#include "vgpu/cost_params.hpp"
+#include "vgpu/device_props.hpp"
+
+namespace cuzc::serve {
+
+struct ServiceConfig {
+    /// Worker pool size: one thread, each owning one virtual device.
+    std::size_t devices = 1;
+    /// Result-cache entries; 0 disables caching.
+    std::size_t cache_capacity = 128;
+    /// Max requests coalesced into one upload epoch.
+    std::size_t max_batch = 16;
+    /// Coalesce same-shape requests onto one device/buffer epoch.
+    bool coalesce = true;
+    /// Admission control: submissions beyond this queue depth are rejected
+    /// immediately (future resolves with rejected=true). 0 = unlimited.
+    std::size_t max_queue_depth = 0;
+    /// Don't spawn workers in the constructor; callers submit first and
+    /// call start() — this makes coalescing deterministic for tests.
+    bool start_paused = false;
+    /// Cost-model inputs for admission control and degradation planning.
+    vgpu::DeviceProps props{};
+    vgpu::GpuCostParams cost_params{};
+};
+
+/// In-process multi-device assessment service (the ROADMAP's "serving"
+/// direction): a job queue feeding a pool of virtual devices, with
+/// same-shape request coalescing onto shared upload epochs (the
+/// assess_batch buffer-reuse path), a content-addressed result cache,
+/// deadline-aware degradation via the cost model, and per-request span
+/// telemetry.
+///
+/// Determinism contract: for any request, the returned report equals a
+/// direct `cuzc::assess` of the same pair under the request's *effective*
+/// (post-degradation) config, whether the result came from kernels or from
+/// the cache.
+class AssessService {
+public:
+    explicit AssessService(ServiceConfig cfg = {});
+    /// Drains every accepted request, then joins the workers.
+    ~AssessService();
+
+    AssessService(const AssessService&) = delete;
+    AssessService& operator=(const AssessService&) = delete;
+
+    /// Enqueue a request; the future resolves when it is served (or
+    /// rejected). Safe from any thread.
+    [[nodiscard]] std::future<AssessResponse> submit(AssessRequest req);
+
+    /// Spawn the worker pool (no-op if already running). Only needed after
+    /// constructing with `start_paused`.
+    void start();
+
+    /// Block until every accepted request has been served.
+    void drain();
+
+    /// Point-in-time copy of the service counters (cache stats included).
+    [[nodiscard]] ServiceTelemetry telemetry() const;
+
+    [[nodiscard]] std::size_t queue_depth() const;
+    [[nodiscard]] const ServiceConfig& config() const noexcept;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cuzc::serve

@@ -1,0 +1,66 @@
+#include "telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace cuzc::serve {
+
+void LatencyHistogram::record(double seconds) {
+    ++count;
+    sum_s += seconds;
+    max_s = std::max(max_s, seconds);
+    const double us = seconds * 1e6;
+    std::size_t b = 0;
+    if (us >= 1.0) {
+        b = static_cast<std::size_t>(std::floor(std::log2(us))) + 1;
+        b = std::min(b, kBuckets - 1);
+    }
+    ++buckets[b];
+}
+
+double LatencyHistogram::bucket_le_us(std::size_t i) noexcept {
+    return std::ldexp(1.0, static_cast<int>(i));  // 2^i us
+}
+
+void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string in1 = pad + "  ";
+    const std::string in2 = pad + "    ";
+    os << "{\n";
+    os << in1 << "\"schema\": \"cuzc-serve-telemetry-v1\",\n";
+    os << in1 << "\"queued\": " << queued << ",\n";
+    os << in1 << "\"served\": " << served << ",\n";
+    os << in1 << "\"cache_hits\": " << cache_hits << ",\n";
+    os << in1 << "\"cache_misses\": " << cache_misses << ",\n";
+    os << in1 << "\"shed\": " << shed << ",\n";
+    os << in1 << "\"rejected\": " << rejected << ",\n";
+    os << in1 << "\"batches\": " << batches << ",\n";
+    os << in1 << "\"coalesced\": " << coalesced << ",\n";
+    os << in1 << "\"uploads\": " << uploads << ",\n";
+    os << in1 << "\"buffer_allocs\": " << buffer_allocs << ",\n";
+    os << in1 << "\"max_queue_depth\": " << max_queue_depth << ",\n";
+    os << in1 << "\"cache_evictions\": " << cache_evictions << ",\n";
+    os << in1 << "\"cache_size\": " << cache_size << ",\n";
+    os << in1 << "\"spans_s\": {\"queue\": " << queue_s << ", \"upload\": " << upload_s
+       << ", \"kernel\": " << kernel_s << ", \"report\": " << report_s << "},\n";
+    os << in1 << "\"latency\": {\n";
+    os << in2 << "\"count\": " << latency.count << ",\n";
+    os << in2 << "\"mean_us\": " << latency.mean_s() * 1e6 << ",\n";
+    os << in2 << "\"max_us\": " << latency.max_s * 1e6 << ",\n";
+    os << in2 << "\"buckets_le_us\": [";
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        os << (i ? ", " : "") << LatencyHistogram::bucket_le_us(i);
+    }
+    os << "],\n";
+    os << in2 << "\"bucket_counts\": [";
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        os << (i ? ", " : "") << latency.buckets[i];
+    }
+    os << "]\n";
+    os << in1 << "}\n";
+    os << pad << "}";
+}
+
+}  // namespace cuzc::serve

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace cuzc::serve {
+
+/// Log2-bucketed latency histogram (microsecond granularity): bucket i
+/// counts requests with total latency in [2^(i-1), 2^i) microseconds,
+/// bucket 0 everything under 1 us, the last bucket everything above.
+struct LatencyHistogram {
+    static constexpr std::size_t kBuckets = 24;  // up to ~8.4 s
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum_s = 0;
+    double max_s = 0;
+
+    void record(double seconds);
+    [[nodiscard]] double mean_s() const noexcept { return count ? sum_s / static_cast<double>(count) : 0.0; }
+    /// Upper bound (exclusive) of bucket `i`, in microseconds.
+    [[nodiscard]] static double bucket_le_us(std::size_t i) noexcept;
+};
+
+/// Service counters — the observable contract of cuzc::serve. Every
+/// accepted request is `queued`; every completed one is `served`;
+/// `served == cache_hits + cache_misses` and `shed <= served`;
+/// `queued == served + rejected` once the service has drained.
+struct ServiceTelemetry {
+    std::uint64_t queued = 0;
+    std::uint64_t served = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t shed = 0;      ///< requests that degraded (>=1 group shed)
+    std::uint64_t rejected = 0;  ///< admission control / malformed input
+    std::uint64_t batches = 0;   ///< upload epochs executed
+    std::uint64_t coalesced = 0; ///< requests that rode an epoch beyond its first
+    std::uint64_t uploads = 0;   ///< H2D field stagings
+    std::uint64_t buffer_allocs = 0;  ///< device-buffer (re)allocations
+    std::uint64_t max_queue_depth = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_size = 0;
+
+    // Sums of the per-request span phases (seconds).
+    double queue_s = 0;
+    double upload_s = 0;
+    double kernel_s = 0;
+    double report_s = 0;
+
+    LatencyHistogram latency;
+
+    /// Pretty-printed JSON object, schema "cuzc-serve-telemetry-v1".
+    void write_json(std::ostream& os, int indent = 0) const;
+};
+
+}  // namespace cuzc::serve

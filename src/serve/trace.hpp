@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "request.hpp"
+#include "zc/metrics_config.hpp"
+#include "zc/tensor.hpp"
+
+namespace cuzc::serve {
+
+/// One line of a serving workload trace. Entries are self-contained: they
+/// name a synthetic field (seed + noise amplitude), not an on-disk file, so
+/// a trace replays identically anywhere. Repeated (dims, seed, noise,
+/// config) tuples model an in-situ campaign re-assessing the same snapshot
+/// — the cache-hit population.
+struct TraceEntry {
+    zc::Dims3 dims{8, 8, 8};
+    std::uint64_t seed = 1;
+    double noise = 0.01;  ///< perturbation amplitude of the "decompressed" field
+    bool pattern1 = true;
+    bool pattern2 = true;
+    bool pattern3 = true;
+    int ssim_window = 4;
+    int autocorr_max_lag = 10;
+    double deadline_us = 0;  ///< modeled device microseconds; 0 = none
+    int priority = 0;
+
+    [[nodiscard]] zc::MetricsConfig metrics() const;
+};
+
+/// Deterministic mixed-workload generator for benchmarks and smoke traces.
+struct TraceGenConfig {
+    std::size_t requests = 200;
+    std::uint64_t seed = 42;
+    /// Number of distinct (field, config) combinations the trace cycles
+    /// through; requests beyond this count repeat earlier ones (cache hits).
+    std::size_t distinct = 32;
+    /// Fraction of requests issued with a deadline far below their modeled
+    /// cost (they exercise the shed ladder).
+    double tight_deadline_fraction = 0.1;
+    std::vector<zc::Dims3> shapes{{10, 12, 14}, {12, 12, 12}, {8, 16, 16}};
+};
+
+[[nodiscard]] std::vector<TraceEntry> generate_trace(const TraceGenConfig& cfg);
+
+/// Text round-trip: `# cuzc-trace-v1` header plus one `req key=value...`
+/// line per entry. `read_trace` throws std::runtime_error on malformed
+/// input and skips blank/comment lines.
+void write_trace(std::ostream& os, std::span<const TraceEntry> trace);
+[[nodiscard]] std::vector<TraceEntry> read_trace(std::istream& is);
+
+/// Materialize the entry's synthetic field pair (orig, "decompressed").
+[[nodiscard]] std::pair<zc::Field, zc::Field> materialize(const TraceEntry& entry);
+
+/// Full request for `AssessService::submit`, fields included.
+[[nodiscard]] AssessRequest to_request(const TraceEntry& entry);
+
+}  // namespace cuzc::serve

@@ -19,9 +19,12 @@ namespace cuzc::vgpu {
 template <class T>
 class DeviceBuffer {
 public:
-    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), mem_(n) {}
+    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), mem_(n) {
+        dev.note_alloc(n * sizeof(T));
+    }
 
     DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev), mem_(host.begin(), host.end()) {
+        dev.note_alloc(host.size_bytes());
         dev.note_h2d(host.size_bytes());
     }
 

@@ -25,13 +25,23 @@ public:
 
     void note_h2d(std::uint64_t bytes) noexcept { h2d_bytes_ += bytes; }
     void note_d2h(std::uint64_t bytes) noexcept { d2h_bytes_ += bytes; }
+    void note_alloc(std::uint64_t bytes) noexcept {
+        ++alloc_count_;
+        alloc_bytes_ += bytes;
+    }
     [[nodiscard]] std::uint64_t h2d_bytes() const noexcept { return h2d_bytes_; }
     [[nodiscard]] std::uint64_t d2h_bytes() const noexcept { return d2h_bytes_; }
+    /// Device-memory allocations performed (DeviceBuffer constructions) —
+    /// lets reuse-sensitive paths assert "zero per-item allocations".
+    [[nodiscard]] std::uint64_t alloc_count() const noexcept { return alloc_count_; }
+    [[nodiscard]] std::uint64_t alloc_bytes() const noexcept { return alloc_bytes_; }
 
     void reset_counters() {
         profiler_.clear();
         h2d_bytes_ = 0;
         d2h_bytes_ = 0;
+        alloc_count_ = 0;
+        alloc_bytes_ = 0;
     }
 
 private:
@@ -39,6 +49,8 @@ private:
     Profiler profiler_{};
     std::uint64_t h2d_bytes_ = 0;
     std::uint64_t d2h_bytes_ = 0;
+    std::uint64_t alloc_count_ = 0;
+    std::uint64_t alloc_bytes_ = 0;
     ExecutionPool pool_{props_.smem_per_block};
 };
 

@@ -7,10 +7,13 @@
 #include <fstream>
 #include <sstream>
 
+#include <cstdlib>
+
 #include "cli.hpp"
 #include "data/raw_io.hpp"
 #include "sz/sz.hpp"
 #include "test_helpers.hpp"
+#include "vgpu/scheduler.hpp"
 #include "zc/zc.hpp"
 
 namespace {
@@ -139,6 +142,71 @@ TEST_F(CliFixture, ParserRejectsBadInput) {
     EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--format=xml"}));
     EXPECT_FALSE(parse({"--bogus"}));
     EXPECT_TRUE(parse({"--help"}));
+}
+
+TEST_F(CliFixture, ParserHandlesServeAndThreads) {
+    EXPECT_FALSE(parse({"serve"}));                       // serve needs --replay
+    EXPECT_FALSE(parse({"--replay=t.trace"}));            // --replay needs serve
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--threads=0"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--batch=0"}));
+    const auto opt = parse({"serve", "--replay=t.trace", "--devices=3", "--cache=7",
+                            "--batch=5", "--no-coalesce", "--threads=2"});
+    ASSERT_TRUE(opt);
+    EXPECT_TRUE(opt->serve_mode);
+    EXPECT_EQ(opt->replay_path, "t.trace");
+    EXPECT_EQ(opt->devices, 3u);
+    EXPECT_EQ(opt->cache_capacity, 7u);
+    EXPECT_EQ(opt->max_batch, 5u);
+    EXPECT_FALSE(opt->coalesce);
+    EXPECT_EQ(opt->threads, 2u);
+}
+
+TEST_F(CliFixture, ThreadsFlagOverridesEnv) {
+    namespace vgpu = ::cuzc::vgpu;
+    // Env alone: the scheduler resolves CUZC_VGPU_THREADS.
+    ::setenv("CUZC_VGPU_THREADS", "3", 1);
+    vgpu::BlockScheduler::instance().set_num_threads(0);  // drop any override
+    EXPECT_EQ(vgpu::BlockScheduler::instance().max_workers(), 3u);
+    // Flag wins over env (env < flag precedence).
+    std::string out;
+    EXPECT_EQ(run({"--orig=" + (dir / "orig.f32").string(),
+                   "--dec=" + (dir / "dec.f32").string(), "--dims=10x12x14",
+                   "--threads=2"},
+                  &out),
+              0);
+    EXPECT_EQ(vgpu::BlockScheduler::instance().max_workers(), 2u);
+    EXPECT_NE(out.find("psnr_db"), std::string::npos);
+    // Restore default resolution for later tests.
+    ::unsetenv("CUZC_VGPU_THREADS");
+    vgpu::BlockScheduler::instance().set_num_threads(0);
+}
+
+TEST_F(CliFixture, ServeReplayEmitsTelemetryJson) {
+    const auto trace_path = dir / "smoke.trace";
+    {
+        std::ofstream t(trace_path);
+        t << "# cuzc-trace-v1\n"
+          << "req dims=8x8x8 seed=5 noise=0.01 p1=1 p2=1 p3=1 win=4 lag=6 deadline_us=0 prio=0\n"
+          << "req dims=8x8x8 seed=5 noise=0.01 p1=1 p2=1 p3=1 win=4 lag=6 deadline_us=0 prio=0\n"
+          << "req dims=8x8x8 seed=7 noise=0.02 p1=1 p2=1 p3=1 win=4 lag=6 deadline_us=0.0001 prio=1\n";
+    }
+    std::string out;
+    const int rc = run({"serve", "--replay=" + trace_path.string(), "--devices=2"}, &out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("\"schema\": \"cuzc-serve-replay-v1\""), std::string::npos);
+    EXPECT_NE(out.find("\"requests\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"cache_hits\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"degraded\": 1"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-serve-telemetry-v1"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeReplayMissingTraceFails) {
+    std::ostringstream out, err;
+    cli::CliOptions opt;
+    opt.serve_mode = true;
+    opt.replay_path = (dir / "nonexistent.trace").string();
+    EXPECT_EQ(cli::run_cli(opt, out, err), 2);
+    EXPECT_NE(err.str().find("cannot open trace"), std::string::npos);
 }
 
 TEST_F(CliFixture, MissingFileGivesCleanError) {

@@ -1,0 +1,374 @@
+// Tests of cuzc::serve — the in-process multi-device assessment service.
+//
+// The acceptance bar: service results are deterministic and equal a direct
+// `cuzc::assess` under the effective config (for cache hits AND misses),
+// deadline-shed requests report degraded=true with the shed list, and the
+// telemetry counters reconcile with the submitted trace.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "cuzc/cuzc.hpp"
+#include "serve/serve.hpp"
+#include "sz/sz.hpp"
+#include "test_helpers.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace serve = ::cuzc::serve;
+namespace czc = ::cuzc::cuzc;
+namespace zc = ::cuzc::zc;
+namespace sz = ::cuzc::sz;
+namespace vgpu = ::cuzc::vgpu;
+namespace tst = ::cuzc::testing;
+
+constexpr zc::Dims3 kDims{10, 12, 14};
+
+zc::MetricsConfig small_cfg() {
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    return cfg;
+}
+
+serve::AssessRequest make_request(std::uint64_t seed, double noise = 0.01,
+                                  zc::MetricsConfig cfg = small_cfg()) {
+    serve::AssessRequest req;
+    req.orig = tst::smooth_field(kDims, seed);
+    req.dec = tst::perturbed(req.orig, noise, seed + 100);
+    req.cfg = cfg;
+    return req;
+}
+
+zc::AssessmentReport direct_report(const serve::AssessRequest& req,
+                                   const zc::MetricsConfig& cfg) {
+    vgpu::Device dev;
+    return czc::assess(dev, req.orig.view(), req.dec.view(), cfg).report;
+}
+
+TEST(Serve, MissEqualsDirectAssess) {
+    serve::AssessService service;
+    auto req = make_request(3);
+    const zc::AssessmentReport expected = direct_report(req, req.cfg);
+    auto resp = service.submit(std::move(req)).get();
+    EXPECT_FALSE(resp.cache_hit);
+    EXPECT_FALSE(resp.degraded);
+    EXPECT_FALSE(resp.rejected);
+    tst::expect_reports_close(resp.result.report, expected, 0.0);
+}
+
+TEST(Serve, HitEqualsDirectAssessAndSkipsDevice) {
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    serve::AssessService service(cfg);
+    auto first = service.submit(make_request(5));
+    auto second = service.submit(make_request(5));  // identical bytes + config
+    service.start();
+    const auto r1 = first.get();
+    const auto r2 = second.get();
+    EXPECT_FALSE(r1.cache_hit);
+    EXPECT_TRUE(r2.cache_hit);
+    tst::expect_reports_close(r2.result.report, r1.result.report, 0.0);
+    tst::expect_reports_close(r2.result.report, direct_report(make_request(5), small_cfg()),
+                              0.0);
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.cache_hits, 1u);
+    EXPECT_EQ(tele.cache_misses, 1u);
+    EXPECT_EQ(tele.uploads, 2u);  // one upload pair total; the hit cost none
+}
+
+TEST(Serve, DifferentConfigIsADifferentCacheEntry) {
+    serve::AssessService service;
+    auto req1 = make_request(7);
+    zc::MetricsConfig no_p3 = small_cfg();
+    no_p3.pattern3 = false;
+    auto req2 = make_request(7, 0.01, no_p3);
+    const auto r1 = service.submit(std::move(req1)).get();
+    const auto r2 = service.submit(std::move(req2)).get();
+    EXPECT_FALSE(r2.cache_hit);  // same bytes, different config
+    EXPECT_GT(r1.result.report.ssim.windows, 0);
+    EXPECT_EQ(r2.result.report.ssim.windows, 0);
+}
+
+TEST(Serve, DeadlineShedsSsimFirstAndReportsDegraded) {
+    serve::AssessService service;
+    auto req = make_request(11);
+    // Modeled cost of the full config, so we can set a deadline that fits
+    // everything except SSIM.
+    vgpu::GpuCostModel model({}, {});
+    const double full = serve::modeled_request_cost(kDims, req.cfg, model).total();
+    zc::MetricsConfig no_p3 = req.cfg;
+    no_p3.pattern3 = false;
+    const double without_ssim = serve::modeled_request_cost(kDims, no_p3, model).total();
+    ASSERT_LT(without_ssim, full);
+    req.deadline_model_s = (without_ssim + full) / 2;
+    const zc::AssessmentReport expected = direct_report(req, no_p3);
+
+    const auto resp = service.submit(std::move(req)).get();
+    EXPECT_TRUE(resp.degraded);
+    ASSERT_EQ(resp.shed.size(), 1u);
+    EXPECT_EQ(resp.shed[0], "ssim");
+    EXPECT_FALSE(resp.effective_cfg.pattern3);
+    EXPECT_LE(resp.modeled_cost_s, resp.spans.total() + full);  // sanity: finite
+    // Degraded result still equals a direct assess under the shed config.
+    tst::expect_reports_close(resp.result.report, expected, 0.0);
+}
+
+TEST(Serve, ImpossibleDeadlineWalksTheWholeShedLadder) {
+    serve::AssessService service;
+    auto req = make_request(13);
+    req.deadline_model_s = 1e-12;
+    const auto resp = service.submit(std::move(req)).get();
+    EXPECT_TRUE(resp.degraded);
+    ASSERT_EQ(resp.shed.size(), 3u);
+    EXPECT_EQ(resp.shed[0], "ssim");
+    EXPECT_EQ(resp.shed[1], "autocorr");
+    EXPECT_EQ(resp.shed[2], "deriv2");
+    EXPECT_FALSE(resp.effective_cfg.pattern3);
+    EXPECT_EQ(resp.effective_cfg.autocorr_max_lag, 0);
+    EXPECT_EQ(resp.effective_cfg.deriv_orders, 1);
+    // Pattern1 is never shed.
+    EXPECT_GT(resp.result.report.reduction.psnr_db, 0.0);
+}
+
+TEST(Serve, NoDeadlineNeverDegrades) {
+    serve::AssessService service;
+    const auto resp = service.submit(make_request(17)).get();
+    EXPECT_FALSE(resp.degraded);
+    EXPECT_TRUE(resp.shed.empty());
+}
+
+TEST(Serve, CoalescesSameShapeRequestsOntoOneEpoch) {
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    cfg.cache_capacity = 0;  // force every request onto the device
+    serve::AssessService service(cfg);
+    std::vector<std::future<serve::AssessResponse>> futures;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        futures.push_back(service.submit(make_request(20 + s)));
+    }
+    service.start();
+    std::vector<serve::AssessResponse> resps;
+    for (auto& f : futures) resps.push_back(f.get());
+    for (const auto& r : resps) EXPECT_EQ(r.batch_epoch, resps[0].batch_epoch);
+
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.batches, 1u);
+    EXPECT_EQ(tele.coalesced, 3u);
+    // Buffer reuse across the epoch: one allocation pair, N upload pairs.
+    EXPECT_EQ(tele.buffer_allocs, 2u);
+    EXPECT_EQ(tele.uploads, 8u);
+}
+
+TEST(Serve, CoalesceOffProcessesOneAtATime) {
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    cfg.coalesce = false;
+    cfg.cache_capacity = 0;
+    serve::AssessService service(cfg);
+    std::vector<std::future<serve::AssessResponse>> futures;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+        futures.push_back(service.submit(make_request(30 + s)));
+    }
+    service.start();
+    for (auto& f : futures) (void)f.get();
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.batches, 3u);
+    EXPECT_EQ(tele.coalesced, 0u);
+}
+
+TEST(Serve, AdmissionControlRejectsBeyondQueueLimit) {
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    cfg.max_queue_depth = 2;
+    serve::AssessService service(cfg);
+    auto f1 = service.submit(make_request(40));
+    auto f2 = service.submit(make_request(41));
+    auto f3 = service.submit(make_request(42));  // over the limit
+    const auto r3 = f3.get();                    // resolved without workers
+    EXPECT_TRUE(r3.rejected);
+    EXPECT_NE(r3.error.find("queue full"), std::string::npos);
+    service.start();
+    EXPECT_FALSE(f1.get().rejected);
+    EXPECT_FALSE(f2.get().rejected);
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.queued, 3u);
+    EXPECT_EQ(tele.served, 2u);
+    EXPECT_EQ(tele.rejected, 1u);
+}
+
+TEST(Serve, MalformedRequestRejectedImmediately) {
+    serve::AssessService service;
+    serve::AssessRequest req;
+    req.orig = tst::smooth_field({4, 4, 4}, 1);
+    req.dec = tst::smooth_field({4, 4, 5}, 1);  // shape mismatch
+    const auto resp = service.submit(std::move(req)).get();
+    EXPECT_TRUE(resp.rejected);
+    EXPECT_NE(resp.error.find("mismatch"), std::string::npos);
+}
+
+TEST(Serve, SzStreamRequestDecodesOnWorker) {
+    auto base = make_request(51);
+    sz::SzConfig scfg;
+    scfg.abs_error_bound = 1e-3;
+    const auto comp = sz::compress(base.orig.view(), scfg);
+    const zc::Field dec = sz::decompress(comp.bytes);
+
+    serve::AssessRequest req;
+    req.orig = base.orig;
+    req.sz_stream = comp.bytes;
+    req.cfg = small_cfg();
+    serve::AssessService service;
+    const auto resp = service.submit(std::move(req)).get();
+    EXPECT_FALSE(resp.rejected);
+
+    vgpu::Device dev;
+    const auto expected = czc::assess(dev, base.orig.view(), dec.view(), small_cfg());
+    tst::expect_reports_close(resp.result.report, expected.report, 0.0);
+}
+
+TEST(Serve, TelemetryReconcilesWithGeneratedTrace) {
+    serve::TraceGenConfig gen;
+    gen.requests = 40;
+    gen.distinct = 8;
+    gen.tight_deadline_fraction = 0.2;
+    const auto trace = serve::generate_trace(gen);
+    ASSERT_EQ(trace.size(), 40u);
+
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    cfg.devices = 2;
+    serve::AssessService service(cfg);
+    std::vector<std::future<serve::AssessResponse>> futures;
+    for (const auto& e : trace) futures.push_back(service.submit(serve::to_request(e)));
+    service.start();
+
+    std::uint64_t degraded = 0, hits = 0, rejected = 0;
+    for (auto& f : futures) {
+        const auto r = f.get();
+        degraded += r.degraded;
+        hits += r.cache_hit;
+        rejected += r.rejected;
+    }
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.queued, trace.size());
+    EXPECT_EQ(tele.served + tele.rejected, tele.queued);
+    EXPECT_EQ(tele.rejected, rejected);
+    EXPECT_EQ(tele.cache_hits + tele.cache_misses, tele.served);
+    EXPECT_EQ(tele.cache_hits, hits);
+    EXPECT_EQ(tele.shed, degraded);
+    EXPECT_GT(tele.cache_hits, 0u);  // 8 distinct combos over 40 requests
+    EXPECT_EQ(tele.latency.count, tele.served);
+    EXPECT_EQ(tele.max_queue_depth, trace.size());  // paused: all enqueued first
+
+    std::ostringstream json;
+    tele.write_json(json);
+    EXPECT_NE(json.str().find("\"schema\": \"cuzc-serve-telemetry-v1\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"bucket_counts\""), std::string::npos);
+}
+
+TEST(Serve, ServiceMatchesDirectAssessAcrossTrace) {
+    // Replays a small trace through the service and cross-checks every
+    // non-degraded response against a direct assess of the same pair.
+    serve::TraceGenConfig gen;
+    gen.requests = 12;
+    gen.distinct = 4;
+    gen.tight_deadline_fraction = 0.0;
+    const auto trace = serve::generate_trace(gen);
+    serve::AssessService service;
+    for (const auto& e : trace) {
+        const auto resp = service.submit(serve::to_request(e)).get();
+        ASSERT_FALSE(resp.rejected);
+        auto [orig, dec] = serve::materialize(e);
+        vgpu::Device dev;
+        const auto expected = czc::assess(dev, orig.view(), dec.view(), e.metrics());
+        tst::expect_reports_close(resp.result.report, expected.report, 0.0,
+                                  e.pattern1, e.pattern2, e.pattern3);
+    }
+}
+
+TEST(Serve, LruEvictsAndCounts) {
+    serve::ServiceConfig cfg;
+    cfg.cache_capacity = 2;
+    serve::AssessService service(cfg);
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        (void)service.submit(make_request(60 + s)).get();
+    }
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.cache_evictions, 2u);
+    EXPECT_EQ(tele.cache_size, 2u);
+    // Oldest entry is gone: asking for it again misses.
+    const auto again = service.submit(make_request(60)).get();
+    EXPECT_FALSE(again.cache_hit);
+    // Newest is still cached.
+    const auto newest = service.submit(make_request(63)).get();
+    EXPECT_TRUE(newest.cache_hit);
+}
+
+TEST(Serve, TraceRoundTripsThroughText) {
+    serve::TraceGenConfig gen;
+    gen.requests = 10;
+    const auto trace = serve::generate_trace(gen);
+    std::stringstream ss;
+    serve::write_trace(ss, trace);
+    const auto back = serve::read_trace(ss);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(back[i].dims, trace[i].dims);
+        EXPECT_EQ(back[i].seed, trace[i].seed);
+        EXPECT_DOUBLE_EQ(back[i].noise, trace[i].noise);
+        EXPECT_EQ(back[i].pattern2, trace[i].pattern2);
+        EXPECT_EQ(back[i].pattern3, trace[i].pattern3);
+        EXPECT_DOUBLE_EQ(back[i].deadline_us, trace[i].deadline_us);
+        EXPECT_EQ(back[i].priority, trace[i].priority);
+    }
+}
+
+TEST(Serve, ReadTraceRejectsMalformedLines) {
+    std::istringstream bad1("req dims=2x2 seed=1\n");
+    EXPECT_THROW((void)serve::read_trace(bad1), std::runtime_error);
+    std::istringstream bad2("nope dims=2x2x2\n");
+    EXPECT_THROW((void)serve::read_trace(bad2), std::runtime_error);
+    std::istringstream bad3("req seed=abc\n");
+    EXPECT_THROW((void)serve::read_trace(bad3), std::runtime_error);
+    std::istringstream ok("# comment\n\nreq dims=2x2x2 seed=1 future_key=9\n");
+    EXPECT_EQ(serve::read_trace(ok).size(), 1u);
+}
+
+TEST(Serve, CacheKeyIsContentAddressed) {
+    const zc::Field a = tst::smooth_field(kDims, 1);
+    const zc::Field b = tst::perturbed(a, 0.01, 2);
+    const auto cfg = small_cfg();
+    const auto k1 = serve::result_cache_key(a.view(), b.view(), cfg);
+    const auto k2 = serve::result_cache_key(a.view(), b.view(), cfg);
+    EXPECT_EQ(k1, k2);
+    // Single-bit content change changes the key.
+    zc::Field b2 = b;
+    b2.data()[0] = std::nextafter(b2.data()[0], 1e30f);
+    EXPECT_NE(serve::result_cache_key(a.view(), b2.view(), cfg), k1);
+    // Config changes change the key.
+    auto cfg2 = cfg;
+    cfg2.autocorr_max_lag = 3;
+    EXPECT_NE(serve::result_cache_key(a.view(), b.view(), cfg2), k1);
+    // Swapping orig/dec changes the key.
+    EXPECT_NE(serve::result_cache_key(b.view(), a.view(), cfg), k1);
+}
+
+TEST(Serve, DestructorDrainsAcceptedRequests) {
+    std::future<serve::AssessResponse> future;
+    {
+        serve::ServiceConfig cfg;
+        cfg.start_paused = true;
+        serve::AssessService service(cfg);
+        future = service.submit(make_request(71));
+        // Never started; the destructor must still serve the backlog.
+    }
+    const auto resp = future.get();
+    EXPECT_FALSE(resp.rejected);
+    EXPECT_GT(resp.result.report.reduction.psnr_db, 0.0);
+}
+
+}  // namespace

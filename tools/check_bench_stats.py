@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Profiler-stability gate for CI.
+
+Compares a fresh bench_vgpu_wallclock run against the checked-in baseline
+(BENCH_vgpu_wallclock.json). The virtual GPU's profiler counters are
+deterministic — bit-identical across hosts and worker counts — so any drift
+in the per-(dataset, scale, kernel) "stats" objects means a kernel's data
+movement actually changed. Wall-clock "seconds"/"blocks_per_sec" fields are
+machine-dependent and ignored.
+
+Usage: check_bench_stats.py BASELINE.json FRESH.json
+Exit 0 when every counter matches; 1 with a per-counter diff otherwise.
+"""
+
+import json
+import sys
+
+
+def keyed_stats(doc):
+    out = {}
+    for row in doc["results"]:
+        key = (row["dataset"], row["scale"], row["kernel"])
+        if key in out:
+            raise SystemExit(f"duplicate result row {key}")
+        out[key] = row["stats"]
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = keyed_stats(json.load(f))
+    with open(argv[2]) as f:
+        fresh = keyed_stats(json.load(f))
+
+    failures = []
+    for key in sorted(set(baseline) | set(fresh)):
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        if key not in baseline:
+            failures.append(f"{key}: not in baseline (new kernel? refresh the baseline)")
+            continue
+        base, new = baseline[key], fresh[key]
+        for counter in sorted(set(base) | set(new)):
+            if base.get(counter) != new.get(counter):
+                failures.append(
+                    f"{key}: {counter} drifted {base.get(counter)} -> {new.get(counter)}"
+                )
+
+    if failures:
+        print("profiler counter drift against checked-in baseline:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "If the change is intentional, regenerate the baseline with\n"
+            "  bench_vgpu_wallclock --out=BENCH_vgpu_wallclock.json",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"profiler counters stable across {len(baseline)} kernel runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

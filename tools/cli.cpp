@@ -12,7 +12,9 @@
 #include "io/config.hpp"
 #include "io/html_report.hpp"
 #include "io/report_writer.hpp"
+#include "serve/serve.hpp"
 #include "sz/sz.hpp"
+#include "vgpu/scheduler.hpp"
 
 namespace cuzc::cli {
 
@@ -53,10 +55,14 @@ namespace {
 std::string usage() {
     return "usage: cuzc --orig=orig.f32 (--dec=dec.f32 | --sz=stream.sz) --dims=HxWxL\n"
            "            [--config=zc.cfg] [--format=text|csv|json|html] [--out=report]\n"
-           "            [--devices=N] [--profile]\n"
+           "            [--devices=N] [--threads=N] [--profile]\n"
+           "       cuzc serve --replay=TRACE [--devices=N] [--cache=N] [--batch=N]\n"
+           "            [--no-coalesce] [--threads=N] [--out=report.json]\n"
            "\n"
            "Assess the quality of lossy-compressed scientific data with the\n"
-           "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n";
+           "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n"
+           "`cuzc serve` replays a cuzc-trace-v1 workload through the in-process\n"
+           "assessment service and reports service telemetry as JSON.\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostream& err) {
@@ -65,7 +71,12 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         const std::size_t n = std::strlen(flag);
         return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
     };
-    for (int i = 1; i < argc; ++i) {
+    int first = 1;
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+        opt.serve_mode = true;
+        first = 2;
+    }
+    for (int i = first; i < argc; ++i) {
         const char* a = argv[i];
         if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
             opt.help = true;
@@ -95,10 +106,39 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 err << "cuzc: --devices must be >= 1\n";
                 return std::nullopt;
             }
+        } else if (const char* v9 = value_of(a, "--threads=")) {
+            opt.threads = static_cast<unsigned>(std::atoi(v9));
+            if (opt.threads == 0) {
+                err << "cuzc: --threads must be >= 1\n";
+                return std::nullopt;
+            }
+        } else if (const char* v10 = value_of(a, "--replay=")) {
+            opt.replay_path = v10;
+        } else if (const char* v11 = value_of(a, "--cache=")) {
+            opt.cache_capacity = static_cast<std::size_t>(std::atoll(v11));
+        } else if (const char* v12 = value_of(a, "--batch=")) {
+            opt.max_batch = static_cast<std::size_t>(std::atoll(v12));
+            if (opt.max_batch == 0) {
+                err << "cuzc: --batch must be >= 1\n";
+                return std::nullopt;
+            }
+        } else if (std::strcmp(a, "--no-coalesce") == 0) {
+            opt.coalesce = false;
         } else {
             err << "cuzc: unknown argument '" << a << "'\n";
             return std::nullopt;
         }
+    }
+    if (opt.serve_mode) {
+        if (opt.replay_path.empty()) {
+            err << "cuzc: serve needs --replay=TRACE\n";
+            return std::nullopt;
+        }
+        return opt;
+    }
+    if (!opt.replay_path.empty()) {
+        err << "cuzc: --replay is only valid with the serve subcommand\n";
+        return std::nullopt;
     }
     if (opt.orig_path.empty() || (opt.dec_path.empty() == opt.sz_stream_path.empty())) {
         err << "cuzc: need --orig and exactly one of --dec / --sz\n";
@@ -116,12 +156,77 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
     return opt;
 }
 
+namespace {
+
+/// Replay a workload trace through the assessment service and emit a JSON
+/// summary (request outcomes + full service telemetry).
+int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    std::ifstream trace_file(opt.replay_path);
+    if (!trace_file) {
+        err << "cuzc: cannot open trace " << opt.replay_path << "\n";
+        return 2;
+    }
+    const auto trace = serve::read_trace(trace_file);
+
+    serve::ServiceConfig scfg;
+    scfg.devices = opt.devices;
+    scfg.cache_capacity = opt.cache_capacity;
+    scfg.max_batch = opt.max_batch;
+    scfg.coalesce = opt.coalesce;
+    serve::AssessService service(scfg);
+
+    std::vector<std::future<serve::AssessResponse>> futures;
+    futures.reserve(trace.size());
+    const zc::Stopwatch watch;
+    for (const auto& entry : trace) {
+        futures.push_back(service.submit(serve::to_request(entry)));
+    }
+    std::size_t degraded = 0, rejected = 0, hits = 0;
+    for (auto& f : futures) {
+        const serve::AssessResponse resp = f.get();
+        degraded += resp.degraded;
+        rejected += resp.rejected;
+        hits += resp.cache_hit;
+    }
+    const double wall_s = watch.seconds();
+    const serve::ServiceTelemetry tele = service.telemetry();
+
+    std::ofstream file;
+    std::ostream* sink = &out;
+    if (!opt.out_path.empty()) {
+        file.open(opt.out_path);
+        if (!file) {
+            err << "cuzc: cannot open output " << opt.out_path << "\n";
+            return 2;
+        }
+        sink = &file;
+    }
+    *sink << "{\n"
+          << "  \"schema\": \"cuzc-serve-replay-v1\",\n"
+          << "  \"trace\": \"" << opt.replay_path << "\",\n"
+          << "  \"requests\": " << trace.size() << ",\n"
+          << "  \"degraded\": " << degraded << ",\n"
+          << "  \"rejected\": " << rejected << ",\n"
+          << "  \"cache_hits\": " << hits << ",\n"
+          << "  \"wall_seconds\": " << wall_s << ",\n"
+          << "  \"telemetry\": ";
+    tele.write_json(*sink, 2);
+    *sink << "\n}\n";
+    return 0;
+}
+
+}  // namespace
+
 int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     if (opt.help) {
         out << usage();
         return 0;
     }
+    if (opt.threads > 0) {
+        vgpu::BlockScheduler::instance().set_num_threads(opt.threads);
+    }
     try {
+        if (opt.serve_mode) return run_serve(opt, out, err);
         zc::MetricsConfig cfg;
         if (!opt.config_path.empty()) {
             cfg = io::metrics_from_config(io::Config::load(opt.config_path));

@@ -22,6 +22,16 @@ struct CliOptions {
     unsigned devices = 1;           ///< >1 selects the multi-GPU path
     bool show_profile = false;
     bool help = false;
+    /// vgpu scheduler worker count; 0 = leave the env/default resolution
+    /// alone. A flag value overrides CUZC_VGPU_THREADS (env < flag).
+    unsigned threads = 0;
+
+    // `cuzc serve` subcommand (--replay trace through the service).
+    bool serve_mode = false;
+    std::string replay_path;
+    std::size_t cache_capacity = 128;
+    std::size_t max_batch = 16;
+    bool coalesce = true;
 };
 
 /// Parse argv. Returns std::nullopt plus a message on `err` for invalid
@@ -33,7 +43,12 @@ struct CliOptions {
 ///   --out=PATH                           output file (default stdout)
 ///   --devices=N                          multi-GPU decomposition
 ///   --profile                            print kernel profiles to stderr
+///   --threads=N                          vgpu scheduler workers (overrides env)
 ///   --help
+///
+/// Subcommand `cuzc serve --replay=TRACE` replays a workload trace through
+/// the in-process assessment service; extra flags:
+///   --devices=N --cache=N --batch=N --no-coalesce --out=PATH
 [[nodiscard]] std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
                                                   std::ostream& err);
 
