@@ -13,11 +13,19 @@
 // order), so the speedup is never bought with wrong answers.
 //
 // Usage: bench_serve_throughput [--requests=200] [--distinct=32]
-//                               [--tight=0.1] [--devices=1]
+//                               [--tight=0.1] [--devices=1] [--faults=SPEC]
 //                               [--out=BENCH_serve_throughput.json]
 //
 // Emits JSON (stdout, and --out=PATH) with naive_seconds, serve_seconds,
 // speedup, and the full service telemetry block.
+//
+// Fault mode (--faults=SPEC, or the CUZC_FAULTS environment variable):
+// the service run injects deterministic device faults. Rejections are then
+// tolerated (the containment contract is that every future still resolves),
+// a response that observed an injection is exempt from the equality check
+// (an injected upload corruption is *supposed* to perturb that result), and
+// every fault-free response must still match the naive run bit for bit.
+// The telemetry reconciliation gate below holds in both modes.
 
 #include <chrono>
 #include <cmath>
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
     serve::TraceGenConfig gen;
     std::size_t devices = 1;
     std::string out_path = "BENCH_serve_throughput.json";
+    std::string faults_spec;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--requests=", 11) == 0) {
             gen.requests = static_cast<std::size_t>(std::atoll(argv[i] + 11));
@@ -62,6 +71,8 @@ int main(int argc, char** argv) {
             devices = static_cast<std::size_t>(std::atoll(argv[i] + 10));
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             out_path = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+            faults_spec = argv[i] + 9;
         } else {
             std::fprintf(stderr, "bench_serve_throughput: unknown argument '%s'\n", argv[i]);
             return 2;
@@ -101,6 +112,14 @@ int main(int argc, char** argv) {
     // Service run: batching + caching on, same trace.
     serve::ServiceConfig scfg;
     scfg.devices = devices;
+    try {
+        scfg.faults = faults_spec.empty() ? vgpu::FaultPlan::from_env()
+                                          : vgpu::FaultPlan::parse(faults_spec);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_serve_throughput: %s\n", e.what());
+        return 2;
+    }
+    const bool fault_mode = scfg.faults.enabled();
     serve::AssessService service(scfg);
     std::vector<std::future<serve::AssessResponse>> futures;
     futures.reserve(trace.size());
@@ -119,17 +138,28 @@ int main(int argc, char** argv) {
     for (auto& f : futures) responses.push_back(f.get());
     const double serve_seconds = now_seconds() - serve_t0;
 
-    // Correctness gate: non-degraded responses must match the naive run.
-    std::size_t checked = 0, degraded = 0;
+    // Correctness gate: non-degraded, fault-free responses must match the
+    // naive run exactly. Under injection, rejections are tolerated and a
+    // response that observed a fault is exempt (a corrupted upload is meant
+    // to perturb that result) — everything else still has to be identical.
+    std::size_t checked = 0, degraded = 0, rejected = 0, faulted = 0;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const auto& resp = responses[i];
         if (resp.rejected) {
-            std::fprintf(stderr, "bench_serve_throughput: request %zu rejected: %s\n", i,
-                         resp.error.c_str());
-            return 1;
+            if (!fault_mode) {
+                std::fprintf(stderr, "bench_serve_throughput: request %zu rejected: %s\n", i,
+                             resp.error.c_str());
+                return 1;
+            }
+            ++rejected;
+            continue;
         }
         if (resp.degraded) {
             ++degraded;
+            continue;
+        }
+        if (resp.faults > 0) {
+            ++faulted;
             continue;
         }
         const auto& got = resp.result.report.reduction;
@@ -144,6 +174,14 @@ int main(int argc, char** argv) {
     }
 
     const serve::ServiceTelemetry tele = service.telemetry();
+    // Reconciliation gate: after every future resolved, the counters must
+    // balance exactly — fault mode included (see ServiceTelemetry docs).
+    if (tele.queued != tele.served + tele.rejected + tele.queue_depth + tele.inflight ||
+        tele.served != tele.cache_hits + tele.cache_misses ||
+        tele.latency.count != tele.served + tele.rejected) {
+        std::fprintf(stderr, "bench_serve_throughput: telemetry does not reconcile\n");
+        return 1;
+    }
     const double speedup = serve_seconds > 0 ? naive_seconds / serve_seconds : 0;
 
     std::ostringstream os;
@@ -154,6 +192,8 @@ int main(int argc, char** argv) {
        << "  \"tight_deadline_fraction\": " << gen.tight_deadline_fraction << ",\n"
        << "  \"checked_against_direct\": " << checked << ",\n"
        << "  \"degraded\": " << degraded << ",\n"
+       << "  \"rejected\": " << rejected << ",\n"
+       << "  \"faulted\": " << faulted << ",\n"
        << "  \"naive_seconds\": " << naive_seconds << ",\n"
        << "  \"serve_seconds\": " << serve_seconds << ",\n"
        << "  \"speedup\": " << speedup << ",\n"

@@ -13,6 +13,12 @@
 //     with degraded=true and the expensive metrics shed, instead of
 //     stalling the simulation.
 //
+// Set CUZC_FAULTS to watch the containment machinery absorb device faults
+// mid-campaign, e.g.
+//   $ CUZC_FAULTS="seed=7,kernel=0.2" ./examples/insitu_monitor
+// — injected kernel aborts are retried (or rejected after the retry budget)
+// while every other snapshot is still assessed normally.
+//
 //   $ ./examples/insitu_monitor [steps]
 
 #include <cstdio>
@@ -39,7 +45,12 @@ int main(int argc, char** argv) {
 
     serve::ServiceConfig scfg;
     scfg.devices = 2;
+    scfg.faults = cuzc::vgpu::FaultPlan::from_env();  // CUZC_FAULTS, if set
     serve::AssessService service(scfg);
+    if (scfg.faults.enabled()) {
+        std::printf("fault injection armed from CUZC_FAULTS (seed %llu)\n",
+                    static_cast<unsigned long long>(scfg.faults.seed));
+    }
 
     std::printf("mock %s campaign: %zu steps of %zux%zux%zu, SZ rel bound 1e-3\n",
                 spec.name.c_str(), steps, spec.dims.h, spec.dims.w, spec.dims.l);
@@ -87,6 +98,12 @@ int main(int argc, char** argv) {
     const auto so_far = stream.finalize();
     for (std::size_t t = 0; t < steps; ++t) {
         const auto resp = futures[t].get();
+        if (resp.rejected) {
+            // Containment at work: the fault became a rejection, not a
+            // hang — the campaign keeps going.
+            std::printf("%6zu %8.1f:1 rejected (%s)\n", t, ratios[t], resp.error.c_str());
+            continue;
+        }
         std::printf("%6zu %8.1f:1 %9.2f %9.5f %9.2f\n", t, ratios[t],
                     resp.result.report.reduction.psnr_db, resp.result.report.ssim.ssim,
                     so_far.psnr_db);
@@ -138,5 +155,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tele.shed),
                 static_cast<unsigned long long>(tele.batches),
                 static_cast<unsigned long long>(tele.coalesced));
+    if (tele.faults_injected > 0 || tele.rejected > 0) {
+        std::printf("fault containment: %llu faults injected, %llu retries, %llu rejected, "
+                    "%llu timeouts, %llu breaker opens\n",
+                    static_cast<unsigned long long>(tele.faults_injected),
+                    static_cast<unsigned long long>(tele.retries),
+                    static_cast<unsigned long long>(tele.rejected),
+                    static_cast<unsigned long long>(tele.timeouts),
+                    static_cast<unsigned long long>(tele.breaker_opens));
+    }
     return 0;
 }

@@ -41,9 +41,14 @@ struct RequestSpans {
 struct AssessResponse {
     ::cuzc::cuzc::CuzcResult result;
     bool cache_hit = false;
-    bool degraded = false;  ///< one or more metric groups were shed
-    bool rejected = false;  ///< admission control or invalid request
-    std::string error;      ///< non-empty iff rejected for malformed input
+    bool degraded = false;   ///< one or more metric groups were shed
+    bool rejected = false;   ///< admission, malformed input, device failure, timeout
+    bool timed_out = false;  ///< rejected by the wall-clock request ceiling
+    std::string error;       ///< non-empty iff rejected; says why
+    /// Device attempts beyond the first (transient-fault retries).
+    std::uint32_t retries = 0;
+    /// Faults the worker's device injected while serving this request.
+    std::uint64_t faults = 0;
     /// Names of the shed metric groups, in shed order ("ssim", "autocorr",
     /// "deriv2").
     std::vector<std::string> shed;

@@ -23,6 +23,15 @@ double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Internal control-flow exceptions of the request path. A validation
+/// reject (bad stream, shape mismatch) is the request's fault, not the
+/// device's, so it never feeds the circuit breaker; a timeout is the
+/// wall-clock ceiling firing.
+struct RequestReject {
+    std::string message;
+};
+struct RequestTimeout {};
+
 }  // namespace
 
 struct AssessService::Impl {
@@ -33,6 +42,8 @@ struct AssessService::Impl {
         double backlog_at_submit_s = 0;
         double modeled_full_s = 0;
     };
+
+    enum class Outcome { kServed, kRejected, kTimeout };
 
     explicit Impl(ServiceConfig cfg)
         : config(cfg),
@@ -61,14 +72,32 @@ struct AssessService::Impl {
         const std::size_t n = std::max<std::size_t>(config.devices, 1);
         workers.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            workers.emplace_back([this] { worker_loop(); });
+            workers.emplace_back([this, i] { worker_loop(i); });
         }
     }
 
-    void worker_loop() {
+    void check_timeout(const Pending& p) const {
+        if (config.request_timeout_s > 0 &&
+            seconds_since(p.submitted) > config.request_timeout_s) {
+            throw RequestTimeout{};
+        }
+    }
+
+    void worker_loop(std::size_t widx) {
         vgpu::Device dev(config.props);
+        if (config.faults.enabled()) {
+            // Worker i draws from an offset seed: devices fail
+            // independently of each other but reproducibly across runs.
+            vgpu::FaultPlan plan = config.faults;
+            plan.seed += widx;
+            dev.set_fault_plan(plan);
+        }
         zc::Dims3 buf_dims{0, 0, 0};
         std::unique_ptr<vgpu::DeviceBuffer<float>> d_orig, d_dec;
+
+        // Circuit breaker: worker-local state, telemetry under `mu`.
+        std::size_t consecutive_failures = 0;
+        bool half_open = false;
 
         for (;;) {
             std::vector<std::unique_ptr<Pending>> batch;
@@ -90,10 +119,13 @@ struct AssessService::Impl {
                 const zc::Dims3 dims = seed->req.orig.dims();
                 batch.push_back(std::move(seed));
                 // Coalesce: every queued same-shape request (any config)
-                // rides this device/buffer epoch, in submission order.
+                // rides this device/buffer epoch, in submission order. A
+                // half-open worker probes with a single request.
+                const std::size_t cap =
+                    half_open ? 1 : std::max<std::size_t>(config.max_batch, 1);
                 if (config.coalesce) {
                     for (auto it = queue.begin();
-                         it != queue.end() && batch.size() < std::max<std::size_t>(config.max_batch, 1);) {
+                         it != queue.end() && batch.size() < cap;) {
                         if ((*it)->req.orig.dims() == dims) {
                             batch.push_back(std::move(*it));
                             it = queue.erase(it);
@@ -109,26 +141,116 @@ struct AssessService::Impl {
             }
 
             for (auto& pending : batch) {
-                process_one(dev, *pending, epoch, buf_dims, d_orig, d_dec);
+                const bool ok = process_one(dev, *pending, epoch, buf_dims, d_orig, d_dec);
+                if (ok) {
+                    consecutive_failures = 0;
+                    half_open = false;
+                } else {
+                    ++consecutive_failures;
+                }
             }
 
-            {
-                std::lock_guard lk(mu);
-                inflight -= batch.size();
-                for (const auto& pending : batch) {
-                    modeled_backlog_s = std::max(0.0, modeled_backlog_s - pending->modeled_full_s);
-                }
-                if (queue.empty() && inflight == 0) drain_cv.notify_all();
+            // Breaker: a failed half-open probe re-opens immediately; a
+            // healthy worker opens after `breaker_threshold` consecutive
+            // device-side failures.
+            const bool trip =
+                config.breaker_threshold > 0 && consecutive_failures > 0 &&
+                (half_open || consecutive_failures >= config.breaker_threshold);
+            if (trip) {
+                consecutive_failures = 0;
+                const auto until =
+                    Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(config.breaker_cooldown_s));
+                std::unique_lock lk(mu);
+                ++tele.breaker_opens;
+                ++tele.breaker_open;
+                // Quarantine: stop pulling work until the cooldown passes;
+                // healthy workers absorb this worker's queue share. A
+                // shutdown cuts the quarantine short so the destructor's
+                // drain guarantee holds even on an all-failing pool.
+                work_cv.wait_until(lk, until, [&] { return stop; });
+                --tele.breaker_open;
+                half_open = true;
             }
         }
     }
 
-    void process_one(vgpu::Device& dev, Pending& p, std::uint64_t epoch, zc::Dims3& buf_dims,
+    /// Fulfills an abandoned request's promise if every normal completion
+    /// path was skipped (an exception escaping the handlers themselves):
+    /// the submitter must never see a broken promise.
+    struct CompletionGuard {
+        Impl& impl;
+        Pending& p;
+        bool armed = true;
+        ~CompletionGuard() {
+            if (!armed) return;
+            try {
+                AssessResponse r;
+                r.rejected = true;
+                r.error = "internal error: request abandoned";
+                impl.complete(p, std::move(r), Outcome::kRejected);
+            } catch (...) {  // the guard must never throw
+            }
+        }
+    };
+
+    /// Serve one picked request end to end. Always fulfills the promise
+    /// and settles the accounting exactly once, whatever the request path
+    /// throws. Returns false when the device itself failed (feeds the
+    /// circuit breaker); served requests, validation rejects, and timeouts
+    /// return true.
+    bool process_one(vgpu::Device& dev, Pending& p, std::uint64_t epoch, zc::Dims3& buf_dims,
                      std::unique_ptr<vgpu::DeviceBuffer<float>>& d_orig,
                      std::unique_ptr<vgpu::DeviceBuffer<float>>& d_dec) {
         AssessResponse resp;
         resp.batch_epoch = epoch;
         resp.spans.queue_s = seconds_since(p.submitted);
+        const std::uint64_t faults_before = dev.faults_injected();
+        CompletionGuard guard{*this, p};
+        try {
+            run_request(dev, p, resp, buf_dims, d_orig, d_dec);
+            resp.faults = dev.faults_injected() - faults_before;
+            guard.armed = false;
+            complete(p, std::move(resp), Outcome::kServed);
+            return true;
+        } catch (const RequestTimeout&) {
+            resp.timed_out = true;
+            finish_rejected(guard, dev, faults_before, p, resp, Outcome::kTimeout,
+                            "timed out: request exceeded the service's wall-clock ceiling");
+            return true;
+        } catch (const RequestReject& r) {
+            finish_rejected(guard, dev, faults_before, p, resp, Outcome::kRejected, r.message);
+            return true;
+        } catch (const vgpu::FaultError& e) {
+            finish_rejected(guard, dev, faults_before, p, resp, Outcome::kRejected, e.what());
+            return false;
+        } catch (const std::exception& e) {
+            finish_rejected(guard, dev, faults_before, p, resp, Outcome::kRejected,
+                            std::string("request failed: ") + e.what());
+            return false;
+        } catch (...) {
+            finish_rejected(guard, dev, faults_before, p, resp, Outcome::kRejected,
+                            "request failed: unknown exception");
+            return false;
+        }
+    }
+
+    void finish_rejected(CompletionGuard& guard, vgpu::Device& dev, std::uint64_t faults_before,
+                         Pending& p, AssessResponse& resp, Outcome outcome,
+                         std::string message) {
+        resp.rejected = true;
+        resp.error = std::move(message);
+        resp.faults = dev.faults_injected() - faults_before;
+        guard.armed = false;
+        complete(p, std::move(resp), outcome);
+    }
+
+    /// The request path proper. Throws RequestReject / RequestTimeout /
+    /// whatever the device or kernels throw; `process_one` contains it all.
+    void run_request(vgpu::Device& dev, Pending& p, AssessResponse& resp, zc::Dims3& buf_dims,
+                     std::unique_ptr<vgpu::DeviceBuffer<float>>& d_orig,
+                     std::unique_ptr<vgpu::DeviceBuffer<float>>& d_dec) {
+        check_timeout(p);  // at pickup: don't start work the ceiling already voids
         const zc::Dims3 dims = p.req.orig.dims();
 
         // SZ-stream requests decode on the worker (counted as upload time).
@@ -139,12 +261,10 @@ struct AssessService::Impl {
             try {
                 dec_storage = sz::decompress(p.req.sz_stream);
             } catch (const std::exception& e) {
-                fail(p, resp, std::string("SZ stream decode failed: ") + e.what());
-                return;
+                throw RequestReject{std::string("SZ stream decode failed: ") + e.what()};
             }
             if (dec_storage.dims() != dims) {
-                fail(p, resp, "SZ stream shape disagrees with the original field");
-                return;
+                throw RequestReject{"SZ stream shape disagrees with the original field"};
             }
             dec = &dec_storage;
             resp.spans.upload_s += decode_watch.seconds();
@@ -172,65 +292,108 @@ struct AssessService::Impl {
             if (auto cached = cache.lookup(key)) {
                 resp.result = std::move(*cached);
                 resp.cache_hit = true;
-                finish(p, std::move(resp));
                 return;
             }
         }
 
         // Miss: stage onto the worker's device, reusing the buffer pair
-        // across every same-shape request this worker ever sees.
-        const zc::Stopwatch upload_watch;
-        if (!d_orig || buf_dims != dims) {
-            d_orig = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
-            d_dec = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
-            buf_dims = dims;
-            std::lock_guard lk(mu);
-            tele.buffer_allocs += 2;
-        }
-        d_orig->upload(p.req.orig.data());
-        d_dec->upload(dec->data());
-        {
-            std::lock_guard lk(mu);
-            tele.uploads += 2;
-        }
-        resp.spans.upload_s += upload_watch.seconds();
+        // across every same-shape request this worker ever sees. Transient
+        // device faults (alloc failure, kernel abort) retry with backoff;
+        // anything else propagates to process_one.
+        std::size_t attempt = 0;
+        for (;;) {
+            check_timeout(p);
+            try {
+                const std::uint64_t corrupt_before =
+                    dev.faults_injected(vgpu::FaultKind::kUploadCorrupt);
+                const zc::Stopwatch upload_watch;
+                if (!d_orig || buf_dims != dims) {
+                    // Reset first: if the second alloc throws, a stale
+                    // buffer must not masquerade as matching buf_dims.
+                    d_orig.reset();
+                    d_dec.reset();
+                    buf_dims = {0, 0, 0};
+                    d_orig = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
+                    d_dec = std::make_unique<vgpu::DeviceBuffer<float>>(dev, dims.volume());
+                    buf_dims = dims;
+                    std::lock_guard lk(mu);
+                    tele.buffer_allocs += 2;
+                }
+                d_orig->upload(p.req.orig.data());
+                d_dec->upload(dec->data());
+                {
+                    std::lock_guard lk(mu);
+                    tele.uploads += 2;
+                }
+                resp.spans.upload_s += upload_watch.seconds();
 
-        const zc::Stopwatch kernel_watch;
-        resp.result = ::cuzc::cuzc::assess_device(dev, *d_orig, *d_dec, dims, resp.effective_cfg);
-        resp.spans.kernel_s = kernel_watch.seconds();
+                const zc::Stopwatch kernel_watch;
+                resp.result =
+                    ::cuzc::cuzc::assess_device(dev, *d_orig, *d_dec, dims, resp.effective_cfg);
+                resp.spans.kernel_s += kernel_watch.seconds();
 
-        const zc::Stopwatch report_watch;
-        if (use_cache) cache.insert(key, resp.result);
-        resp.spans.report_s = report_watch.seconds();
-
-        finish(p, std::move(resp));
-    }
-
-    void fail(Pending& p, AssessResponse resp, std::string message) {
-        resp.rejected = true;
-        resp.error = std::move(message);
-        {
-            std::lock_guard lk(mu);
-            ++tele.rejected;
-        }
-        p.promise.set_value(std::move(resp));
-    }
-
-    void finish(Pending& p, AssessResponse resp) {
-        {
-            std::lock_guard lk(mu);
-            ++tele.served;
-            if (resp.cache_hit) {
-                ++tele.cache_hits;
-            } else {
-                ++tele.cache_misses;
+                const zc::Stopwatch report_watch;
+                // A corrupted upload yields a silently wrong result for
+                // *this* request (that is the fault being modeled) — but
+                // it must never poison the shared cache.
+                const bool corrupted =
+                    dev.faults_injected(vgpu::FaultKind::kUploadCorrupt) != corrupt_before;
+                if (use_cache && !corrupted) cache.insert(key, resp.result);
+                resp.spans.report_s += report_watch.seconds();
+                return;
+            } catch (const vgpu::FaultError& e) {
+                if (!e.transient() || attempt >= config.max_retries) throw;
+                // A failed attempt may leave the buffer pair half-built;
+                // resync so the next attempt reallocates cleanly.
+                d_orig.reset();
+                d_dec.reset();
+                buf_dims = {0, 0, 0};
+                ++attempt;
+                ++resp.retries;
+                {
+                    std::lock_guard lk(mu);
+                    ++tele.retries;
+                }
+                const double backoff =
+                    config.retry_backoff_s * static_cast<double>(1ull << (attempt - 1));
+                if (backoff > 0) {
+                    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+                }
             }
-            if (resp.degraded) ++tele.shed;
+        }
+    }
+
+    /// The single completion point for picked requests: fulfills the
+    /// promise and settles every counter the request touched in one
+    /// critical section, so the telemetry invariants hold at every
+    /// intermediate snapshot, not just after drain.
+    void complete(Pending& p, AssessResponse resp, Outcome outcome) {
+        {
+            std::lock_guard lk(mu);
+            if (outcome == Outcome::kServed) {
+                ++tele.served;
+                if (resp.cache_hit) {
+                    ++tele.cache_hits;
+                } else {
+                    ++tele.cache_misses;
+                }
+                if (resp.degraded) ++tele.shed;
+            } else {
+                ++tele.rejected;
+                if (outcome == Outcome::kTimeout) ++tele.timeouts;
+            }
+            tele.faults_injected += resp.faults;
             tele.queue_s += resp.spans.queue_s;
             tele.upload_s += resp.spans.upload_s;
             tele.kernel_s += resp.spans.kernel_s;
             tele.report_s += resp.spans.report_s;
             tele.latency.record(resp.spans.total());
+            // Release this request's share of the modeled backlog the
+            // moment it completes — a cache hit releases immediately — so
+            // a long batch doesn't inflate later requests' shed budgets.
+            modeled_backlog_s = std::max(0.0, modeled_backlog_s - p.modeled_full_s);
+            --inflight;
+            if (queue.empty() && inflight == 0) drain_cv.notify_all();
         }
         p.promise.set_value(std::move(resp));
     }
@@ -264,16 +427,13 @@ std::future<AssessResponse> AssessService::submit(AssessRequest req) {
         invalid = "original/decompressed shape mismatch";
     }
 
+    AssessResponse rejected;
     {
         std::lock_guard lk(impl_->mu);
         ++impl_->tele.queued;
-        if (!invalid.empty()) {
-            ++impl_->tele.rejected;
-        } else if (impl_->config.max_queue_depth > 0 &&
-                   impl_->queue.size() >= impl_->config.max_queue_depth) {
-            ++impl_->tele.rejected;
-            invalid = "queue full (admission control)";
-        } else {
+        if (invalid.empty() &&
+            (impl_->config.max_queue_depth == 0 ||
+             impl_->queue.size() < impl_->config.max_queue_depth)) {
             pending->modeled_full_s =
                 modeled_request_cost(req.orig.dims(), req.cfg, impl_->model).total();
             pending->backlog_at_submit_s = impl_->modeled_backlog_s;
@@ -285,8 +445,16 @@ std::future<AssessResponse> AssessService::submit(AssessRequest req) {
             impl_->work_cv.notify_one();
             return future;
         }
+        if (invalid.empty()) invalid = "queue full (admission control)";
+        // Submit-time rejections settle inside the same critical section
+        // that counted them as queued, and still record a latency span —
+        // the invariants `queued == served + rejected + depth + inflight`
+        // and `latency.count == served + rejected` hold at all times.
+        ++impl_->tele.rejected;
+        rejected.spans.queue_s = seconds_since(pending->submitted);
+        impl_->tele.queue_s += rejected.spans.queue_s;
+        impl_->tele.latency.record(rejected.spans.total());
     }
-    AssessResponse rejected;
     rejected.rejected = true;
     rejected.error = invalid;
     pending->promise.set_value(std::move(rejected));
@@ -309,6 +477,9 @@ ServiceTelemetry AssessService::telemetry() const {
     {
         std::lock_guard lk(impl_->mu);
         t = impl_->tele;
+        t.queue_depth = impl_->queue.size();
+        t.inflight = impl_->inflight;
+        t.modeled_backlog_s = impl_->modeled_backlog_s;
     }
     t.cache_evictions = impl_->cache.evictions();
     t.cache_size = impl_->cache.size();

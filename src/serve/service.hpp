@@ -10,6 +10,7 @@
 #include "vgpu/cost_model.hpp"
 #include "vgpu/cost_params.hpp"
 #include "vgpu/device_props.hpp"
+#include "vgpu/fault.hpp"
 
 namespace cuzc::serve {
 
@@ -31,6 +32,34 @@ struct ServiceConfig {
     /// Cost-model inputs for admission control and degradation planning.
     vgpu::DeviceProps props{};
     vgpu::GpuCostParams cost_params{};
+
+    // --- Fault containment and recovery -------------------------------
+    /// Wall-clock ceiling per request, measured from submit (seconds).
+    /// Distinct from `AssessRequest::deadline_model_s`: the deadline is
+    /// modeled device time and degrades the config; the timeout is host
+    /// wall time and rejects. Checked when a worker picks the request up
+    /// and before every device attempt, so a request stuck behind a
+    /// quarantined or fault-looping device rejects instead of hanging; it
+    /// is not preemptive (a kernel already running is never interrupted).
+    /// 0 = no ceiling.
+    double request_timeout_s = 0;
+    /// Device attempts beyond the first for *transient* faults
+    /// (vgpu::FaultError with transient() == true). Non-transient errors
+    /// never retry.
+    std::size_t max_retries = 2;
+    /// Backoff before retry r: retry_backoff_s * 2^r.
+    double retry_backoff_s = 100e-6;
+    /// Consecutive device-side failures that open a worker's circuit
+    /// breaker. 0 disables the breaker.
+    std::size_t breaker_threshold = 5;
+    /// Quarantine length once a breaker opens. The worker stops pulling
+    /// work (healthy workers absorb its queue share), then serves one
+    /// half-open probe: success closes the breaker, failure re-opens it.
+    double breaker_cooldown_s = 50e-3;
+    /// Deterministic fault injection armed on every worker's device
+    /// (worker i runs the plan with seed + i, so devices fail
+    /// independently but reproducibly). Disabled unless faults.enabled().
+    vgpu::FaultPlan faults{};
 };
 
 /// In-process multi-device assessment service (the ROADMAP's "serving"
@@ -44,6 +73,15 @@ struct ServiceConfig {
 /// direct `cuzc::assess` of the same pair under the request's *effective*
 /// (post-degradation) config, whether the result came from kernels or from
 /// the cache.
+///
+/// Containment contract: every submitted request's future is fulfilled,
+/// no matter what the request path throws — decode errors, allocation
+/// failures, kernel aborts (injected or real) all resolve as
+/// `rejected == true` with the error message; workers never die and the
+/// telemetry invariants (see ServiceTelemetry) keep holding. Transient
+/// device faults are retried with backoff, a repeatedly failing device is
+/// quarantined by a per-worker circuit breaker, and an optional wall-clock
+/// timeout bounds how long any request can wait.
 class AssessService {
 public:
     explicit AssessService(ServiceConfig cfg = {});

@@ -43,6 +43,14 @@ void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
     os << in1 << "\"max_queue_depth\": " << max_queue_depth << ",\n";
     os << in1 << "\"cache_evictions\": " << cache_evictions << ",\n";
     os << in1 << "\"cache_size\": " << cache_size << ",\n";
+    os << in1 << "\"faults_injected\": " << faults_injected << ",\n";
+    os << in1 << "\"retries\": " << retries << ",\n";
+    os << in1 << "\"timeouts\": " << timeouts << ",\n";
+    os << in1 << "\"breaker_opens\": " << breaker_opens << ",\n";
+    os << in1 << "\"breaker_open\": " << breaker_open << ",\n";
+    os << in1 << "\"queue_depth\": " << queue_depth << ",\n";
+    os << in1 << "\"inflight\": " << inflight << ",\n";
+    os << in1 << "\"modeled_backlog_s\": " << modeled_backlog_s << ",\n";
     os << in1 << "\"spans_s\": {\"queue\": " << queue_s << ", \"upload\": " << upload_s
        << ", \"kernel\": " << kernel_s << ", \"report\": " << report_s << "},\n";
     os << in1 << "\"latency\": {\n";

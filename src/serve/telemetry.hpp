@@ -24,16 +24,24 @@ struct LatencyHistogram {
 };
 
 /// Service counters — the observable contract of cuzc::serve. Every
-/// accepted request is `queued`; every completed one is `served`;
-/// `served == cache_hits + cache_misses` and `shed <= served`;
-/// `queued == served + rejected` once the service has drained.
+/// submission is `queued`; every completed one is `served`; every refused
+/// one (admission control, malformed input, device failure, timeout) is
+/// `rejected`, and every rejection still fulfills the submitter's future.
+///
+/// Reconciliation invariants, which hold at every telemetry() snapshot
+/// (each transition is a single critical section), not just after drain:
+///   queued == served + rejected + queue_depth + inflight
+///   served == cache_hits + cache_misses,  shed <= served
+///   latency.count == served + rejected   (rejections record a span too)
+/// After drain(), queue_depth == inflight == 0, so
+/// queued == served + rejected.
 struct ServiceTelemetry {
     std::uint64_t queued = 0;
     std::uint64_t served = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t shed = 0;      ///< requests that degraded (>=1 group shed)
-    std::uint64_t rejected = 0;  ///< admission control / malformed input
+    std::uint64_t rejected = 0;  ///< admission / malformed / failed / timed out
     std::uint64_t batches = 0;   ///< upload epochs executed
     std::uint64_t coalesced = 0; ///< requests that rode an epoch beyond its first
     std::uint64_t uploads = 0;   ///< H2D field stagings
@@ -41,6 +49,18 @@ struct ServiceTelemetry {
     std::uint64_t max_queue_depth = 0;
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_size = 0;
+
+    // Fault containment and recovery (see DESIGN.md §6, "Fault model").
+    std::uint64_t faults_injected = 0;  ///< injections observed on worker devices
+    std::uint64_t retries = 0;          ///< device attempts beyond each request's first
+    std::uint64_t timeouts = 0;         ///< rejections due to the wall-clock ceiling
+    std::uint64_t breaker_opens = 0;    ///< cumulative breaker open transitions
+    std::uint64_t breaker_open = 0;     ///< workers currently quarantined (gauge)
+
+    // Queue gauges at snapshot time (close the at-all-times invariant).
+    std::uint64_t queue_depth = 0;
+    std::uint64_t inflight = 0;
+    double modeled_backlog_s = 0;  ///< modeled device-seconds still owed
 
     // Sums of the per-request span phases (seconds).
     double queue_s = 0;

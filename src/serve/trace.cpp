@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "data/noise.hpp"
 
@@ -19,6 +20,9 @@ zc::MetricsConfig TraceEntry::metrics() const {
     cfg.pattern3 = pattern3;
     cfg.ssim_window = ssim_window;
     cfg.autocorr_max_lag = autocorr_max_lag;
+    cfg.deriv_orders = deriv_orders;
+    cfg.pdf_bins = pdf_bins;
+    cfg.ssim_step = ssim_step;
     return cfg;
 }
 
@@ -36,10 +40,14 @@ std::vector<TraceEntry> generate_trace(const TraceGenConfig& cfg) {
         e.noise = 0.005 + 0.005 * static_cast<double>(combo % 3);
         // Three config variants, tied to the combo so repeats are exact.
         switch (combo % 3) {
-            case 0: break;  // all patterns
-            case 1: e.pattern3 = false; break;
+            case 0: break;  // all patterns, default knobs
+            case 1:
+                e.pattern3 = false;
+                e.pdf_bins = 64;  // exercised even when p3 is off: cache-key input
+                break;
             case 2:
                 e.pattern2 = false;
+                e.ssim_step = 2;
                 break;
             default: break;
         }
@@ -59,8 +67,9 @@ void write_trace(std::ostream& os, std::span<const TraceEntry> trace) {
         os << "req dims=" << e.dims.h << 'x' << e.dims.w << 'x' << e.dims.l
            << " seed=" << e.seed << " noise=" << e.noise << " p1=" << int{e.pattern1}
            << " p2=" << int{e.pattern2} << " p3=" << int{e.pattern3} << " win=" << e.ssim_window
-           << " lag=" << e.autocorr_max_lag << " deadline_us=" << e.deadline_us
-           << " prio=" << e.priority << "\n";
+           << " lag=" << e.autocorr_max_lag << " deriv=" << e.deriv_orders
+           << " bins=" << e.pdf_bins << " step=" << e.ssim_step
+           << " deadline_us=" << e.deadline_us << " prio=" << e.priority << "\n";
     }
 }
 
@@ -68,6 +77,17 @@ namespace {
 
 [[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
     throw std::runtime_error("trace line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Full-consumption numeric parse: the whole token must be the number, so
+/// "12abc", "1e", "" and a stray sign all fail (std::stoi would accept the
+/// first and silently truncate).
+template <class T>
+[[nodiscard]] bool parse_num(std::string_view s, T& out) {
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last;
 }
 
 }  // namespace
@@ -89,41 +109,62 @@ std::vector<TraceEntry> read_trace(std::istream& is) {
             if (eq == std::string::npos) parse_fail(line_no, "token '" + tok + "' is not key=value");
             const std::string key = tok.substr(0, eq);
             const std::string val = tok.substr(eq + 1);
-            try {
-                if (key == "dims") {
-                    std::size_t h = 0, w = 0, l = 0;
-                    char x1 = 0, x2 = 0;
-                    std::istringstream ds(val);
-                    ds >> h >> x1 >> w >> x2 >> l;
-                    if (!ds || x1 != 'x' || x2 != 'x' || h * w * l == 0) {
-                        parse_fail(line_no, "bad dims '" + val + "'");
-                    }
-                    e.dims = {h, w, l};
-                } else if (key == "seed") {
-                    e.seed = std::stoull(val);
-                } else if (key == "noise") {
-                    e.noise = std::stod(val);
-                } else if (key == "p1") {
-                    e.pattern1 = val != "0";
-                } else if (key == "p2") {
-                    e.pattern2 = val != "0";
-                } else if (key == "p3") {
-                    e.pattern3 = val != "0";
-                } else if (key == "win") {
-                    e.ssim_window = std::stoi(val);
-                } else if (key == "lag") {
-                    e.autocorr_max_lag = std::stoi(val);
-                } else if (key == "deadline_us") {
-                    e.deadline_us = std::stod(val);
-                } else if (key == "prio") {
-                    e.priority = std::stoi(val);
+            // Every recognized value parses full-consumption and is
+            // range-checked here, so a malformed trace fails at read time
+            // with a line number instead of feeding the service a config
+            // the kernels would choke on mid-replay.
+            if (key == "dims") {
+                std::size_t h = 0, w = 0, l = 0;
+                const auto a = val.find('x');
+                const auto b = val.find('x', a == std::string::npos ? a : a + 1);
+                if (a == std::string::npos || b == std::string::npos ||
+                    !parse_num(std::string_view(val).substr(0, a), h) ||
+                    !parse_num(std::string_view(val).substr(a + 1, b - a - 1), w) ||
+                    !parse_num(std::string_view(val).substr(b + 1), l) || h * w * l == 0) {
+                    parse_fail(line_no, "bad dims '" + val + "'");
                 }
-                // Unknown keys are ignored (forward compatibility).
-            } catch (const std::invalid_argument&) {
-                parse_fail(line_no, "bad value in '" + tok + "'");
-            } catch (const std::out_of_range&) {
-                parse_fail(line_no, "value out of range in '" + tok + "'");
+                e.dims = {h, w, l};
+            } else if (key == "seed") {
+                if (!parse_num(val, e.seed)) parse_fail(line_no, "bad value in '" + tok + "'");
+            } else if (key == "noise") {
+                if (!parse_num(val, e.noise) || e.noise < 0) {
+                    parse_fail(line_no, "noise must be a number >= 0, got '" + val + "'");
+                }
+            } else if (key == "p1" || key == "p2" || key == "p3") {
+                if (val != "0" && val != "1") {
+                    parse_fail(line_no, key + " must be 0 or 1, got '" + val + "'");
+                }
+                (key == "p1" ? e.pattern1 : key == "p2" ? e.pattern2 : e.pattern3) = val == "1";
+            } else if (key == "win") {
+                if (!parse_num(val, e.ssim_window) || e.ssim_window <= 0) {
+                    parse_fail(line_no, "win must be a positive integer, got '" + val + "'");
+                }
+            } else if (key == "lag") {
+                if (!parse_num(val, e.autocorr_max_lag) || e.autocorr_max_lag < 0) {
+                    parse_fail(line_no, "lag must be an integer >= 0, got '" + val + "'");
+                }
+            } else if (key == "deriv") {
+                if (!parse_num(val, e.deriv_orders) || e.deriv_orders < 1) {
+                    parse_fail(line_no, "deriv must be a positive integer, got '" + val + "'");
+                }
+            } else if (key == "bins") {
+                if (!parse_num(val, e.pdf_bins) || e.pdf_bins <= 0) {
+                    parse_fail(line_no, "bins must be a positive integer, got '" + val + "'");
+                }
+            } else if (key == "step") {
+                if (!parse_num(val, e.ssim_step) || e.ssim_step <= 0) {
+                    parse_fail(line_no, "step must be a positive integer, got '" + val + "'");
+                }
+            } else if (key == "deadline_us") {
+                if (!parse_num(val, e.deadline_us) || e.deadline_us < 0) {
+                    parse_fail(line_no, "deadline_us must be a number >= 0, got '" + val + "'");
+                }
+            } else if (key == "prio") {
+                if (!parse_num(val, e.priority)) {
+                    parse_fail(line_no, "prio must be an integer, got '" + val + "'");
+                }
             }
+            // Unknown keys are ignored (forward compatibility).
         }
         trace.push_back(e);
     }

@@ -26,6 +26,9 @@ struct TraceEntry {
     bool pattern3 = true;
     int ssim_window = 4;
     int autocorr_max_lag = 10;
+    int deriv_orders = 2;  ///< pattern-1 derivative orders (1 or 2)
+    int pdf_bins = 100;    ///< pattern-3 error-PDF bin count
+    int ssim_step = 1;     ///< SSIM window stride
     double deadline_us = 0;  ///< modeled device microseconds; 0 = none
     int priority = 0;
 

@@ -19,13 +19,18 @@ namespace cuzc::vgpu {
 template <class T>
 class DeviceBuffer {
 public:
-    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), mem_(n) {
+    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev) {
+        dev.fault_point_alloc(n * sizeof(T));
+        mem_.resize(n);
         dev.note_alloc(n * sizeof(T));
     }
 
-    DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev), mem_(host.begin(), host.end()) {
+    DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev) {
+        dev.fault_point_alloc(host.size_bytes());
+        mem_.assign(host.begin(), host.end());
         dev.note_alloc(host.size_bytes());
         dev.note_h2d(host.size_bytes());
+        maybe_corrupt(dev.fault_point_upload());
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return mem_.size(); }
@@ -37,6 +42,7 @@ public:
         assert(host.size() == mem_.size());
         std::copy(host.begin(), host.end(), mem_.begin());
         dev_->note_h2d(host.size_bytes());
+        maybe_corrupt(dev_->fault_point_upload());
     }
 
     void download(std::span<T> host) const {
@@ -58,6 +64,15 @@ public:
     [[nodiscard]] const T* raw() const noexcept { return mem_.data(); }
 
 private:
+    /// Injected upload corruption: flip one bit of one resident byte, the
+    /// position derived from the fault stream's hash (h == 0 means none).
+    void maybe_corrupt(std::uint64_t h) noexcept {
+        if (h == 0 || mem_.empty()) return;
+        auto* bytes = reinterpret_cast<unsigned char*>(mem_.data());
+        const std::uint64_t nbytes = mem_.size() * sizeof(T);
+        bytes[h % nbytes] ^= static_cast<unsigned char>(1u << ((h >> 32) % 8));
+    }
+
     Device* dev_;
     std::vector<T> mem_;
 };

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <cstdint>
+#include <string>
+#include <thread>
 
 #include "device_props.hpp"
 #include "exec_pool.hpp"
+#include "fault.hpp"
 #include "profiler.hpp"
 
 namespace cuzc::vgpu {
@@ -44,13 +49,83 @@ public:
         alloc_bytes_ = 0;
     }
 
+    /// Arm deterministic fault injection (see FaultPlan); resets the event
+    /// stream and the per-kind injection counts. Like the rest of Device,
+    /// not safe to call concurrently with operations on this device.
+    void set_fault_plan(const FaultPlan& plan) noexcept {
+        faults_ = plan;
+        fault_events_ = 0;
+        faults_injected_.fill(0);
+    }
+    [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return faults_; }
+
+    [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+        std::uint64_t total = 0;
+        for (const std::uint64_t n : faults_injected_) total += n;
+        return total;
+    }
+    [[nodiscard]] std::uint64_t faults_injected(FaultKind k) const noexcept {
+        return faults_injected_[static_cast<std::size_t>(k)];
+    }
+
+    /// Injection point for DeviceBuffer construction; throws a transient
+    /// FaultError when the plan draws an allocation failure.
+    void fault_point_alloc(std::uint64_t bytes) {
+        if (!faults_.enabled()) return;
+        if (draw_fault(FaultKind::kAllocFail, faults_.alloc_fail)) {
+            throw FaultError(FaultKind::kAllocFail, /*transient=*/true,
+                             "injected fault: device allocation of " + std::to_string(bytes) +
+                                 " bytes failed");
+        }
+    }
+
+    /// Injection point for uploads: returns a nonzero hash (to derive the
+    /// corrupted bit position from) when this upload should be corrupted.
+    [[nodiscard]] std::uint64_t fault_point_upload() noexcept {
+        if (!faults_.enabled()) return 0;
+        if (!draw_fault(FaultKind::kUploadCorrupt, faults_.upload_corrupt)) return 0;
+        const std::uint64_t h =
+            detail::fault_mix64(faults_.seed ^ (fault_events_ * 0x9e3779b97f4a7c15ull));
+        return h ? h : 1;
+    }
+
+    /// Injection point entered by `launch`/`coop_launch` before any block
+    /// runs: may stall (latency fault) and may throw a transient
+    /// FaultError (kernel fault).
+    void fault_point_kernel(const std::string& name) {
+        if (!faults_.enabled()) return;
+        if (draw_fault(FaultKind::kLatency, faults_.latency)) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                faults_.latency_ms));
+        }
+        if (draw_fault(FaultKind::kKernelThrow, faults_.kernel_throw)) {
+            throw FaultError(FaultKind::kKernelThrow, /*transient=*/true,
+                             "injected fault: kernel '" + name + "' aborted");
+        }
+    }
+
 private:
+    /// One decision of the seed-driven event stream; counts the injection
+    /// when it fires and respects the plan's total-injection cap.
+    [[nodiscard]] bool draw_fault(FaultKind kind, double rate) noexcept {
+        if (rate <= 0) return false;
+        const std::uint64_t ev = fault_events_++;
+        if (faults_.max_faults != 0 && faults_injected() >= faults_.max_faults) return false;
+        const std::uint64_t h = detail::fault_mix64(faults_.seed ^ (ev * 0x2545f4914f6cdd1dull));
+        if (detail::fault_to_unit(h) >= rate) return false;
+        ++faults_injected_[static_cast<std::size_t>(kind)];
+        return true;
+    }
+
     DeviceProps props_{};
     Profiler profiler_{};
     std::uint64_t h2d_bytes_ = 0;
     std::uint64_t d2h_bytes_ = 0;
     std::uint64_t alloc_count_ = 0;
     std::uint64_t alloc_bytes_ = 0;
+    FaultPlan faults_{};
+    std::uint64_t fault_events_ = 0;
+    std::array<std::uint64_t, kFaultKindCount> faults_injected_{};
     ExecutionPool pool_{props_.smem_per_block};
 };
 

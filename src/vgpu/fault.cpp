@@ -1,0 +1,86 @@
+#include "fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace cuzc::vgpu {
+
+std::string_view to_string(FaultKind k) noexcept {
+    switch (k) {
+        case FaultKind::kAllocFail: return "alloc-fail";
+        case FaultKind::kUploadCorrupt: return "upload-corrupt";
+        case FaultKind::kKernelThrow: return "kernel-throw";
+        case FaultKind::kLatency: return "latency";
+    }
+    return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void spec_fail(std::string_view spec, const std::string& what) {
+    throw std::runtime_error("fault spec '" + std::string(spec) + "': " + what);
+}
+
+template <class T>
+T parse_value(std::string_view spec, std::string_view key, std::string_view val) {
+    T v{};
+    const char* b = val.data();
+    const char* e = b + val.size();
+    const auto [p, ec] = std::from_chars(b, e, v);
+    if (ec != std::errc{} || p != e) {
+        spec_fail(spec, "bad value for '" + std::string(key) + "'");
+    }
+    return v;
+}
+
+double parse_rate(std::string_view spec, std::string_view key, std::string_view val) {
+    const double r = parse_value<double>(spec, key, val);
+    if (r < 0.0 || r > 1.0) spec_fail(spec, "'" + std::string(key) + "' must be in [0, 1]");
+    return r;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+    FaultPlan plan;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view tok = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+        if (tok.empty()) continue;
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string_view::npos) {
+            spec_fail(spec, "token '" + std::string(tok) + "' is not key=value");
+        }
+        const std::string_view key = tok.substr(0, eq);
+        const std::string_view val = tok.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = parse_value<std::uint64_t>(spec, key, val);
+        } else if (key == "alloc") {
+            plan.alloc_fail = parse_rate(spec, key, val);
+        } else if (key == "upload") {
+            plan.upload_corrupt = parse_rate(spec, key, val);
+        } else if (key == "kernel") {
+            plan.kernel_throw = parse_rate(spec, key, val);
+        } else if (key == "latency") {
+            plan.latency = parse_rate(spec, key, val);
+        } else if (key == "latency_ms") {
+            plan.latency_ms = parse_value<double>(spec, key, val);
+            if (plan.latency_ms < 0) spec_fail(spec, "'latency_ms' must be >= 0");
+        } else if (key == "max") {
+            plan.max_faults = parse_value<std::uint64_t>(spec, key, val);
+        } else {
+            spec_fail(spec, "unknown key '" + std::string(key) + "'");
+        }
+    }
+    return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+    const char* spec = std::getenv("CUZC_FAULTS");
+    if (spec == nullptr || *spec == '\0') return {};
+    return parse(spec);
+}
+
+}  // namespace cuzc::vgpu

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cuzc::vgpu {
+
+/// Fault classes the virtual device can inject (see FaultPlan). Real GPU
+/// serving stacks see all four: allocation failure under memory pressure,
+/// silent transfer corruption, kernels aborting (XID errors / ECC traps),
+/// and stalls from contention or thermal throttling.
+enum class FaultKind : std::uint8_t {
+    kAllocFail = 0,      ///< DeviceBuffer construction throws
+    kUploadCorrupt = 1,  ///< one bit of one uploaded element flips silently
+    kKernelThrow = 2,    ///< a kernel launch throws before any block runs
+    kLatency = 3,        ///< a kernel launch stalls before starting
+};
+inline constexpr std::size_t kFaultKindCount = 4;
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+/// Exception thrown at an injection point — and the type fault-aware
+/// callers (cuzc::serve workers) catch to classify a device failure.
+/// `transient()` faults model conditions a retry can clear (a failed
+/// allocation under pressure, a sporadic kernel abort); retry ladders must
+/// never retry non-transient ones.
+class FaultError : public std::runtime_error {
+public:
+    FaultError(FaultKind kind, bool transient, const std::string& what)
+        : std::runtime_error(what), kind_(kind), transient_(transient) {}
+
+    [[nodiscard]] FaultKind kind() const noexcept { return kind_; }
+    [[nodiscard]] bool transient() const noexcept { return transient_; }
+
+private:
+    FaultKind kind_;
+    bool transient_;
+};
+
+/// Deterministic, seed-driven fault injection plan for a vgpu::Device.
+///
+/// Every injection *decision* consumes one event from a counter-indexed
+/// splitmix64 stream, so a fixed sequence of device operations produces the
+/// same faults on every run and platform — failures found in a test or a
+/// trace replay are reproducible from the seed alone. `seed == 0` (the
+/// default) disables injection entirely; the hooks then cost one branch.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    double alloc_fail = 0;      ///< P(DeviceBuffer construction throws)
+    double upload_corrupt = 0;  ///< P(an upload flips one bit of one element)
+    double kernel_throw = 0;    ///< P(a launch throws before any block runs)
+    double latency = 0;         ///< P(a launch stalls latency_ms first)
+    double latency_ms = 1.0;    ///< injected stall length
+    /// Cap on total injections (all kinds); 0 = unlimited. Models a fault
+    /// burst that ends — what a circuit breaker needs to recover from.
+    std::uint64_t max_faults = 0;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return seed != 0 &&
+               (alloc_fail > 0 || upload_corrupt > 0 || kernel_throw > 0 || latency > 0);
+    }
+
+    /// Parse a spec like
+    ///   "seed=7,kernel=0.1,alloc=0.05,upload=0.01,latency=0.2,latency_ms=2,max=10"
+    /// (keys optional, any order). Throws std::runtime_error on unknown
+    /// keys, malformed numbers, or rates outside [0, 1].
+    [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+    /// Plan from the CUZC_FAULTS environment variable; unset or empty
+    /// yields a disabled plan.
+    [[nodiscard]] static FaultPlan from_env();
+};
+
+namespace detail {
+
+/// splitmix64 finalizer — self-contained so the fault stream never depends
+/// on another layer's hashing.
+[[nodiscard]] constexpr std::uint64_t fault_mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr double fault_to_unit(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace detail
+
+}  // namespace cuzc::vgpu

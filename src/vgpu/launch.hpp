@@ -83,6 +83,7 @@ inline void check_config(const Device& dev, const LaunchConfig& cfg) {
 template <class Body>
 KernelStats& launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
     detail::check_config(dev, cfg);
+    dev.fault_point_kernel(cfg.name);  // may stall or throw before any block runs
     KernelStats& stats = dev.profiler().begin_launch(cfg.name);
     stats.blocks = cfg.grid.volume();
     stats.threads_per_block = static_cast<std::uint32_t>(cfg.block.volume());
@@ -127,6 +128,7 @@ inline KernelStats& coop_launch(Device& dev, const LaunchConfig& cfg,
                                 const std::vector<CoopPhase>& phases) {
     detail::check_config(dev, cfg);
     assert(cfg.grid.y == 1 && cfg.grid.z == 1 && "cooperative grids are 1-D in this runtime");
+    dev.fault_point_kernel(cfg.name);  // may stall or throw before any block runs
     KernelStats& stats = dev.profiler().begin_launch(cfg.name);
     stats.blocks = cfg.grid.volume();
     stats.threads_per_block = static_cast<std::uint32_t>(cfg.block.volume());

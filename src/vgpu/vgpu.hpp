@@ -10,6 +10,7 @@
 #include "device.hpp"      // IWYU pragma: export
 #include "dim3.hpp"        // IWYU pragma: export
 #include "exec_pool.hpp"   // IWYU pragma: export
+#include "fault.hpp"       // IWYU pragma: export
 #include "launch.hpp"      // IWYU pragma: export
 #include "occupancy.hpp"   // IWYU pragma: export
 #include "profiler.hpp"    // IWYU pragma: export

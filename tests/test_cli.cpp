@@ -161,6 +161,45 @@ TEST_F(CliFixture, ParserHandlesServeAndThreads) {
     EXPECT_EQ(opt->threads, 2u);
 }
 
+TEST_F(CliFixture, ParserHandlesFaultAndTimeoutFlags) {
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--timeout=-1"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--timeout=abc"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--faults=bogus=1"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--faults=seed=7,kernel=2.0"}));
+    // Serve-only flags are rejected on the assess command line.
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--timeout=1"}));
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--faults=seed=1,kernel=0.1"}));
+    const auto opt =
+        parse({"serve", "--replay=t.trace", "--timeout=0.25", "--faults=seed=9,kernel=0.5,max=4"});
+    ASSERT_TRUE(opt);
+    EXPECT_DOUBLE_EQ(opt->request_timeout_s, 0.25);
+    EXPECT_TRUE(opt->faults_from_flag);
+    EXPECT_EQ(opt->faults.seed, 9u);
+    EXPECT_DOUBLE_EQ(opt->faults.kernel_throw, 0.5);
+    EXPECT_EQ(opt->faults.max_faults, 4u);
+}
+
+TEST_F(CliFixture, ServeReplayWithInjectedFaultsStillCompletes) {
+    const auto trace_path = dir / "faults.trace";
+    {
+        std::ofstream t(trace_path);
+        t << "# cuzc-trace-v1\n";
+        for (int i = 0; i < 8; ++i) {
+            t << "req dims=8x8x8 seed=" << (100 + i) << " noise=0.01\n";
+        }
+    }
+    std::string out;
+    // Every launch aborts and retries are exhausted fast: all requests come
+    // back rejected, none hang, and the replay still exits 0 with telemetry.
+    const int rc = run({"serve", "--replay=" + trace_path.string(),
+                        "--faults=seed=3,kernel=1.0", "--timeout=30"},
+                       &out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("\"rejected\": 8"), std::string::npos);
+    EXPECT_NE(out.find("\"faults_injected\""), std::string::npos);
+    EXPECT_NE(out.find("\"breaker_opens\""), std::string::npos);
+}
+
 TEST_F(CliFixture, ThreadsFlagOverridesEnv) {
     namespace vgpu = ::cuzc::vgpu;
     // Env alone: the scheduler resolves CUZC_VGPU_THREADS.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "cuzc/cuzc.hpp"
@@ -58,6 +59,7 @@ std::string usage() {
            "            [--devices=N] [--threads=N] [--profile]\n"
            "       cuzc serve --replay=TRACE [--devices=N] [--cache=N] [--batch=N]\n"
            "            [--no-coalesce] [--threads=N] [--out=report.json]\n"
+           "            [--timeout=SECONDS] [--faults=SPEC]\n"
            "\n"
            "Assess the quality of lossy-compressed scientific data with the\n"
            "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n"
@@ -124,6 +126,22 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
             }
         } else if (std::strcmp(a, "--no-coalesce") == 0) {
             opt.coalesce = false;
+        } else if (const char* v13 = value_of(a, "--timeout=")) {
+            const std::string_view sv(v13);
+            const auto [p, ec] =
+                std::from_chars(sv.data(), sv.data() + sv.size(), opt.request_timeout_s);
+            if (ec != std::errc{} || p != sv.data() + sv.size() || opt.request_timeout_s < 0) {
+                err << "cuzc: --timeout must be a number of seconds >= 0\n";
+                return std::nullopt;
+            }
+        } else if (const char* v14 = value_of(a, "--faults=")) {
+            try {
+                opt.faults = vgpu::FaultPlan::parse(v14);
+                opt.faults_from_flag = true;
+            } catch (const std::exception& e) {
+                err << "cuzc: " << e.what() << "\n";
+                return std::nullopt;
+            }
         } else {
             err << "cuzc: unknown argument '" << a << "'\n";
             return std::nullopt;
@@ -138,6 +156,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
     }
     if (!opt.replay_path.empty()) {
         err << "cuzc: --replay is only valid with the serve subcommand\n";
+        return std::nullopt;
+    }
+    if (opt.faults_from_flag || opt.request_timeout_s > 0) {
+        err << "cuzc: --faults/--timeout are only valid with the serve subcommand\n";
         return std::nullopt;
     }
     if (opt.orig_path.empty() || (opt.dec_path.empty() == opt.sz_stream_path.empty())) {
@@ -173,6 +195,9 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     scfg.cache_capacity = opt.cache_capacity;
     scfg.max_batch = opt.max_batch;
     scfg.coalesce = opt.coalesce;
+    scfg.request_timeout_s = opt.request_timeout_s;
+    // Fault injection: explicit --faults wins, otherwise CUZC_FAULTS.
+    scfg.faults = opt.faults_from_flag ? opt.faults : vgpu::FaultPlan::from_env();
     serve::AssessService service(scfg);
 
     std::vector<std::future<serve::AssessResponse>> futures;
@@ -181,12 +206,13 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     for (const auto& entry : trace) {
         futures.push_back(service.submit(serve::to_request(entry)));
     }
-    std::size_t degraded = 0, rejected = 0, hits = 0;
+    std::size_t degraded = 0, rejected = 0, hits = 0, timed_out = 0;
     for (auto& f : futures) {
         const serve::AssessResponse resp = f.get();
         degraded += resp.degraded;
         rejected += resp.rejected;
         hits += resp.cache_hit;
+        timed_out += resp.timed_out;
     }
     const double wall_s = watch.seconds();
     const serve::ServiceTelemetry tele = service.telemetry();
@@ -207,6 +233,7 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
           << "  \"requests\": " << trace.size() << ",\n"
           << "  \"degraded\": " << degraded << ",\n"
           << "  \"rejected\": " << rejected << ",\n"
+          << "  \"timed_out\": " << timed_out << ",\n"
           << "  \"cache_hits\": " << hits << ",\n"
           << "  \"wall_seconds\": " << wall_s << ",\n"
           << "  \"telemetry\": ";

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "vgpu/fault.hpp"
 #include "zc/metrics_config.hpp"
 #include "zc/tensor.hpp"
 
@@ -32,6 +33,12 @@ struct CliOptions {
     std::size_t cache_capacity = 128;
     std::size_t max_batch = 16;
     bool coalesce = true;
+    /// Per-request wall-clock ceiling in seconds (--timeout=); 0 = none.
+    double request_timeout_s = 0;
+    /// Fault plan from --faults=SPEC. When the flag is absent, run_serve
+    /// falls back to the CUZC_FAULTS environment variable (flag > env).
+    vgpu::FaultPlan faults{};
+    bool faults_from_flag = false;
 };
 
 /// Parse argv. Returns std::nullopt plus a message on `err` for invalid
@@ -49,6 +56,11 @@ struct CliOptions {
 /// Subcommand `cuzc serve --replay=TRACE` replays a workload trace through
 /// the in-process assessment service; extra flags:
 ///   --devices=N --cache=N --batch=N --no-coalesce --out=PATH
+///   --timeout=SECONDS              per-request wall-clock ceiling
+///   --faults=SPEC                  deterministic fault injection, e.g.
+///                                  "seed=7,kernel=0.1,alloc=0.05" (see
+///                                  vgpu::FaultPlan::parse; overrides the
+///                                  CUZC_FAULTS environment variable)
 [[nodiscard]] std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
                                                   std::ostream& err);
 
