@@ -1,52 +1,239 @@
-// Multi-GPU strong scaling — the paper's future-work extension, evaluated:
-// the full assessment (all metrics) decomposed across K modeled V100s, with
-// NVLink-modeled allreduce overhead. Reports modeled time, speedup over one
-// device, and parallel efficiency per dataset.
+// Multi-GPU strong scaling — the paper's future-work extension, evaluated
+// two ways side by side:
+//
+//  * modeled: the full assessment (all metrics) decomposed across K modeled
+//    V100s with NVLink-modeled allreduce overhead. The allreduce charge is
+//    per collective and per tree hop: `collectives * ceil(log2 K) *
+//    latency`, where the collective count follows the enabled patterns
+//    (pattern 1 allreduces ranges mid-flight and merges moments/histograms
+//    at the end; patterns 2 and 3 each merge once; a pattern-2-only run
+//    pays one extra moments exchange).
+//  * measured: the same K-slab decomposition executed for real, once
+//    sequentially (device by device on the caller thread) and once with one
+//    worker thread per device, and the two runs cross-checked for exact
+//    result equality. The block scheduler is pinned to one worker for the
+//    timed region so each device is a single serial lane in both modes and
+//    the parallel column isolates the per-device jthread overlap.
+//
+// Also runs a slab-slicing micro-benchmark (slice_z / slice_y throughput,
+// with the copies verified byte-for-byte against a strided reference) and a
+// sharded-serve comparison: the same request replay against a one-device
+// AssessService and a four-device service with a tiny shard threshold, each
+// response checked against direct `assess` and the telemetry reconciled.
+//
+// Usage: bench_multigpu_scaling [--scale=N] [--check]
+//
+// --check enforces the parallel-speedup gate at K=4 (threshold scaled by
+// std::thread::hardware_concurrency(); skipped on single-core hosts). The
+// equality, slicing, and serve gates are always enforced.
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "harness.hpp"
+#include "serve/serve.hpp"
 
 namespace {
 
-/// NVLink2 aggregate bandwidth per V100 and a per-collective latency.
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace czc = ::cuzc::cuzc;
+namespace serve = ::cuzc::serve;
+using namespace ::cuzc::bench;
+
+/// NVLink2 aggregate bandwidth per V100 and a per-collective tree-hop
+/// latency.
 constexpr double kNvlinkBw = 150.0e9;
 constexpr double kAllreduceLatency = 20.0e-6;
+
+double now_seconds() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Host-side collectives one assessment performs across K devices (see the
+/// header comment; mirrors the merge points in assess_multigpu).
+int collectives(const zc::MetricsConfig& cfg) {
+    int n = 0;
+    if (cfg.pattern1) n += 2;  // range allreduce + final moments/histogram
+    if (cfg.pattern2) n += 1;  // raw accumulator totals
+    if (cfg.pattern3) n += 1;  // SSIM sums + window counts
+    if (cfg.pattern2 && !cfg.pattern1) n += 1;  // moments exchange for variance
+    return n;
+}
+
+/// Tree hops of a K-way allreduce (0 for a single device).
+double allreduce_hops(std::size_t k) {
+    return k > 1 ? std::ceil(std::log2(static_cast<double>(k))) : 0.0;
+}
+
+bool close(double a, double b, double tol) {
+    if (a == b) return true;  // covers exact mode (tol == 0) and infinities
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= tol * scale;
+}
+
+/// Compare two assessment reports field by field. tol == 0 demands exact
+/// (bit-identical) equality; a positive tol allows relative drift (the
+/// sharded serve path merges slab sums in a different order than a single
+/// device, so it agrees to ulps, not bits).
+bool reports_match(const zc::AssessmentReport& a, const zc::AssessmentReport& b, double tol) {
+    const auto& ra = a.reduction;
+    const auto& rb = b.reduction;
+    if (!close(ra.mse, rb.mse, tol) || !close(ra.psnr_db, rb.psnr_db, tol) ||
+        !close(ra.entropy, rb.entropy, tol) || !close(ra.pearson_r, rb.pearson_r, tol) ||
+        !close(ra.max_abs_err, rb.max_abs_err, tol)) {
+        return false;
+    }
+    if (ra.err_pdf.size() != rb.err_pdf.size()) return false;
+    for (std::size_t i = 0; i < ra.err_pdf.size(); ++i) {
+        if (!close(ra.err_pdf[i], rb.err_pdf[i], tol)) return false;
+    }
+    const auto& sa = a.stencil;
+    const auto& sb = b.stencil;
+    if (!close(sa.deriv1_mse, sb.deriv1_mse, tol) || !close(sa.deriv2_mse, sb.deriv2_mse, tol) ||
+        !close(sa.deriv1_avg_orig, sb.deriv1_avg_orig, tol) ||
+        !close(sa.laplacian_avg_dec, sb.laplacian_avg_dec, tol)) {
+        return false;
+    }
+    if (sa.autocorr.size() != sb.autocorr.size()) return false;
+    for (std::size_t i = 0; i < sa.autocorr.size(); ++i) {
+        if (!close(sa.autocorr[i], sb.autocorr[i], tol)) return false;
+    }
+    return a.ssim.windows == b.ssim.windows && close(a.ssim.ssim, b.ssim.ssim, tol);
+}
+
+/// Strided reference extraction of a z-slab / y-slab, for validating the
+/// memcpy fast paths in slice_z / slice_y element by element.
+zc::Field reference_slice(const zc::Tensor3f& f, std::size_t z0, std::size_t z1, std::size_t y0,
+                          std::size_t y1) {
+    const zc::Dims3 d = f.dims();
+    zc::Field out(zc::Dims3{d.h, y1 - y0, z1 - z0});
+    auto dst = out.data();
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < d.h; ++x) {
+        for (std::size_t y = y0; y < y1; ++y) {
+            for (std::size_t z = z0; z < z1; ++z) {
+                dst[i++] = f(x, y, z);
+            }
+        }
+    }
+    return out;
+}
+
+int run_slicing_micro(const PreparedDataset& ds) {
+    const zc::Dims3 d = ds.run_dims;
+    const std::size_t z0 = d.l / 4, z1 = d.l - d.l / 4;
+    const std::size_t y0 = d.w / 4, y1 = d.w - d.w / 4;
+    if (z1 <= z0 || y1 <= y0) return 0;  // dataset too small at this scale
+
+    constexpr int kReps = 32;
+    double z_best = 1e300, y_best = 1e300;
+    zc::Field sz_out(zc::Dims3{1, 1, 1}), sy_out(zc::Dims3{1, 1, 1});
+    for (int r = 0; r < kReps; ++r) {
+        double t0 = now_seconds();
+        sz_out = czc::slice_z(ds.orig.view(), z0, z1);
+        z_best = std::min(z_best, now_seconds() - t0);
+        t0 = now_seconds();
+        sy_out = czc::slice_y(ds.orig.view(), y0, y1);
+        y_best = std::min(y_best, now_seconds() - t0);
+    }
+
+    // Correctness gate: the memcpy runs must reproduce the strided walk
+    // byte for byte.
+    const zc::Field z_ref = reference_slice(ds.orig.view(), z0, z1, 0, d.w);
+    const zc::Field y_ref = reference_slice(ds.orig.view(), 0, d.l, y0, y1);
+    if (sz_out.data().size() != z_ref.data().size() ||
+        std::memcmp(sz_out.data().data(), z_ref.data().data(),
+                    z_ref.data().size() * sizeof(float)) != 0) {
+        std::fprintf(stderr, "bench_multigpu_scaling: slice_z diverges from strided reference\n");
+        return 1;
+    }
+    if (sy_out.data().size() != y_ref.data().size() ||
+        std::memcmp(sy_out.data().data(), y_ref.data().data(),
+                    y_ref.data().size() * sizeof(float)) != 0) {
+        std::fprintf(stderr, "bench_multigpu_scaling: slice_y diverges from strided reference\n");
+        return 1;
+    }
+
+    const double z_bytes = static_cast<double>(z_ref.data().size()) * sizeof(float);
+    const double y_bytes = static_cast<double>(y_ref.data().size()) * sizeof(float);
+    std::printf("slice_z  %s  (%zu rows x %zu floats, memcmp ok)\n",
+                fmt_rate(z_bytes / z_best).c_str(), d.h * d.w, z1 - z0);
+    std::printf("slice_y  %s  (%zu planes x %zu floats, memcmp ok)\n\n",
+                fmt_rate(y_bytes / y_best).c_str(), d.h, (y1 - y0) * d.l);
+    return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    namespace zc = ::cuzc::zc;
-    namespace vgpu = ::cuzc::vgpu;
-    namespace czc = ::cuzc::cuzc;
-    using namespace ::cuzc::bench;
-
     const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) check = true;
+    }
     const auto mcfg = paper_metrics();
     const vgpu::GpuCostModel gpu(vgpu::DeviceProps::v100(), vgpu::GpuCostParams{});
+    const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
 
     std::printf("=== Multi-GPU strong scaling (paper SVI future work) ===\n");
     std::printf("all metrics enabled; kernel profiles measured at 1/%u scale and\n", cfg.scale);
-    std::printf("extrapolated to paper dims; allreduce modeled at %.0f GB/s NVLink\n\n",
+    std::printf("extrapolated to paper dims; allreduce modeled at %.0f GB/s NVLink,\n",
                 kNvlinkBw / 1e9);
+    std::printf("%d collectives x ceil(log2 K) hops x %.0f us; wall columns measured\n",
+                collectives(mcfg), kAllreduceLatency * 1e6);
+    std::printf("on this host (%u hardware threads, 1 scheduler lane per device)\n\n", hc);
 
-    for (const auto& ds : prepare_datasets(cfg)) {
+    const auto datasets = prepare_datasets(cfg);
+    double par4_best_speedup = 0;
+    for (const auto& ds : datasets) {
         std::printf("--- %s (%zux%zux%zu) ---\n", ds.name.c_str(), ds.full_dims.h,
                     ds.full_dims.w, ds.full_dims.l);
-        std::printf("%8s %14s %10s %12s\n", "devices", "modeled time", "speedup", "efficiency");
+        std::printf("%8s %14s %10s %12s %12s %12s %10s\n", "devices", "modeled time", "speedup",
+                    "efficiency", "seq wall", "par wall", "par gain");
         double t1 = 0;
         const double vol_ratio = static_cast<double>(ds.full_dims.volume()) /
                                  static_cast<double>(ds.run_dims.volume());
         for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                                     std::size_t{8}}) {
-            std::vector<vgpu::Device> devices(k);
-            const auto mg =
-                czc::assess_multigpu(devices, ds.orig.view(), ds.dec.view(), mcfg);
-            // Devices run concurrently: wall time = slowest device. Scale
-            // each device's counters to full dims by volume ratio (slab
-            // geometry is preserved under the dataset scaling).
+            std::vector<vgpu::Device> seq_devices(k);
+            std::vector<vgpu::Device> par_devices(k);
+
+            // Pin the block scheduler to one worker so a device's kernels
+            // occupy exactly one lane in both modes — the parallel column
+            // then measures the cross-device overlap, nothing else.
+            vgpu::BlockScheduler::instance().set_num_threads(1);
+            double t0 = now_seconds();
+            const auto mg = czc::assess_multigpu(seq_devices, ds.orig.view(), ds.dec.view(),
+                                                 mcfg, czc::MultiGpuOptions{.parallel = false});
+            const double seq_wall = now_seconds() - t0;
+            t0 = now_seconds();
+            const auto mg_par = czc::assess_multigpu(par_devices, ds.orig.view(), ds.dec.view(),
+                                                     mcfg, czc::MultiGpuOptions{.parallel = true});
+            const double par_wall = now_seconds() - t0;
+            vgpu::BlockScheduler::instance().set_num_threads(0);  // restore default
+
+            // Equality gate: the threaded pipeline must be bit-identical to
+            // the sequential one — same slabs, same device-order merges.
+            if (!reports_match(mg.report, mg_par.report, 0.0) ||
+                mg.exchange_bytes != mg_par.exchange_bytes) {
+                std::fprintf(stderr,
+                             "bench_multigpu_scaling: parallel result diverges from "
+                             "sequential at K=%zu on %s\n",
+                             k, ds.name.c_str());
+                return 1;
+            }
+
+            // Devices run concurrently: modeled wall time = slowest device.
+            // Scale each device's counters to full dims by volume ratio
+            // (slab geometry is preserved under the dataset scaling).
             double slowest = 0;
             for (std::size_t d = 0; d < k; ++d) {
                 vgpu::KernelStats s = mg.per_device[d];
@@ -66,17 +253,125 @@ int main(int argc, char** argv) {
                     static_cast<double>(s.blocks) * vol_ratio);
                 slowest = std::max(slowest, gpu.kernel_time(s).total_s);
             }
-            const double comm = static_cast<double>(mg.exchange_bytes) / kNvlinkBw +
-                                3.0 * kAllreduceLatency * static_cast<double>(k > 1 ? 1 : 0);
+            const double comm =
+                static_cast<double>(mg.exchange_bytes) / kNvlinkBw +
+                static_cast<double>(collectives(mcfg)) * allreduce_hops(k) * kAllreduceLatency;
             const double total = slowest + comm;
             if (k == 1) t1 = total;
-            std::printf("%8zu %14s %9.2fx %11.1f%%\n", k, fmt_time(total).c_str(), t1 / total,
-                        100.0 * t1 / total / static_cast<double>(k));
+            const double par_gain = par_wall > 0 ? seq_wall / par_wall : 0;
+            if (k == 4) par4_best_speedup = std::max(par4_best_speedup, par_gain);
+            std::printf("%8zu %14s %9.2fx %11.1f%% %12s %12s %9.2fx\n", k,
+                        fmt_time(total).c_str(), t1 / total,
+                        100.0 * t1 / total / static_cast<double>(k),
+                        fmt_time(seq_wall).c_str(), fmt_time(par_wall).c_str(), par_gain);
         }
         std::printf("\n");
     }
-    std::printf("Halo re-reads and the fixed allreduce cost bound the efficiency; the\n"
+
+    std::printf("=== Slab slicing micro-benchmark ===\n");
+    if (!datasets.empty() && run_slicing_micro(datasets.front()) != 0) return 1;
+
+    // --- Sharded serve comparison -------------------------------------
+    // The same replay (each dataset once, no deadline) against a one-device
+    // service and a four-device service whose shard threshold makes every
+    // request fan out. Requests submit-then-resolve sequentially so the
+    // sharded service always finds its peers idle.
+    std::printf("=== Sharded serve (1 device vs 4 devices, threshold ~0) ===\n");
+    std::vector<zc::AssessmentReport> direct;
+    {
+        vgpu::Device dev;
+        for (const auto& ds : datasets) {
+            direct.push_back(czc::assess(dev, ds.orig.view(), ds.dec.view(), mcfg).report);
+        }
+    }
+    double single_s = 0, sharded_s = 0;
+    std::uint64_t sharded_devices_seen = 0;
+    for (const bool sharded : {false, true}) {
+        serve::ServiceConfig scfg;
+        scfg.devices = sharded ? 4 : 1;
+        scfg.shard_threshold_s = sharded ? 1e-12 : 0.0;
+        serve::AssessService service(scfg);
+        const double t0 = now_seconds();
+        for (std::size_t i = 0; i < datasets.size(); ++i) {
+            serve::AssessRequest req;
+            req.orig = datasets[i].orig;
+            req.dec = datasets[i].dec;
+            req.cfg = mcfg;
+            const serve::AssessResponse resp = service.submit(std::move(req)).get();
+            if (resp.rejected || resp.degraded) {
+                std::fprintf(stderr, "bench_multigpu_scaling: serve request %zu %s: %s\n", i,
+                             resp.rejected ? "rejected" : "degraded", resp.error.c_str());
+                return 1;
+            }
+            // Equality gate: 1e-9 relative — the sharded path merges slab
+            // sums in device order, which differs from the single-device
+            // summation order by ulps.
+            if (!reports_match(resp.result.report, direct[i], sharded ? 1e-9 : 0.0)) {
+                std::fprintf(stderr,
+                             "bench_multigpu_scaling: %s serve response %zu diverges "
+                             "from direct assess\n",
+                             sharded ? "sharded" : "single-device", i);
+                return 1;
+            }
+            if (sharded && resp.shards < 2) {
+                std::fprintf(stderr,
+                             "bench_multigpu_scaling: request %zu did not shard "
+                             "(shards=%u) despite idle peers\n",
+                             i, resp.shards);
+                return 1;
+            }
+            if (sharded) sharded_devices_seen += resp.shards;
+        }
+        const double elapsed = now_seconds() - t0;
+        (sharded ? sharded_s : single_s) = elapsed;
+
+        const serve::ServiceTelemetry tele = service.telemetry();
+        // Reconciliation gate: every future resolved, so the counters must
+        // balance exactly, and the shard counters must agree with the
+        // per-response view.
+        if (tele.queued != tele.served + tele.rejected + tele.queue_depth + tele.inflight ||
+            tele.served != tele.cache_hits + tele.cache_misses ||
+            tele.latency.count != tele.served + tele.rejected ||
+            tele.shards != (sharded ? sharded_devices_seen : 0)) {
+            std::fprintf(stderr, "bench_multigpu_scaling: %s serve telemetry does not reconcile\n",
+                         sharded ? "sharded" : "single-device");
+            return 1;
+        }
+        std::printf("%-13s %10s  (served=%llu shards=%llu exchange=%llu B retries=%llu)\n",
+                    sharded ? "4dev sharded" : "1dev single", fmt_time(elapsed).c_str(),
+                    static_cast<unsigned long long>(tele.served),
+                    static_cast<unsigned long long>(tele.shards),
+                    static_cast<unsigned long long>(tele.exchange_bytes),
+                    static_cast<unsigned long long>(tele.shard_retries));
+    }
+    std::printf("sharded speedup: %.2fx over single device\n\n",
+                sharded_s > 0 ? single_s / sharded_s : 0.0);
+
+    std::printf("Halo re-reads and the log-depth allreduce bound the efficiency; the\n"
                 "paper's single-GPU optimizations (fusion, FIFO reuse) carry over to every\n"
                 "slab unchanged.\n");
+
+    if (check) {
+        // Speedup gate, scaled to the host: the emulator's devices are CPU
+        // threads, so K-device overlap cannot beat the core count.
+        double need = 0;
+        if (hc >= 4) {
+            need = 2.0;
+        } else if (hc >= 2) {
+            need = 1.3;
+        }
+        if (need == 0) {
+            std::printf("--check: single hardware thread, parallel speedup gate skipped\n");
+        } else if (par4_best_speedup < need) {
+            std::fprintf(stderr,
+                         "bench_multigpu_scaling: --check failed: best K=4 parallel speedup "
+                         "%.2fx < required %.2fx (%u hardware threads)\n",
+                         par4_best_speedup, need, hc);
+            return 1;
+        } else {
+            std::printf("--check: K=4 parallel speedup %.2fx >= %.2fx gate (ok)\n",
+                        par4_best_speedup, need);
+        }
+    }
     return 0;
 }

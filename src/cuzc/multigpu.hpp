@@ -27,21 +27,68 @@ namespace cuzc::cuzc {
 ///  * pattern 3 splits the y-window rows across devices (window rows are
 ///    independent), each device receiving the y-slab its windows cover;
 ///    local SSIM sums and window counts merge by addition.
+///
+/// Execution: each device's slab pipeline (slice -> upload -> kernels) runs
+/// on its own std::jthread when `MultiGpuOptions::parallel` is set. Patterns
+/// 1 and 2 share one halo'd resident slab per device (uploaded once);
+/// pattern 1's reduction and histogram passes bracket a single cross-device
+/// barrier where the global min/max ranges are allreduced. All merges
+/// happen in ascending device order on one thread, so results and per-device
+/// profiles are bit-identical to the sequential path (the block scheduler's
+/// partition is worker-count invariant).
 struct MultiGpuResult {
     zc::AssessmentReport report;
     /// Aggregated kernel profile of each device (index = device).
     std::vector<vgpu::KernelStats> per_device;
+    /// Per-pattern kernel profiles aggregated across devices (the serve
+    /// layer records these in its per-request spans).
+    vgpu::KernelStats pattern1, pattern2, pattern3;
     /// Host<->device bytes moved for partial exchange (the allreduce
     /// traffic; slab distribution is counted by each device's h2d counter).
     std::uint64_t exchange_bytes = 0;
+    /// Slab-stage retries performed after transient injected faults.
+    std::uint64_t slab_retries = 0;
 };
+
+struct MultiGpuOptions {
+    /// Run one worker thread per device; false executes the identical
+    /// pipeline on the caller thread, device by device (same results).
+    bool parallel = true;
+    /// Per-slab-stage retries allowed on a transient vgpu::FaultError
+    /// before the whole assessment fails. A retry re-runs only the failed
+    /// device's stage (re-slice + re-upload for the upload stage; kernels
+    /// are stateless and simply rerun).
+    std::size_t max_slab_retries = 0;
+    /// Base backoff between slab retry attempts (doubles per attempt).
+    double retry_backoff_s = 100e-6;
+};
+
+[[nodiscard]] MultiGpuResult assess_multigpu(std::span<vgpu::Device* const> devices,
+                                             const zc::Tensor3f& orig, const zc::Tensor3f& dec,
+                                             const zc::MetricsConfig& cfg,
+                                             const MultiGpuOptions& opt = {});
 
 [[nodiscard]] MultiGpuResult assess_multigpu(std::span<vgpu::Device> devices,
                                              const zc::Tensor3f& orig, const zc::Tensor3f& dec,
-                                             const zc::MetricsConfig& cfg);
+                                             const zc::MetricsConfig& cfg,
+                                             const MultiGpuOptions& opt = {});
 
 /// z-slab boundaries for splitting `extent` across `parts` devices:
 /// device d owns [bounds[d], bounds[d+1]).
 [[nodiscard]] std::vector<std::size_t> slab_bounds(std::size_t extent, std::size_t parts);
+
+/// Merge pattern-2 raw accumulator totals: per order, slot indices 1 and 3
+/// are maxima; everything else merges by sum (mirrors the kernel's slot
+/// operators). Throws std::invalid_argument if the slabs disagree on the
+/// totals layout — a silent min-size merge would drop trailing lags.
+void merge_pattern2_totals(std::vector<double>& into, const std::vector<double>& from);
+
+/// Copy a z-slab [z0, z1) of a field (z is the contiguous axis, so each
+/// (x, y) row contributes one contiguous memcpy run).
+[[nodiscard]] zc::Field slice_z(const zc::Tensor3f& f, std::size_t z0, std::size_t z1);
+
+/// Copy a y-slab [y0, y1) of a field (for fixed x, the (y, z) plane rows
+/// are one contiguous run).
+[[nodiscard]] zc::Field slice_y(const zc::Tensor3f& f, std::size_t y0, std::size_t y1);
 
 }  // namespace cuzc::cuzc

@@ -94,17 +94,20 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
                                      const zc::MetricsConfig& cfg, const Pattern1Options& opt) {
     Pattern1Result result;
     const std::size_t h = dims.h, w = dims.w, l = dims.l;
-    const std::size_t n = dims.volume();
+    const std::size_t z_lo = std::min(opt.z_begin, l);
+    const std::size_t z_hi = std::min(opt.z_end, l);
+    const std::size_t zn = z_hi > z_lo ? z_hi - z_lo : 0;
+    const std::size_t n = h * w * zn;
     if (n == 0) return result;
     const int bins = std::max(1, cfg.pdf_bins);
     const double pwr_eps = cfg.pwr_eps;
 
-    vgpu::DeviceBuffer<double> d_part(dev, l * kNumSlots);
+    vgpu::DeviceBuffer<double> d_part(dev, zn * kNumSlots);
     vgpu::DeviceBuffer<double> d_final(dev, kNumSlots);
     vgpu::DeviceBuffer<double> d_hist(dev, static_cast<std::size_t>(bins) * 3);
     d_hist.fill(0.0);
 
-    const vgpu::LaunchConfig cfg1{"cuzc/pattern1", vgpu::Dim3{static_cast<std::uint32_t>(l), 1, 1},
+    const vgpu::LaunchConfig cfg1{"cuzc/pattern1", vgpu::Dim3{static_cast<std::uint32_t>(zn), 1, 1},
                                   vgpu::Dim3{32, 8, 1}};
 
     // Phase 1 (Alg. 1 ln. 4-16): per-slice fused reductions.
@@ -117,6 +120,7 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
         });
         const std::size_t bidx = blk.block_idx().x;
+        const std::size_t zidx = z_lo + bidx;
         // The block reads each of the slice's h*w elements of both inputs
         // exactly once (strided by l); charge each span as one footprint.
         const float* po = dorig.ld_footprint(h * w);
@@ -125,7 +129,7 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             std::uint64_t iters = 0;
             for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
                 for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
-                    const std::size_t idx = (i * w + j) * l + bidx;
+                    const std::size_t idx = (i * w + j) * l + zidx;
                     const double x = po[idx];
                     const double y = pd[idx];
                     const double e = y - x;
@@ -170,11 +174,11 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
         auto acc = blk.make_regs<double>(kNumSlots);
         // Block 0 consumes the whole partial array; one bulk load charges
         // the same bytes as the per-slot loads.
-        const double* pp = dpart.ld_bulk(0, l * kNumSlots);
+        const double* pp = dpart.ld_bulk(0, zn * kNumSlots);
         blk.for_each_thread([&](ThreadCtx& t) {
             for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
             std::uint64_t iters = 0;
-            for (std::size_t b = t.linear; b < l; b += blk.num_threads()) {
+            for (std::size_t b = t.linear; b < zn; b += blk.num_threads()) {
                 for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
                     acc(t, slot) = combine(slot, acc(t, slot), pp[b * kNumSlots + slot]);
                 }
@@ -217,7 +221,7 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
         const double max_pwr = fixed ? opt.fixed_ranges->max_pwr : dfinal.ld(kMaxPwr);
         const double min_val = fixed ? opt.fixed_ranges->min_val : dfinal.ld(kMinVal);
         const double max_val = fixed ? opt.fixed_ranges->max_val : dfinal.ld(kMaxVal);
-        const std::size_t bidx = blk.block_idx().x;
+        const std::size_t zidx = z_lo + blk.block_idx().x;
         // Same slice-footprint charging as the reduction phase.
         const float* po = dorig.ld_footprint(h * w);
         const float* pd = ddec.ld_footprint(h * w);
@@ -225,7 +229,7 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             std::uint64_t iters = 0;
             for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
                 for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
-                    const std::size_t idx = (i * w + j) * l + bidx;
+                    const std::size_t idx = (i * w + j) * l + zidx;
                     const double x = po[idx];
                     const double y = pd[idx];
                     const double e = y - x;

@@ -24,6 +24,12 @@ struct Pattern1Options {
     /// When set, the histogram phase bins against these ranges instead of
     /// this launch's own phase-2 results.
     const Pattern1Ranges* fixed_ranges = nullptr;
+    /// Restrict the launch to z-slices [z_begin, min(z_end, dims.l)). The
+    /// multi-GPU path keeps one halo'd slab resident per device and points
+    /// pattern 1 at the slab's centre z-range so the same upload feeds
+    /// patterns 1 and 2. Defaults cover the whole volume.
+    std::size_t z_begin = 0;
+    std::size_t z_end = static_cast<std::size_t>(-1);
 };
 
 /// Result of the fused pattern-1 kernel plus the profile of its single

@@ -49,6 +49,16 @@ struct AssessResponse {
     std::uint32_t retries = 0;
     /// Faults the worker's device injected while serving this request.
     std::uint64_t faults = 0;
+    /// Devices this request's kernels ran on: 1 for the normal path (and
+    /// for cache hits), > 1 when the service sharded the request across
+    /// idle devices via the parallel multi-GPU path.
+    std::uint32_t shards = 1;
+    /// Modeled allreduce traffic of the sharded execution (0 unsharded).
+    std::uint64_t exchange_bytes = 0;
+    /// Per-slab retries the sharded execution performed after transient
+    /// injected faults (distinct from `retries`, which counts whole-request
+    /// attempts).
+    std::uint64_t shard_retries = 0;
     /// Names of the shed metric groups, in shed order ("ssim", "autocorr",
     /// "deriv2").
     std::vector<std::string> shed;

@@ -5,10 +5,13 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cost.hpp"
+#include "cuzc/multigpu.hpp"
 #include "sz/sz_compressor.hpp"
 #include "vgpu/vgpu.hpp"
 #include "zc/compression_stats.hpp"
@@ -48,11 +51,29 @@ struct AssessService::Impl {
     explicit Impl(ServiceConfig cfg)
         : config(cfg),
           cache(cfg.cache_capacity),
-          model(cfg.props, cfg.cost_params) {}
+          model(cfg.props, cfg.cost_params) {
+        // The device registry outlives the workers: worker i owns pool[i]
+        // while it processes, and releases its lease when idle so a
+        // sharding worker can borrow the device for a large request.
+        const std::size_t n = std::max<std::size_t>(config.devices, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.emplace_back(config.props);
+            if (config.faults.enabled()) {
+                // Worker i draws from an offset seed: devices fail
+                // independently of each other but reproducibly across runs.
+                vgpu::FaultPlan plan = config.faults;
+                plan.seed += i;
+                pool.back().set_fault_plan(plan);
+            }
+        }
+    }
 
     ServiceConfig config;
     ResultCache cache;
     vgpu::GpuCostModel model;
+    /// One virtual device per worker (deque: stable addresses, Device is
+    /// not movable). Exclusive use is mediated by Device's lease bit.
+    std::deque<vgpu::Device> pool;
 
     mutable std::mutex mu;
     std::condition_variable work_cv;
@@ -84,14 +105,7 @@ struct AssessService::Impl {
     }
 
     void worker_loop(std::size_t widx) {
-        vgpu::Device dev(config.props);
-        if (config.faults.enabled()) {
-            // Worker i draws from an offset seed: devices fail
-            // independently of each other but reproducibly across runs.
-            vgpu::FaultPlan plan = config.faults;
-            plan.seed += widx;
-            dev.set_fault_plan(plan);
-        }
+        vgpu::Device& dev = pool[widx];
         zc::Dims3 buf_dims{0, 0, 0};
         std::unique_ptr<vgpu::DeviceBuffer<float>> d_orig, d_dec;
 
@@ -104,11 +118,14 @@ struct AssessService::Impl {
             std::uint64_t epoch = 0;
             {
                 std::unique_lock lk(mu);
-                work_cv.wait(lk, [&] { return stop || !queue.empty(); });
+                // Wait for work *and* for this worker's own device: a
+                // sharding peer may have borrowed it while we were idle.
+                work_cv.wait(lk, [&] { return stop || (!queue.empty() && !dev.leased()); });
                 if (queue.empty()) {
                     if (stop) return;
                     continue;
                 }
+                if (!dev.try_lease()) continue;  // lost a claim race; re-wait
                 // Seed: highest priority, earliest submission.
                 std::size_t pick = 0;
                 for (std::size_t i = 1; i < queue.size(); ++i) {
@@ -149,6 +166,10 @@ struct AssessService::Impl {
                     ++consecutive_failures;
                 }
             }
+            // Idle (and quarantined) devices are borrowable by sharding
+            // peers; only this worker ever waits on its own device, so the
+            // release itself needs no notify.
+            dev.release_lease();
 
             // Breaker: a failed half-open probe re-opens immediately; a
             // healthy worker opens after `breaker_threshold` consecutive
@@ -173,6 +194,44 @@ struct AssessService::Impl {
                 half_open = true;
             }
         }
+    }
+
+    /// Opportunistic lease over every currently-idle device, taken for one
+    /// sharded request. RAII: the destructor releases the borrowed leases
+    /// (never the sharding worker's own device) and wakes workers that
+    /// were waiting on their devices.
+    struct ShardTeam {
+        Impl* impl = nullptr;
+        std::vector<vgpu::Device*> devs;      ///< team, ascending pool order
+        std::vector<vgpu::Device*> borrowed;  ///< subset leased by this team
+
+        ShardTeam() = default;
+        ShardTeam(ShardTeam&& o) noexcept
+            : impl(std::exchange(o.impl, nullptr)),
+              devs(std::move(o.devs)),
+              borrowed(std::move(o.borrowed)) {}
+        ShardTeam& operator=(ShardTeam&&) = delete;
+        ShardTeam(const ShardTeam&) = delete;
+        ShardTeam& operator=(const ShardTeam&) = delete;
+        ~ShardTeam() {
+            if (impl == nullptr || borrowed.empty()) return;
+            for (auto* d : borrowed) d->release_lease();
+            impl->work_cv.notify_all();
+        }
+    };
+
+    ShardTeam claim_idle(vgpu::Device& own) {
+        ShardTeam team;
+        team.impl = this;
+        for (auto& d : pool) {
+            if (&d == &own) {
+                team.devs.push_back(&d);
+            } else if (d.try_lease()) {
+                team.devs.push_back(&d);
+                team.borrowed.push_back(&d);
+            }
+        }
+        return team;
     }
 
     /// Fulfills an abandoned request's promise if every normal completion
@@ -209,7 +268,8 @@ struct AssessService::Impl {
         CompletionGuard guard{*this, p};
         try {
             run_request(dev, p, resp, buf_dims, d_orig, d_dec);
-            resp.faults = dev.faults_injected() - faults_before;
+            // += so borrowed-device faults recorded by a sharded run stay.
+            resp.faults += dev.faults_injected() - faults_before;
             guard.armed = false;
             complete(p, std::move(resp), Outcome::kServed);
             return true;
@@ -304,6 +364,23 @@ struct AssessService::Impl {
         for (;;) {
             check_timeout(p);
             try {
+                // Sharding: past the modeled-cost threshold, fan the
+                // request out across whatever devices are idle right now
+                // (parallel multi-GPU slab path). Falls back to the
+                // single-device path below when no peer is idle; a
+                // transient shard failure that exhausts its slab retries
+                // lands in the same catch as single-device faults and
+                // re-claims a (possibly different) team on the next
+                // attempt.
+                if (config.shard_threshold_s > 0 && pool.size() > 1 &&
+                    resp.modeled_cost_s >= config.shard_threshold_s) {
+                    const ShardTeam team = claim_idle(dev);
+                    if (team.devs.size() > 1) {
+                        run_sharded(team, p, *dec, resp);
+                        return;
+                    }
+                }
+
                 const std::uint64_t corrupt_before =
                     dev.faults_injected(vgpu::FaultKind::kUploadCorrupt);
                 const zc::Stopwatch upload_watch;
@@ -363,6 +440,37 @@ struct AssessService::Impl {
         }
     }
 
+    /// Run one request across the team's devices via the parallel
+    /// multi-GPU path. Sharded results bypass the result cache: the slab
+    /// merge's summation order differs from the single-device contract by
+    /// ulps, and the cache promises single-device-identical results.
+    void run_sharded(const ShardTeam& team, Pending& p, const zc::Field& dec,
+                     AssessResponse& resp) {
+        std::uint64_t borrowed_faults_before = 0;
+        for (const auto* d : team.borrowed) borrowed_faults_before += d->faults_injected();
+
+        const zc::Stopwatch kernel_watch;
+        ::cuzc::cuzc::MultiGpuOptions mo;
+        mo.parallel = true;
+        mo.max_slab_retries = config.max_retries;
+        mo.retry_backoff_s = config.retry_backoff_s;
+        const auto mg = ::cuzc::cuzc::assess_multigpu(
+            std::span<vgpu::Device* const>(team.devs), p.req.orig.view(), dec.view(),
+            resp.effective_cfg, mo);
+        resp.spans.kernel_s += kernel_watch.seconds();
+
+        resp.result.report = mg.report;
+        resp.result.pattern1 = mg.pattern1;
+        resp.result.pattern2 = mg.pattern2;
+        resp.result.pattern3 = mg.pattern3;
+        resp.shards = static_cast<std::uint32_t>(team.devs.size());
+        resp.exchange_bytes = mg.exchange_bytes;
+        resp.shard_retries = mg.slab_retries;
+        std::uint64_t borrowed_faults_after = 0;
+        for (const auto* d : team.borrowed) borrowed_faults_after += d->faults_injected();
+        resp.faults += borrowed_faults_after - borrowed_faults_before;
+    }
+
     /// The single completion point for picked requests: fulfills the
     /// promise and settles every counter the request touched in one
     /// critical section, so the telemetry invariants hold at every
@@ -378,6 +486,9 @@ struct AssessService::Impl {
                     ++tele.cache_misses;
                 }
                 if (resp.degraded) ++tele.shed;
+                if (resp.shards > 1) tele.shards += resp.shards;
+                tele.exchange_bytes += resp.exchange_bytes;
+                tele.shard_retries += resp.shard_retries;
             } else {
                 ++tele.rejected;
                 if (outcome == Outcome::kTimeout) ++tele.timeouts;

@@ -33,6 +33,18 @@ struct ServiceConfig {
     vgpu::DeviceProps props{};
     vgpu::GpuCostParams cost_params{};
 
+    // --- Sharded serving ----------------------------------------------
+    /// Modeled-cost threshold (device-seconds, post-degradation) above
+    /// which a cache-missed request fans out across every *currently idle*
+    /// device via the parallel multi-GPU path: the picking worker keeps its
+    /// own device and opportunistically leases the others' idle devices for
+    /// the duration of the request. A transient fault inside a shard
+    /// retries only that slab (`max_retries` attempts, `retry_backoff_s`
+    /// backoff); sharded results bypass the result cache (slab-merge
+    /// summation order differs from the single-device contract by ulps).
+    /// 0 disables sharding.
+    double shard_threshold_s = 0;
+
     // --- Fault containment and recovery -------------------------------
     /// Wall-clock ceiling per request, measured from submit (seconds).
     /// Distinct from `AssessRequest::deadline_model_s`: the deadline is

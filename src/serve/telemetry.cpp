@@ -43,6 +43,9 @@ void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
     os << in1 << "\"max_queue_depth\": " << max_queue_depth << ",\n";
     os << in1 << "\"cache_evictions\": " << cache_evictions << ",\n";
     os << in1 << "\"cache_size\": " << cache_size << ",\n";
+    os << in1 << "\"shards\": " << shards << ",\n";
+    os << in1 << "\"exchange_bytes\": " << exchange_bytes << ",\n";
+    os << in1 << "\"shard_retries\": " << shard_retries << ",\n";
     os << in1 << "\"faults_injected\": " << faults_injected << ",\n";
     os << in1 << "\"retries\": " << retries << ",\n";
     os << in1 << "\"timeouts\": " << timeouts << ",\n";

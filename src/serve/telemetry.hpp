@@ -50,6 +50,11 @@ struct ServiceTelemetry {
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_size = 0;
 
+    // Sharded serving (see DESIGN.md §6, "Sharded serving").
+    std::uint64_t shards = 0;          ///< device-shards run by sharded requests
+    std::uint64_t exchange_bytes = 0;  ///< modeled allreduce traffic of sharded runs
+    std::uint64_t shard_retries = 0;   ///< per-slab retries inside sharded runs
+
     // Fault containment and recovery (see DESIGN.md §6, "Fault model").
     std::uint64_t faults_injected = 0;  ///< injections observed on worker devices
     std::uint64_t retries = 0;          ///< device attempts beyond each request's first

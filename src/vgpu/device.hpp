@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -48,6 +49,28 @@ public:
         alloc_count_ = 0;
         alloc_bytes_ = 0;
     }
+
+    // --- Idle-device accounting ---------------------------------------
+    // A device is executed by at most one host thread at a time; these
+    // lease bits let a pool owner (e.g. cuzc::serve) find currently-idle
+    // devices to shard large jobs onto. The flag is advisory bookkeeping
+    // for the owner's scheduler — it does not make Device thread-safe.
+
+    /// Atomically claim an idle device; false if already leased.
+    [[nodiscard]] bool try_lease() noexcept {
+        bool expected = false;
+        if (!leased_.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+            return false;
+        }
+        ++lease_count_;
+        return true;
+    }
+    void release_lease() noexcept { leased_.store(false, std::memory_order_release); }
+    [[nodiscard]] bool leased() const noexcept {
+        return leased_.load(std::memory_order_acquire);
+    }
+    /// Times this device has been claimed (utilization accounting).
+    [[nodiscard]] std::uint64_t lease_count() const noexcept { return lease_count_; }
 
     /// Arm deterministic fault injection (see FaultPlan); resets the event
     /// stream and the per-kind injection counts. Like the rest of Device,
@@ -123,6 +146,8 @@ private:
     std::uint64_t d2h_bytes_ = 0;
     std::uint64_t alloc_count_ = 0;
     std::uint64_t alloc_bytes_ = 0;
+    std::atomic<bool> leased_{false};
+    std::uint64_t lease_count_ = 0;
     FaultPlan faults_{};
     std::uint64_t fault_events_ = 0;
     std::array<std::uint64_t, kFaultKindCount> faults_injected_{};

@@ -31,6 +31,10 @@ thread_local bool tls_in_run = false;
 
 }  // namespace
 
+BlockScheduler::SerialScope::SerialScope() : prev_(tls_in_run) { tls_in_run = true; }
+
+BlockScheduler::SerialScope::~SerialScope() { tls_in_run = prev_; }
+
 struct BlockScheduler::Impl {
     std::atomic<std::size_t> max_workers{default_workers()};
 

@@ -25,6 +25,24 @@ class BlockScheduler {
 public:
     static BlockScheduler& instance();
 
+    /// RAII: while alive, launches issued from this thread execute their
+    /// blocks inline (single worker, grid order) instead of entering the
+    /// shared pool. Device-level parallelism (one host thread per virtual
+    /// device, as in the parallel multi-GPU path) uses this so concurrent
+    /// devices don't serialize on the pool — block results and profiler
+    /// counts are bit-identical either way (see class comment). Scopes
+    /// nest; each thread restores its previous state on destruction.
+    class SerialScope {
+    public:
+        SerialScope();
+        ~SerialScope();
+        SerialScope(const SerialScope&) = delete;
+        SerialScope& operator=(const SerialScope&) = delete;
+
+    private:
+        bool prev_;
+    };
+
     /// Workers a launch of `nblocks` blocks will use (>= 1).
     [[nodiscard]] std::size_t plan_workers(std::size_t nblocks) const noexcept;
 

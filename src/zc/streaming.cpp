@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace cuzc::zc {
 
@@ -30,7 +32,14 @@ void StreamingAssessor::rebin(double old_lo, double old_hi, double new_lo, doubl
 }
 
 void StreamingAssessor::feed(std::span<const float> orig, std::span<const float> dec) {
-    const std::size_t n = std::min(orig.size(), dec.size());
+    // Mismatched chunks are a caller bug; silently truncating to the
+    // overlap would skew every accumulated moment and histogram.
+    if (orig.size() != dec.size()) {
+        throw std::invalid_argument("StreamingAssessor::feed: chunk size mismatch (" +
+                                    std::to_string(orig.size()) + " original vs " +
+                                    std::to_string(dec.size()) + " decompressed elements)");
+    }
+    const std::size_t n = orig.size();
     if (n == 0) return;
     const int bins = std::max(1, cfg_.pdf_bins);
 

@@ -27,7 +27,8 @@ class StreamingAssessor {
 public:
     explicit StreamingAssessor(const MetricsConfig& cfg);
 
-    /// Feed the next chunk of (original, decompressed) values.
+    /// Feed the next chunk of (original, decompressed) values. The spans
+    /// must be the same length; a mismatch throws std::invalid_argument.
     void feed(std::span<const float> orig, std::span<const float> dec);
 
     /// Number of elements consumed so far.

@@ -1,7 +1,8 @@
 #include "time_series.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "assessor.hpp"
 #include "streaming.hpp"
@@ -12,7 +13,21 @@ TimeSeriesReport assess_time_series(std::span<const Field> orig_steps,
                                     std::span<const Field> dec_steps,
                                     const MetricsConfig& cfg) {
     TimeSeriesReport out;
-    const std::size_t steps = std::min(orig_steps.size(), dec_steps.size());
+    // A truncated series or a step whose fields disagree in shape is a
+    // malformed input, not a shorter assessment: reject it loudly instead
+    // of silently assessing the overlap (or hitting UB in release builds).
+    if (orig_steps.size() != dec_steps.size()) {
+        throw std::invalid_argument("assess_time_series: step count mismatch (" +
+                                    std::to_string(orig_steps.size()) + " original vs " +
+                                    std::to_string(dec_steps.size()) + " decompressed)");
+    }
+    const std::size_t steps = orig_steps.size();
+    for (std::size_t t = 0; t < steps; ++t) {
+        if (orig_steps[t].dims() != dec_steps[t].dims()) {
+            throw std::invalid_argument("assess_time_series: field shape mismatch at step " +
+                                        std::to_string(t));
+        }
+    }
     if (steps == 0) return out;
 
     StreamingAssessor reduction(cfg);
@@ -24,7 +39,6 @@ TimeSeriesReport assess_time_series(std::span<const Field> orig_steps,
     auto& agg = out.aggregate;
 
     for (std::size_t t = 0; t < steps; ++t) {
-        assert(orig_steps[t].dims() == dec_steps[t].dims());
         out.steps.push_back(assess(orig_steps[t].view(), dec_steps[t].view(), cfg));
         const AssessmentReport& r = out.steps.back();
 

@@ -21,6 +21,9 @@ struct TimeSeriesReport {
     AssessmentReport aggregate;
 };
 
+/// The series must agree: equal step counts and per-step field shapes.
+/// Mismatched inputs throw std::invalid_argument (truncated campaigns are
+/// malformed input, not shorter assessments).
 [[nodiscard]] TimeSeriesReport assess_time_series(std::span<const Field> orig_steps,
                                                   std::span<const Field> dec_steps,
                                                   const MetricsConfig& cfg);

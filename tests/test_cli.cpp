@@ -179,6 +179,43 @@ TEST_F(CliFixture, ParserHandlesFaultAndTimeoutFlags) {
     EXPECT_EQ(opt->faults.max_faults, 4u);
 }
 
+TEST_F(CliFixture, ParserHandlesShardThreshold) {
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--shard-threshold=abc"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--shard-threshold=-1"}));
+    // Serve-only flag: rejected on the assess command line.
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--shard-threshold=0.1"}));
+    const auto opt = parse({"serve", "--replay=t.trace", "--devices=4", "--shard-threshold=0.002"});
+    ASSERT_TRUE(opt);
+    EXPECT_DOUBLE_EQ(opt->shard_threshold_s, 0.002);
+    const auto off = parse({"serve", "--replay=t.trace"});
+    ASSERT_TRUE(off);
+    EXPECT_DOUBLE_EQ(off->shard_threshold_s, 0.0);  // default: sharding off
+}
+
+TEST_F(CliFixture, ServeReplayShardsAndCountsShardedRequests) {
+    const auto trace_path = dir / "shard.trace";
+    {
+        std::ofstream t(trace_path);
+        t << "# cuzc-trace-v1\n";
+        for (int i = 0; i < 4; ++i) {
+            t << "req dims=10x12x14 seed=" << (300 + i) << " noise=0.01\n";
+        }
+    }
+    std::string out;
+    const int rc = run({"serve", "--replay=" + trace_path.string(), "--devices=4",
+                        "--shard-threshold=1e-12"},
+                       &out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("\"requests\": 4"), std::string::npos);
+    // With a ~0 threshold at least one request fans out, and the telemetry
+    // block carries the shard counters.
+    EXPECT_EQ(out.find("\"sharded\": 0,"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"sharded\": "), std::string::npos);
+    EXPECT_NE(out.find("\"shards\": "), std::string::npos);
+    EXPECT_NE(out.find("\"exchange_bytes\": "), std::string::npos);
+    EXPECT_NE(out.find("\"shard_retries\": "), std::string::npos);
+}
+
 TEST_F(CliFixture, ServeReplayWithInjectedFaultsStillCompletes) {
     const auto trace_path = dir / "faults.trace";
     {

@@ -120,4 +120,48 @@ inline void expect_reports_close(const zc::AssessmentReport& a, const zc::Assess
     }
 }
 
+/// Demand *bit-identical* reports — no tolerance, no absolute floor. Used
+/// where two code paths promise the exact same arithmetic in the exact same
+/// order (e.g. the threaded vs sequential multi-GPU pipelines).
+inline void expect_reports_identical(const zc::AssessmentReport& a,
+                                     const zc::AssessmentReport& b) {
+    const auto& ra = a.reduction;
+    const auto& rb = b.reduction;
+    EXPECT_EQ(ra.min_val, rb.min_val);
+    EXPECT_EQ(ra.max_val, rb.max_val);
+    EXPECT_EQ(ra.mean_val, rb.mean_val);
+    EXPECT_EQ(ra.std_val, rb.std_val);
+    EXPECT_EQ(ra.entropy, rb.entropy);
+    EXPECT_EQ(ra.min_err, rb.min_err);
+    EXPECT_EQ(ra.max_err, rb.max_err);
+    EXPECT_EQ(ra.avg_err, rb.avg_err);
+    EXPECT_EQ(ra.avg_abs_err, rb.avg_abs_err);
+    EXPECT_EQ(ra.mse, rb.mse);
+    EXPECT_EQ(ra.rmse, rb.rmse);
+    EXPECT_EQ(ra.snr_db, rb.snr_db);
+    EXPECT_EQ(ra.psnr_db, rb.psnr_db);
+    EXPECT_EQ(ra.pearson_r, rb.pearson_r);
+    EXPECT_EQ(ra.err_pdf, rb.err_pdf);
+    EXPECT_EQ(ra.pwr_err_pdf, rb.pwr_err_pdf);
+    const auto& sa = a.stencil;
+    const auto& sb = b.stencil;
+    EXPECT_EQ(sa.deriv1_avg_orig, sb.deriv1_avg_orig);
+    EXPECT_EQ(sa.deriv1_max_orig, sb.deriv1_max_orig);
+    EXPECT_EQ(sa.deriv1_avg_dec, sb.deriv1_avg_dec);
+    EXPECT_EQ(sa.deriv1_max_dec, sb.deriv1_max_dec);
+    EXPECT_EQ(sa.deriv1_mse, sb.deriv1_mse);
+    EXPECT_EQ(sa.deriv2_avg_orig, sb.deriv2_avg_orig);
+    EXPECT_EQ(sa.deriv2_max_orig, sb.deriv2_max_orig);
+    EXPECT_EQ(sa.deriv2_avg_dec, sb.deriv2_avg_dec);
+    EXPECT_EQ(sa.deriv2_max_dec, sb.deriv2_max_dec);
+    EXPECT_EQ(sa.deriv2_mse, sb.deriv2_mse);
+    EXPECT_EQ(sa.divergence_avg_orig, sb.divergence_avg_orig);
+    EXPECT_EQ(sa.divergence_avg_dec, sb.divergence_avg_dec);
+    EXPECT_EQ(sa.laplacian_avg_orig, sb.laplacian_avg_orig);
+    EXPECT_EQ(sa.laplacian_avg_dec, sb.laplacian_avg_dec);
+    EXPECT_EQ(sa.autocorr, sb.autocorr);
+    EXPECT_EQ(a.ssim.windows, b.ssim.windows);
+    EXPECT_EQ(a.ssim.ssim, b.ssim.ssim);
+}
+
 }  // namespace cuzc::testing

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "cuzc/cuzc.hpp"
 #include "sz/sz.hpp"
 #include "test_helpers.hpp"
@@ -87,6 +90,71 @@ TEST(MultiGpu, WorkSplitsAcrossDevices) {
     // allow some slack), and the sum stays in the same ballpark.
     EXPECT_LT(max_dev, single_bytes / 2);
     EXPECT_GT(total_dev, single_bytes / 2);
+}
+
+// The threaded pipeline promises the exact same arithmetic in the exact
+// same order as the sequential one: same slabs, same per-device kernels,
+// same ascending-device merges. So the reports must match bit for bit —
+// not just to tolerance — for every device count, including the degenerate
+// single-device case and a count that splits the domain unevenly.
+class MultiGpuParallel : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiGpuParallel, ParallelIsBitIdenticalToSequential) {
+    const std::size_t k = GetParam();
+    const zc::Field orig = tst::smooth_field({18, 20, 26}, 41);
+    const zc::Field dec = tst::perturbed(orig, 0.01, 42);
+    zc::MetricsConfig cfg;
+    cfg.ssim_window = 4;
+    cfg.autocorr_max_lag = 5;
+    cfg.pdf_bins = 24;
+
+    std::vector<vgpu::Device> seq_devices(k);
+    std::vector<vgpu::Device> par_devices(k);
+    const auto seq = czc::assess_multigpu(seq_devices, orig.view(), dec.view(), cfg,
+                                          czc::MultiGpuOptions{.parallel = false});
+    const auto par = czc::assess_multigpu(par_devices, orig.view(), dec.view(), cfg,
+                                          czc::MultiGpuOptions{.parallel = true});
+
+    tst::expect_reports_identical(seq.report, par.report);
+    EXPECT_EQ(seq.exchange_bytes, par.exchange_bytes);
+    ASSERT_EQ(seq.per_device.size(), par.per_device.size());
+    for (std::size_t d = 0; d < k; ++d) {
+        EXPECT_EQ(seq.per_device[d].launches, par.per_device[d].launches) << "device " << d;
+        EXPECT_EQ(seq.per_device[d].global_bytes(), par.per_device[d].global_bytes())
+            << "device " << d;
+    }
+    EXPECT_EQ(seq.pattern1.launches, par.pattern1.launches);
+    EXPECT_EQ(seq.pattern2.launches, par.pattern2.launches);
+    EXPECT_EQ(seq.pattern3.launches, par.pattern3.launches);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, MultiGpuParallel,
+                         ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                           std::size_t{7}));
+
+TEST(MultiGpu, MergePattern2TotalsRejectsLayoutMismatch) {
+    // Slabs that disagree on the totals layout (e.g. one compiled with a
+    // different autocorrelation lag count) must hard-error: a min-size
+    // merge would silently drop the trailing lags.
+    std::vector<double> into(28, 1.0);
+    const std::vector<double> from(21, 1.0);
+    EXPECT_THROW(czc::merge_pattern2_totals(into, from), std::invalid_argument);
+
+    // Matching layouts merge with the kernel's slot operators: per order,
+    // slots 1 and 3 are maxima, everything else sums.
+    std::vector<double> x(28, 1.0);
+    const std::vector<double> y(28, 2.0);
+    czc::merge_pattern2_totals(x, y);
+    EXPECT_EQ(x[0], 3.0);   // sum slot
+    EXPECT_EQ(x[1], 2.0);   // max slot
+    EXPECT_EQ(x[3], 2.0);   // max slot
+    EXPECT_EQ(x[8], 2.0);   // max slot, second order
+    EXPECT_EQ(x[14], 3.0);  // autocorr region: always sums
+
+    // First merge into an empty accumulator adopts the layout wholesale.
+    std::vector<double> fresh;
+    czc::merge_pattern2_totals(fresh, y);
+    EXPECT_EQ(fresh, y);
 }
 
 TEST(MultiGpu, SlabBounds) {

@@ -659,4 +659,119 @@ TEST(Serve, DestructorDrainsAcceptedRequests) {
     EXPECT_GT(resp.result.report.reduction.psnr_db, 0.0);
 }
 
+// Sharded serving: a request whose modeled cost clears the threshold fans
+// out across every currently idle device via the parallel multi-GPU path.
+
+TEST(ServeShards, ExpensiveRequestShardsAcrossIdleDevices) {
+    serve::ServiceConfig cfg;
+    cfg.devices = 4;
+    cfg.shard_threshold_s = 1e-12;  // everything is "expensive"
+    serve::AssessService service(cfg);
+    auto req = make_request(80);
+    const zc::AssessmentReport expected = direct_report(req, req.cfg);
+    const auto resp = service.submit(std::move(req)).get();
+    ASSERT_FALSE(resp.rejected) << resp.error;
+    EXPECT_FALSE(resp.degraded);
+    // A fresh service has every peer idle, so the one request takes the
+    // whole pool.
+    EXPECT_EQ(resp.shards, 4u);
+    EXPECT_GT(resp.exchange_bytes, 0u);
+    EXPECT_FALSE(resp.cache_hit);
+    // Slab merges sum in device order — ulps from single-device, not bits.
+    tst::expect_reports_close(resp.result.report, expected, 1e-9);
+
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.shards, resp.shards);
+    EXPECT_EQ(tele.exchange_bytes, resp.exchange_bytes);
+    EXPECT_EQ(tele.served, 1u);
+    EXPECT_EQ(tele.queued, tele.served + tele.rejected + tele.queue_depth + tele.inflight);
+}
+
+TEST(ServeShards, ShardedResultBypassesCache) {
+    serve::ServiceConfig cfg;
+    cfg.devices = 4;
+    cfg.shard_threshold_s = 1e-12;
+    serve::AssessService service(cfg);
+    const auto r1 = service.submit(make_request(81)).get();
+    const auto r2 = service.submit(make_request(81)).get();  // identical request
+    ASSERT_FALSE(r1.rejected);
+    ASSERT_FALSE(r2.rejected);
+    EXPECT_GT(r1.shards, 1u);
+    // The single-device cache contract promises bit-exact replay; a sharded
+    // result's summation order differs, so it must never be served from —
+    // or inserted into — the cache.
+    EXPECT_FALSE(r1.cache_hit);
+    EXPECT_FALSE(r2.cache_hit);
+    EXPECT_EQ(service.telemetry().cache_hits, 0u);
+}
+
+TEST(ServeShards, ConcurrentSubmissionsShardAndReconcile) {
+    // The TSan-facing test: many distinct requests racing over a small
+    // device pool, with the sharder leasing whatever happens to be idle.
+    // Every future must resolve with a correct report, and the shard
+    // telemetry must equal the per-response view exactly.
+    constexpr std::size_t kRequests = 12;
+    serve::ServiceConfig cfg;
+    cfg.devices = 4;
+    cfg.shard_threshold_s = 1e-12;
+    serve::AssessService service(cfg);
+    std::vector<zc::AssessmentReport> expected;
+    std::vector<std::future<serve::AssessResponse>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        auto req = make_request(100 + i);
+        expected.push_back(direct_report(req, req.cfg));
+        futures.push_back(service.submit(std::move(req)));
+    }
+    std::uint64_t shards = 0, exchange = 0, shard_retries = 0;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        const auto resp = futures[i].get();
+        ASSERT_FALSE(resp.rejected) << i << ": " << resp.error;
+        tst::expect_reports_close(resp.result.report, expected[i], 1e-9);
+        if (resp.shards > 1) shards += resp.shards;
+        exchange += resp.exchange_bytes;
+        shard_retries += resp.shard_retries;
+    }
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.served, kRequests);
+    EXPECT_EQ(tele.shards, shards);
+    EXPECT_EQ(tele.exchange_bytes, exchange);
+    EXPECT_EQ(tele.shard_retries, shard_retries);
+    EXPECT_EQ(tele.queued, tele.served + tele.rejected + tele.queue_depth + tele.inflight);
+    EXPECT_EQ(tele.latency.count, tele.served + tele.rejected);
+}
+
+TEST(ServeShards, TransientShardFaultRetriesPerSlabNotPerRequest) {
+    // Every pool device's first two launches abort (kernel_throw = 1,
+    // max_faults = 2 per device), so each active shard retries its stage
+    // twice and then succeeds — the request is served without a single
+    // whole-request retry, and the per-slab retries surface in telemetry.
+    vgpu::FaultPlan plan;
+    plan.seed = 11;
+    plan.kernel_throw = 1.0;
+    plan.max_faults = 2;
+    serve::ServiceConfig cfg;
+    cfg.devices = 4;
+    cfg.shard_threshold_s = 1e-12;
+    cfg.faults = plan;
+    cfg.max_retries = 5;
+    cfg.retry_backoff_s = 1e-6;
+    serve::AssessService service(cfg);
+    auto req = make_request(82);
+    const zc::AssessmentReport expected = direct_report(req, req.cfg);
+    const auto resp = service.submit(std::move(req)).get();
+    ASSERT_FALSE(resp.rejected) << resp.error;
+    EXPECT_EQ(resp.shards, 4u);
+    EXPECT_EQ(resp.retries, 0u) << "slab retries must not escalate to request retries";
+    EXPECT_GE(resp.shard_retries, 2u);
+    EXPECT_EQ(resp.faults, resp.shard_retries)
+        << "every injected abort was absorbed by exactly one slab retry";
+    // Kernel aborts fire before any block runs and stages re-run cleanly,
+    // so the recovered result is the fault-free one.
+    tst::expect_reports_close(resp.result.report, expected, 1e-9);
+    const auto tele = service.telemetry();
+    EXPECT_EQ(tele.shard_retries, resp.shard_retries);
+    EXPECT_EQ(tele.faults_injected, resp.faults);
+    EXPECT_EQ(tele.served, 1u);
+}
+
 }  // namespace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "test_helpers.hpp"
 #include "zc/zc.hpp"
 
@@ -100,6 +104,29 @@ TEST(Streaming, RangeGrowthRebinsWithoutLosingMass) {
     for (const auto p : got.err_pdf) mass += p;
     EXPECT_NEAR(mass, 1.0, 1e-12);
     EXPECT_NEAR(got.max_err, 0.5, 1e-6);
+}
+
+TEST(Streaming, MismatchedChunkThrowsAndConsumesNothing) {
+    // Truncating to the overlap would skew every accumulated moment; the
+    // feed must reject the chunk outright and leave the accumulator as it
+    // was, so a caller can recover and keep streaming.
+    zc::StreamingAssessor sa(zc::MetricsConfig{});
+    std::vector<float> good_o(50, 1.0f), good_d(50, 1.01f);
+    sa.feed(good_o, good_d);
+    const auto before = sa.finalize();
+
+    std::vector<float> o(40, 1.0f), d(39, 1.0f);
+    try {
+        sa.feed(o, d);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("chunk size mismatch"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(sa.consumed(), 50u);
+    const auto after = sa.finalize();
+    EXPECT_EQ(after.mse, before.mse);
+    EXPECT_EQ(after.err_pdf, before.err_pdf);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "test_helpers.hpp"
 #include "zc/zc.hpp"
 
@@ -78,6 +82,34 @@ TEST(TimeSeries, EmptyInput) {
     const auto ts = zc::assess_time_series({}, {}, zc::MetricsConfig{});
     EXPECT_TRUE(ts.steps.empty());
     EXPECT_EQ(ts.aggregate.ssim.windows, 0u);
+}
+
+TEST(TimeSeries, StepCountMismatchThrows) {
+    // A truncated campaign is malformed input: assessing the overlap would
+    // silently drop steps from every aggregate.
+    const auto orig = make_steps(3, {6, 6, 8}, 1);
+    const auto dec = make_steps(2, {6, 6, 8}, 1);
+    EXPECT_THROW(zc::assess_time_series(orig, dec, zc::MetricsConfig{}), std::invalid_argument);
+    try {
+        (void)zc::assess_time_series(orig, dec, zc::MetricsConfig{});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("step count mismatch"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TimeSeries, PerStepShapeMismatchThrowsBeforeAssessing) {
+    auto orig = make_steps(3, {6, 6, 8}, 1);
+    auto dec = make_steps(3, {6, 6, 8}, 1);
+    dec[2] = tst::smooth_field({6, 6, 9}, 40);  // wrong shape at the last step
+    try {
+        (void)zc::assess_time_series(orig, dec, zc::MetricsConfig{});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("shape mismatch at step 2"), std::string::npos)
+            << e.what();
+    }
 }
 
 }  // namespace

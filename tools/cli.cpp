@@ -59,7 +59,7 @@ std::string usage() {
            "            [--devices=N] [--threads=N] [--profile]\n"
            "       cuzc serve --replay=TRACE [--devices=N] [--cache=N] [--batch=N]\n"
            "            [--no-coalesce] [--threads=N] [--out=report.json]\n"
-           "            [--timeout=SECONDS] [--faults=SPEC]\n"
+           "            [--timeout=SECONDS] [--shard-threshold=SECONDS] [--faults=SPEC]\n"
            "\n"
            "Assess the quality of lossy-compressed scientific data with the\n"
            "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n"
@@ -134,6 +134,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 err << "cuzc: --timeout must be a number of seconds >= 0\n";
                 return std::nullopt;
             }
+        } else if (const char* v15 = value_of(a, "--shard-threshold=")) {
+            const std::string_view sv(v15);
+            const auto [p, ec] =
+                std::from_chars(sv.data(), sv.data() + sv.size(), opt.shard_threshold_s);
+            if (ec != std::errc{} || p != sv.data() + sv.size() || opt.shard_threshold_s < 0) {
+                err << "cuzc: --shard-threshold must be a number of modeled seconds >= 0\n";
+                return std::nullopt;
+            }
         } else if (const char* v14 = value_of(a, "--faults=")) {
             try {
                 opt.faults = vgpu::FaultPlan::parse(v14);
@@ -158,8 +166,9 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         err << "cuzc: --replay is only valid with the serve subcommand\n";
         return std::nullopt;
     }
-    if (opt.faults_from_flag || opt.request_timeout_s > 0) {
-        err << "cuzc: --faults/--timeout are only valid with the serve subcommand\n";
+    if (opt.faults_from_flag || opt.request_timeout_s > 0 || opt.shard_threshold_s > 0) {
+        err << "cuzc: --faults/--timeout/--shard-threshold are only valid with the serve "
+               "subcommand\n";
         return std::nullopt;
     }
     if (opt.orig_path.empty() || (opt.dec_path.empty() == opt.sz_stream_path.empty())) {
@@ -196,6 +205,7 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     scfg.max_batch = opt.max_batch;
     scfg.coalesce = opt.coalesce;
     scfg.request_timeout_s = opt.request_timeout_s;
+    scfg.shard_threshold_s = opt.shard_threshold_s;
     // Fault injection: explicit --faults wins, otherwise CUZC_FAULTS.
     scfg.faults = opt.faults_from_flag ? opt.faults : vgpu::FaultPlan::from_env();
     serve::AssessService service(scfg);
@@ -206,13 +216,14 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     for (const auto& entry : trace) {
         futures.push_back(service.submit(serve::to_request(entry)));
     }
-    std::size_t degraded = 0, rejected = 0, hits = 0, timed_out = 0;
+    std::size_t degraded = 0, rejected = 0, hits = 0, timed_out = 0, sharded = 0;
     for (auto& f : futures) {
         const serve::AssessResponse resp = f.get();
         degraded += resp.degraded;
         rejected += resp.rejected;
         hits += resp.cache_hit;
         timed_out += resp.timed_out;
+        sharded += resp.shards > 1;
     }
     const double wall_s = watch.seconds();
     const serve::ServiceTelemetry tele = service.telemetry();
@@ -234,6 +245,7 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
           << "  \"degraded\": " << degraded << ",\n"
           << "  \"rejected\": " << rejected << ",\n"
           << "  \"timed_out\": " << timed_out << ",\n"
+          << "  \"sharded\": " << sharded << ",\n"
           << "  \"cache_hits\": " << hits << ",\n"
           << "  \"wall_seconds\": " << wall_s << ",\n"
           << "  \"telemetry\": ";

@@ -35,6 +35,9 @@ struct CliOptions {
     bool coalesce = true;
     /// Per-request wall-clock ceiling in seconds (--timeout=); 0 = none.
     double request_timeout_s = 0;
+    /// Modeled-cost threshold (device-seconds) above which the service
+    /// shards a request across idle devices; 0 disables sharding.
+    double shard_threshold_s = 0;
     /// Fault plan from --faults=SPEC. When the flag is absent, run_serve
     /// falls back to the CUZC_FAULTS environment variable (flag > env).
     vgpu::FaultPlan faults{};
