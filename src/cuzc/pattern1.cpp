@@ -4,8 +4,10 @@
 #include <cassert>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "slot_reduce.hpp"
 #include "zc/reduction_metrics.hpp"
 
 namespace cuzc::cuzc {
@@ -28,6 +30,24 @@ enum Slot : std::uint32_t {
     kNumSlots,
 };
 
+// The fused SIMD primitive updates the slots in this exact layout.
+namespace simd = vgpu::simd;
+constexpr bool slot_matches(Slot a, simd::P1Slot b) {
+    return static_cast<std::uint32_t>(a) == static_cast<std::uint32_t>(b);
+}
+static_assert(slot_matches(kMinErr, simd::kP1MinErr) && slot_matches(kMaxErr, simd::kP1MaxErr) &&
+              slot_matches(kSumErr, simd::kP1SumErr) &&
+              slot_matches(kSumAbsErr, simd::kP1SumAbsErr) &&
+              slot_matches(kSumErrSq, simd::kP1SumErrSq) &&
+              slot_matches(kMinPwr, simd::kP1MinPwr) && slot_matches(kMaxPwr, simd::kP1MaxPwr) &&
+              slot_matches(kSumPwrAbs, simd::kP1SumPwrAbs) &&
+              slot_matches(kMinVal, simd::kP1MinVal) && slot_matches(kMaxVal, simd::kP1MaxVal) &&
+              slot_matches(kSumVal, simd::kP1SumVal) &&
+              slot_matches(kSumValSq, simd::kP1SumValSq) &&
+              slot_matches(kSumDec, simd::kP1SumDec) && slot_matches(kSumDecSq, simd::kP1SumDecSq) &&
+              slot_matches(kSumCross, simd::kP1SumCross) &&
+              slot_matches(kNumSlots, simd::kP1NumSlots));
+
 constexpr bool is_min(std::uint32_t slot) {
     return slot == kMinErr || slot == kMinPwr || slot == kMinVal;
 }
@@ -35,56 +55,16 @@ constexpr bool is_max(std::uint32_t slot) {
     return slot == kMaxErr || slot == kMaxPwr || slot == kMaxVal;
 }
 
-double identity(std::uint32_t slot) {
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    if (is_min(slot)) return kInf;
-    if (is_max(slot)) return -kInf;
-    return 0.0;
+[[nodiscard]] SlotOp op_of_slot(std::uint32_t slot) {
+    if (is_min(slot)) return SlotOp::kMin;
+    if (is_max(slot)) return SlotOp::kMax;
+    return SlotOp::kSum;
 }
+
+double identity(std::uint32_t slot) { return slot_identity(op_of_slot(slot)); }
 
 double combine(std::uint32_t slot, double a, double b) {
-    if (is_min(slot)) return a < b ? a : b;
-    if (is_max(slot)) return a > b ? a : b;
-    return a + b;
-}
-
-/// Warp shuffles + cross-warp shared step + slot write-back: the shared
-/// block-level reduction machinery of Algorithm 1 (ln. 7-16), leaving the
-/// block result of every slot in thread 0's registers.
-void block_reduce_slots(BlockCtx& blk, RegArray<double>& acc) {
-    blk.for_each_warp([&](WarpCtx& w) {
-        for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
-            w.reduce_shfl_down(acc, slot, [slot](double a, double b) {
-                return combine(slot, a, b);
-            });
-        }
-    });
-    auto warp_out = blk.shared().alloc<double>(std::size_t{kNumSlots} * blk.num_warps());
-    blk.for_each_thread([&](ThreadCtx& t) {
-        if (t.lane == 0) {
-            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
-                warp_out.st(t.warp * kNumSlots + slot, acc(t, slot));
-            }
-        }
-    });
-    // Cross-warp reduction on warp 0: lanes below num_warps reload the
-    // per-warp partials (ballot mask selects them), then shuffle-reduce.
-    const std::uint32_t nwarps = blk.num_warps();
-    blk.for_each_warp([&](WarpCtx& w) {
-        if (w.warp_id() != 0) return;
-        const std::uint32_t mask = w.ballot([&](std::uint32_t lane) { return lane < nwarps; });
-        for (std::uint32_t lane = 0; lane < w.active_lanes(); ++lane) {
-            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
-                acc.at(lane, slot) = lane < nwarps ? warp_out.ld(lane * kNumSlots + slot)
-                                                   : identity(slot);
-            }
-        }
-        for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
-            w.reduce_shfl_down(acc, slot,
-                               [slot](double a, double b) { return combine(slot, a, b); },
-                               mask);
-        }
-    });
+    return slot_combine(op_of_slot(slot), a, b);
 }
 
 }  // namespace
@@ -116,46 +96,58 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
         auto ddec = lnch.span(d_dec);
         auto dpart = lnch.span(d_part);
         auto acc = blk.make_regs<double>(kNumSlots);
-        blk.for_each_thread([&](ThreadCtx& t) {
-            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) acc(t, slot) = identity(slot);
-        });
         const std::size_t bidx = blk.block_idx().x;
         const std::size_t zidx = z_lo + bidx;
         // The block reads each of the slice's h*w elements of both inputs
         // exactly once (strided by l); charge each span as one footprint.
         const float* po = dorig.ld_footprint(h * w);
         const float* pd = ddec.ld_footprint(h * w);
-        blk.for_each_thread([&](ThreadCtx& t) {
+        // Warp-major form of the scalar per-thread loop: warp ty owns lanes
+        // tx (the i axis), and each (i-chunk, j) pair is one fused 15-slot
+        // SIMD update of the warp's in-bounds lanes. The i-outer/j-inner
+        // chunk order reproduces each thread's scalar fold sequence exactly,
+        // so the per-lane accumulators — kept in a slot-major slab so the
+        // vector primitive sees contiguous lanes — are bit-identical to the
+        // per-element loop on every backend.
+        const simd::Ops& lane_ops = simd::ops();
+        double slab[kNumSlots][256];
+        for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+            std::fill_n(slab[slot], 256, identity(slot));
+        }
+        blk.for_each_warp([&](WarpCtx& wc) {
+            const std::uint32_t ty = wc.warp_id();
             std::uint64_t iters = 0;
-            for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
-                for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
-                    const std::size_t idx = (i * w + j) * l + zidx;
-                    const double x = po[idx];
-                    const double y = pd[idx];
-                    const double e = y - x;
-                    const double p = zc::pwr_error(x, y, pwr_eps);
-                    acc(t, kMinErr) = std::min(acc(t, kMinErr), e);
-                    acc(t, kMaxErr) = std::max(acc(t, kMaxErr), e);
-                    acc(t, kSumErr) += e;
-                    acc(t, kSumAbsErr) += std::fabs(e);
-                    acc(t, kSumErrSq) += e * e;
-                    acc(t, kMinPwr) = std::min(acc(t, kMinPwr), p);
-                    acc(t, kMaxPwr) = std::max(acc(t, kMaxPwr), p);
-                    acc(t, kSumPwrAbs) += std::fabs(p);
-                    acc(t, kMinVal) = std::min(acc(t, kMinVal), x);
-                    acc(t, kMaxVal) = std::max(acc(t, kMaxVal), x);
-                    acc(t, kSumVal) += x;
-                    acc(t, kSumValSq) += x * x;
-                    acc(t, kSumDec) += y;
-                    acc(t, kSumDecSq) += y * y;
-                    acc(t, kSumCross) += x * y;
-                    ++iters;
+            for (std::size_t i0 = 0; i0 < h; i0 += 32) {
+                const auto nlanes =
+                    static_cast<std::uint32_t>(std::min<std::size_t>(32, h - i0));
+                for (std::size_t j = ty; j < w; j += 8) {
+                    const std::size_t idx0 = (i0 * w + j) * l + zidx;
+                    // The i-axis stride (w*l floats) puts every lane on its
+                    // own cache line; hardware prefetchers never catch the
+                    // pattern, so hint the next j-iteration's lanes while the
+                    // current chunk computes.
+                    if (j + 8 < w) {
+                        const float* npo = po + idx0 + 8 * l;
+                        const float* npd = pd + idx0 + 8 * l;
+                        for (std::uint32_t ln = 0; ln < nlanes; ++ln) {
+                            __builtin_prefetch(npo + ln * w * l);
+                            __builtin_prefetch(npd + ln * w * l);
+                        }
+                    }
+                    lane_ops.p1_update(po + idx0, pd + idx0, w * l, pwr_eps,
+                                       &slab[0][wc.base_linear()], 256, nlanes);
+                    iters += nlanes;
                 }
             }
             blk.add_iters(iters);
             blk.add_ops(iters * 30);
         });
-        block_reduce_slots(blk, acc);
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
+                acc(t, slot) = slab[slot][t.linear];
+            }
+        });
+        block_reduce_slots(blk, acc, kNumSlots, op_of_slot);
         blk.for_each_thread([&](ThreadCtx& t) {
             if (t.linear == 0) {
                 for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
@@ -187,7 +179,7 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             blk.add_iters(iters);
             blk.add_ops(iters * kNumSlots);
         });
-        block_reduce_slots(blk, acc);
+        block_reduce_slots(blk, acc, kNumSlots, op_of_slot);
         blk.for_each_thread([&](ThreadCtx& t) {
             if (t.linear == 0) {
                 for (std::uint32_t slot = 0; slot < kNumSlots; ++slot) {
@@ -208,12 +200,10 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
         auto dfinal = lnch.span(d_final);
         auto dhist = lnch.span(d_hist);
         auto local = blk.shared().alloc<double>(static_cast<std::size_t>(bins) * 3);
-        blk.for_each_thread([&](ThreadCtx& t) {
-            for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins) * 3;
-                 b += blk.num_threads()) {
-                local.st(b, 0.0);
-            }
-        });
+        // Collective zero-init: one bulk store charges the same bytes as the
+        // thread-strided per-element stores.
+        std::fill_n(local.st_bulk(0, static_cast<std::size_t>(bins) * 3),
+                    static_cast<std::size_t>(bins) * 3, 0.0);
         const bool fixed = opt.fixed_ranges != nullptr;
         const double min_err = fixed ? opt.fixed_ranges->min_err : dfinal.ld(kMinErr);
         const double max_err = fixed ? opt.fixed_ranges->max_err : dfinal.ld(kMaxErr);
@@ -225,35 +215,71 @@ Pattern1Result pattern1_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
         // Same slice-footprint charging as the reduction phase.
         const float* po = dorig.ld_footprint(h * w);
         const float* pd = ddec.ld_footprint(h * w);
-        blk.for_each_thread([&](ThreadCtx& t) {
+        // Warp-major binning: gather/convert/bin a warp's lanes with the
+        // lane engine, then land the +1.0 increments with a scalar RMW loop
+        // (histogram bins collide, so the commit cannot vectorize; the adds
+        // are exactly commutative, so lane order does not matter). Charges
+        // match the per-element loop: 3 shared loads + 3 shared stores per
+        // element via the unbounded ld_charge/st_charge forms, since the
+        // charged count per chunk (3*nlanes) can exceed the 3*bins array.
+        const simd::Ops& lane_ops = simd::ops();
+        const bool ok_e = max_err > min_err;
+        const bool ok_p = max_pwr > min_pwr;
+        const bool ok_v = max_val > min_val;
+        blk.for_each_warp([&](WarpCtx& wc) {
+            const std::uint32_t ty = wc.warp_id();
+            double xs[32], ys[32], es[32], ps[32];
+            std::int32_t be[32], bp[32], bv[32];
             std::uint64_t iters = 0;
-            for (std::size_t i = t.tid.x; i < h; i += blk.block_dim().x) {
-                for (std::size_t j = t.tid.y; j < w; j += blk.block_dim().y) {
-                    const std::size_t idx = (i * w + j) * l + zidx;
-                    const double x = po[idx];
-                    const double y = pd[idx];
-                    const double e = y - x;
-                    const double p = zc::pwr_error(x, y, pwr_eps);
-                    const auto be = static_cast<std::size_t>(zc::pdf_bin(e, min_err, max_err, bins));
-                    const auto bp = static_cast<std::size_t>(zc::pdf_bin(p, min_pwr, max_pwr, bins));
-                    const auto bv = static_cast<std::size_t>(zc::pdf_bin(x, min_val, max_val, bins));
-                    local.st(be, local.ld(be) + 1.0);
-                    local.st(static_cast<std::size_t>(bins) + bp,
-                             local.ld(static_cast<std::size_t>(bins) + bp) + 1.0);
-                    local.st(2 * static_cast<std::size_t>(bins) + bv,
-                             local.ld(2 * static_cast<std::size_t>(bins) + bv) + 1.0);
-                    ++iters;
+            for (std::size_t i0 = 0; i0 < h; i0 += 32) {
+                const auto nlanes =
+                    static_cast<std::uint32_t>(std::min<std::size_t>(32, h - i0));
+                for (std::size_t j = ty; j < w; j += 8) {
+                    const std::size_t idx0 = (i0 * w + j) * l + zidx;
+                    // Same next-iteration lane prefetch as the reduction
+                    // phase; the stride defeats the hardware prefetchers.
+                    if (j + 8 < w) {
+                        const float* npo = po + idx0 + 8 * l;
+                        const float* npd = pd + idx0 + 8 * l;
+                        for (std::uint32_t ln = 0; ln < nlanes; ++ln) {
+                            __builtin_prefetch(npo + ln * w * l);
+                            __builtin_prefetch(npd + ln * w * l);
+                        }
+                    }
+                    lane_ops.cvt_strided(xs, po + idx0, w * l, nlanes);
+                    lane_ops.cvt_strided(ys, pd + idx0, w * l, nlanes);
+                    lane_ops.sub(es, ys, xs, nlanes);
+                    lane_ops.pwr(ps, xs, ys, pwr_eps, nlanes);
+                    if (ok_e) lane_ops.pdf_bins(be, es, min_err, max_err - min_err, bins, nlanes);
+                    else std::fill_n(be, nlanes, 0);
+                    if (ok_p) lane_ops.pdf_bins(bp, ps, min_pwr, max_pwr - min_pwr, bins, nlanes);
+                    else std::fill_n(bp, nlanes, 0);
+                    if (ok_v) lane_ops.pdf_bins(bv, xs, min_val, max_val - min_val, bins, nlanes);
+                    else std::fill_n(bv, nlanes, 0);
+                    (void)local.ld_charge(std::size_t{3} * nlanes);
+                    double* lw = local.st_charge(std::size_t{3} * nlanes);
+                    for (std::uint32_t ln = 0; ln < nlanes; ++ln) {
+                        lw[static_cast<std::size_t>(be[ln])] += 1.0;
+                        lw[static_cast<std::size_t>(bins) + static_cast<std::size_t>(bp[ln])] += 1.0;
+                        lw[2 * static_cast<std::size_t>(bins) + static_cast<std::size_t>(bv[ln])] +=
+                            1.0;
+                    }
+                    iters += nlanes;
                 }
             }
             blk.add_iters(iters);
             blk.add_ops(iters * 12);
         });
-        blk.for_each_thread([&](ThreadCtx& t) {
-            for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins) * 3;
-                 b += blk.num_threads()) {
-                dhist.st(b, dhist.ld(b) + local.ld(b));  // atomicAdd on hardware
-            }
-        });
+        // Fold the block-local histograms into the global ones (atomicAdd on
+        // hardware; blocks are serialized here, so plain RMW through bulk
+        // windows charges the same bytes as the strided per-element loop).
+        {
+            const std::size_t nb = static_cast<std::size_t>(bins) * 3;
+            const double* lp = local.ld_bulk(0, nb);
+            const double* hr = dhist.ld_bulk(0, nb);
+            double* hw = dhist.st_bulk(0, nb);
+            for (std::size_t b = 0; b < nb; ++b) hw[b] = hr[b] + lp[b];
+        }
     };
 
     std::vector<vgpu::CoopPhase> phases;

@@ -14,6 +14,7 @@ namespace {
 using vgpu::BlockCtx;
 using vgpu::Launch;
 using vgpu::ThreadCtx;
+namespace simd = vgpu::simd;
 
 constexpr std::uint32_t kTile = 16;    // (x, y) tile side == blockDim.x/y
 // z-thickness owned by one block: ssize - max stride (16 - 10), as in the
@@ -62,17 +63,20 @@ zc::ErrorMoments error_moments_device(vgpu::Device& dev, const vgpu::DeviceBuffe
         // base + t — the same element sequence per thread as the
         // thread-major loop, with one charge per chunk instead of per
         // element.
+        const simd::Ops& lane_ops = simd::ops();
+        double es[kThreads], sq[kThreads];
         for (std::uint64_t base = std::uint64_t{blk.block_idx().x} * kThreads; base < n;
              base += stride) {
             const std::size_t count = std::min<std::uint64_t>(kThreads, n - base);
             const float* po = dorig.ld_bulk(base, count);
             const float* pd = ddec.ld_bulk(base, count);
-            blk.for_each_thread([&](ThreadCtx& t) {
-                if (t.linear >= count) return;
-                const double e = static_cast<double>(pd[t.linear]) - po[t.linear];
-                acc(t, 0) += e;
-                acc(t, 1) += e * e;
-            });
+            // Lane-engine fold of the chunk: thread t's element is lane t,
+            // and the two register slots are interleaved per thread
+            // (stride 2 in the register file).
+            lane_ops.sub_cvt(es, pd, po, count);
+            lane_ops.mul(sq, es, es, count);
+            lane_ops.add_acc_strided(&acc.at(0, 0), 2, es, count);
+            lane_ops.add_acc_strided(&acc.at(0, 1), 2, sq, count);
             blk.add_iters(count);
             blk.add_ops(std::uint64_t{count} * 5);
         }
@@ -89,10 +93,13 @@ zc::ErrorMoments error_moments_device(vgpu::Device& dev, const vgpu::DeviceBuffe
         auto dpart = l.span(d_part);
         auto dout = l.span(d_out);
         auto acc = blk.make_regs<double>(2);
+        // Block 0 consumes the whole partial array; one bulk load charges
+        // the same bytes as the per-element loads.
+        const double* pp = dpart.ld_bulk(0, std::size_t{grid} * 2);
         blk.for_each_thread([&](ThreadCtx& t) {
             for (std::uint32_t b = t.linear; b < grid; b += blk.num_threads()) {
-                acc(t, 0) += dpart.ld(std::size_t{b} * 2 + 0);
-                acc(t, 1) += dpart.ld(std::size_t{b} * 2 + 1);
+                acc(t, 0) += pp[std::size_t{b} * 2 + 0];
+                acc(t, 1) += pp[std::size_t{b} * 2 + 1];
             }
         });
         block_reduce_slots(blk, acc, 2, [](std::uint32_t) { return SlotOp::kSum; });
@@ -167,9 +174,17 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             blk.shared().alloc<double>(do_deriv ? std::size_t{kTile + 2} * (kTile + 2) : 1);
 
         auto acc = blk.make_regs<double>(nslots);
-        blk.for_each_thread([&](ThreadCtx& t) {
-            for (std::uint32_t s = 0; s < nslots; ++s) acc(t, s) = slot_identity(op_of_slot(s));
-        });
+        // Per-thread accumulators live in a slot-major stack slab during the
+        // tile walk so the lane engine sees contiguous lanes. A deriv or
+        // autocorr "row" is fixed tid.x with tid.y varying, so the lane index
+        // is the transposed tid.x*kTile + tid.y (not the linear id); the slab
+        // is written back into the register file before the block reduction,
+        // which keeps the reduction's fold order exactly the seed's.
+        const simd::Ops& lane_ops = simd::ops();
+        double slab[kLagBase + kPattern2MaxLag][std::size_t{kTile} * kTile];
+        for (std::uint32_t s = 0; s < nslots; ++s) {
+            std::fill_n(slab[s], std::size_t{kTile} * kTile, slot_identity(op_of_slot(s)));
+        }
 
         const std::size_t z0 = std::size_t{blk.block_idx().x} * kZChunk;
         const std::size_t z1 = std::min<std::size_t>(z0 + kZChunk, l);
@@ -224,13 +239,8 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
                                 continue;
                             }
                             const std::size_t base = (gx * w + ty0) * l + z;
-                            for (std::uint32_t dy = 0; dy < stage_extent; ++dy) {
-                                const std::size_t off = std::size_t{dy} * l;
-                                row[dy] = ty0 + dy < w
-                                              ? static_cast<double>(pd[base + off]) -
-                                                    po[base + off]
-                                              : 0.0;
-                            }
+                            lane_ops.sub_cvt_strided(row, pd + base, po + base, l, inb_y);
+                            std::fill(row + inb_y, row + stage_extent, 0.0);
                         }
                     }
                     blk.add_iters(blk.num_threads());
@@ -262,134 +272,145 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
                                 std::fill_n(rd, kTile + 2, 0.0);
                                 continue;
                             }
-                            for (std::uint32_t dy = 0; dy < kTile + 2; ++dy) {
-                                const std::size_t gy = ty0 + dy;
-                                if (gy >= 1 && gy - 1 < w) {
-                                    const std::size_t idx = gidx(gx - 1, gy - 1, z);
-                                    ro[dy] = po[idx];
-                                    rd[dy] = pd[idx];
-                                } else {
-                                    ro[dy] = 0.0;
-                                    rd[dy] = 0.0;
+                            // In-bounds dy is the contiguous run
+                            // [dy_lo, dy_hi): gy >= 1 only binds at ty0 == 0.
+                            const std::uint32_t dy_lo = ty0 == 0 ? 1 : 0;
+                            const std::size_t dy_hi =
+                                std::min<std::size_t>(kTile + 2, w + 1 - ty0);
+                            const std::size_t base2 = gidx(gx - 1, ty0 + dy_lo - 1, z);
+                            std::fill_n(ro, dy_lo, 0.0);
+                            std::fill_n(rd, dy_lo, 0.0);
+                            lane_ops.cvt_strided(ro + dy_lo, po + base2, l, dy_hi - dy_lo);
+                            lane_ops.cvt_strided(rd + dy_lo, pd + base2, l, dy_hi - dy_lo);
+                            std::fill(ro + dy_hi, ro + kTile + 2, 0.0);
+                            std::fill(rd + dy_hi, rd + kTile + 2, 0.0);
+                        }
+                        // Row-form stencil: every interior predicate except
+                        // the y range is uniform along a thread row (fixed
+                        // tid.x), so each interior row is one fused
+                        // p2_deriv_row call over its contiguous y lanes.
+                        const std::size_t gz = z + z_off;
+                        const bool z_ok = gz >= rz.begin && gz < rz.end &&
+                                          z >= zc_begin && z < zc_end;
+                        const std::size_t gy_lo = std::max<std::size_t>(ry.begin, ty0);
+                        const std::size_t gy_hi =
+                            std::min<std::size_t>(ry.end, ty0 + kTile);
+                        if (z_ok && gy_hi > gy_lo) {
+                            const std::size_t x_lo = std::max<std::size_t>(rx.begin, tx0);
+                            const std::size_t x_hi =
+                                std::min<std::size_t>(rx.end, tx0 + kTile);
+                            const auto nl = static_cast<std::uint32_t>(gy_hi - gy_lo);
+                            // Shared-tile loads charged per interior thread,
+                            // exactly as the per-thread neighbour reads:
+                            // centre + 2 per active x/y axis, per tile.
+                            const std::uint32_t tile_lds =
+                                (rx.active ? 2u : 0u) + (ry.active ? 2u : 0u) + 1u;
+                            const std::size_t ly_lo = gy_lo - ty0 + 1;  // halo'd col
+                            double ozm[kTile], ozp[kTile], dzm[kTile], dzp[kTile];
+                            double mo1[kTile], md1[kTile];
+                            for (std::size_t gx = x_lo; gx < x_hi; ++gx) {
+                                const std::size_t lx = gx - tx0 + 1;  // halo'd row
+                                const double* to =
+                                    tile_o.ld_charge(std::size_t{nl} * tile_lds);
+                                const double* td =
+                                    tile_d.ld_charge(std::size_t{nl} * tile_lds);
+                                const std::size_t idx_lo = gidx(gx, gy_lo, z);
+                                if (rz.active) {
+                                    dorig.ld_lanes(idx_lo - 1, l, nl, ozm);
+                                    dorig.ld_lanes(idx_lo + 1, l, nl, ozp);
+                                    ddec.ld_lanes(idx_lo - 1, l, nl, dzm);
+                                    ddec.ld_lanes(idx_lo + 1, l, nl, dzp);
                                 }
+                                simd::P2DerivRow row{};
+                                row.oc = to + lx * (kTile + 2) + ly_lo;
+                                row.dc = td + lx * (kTile + 2) + ly_lo;
+                                if (rx.active) {
+                                    row.oxm = to + (lx - 1) * (kTile + 2) + ly_lo;
+                                    row.oxp = to + (lx + 1) * (kTile + 2) + ly_lo;
+                                    row.dxm = td + (lx - 1) * (kTile + 2) + ly_lo;
+                                    row.dxp = td + (lx + 1) * (kTile + 2) + ly_lo;
+                                }
+                                if (rz.active) {
+                                    row.ozm = ozm;
+                                    row.ozp = ozp;
+                                    row.dzm = dzm;
+                                    row.dzp = dzp;
+                                }
+                                row.have_x = rx.active;
+                                row.have_y = ry.active;
+                                row.have_z = rz.active;
+                                row.do_order1 = do_order1;
+                                row.do_order2 = do_order2;
+                                row.acc = &slab[0][(gx - tx0) * kTile + (gy_lo - ty0)];
+                                row.acc_stride = std::size_t{kTile} * kTile;
+                                if (do_order1) {
+                                    row.mo1 = mo1;
+                                    row.md1 = md1;
+                                }
+                                row.n = nl;
+                                lane_ops.p2_deriv_row(row);
+                                if (do_order1) {
+                                    der_o.st_lanes(idx_lo, l, nl, mo1);
+                                    der_d.st_lanes(idx_lo, l, nl, md1);
+                                }
+                                blk.add_ops(std::uint64_t{60} * nl);
                             }
                         }
-                        blk.for_each_thread([&](ThreadCtx& t) {
-                            const std::size_t gx = tx0 + t.tid.x;
-                            const std::size_t gy = ty0 + t.tid.y;
-                            const std::size_t gz = z + z_off;
-                            const bool in_interior = gx >= rx.begin && gx < rx.end &&
-                                                     gy >= ry.begin && gy < ry.end &&
-                                                     gz >= rz.begin && gz < rz.end &&
-                                                     z >= zc_begin && z < zc_end;
-                            if (!in_interior) return;
-                            const auto lx = std::size_t{t.tid.x} + 1;  // halo'd coords
-                            const auto ly = std::size_t{t.tid.y} + 1;
-                            const auto tat = [&](const auto& tile, std::size_t xx,
-                                                 std::size_t yy) {
-                                return tile.ld(xx * (kTile + 2) + yy);
-                            };
-                            const std::size_t idx = gidx(gx, gy, z);
-                            // Neighbour loads shared by both orders.
-                            const double oxm = rx.active ? tat(tile_o, lx - 1, ly) : 0.0;
-                            const double oxp = rx.active ? tat(tile_o, lx + 1, ly) : 0.0;
-                            const double oym = ry.active ? tat(tile_o, lx, ly - 1) : 0.0;
-                            const double oyp = ry.active ? tat(tile_o, lx, ly + 1) : 0.0;
-                            const double ozm = rz.active ? dorig.ld(idx - 1) : 0.0;
-                            const double ozp = rz.active ? dorig.ld(idx + 1) : 0.0;
-                            const double oc = tat(tile_o, lx, ly);
-                            const double dxm = rx.active ? tat(tile_d, lx - 1, ly) : 0.0;
-                            const double dxp = rx.active ? tat(tile_d, lx + 1, ly) : 0.0;
-                            const double dym = ry.active ? tat(tile_d, lx, ly - 1) : 0.0;
-                            const double dyp = ry.active ? tat(tile_d, lx, ly + 1) : 0.0;
-                            const double dzm = rz.active ? ddec.ld(idx - 1) : 0.0;
-                            const double dzp = rz.active ? ddec.ld(idx + 1) : 0.0;
-                            const double dc = tat(tile_d, lx, ly);
-
-                            const auto fold = [&](std::uint32_t base, double gox, double goy,
-                                                  double goz, double gdx, double gdy,
-                                                  double gdz) {
-                                const double mo =
-                                    std::sqrt(gox * gox + goy * goy + goz * goz);
-                                const double md =
-                                    std::sqrt(gdx * gdx + gdy * gdy + gdz * gdz);
-                                acc(t, base + kSumO) += mo;
-                                acc(t, base + kMaxO) = std::max(acc(t, base + kMaxO), mo);
-                                acc(t, base + kSumD) += md;
-                                acc(t, base + kMaxD) = std::max(acc(t, base + kMaxD), md);
-                                const double diff = md - mo;
-                                acc(t, base + kSumSqDiff) += diff * diff;
-                                acc(t, base + kAxisO) += gox + goy + goz;
-                                acc(t, base + kAxisD) += gdx + gdy + gdz;
-                                return std::pair{mo, md};
-                            };
-                            if (do_order1) {
-                                const auto [mo1, md1] =
-                                    fold(0, rx.active ? (oxp - oxm) / 2 : 0.0,
-                                         ry.active ? (oyp - oym) / 2 : 0.0,
-                                         rz.active ? (ozp - ozm) / 2 : 0.0,
-                                         rx.active ? (dxp - dxm) / 2 : 0.0,
-                                         ry.active ? (dyp - dym) / 2 : 0.0,
-                                         rz.active ? (dzp - dzm) / 2 : 0.0);
-                                der_o.st(idx, static_cast<float>(mo1));
-                                der_d.st(idx, static_cast<float>(md1));
-                            }
-                            if (do_order2) {
-                                fold(kDerivSlots, rx.active ? oxp - 2 * oc + oxm : 0.0,
-                                     ry.active ? oyp - 2 * oc + oym : 0.0,
-                                     rz.active ? ozp - 2 * oc + ozm : 0.0,
-                                     rx.active ? dxp - 2 * dc + dxm : 0.0,
-                                     ry.active ? dyp - 2 * dc + dym : 0.0,
-                                     rz.active ? dzp - 2 * dc + dzm : 0.0);
-                            }
-                            acc(t, kCountSlot) += 1.0;
-                            blk.add_ops(60);
-                        });
                     }
 
-                    // --- autocorrelation terms.
-                    if (lag_count > 0) blk.for_each_thread([&](ThreadCtx& t) {
-                        const std::size_t gx = tx0 + t.tid.x;
-                        const std::size_t gy = ty0 + t.tid.y;
-                        if (gx >= h || gy >= w) return;
-                        const double e_cur =
-                            ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y) - err_mean;
+                    // --- autocorrelation terms, one fused lane call per
+                    // (row, lag, term). The lane (y) bound gy < y_lim is the
+                    // only per-thread predicate; everything else is uniform
+                    // along a row, so each term is a contiguous lane prefix.
+                    if (lag_count > 0) {
+                        const std::size_t nrow = std::min<std::size_t>(kTile, h - tx0);
+                        const std::size_t n0 = std::min<std::size_t>(kTile, w - ty0);
                         const std::size_t gz = z + z_off;
                         const bool xy_slice_ok = is_center && z >= zc_begin && z < zc_end;
-                        for (std::uint32_t lag = 1; lag <= lag_count; ++lag) {
-                            const LagInfo& li = lag_tab[lag - 1];
-                            if (!li.any) continue;
-                            const auto tau = static_cast<std::size_t>(lag);
-                            // x/y terms for centres in the current slice.
-                            if (xy_slice_ok && gx < li.x_lim && gy < li.y_lim &&
-                                gz < li.z_lim) {
-                                double nb = 0.0;
-                                if (li.ax) {
-                                    nb += ehalo.ld((t.tid.x + tau) * eh + t.tid.y) - err_mean;
+                        double cur[kTile];
+                        for (std::size_t tx = 0; tx < nrow; ++tx) {
+                            const std::size_t gx = tx0 + tx;
+                            lane_ops.sub_scalar(cur, ehalo.ld_bulk(tx * eh, n0), err_mean,
+                                                n0);
+                            for (std::uint32_t lag = 1; lag <= lag_count; ++lag) {
+                                const LagInfo& li = lag_tab[lag - 1];
+                                if (!li.any) continue;
+                                const auto tau = static_cast<std::size_t>(lag);
+                                double* arow = &slab[kLagBase + lag - 1][tx * kTile];
+                                const std::size_t len =
+                                    li.y_lim > ty0
+                                        ? std::min<std::size_t>(n0, li.y_lim - ty0)
+                                        : 0;
+                                // x/y terms for centres in the current slice.
+                                if (xy_slice_ok && gx < li.x_lim && gz < li.z_lim &&
+                                    len > 0) {
+                                    const double* xnb =
+                                        li.ax ? ehalo.ld_bulk((tx + tau) * eh, len)
+                                              : nullptr;
+                                    const double* ynb =
+                                        li.ay ? ehalo.ld_bulk(tx * eh + tau, len)
+                                              : nullptr;
+                                    lane_ops.p2_lag_xy(arow, cur, xnb, ynb, err_mean,
+                                                       li.inv_valid, len);
                                 }
-                                if (li.ay) {
-                                    nb += ehalo.ld(std::size_t{t.tid.x} * eh + t.tid.y + tau) -
-                                          err_mean;
+                                // Deferred z term: centre slice z - tau pairs with
+                                // the current slice through the FIFO of error tiles.
+                                if (li.az && z >= tau) {
+                                    const std::size_t zc = z - tau;
+                                    if (zc >= z0 && zc < z1 && zc >= zc_begin &&
+                                        zc < zc_end && gx < li.x_lim && len > 0 &&
+                                        zc + z_off < l_g - tau) {
+                                        const double* oldr = fifo.ld_bulk(
+                                            (zc % (halo + 1)) * kTile * kTile + tx * kTile,
+                                            len);
+                                        lane_ops.p2_lag_z(arow, cur, oldr, err_mean,
+                                                          li.inv_valid, len);
+                                    }
                                 }
-                                acc(t, kLagBase + lag - 1) += e_cur * nb * li.inv_valid;
                             }
-                            // Deferred z term: centre slice z - tau pairs with the
-                            // current slice through the FIFO of error tiles.
-                            if (li.az && z >= tau) {
-                                const std::size_t zc = z - tau;
-                                if (zc >= z0 && zc < z1 && zc >= zc_begin && zc < zc_end &&
-                                    gx < li.x_lim && gy < li.y_lim &&
-                                    zc + z_off < l_g - tau) {
-                                    const double e_old =
-                                        fifo.ld((zc % (halo + 1)) * kTile * kTile +
-                                                std::size_t{t.tid.x} * kTile + t.tid.y) -
-                                        err_mean;
-                                    acc(t, kLagBase + lag - 1) += e_old * e_cur * li.inv_valid;
-                                }
-                            }
+                            blk.add_ops(std::uint64_t{6} * lag_count * n0);
                         }
-                        blk.add_ops(6 * lag_count);
-                    });
+                    }
 
                     // --- push the centre error tile into the FIFO (one
                     // bulk read of the tile core, one bulk store of the
@@ -409,6 +430,11 @@ Pattern2Result pattern2_fused_device(vgpu::Device& dev, const vgpu::DeviceBuffer
             }
         }
 
+        blk.for_each_thread([&](ThreadCtx& t) {
+            for (std::uint32_t s = 0; s < nslots; ++s) {
+                acc(t, s) = slab[s][std::size_t{t.tid.x} * kTile + t.tid.y];
+            }
+        });
         block_reduce_slots(blk, acc, nslots, op_of_slot);
         blk.for_each_thread([&](ThreadCtx& t) {
             if (t.linear == 0) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "slot_reduce.hpp"
+#include "vgpu/simd.hpp"
 #include "zc/ssim.hpp"
 
 namespace cuzc::cuzc {
@@ -14,6 +15,8 @@ using vgpu::BlockCtx;
 using vgpu::Launch;
 using vgpu::ThreadCtx;
 using vgpu::WarpCtx;
+
+namespace simd = vgpu::simd;
 
 // Per-thread register slots.
 enum Slot : std::uint32_t {
@@ -26,6 +29,10 @@ enum Slot : std::uint32_t {
 };
 constexpr std::uint32_t kStripBase = kMin1;
 constexpr std::uint32_t kStripVals = 9;
+// The SIMD strip fold emits its slot-major output in exactly this window's
+// slot order (min1 max1 sum1 sumsq1 min2 max2 sum2 sumsq2 cross).
+static_assert(kStripVals == simd::kP3StripVals);
+static_assert(kCross - kStripBase + 1 == kStripVals);
 
 }  // namespace
 
@@ -61,6 +68,7 @@ Pattern3Result pattern3_ssim_device(vgpu::Device& dev, const vgpu::DeviceBuffer<
     const std::uint32_t owners_per_sweep = (vgpu::kWarpSize - wx) / s + 1;
     const std::uint32_t sweep_adv = owners_per_sweep * s;
 
+    const simd::Ops& lane_ops = simd::ops();
     vgpu::KernelStats& stats = vgpu::launch(dev, lcfg, [&](Launch& lnch, BlockCtx& blk) {
         auto dorig = lnch.span(d_orig);
         auto ddec = lnch.span(d_dec);
@@ -82,19 +90,17 @@ Pattern3Result pattern3_ssim_device(vgpu::Device& dev, const vgpu::DeviceBuffer<
         // Load slice k, reduce along x via shuffles, stage per-row strips,
         // then fold rows (the shared-memory y reduction) into the FIFO slot.
         const auto process_slice = [&](std::size_t i, std::size_t k, std::uint32_t fifo_slot) {
-            // Exactly min(32, h-i) lanes per row are in bounds; charge both
-            // input spans' slice loads in one footprint each, then read off
-            // the raw base pointers (same bytes as per-element ld).
+            // Exactly min(32, h-i) lanes per row are in bounds; each warp
+            // gathers its row's strided slice column with one charged
+            // `ld_lanes` call (same bytes as per-element ld).
             const std::size_t rows = std::min<std::size_t>(vgpu::kWarpSize, h - i);
-            const float* po = dorig.ld_footprint(rows * wy);
-            const float* pd = ddec.ld_footprint(rows * wy);
             // Load, ghost-region sharing, and strip staging fused into one
             // warp pass: the wx-window fold only ever reads same-warp lanes
             // (warp w is row w of the block), so each lane's slice values go
-            // into a warp-local lane vector and every lane folds its window
-            // from there, off = 1..wx-1 in order — the exact fold sequence
-            // of the per-offset shuffle ladder, whose shuffle count is
-            // charged in bulk.
+            // into a warp-local lane vector and the SIMD strip fold runs the
+            // off = 1..wx-1 shifted-lane sequence — the exact fold order of
+            // the per-offset shuffle ladder, whose shuffle count is charged
+            // in bulk.
             blk.for_each_warp([&](WarpCtx& w) {
                 const std::uint32_t yrow = w.warp_id();
                 const std::size_t y = y0 + yrow;
@@ -104,44 +110,19 @@ Pattern3Result pattern3_ssim_device(vgpu::Device& dev, const vgpu::DeviceBuffer<
                 double v2[vgpu::kWarpSize];
                 const std::size_t stride_x = wd * l;
                 const std::size_t idx0 = (i * wd + y) * l + k;
-                for (std::uint32_t ln = 0; ln < lanes; ++ln) {
-                    const bool valid = i + ln < h;
-                    const std::size_t idx = idx0 + ln * stride_x;
-                    v1[ln] = valid ? static_cast<double>(po[idx]) : 0.0;
-                    v2[ln] = valid ? static_cast<double>(pd[idx]) : 0.0;
-                }
+                dorig.ld_lanes(idx0, stride_x, rows, v1);
+                ddec.ld_lanes(idx0, stride_x, rows, v2);
+                std::fill(v1 + rows, v1 + lanes, 0.0);
+                std::fill(v2 + rows, v2 + lanes, 0.0);
+                double out[std::size_t{kStripVals} * vgpu::kWarpSize];
+                lane_ops.p3_strip_fold(v1, v2, lanes, wx, out);
                 double* srow = strips.st_bulk(std::size_t{yrow} * vgpu::kWarpSize * kStripVals,
                                               std::size_t{lanes} * kStripVals);
                 for (std::uint32_t ln = 0; ln < lanes; ++ln) {
-                    const double d1 = v1[ln], d2 = v2[ln];
-                    double mn1 = d1, mx1 = d1, s1 = d1, ss1 = d1 * d1;
-                    double mn2 = d2, mx2 = d2, s2 = d2, ss2 = d2 * d2;
-                    double cr = d1 * d2;
-                    for (std::uint32_t off = 1; off < wx; ++off) {
-                        // Out-of-range sources keep the lane's own value,
-                        // exactly as shfl_down does.
-                        const std::uint32_t src = ln + off < lanes ? ln + off : ln;
-                        const double g1 = v1[src], g2 = v2[src];
-                        mn1 = std::min(mn1, g1);
-                        mx1 = std::max(mx1, g1);
-                        s1 += g1;
-                        ss1 += g1 * g1;
-                        mn2 = std::min(mn2, g2);
-                        mx2 = std::max(mx2, g2);
-                        s2 += g2;
-                        ss2 += g2 * g2;
-                        cr += g1 * g2;
-                    }
                     double* sp = srow + std::size_t{ln} * kStripVals;
-                    sp[kMin1 - kStripBase] = mn1;
-                    sp[kMax1 - kStripBase] = mx1;
-                    sp[kSum1 - kStripBase] = s1;
-                    sp[kSumSq1 - kStripBase] = ss1;
-                    sp[kMin2 - kStripBase] = mn2;
-                    sp[kMax2 - kStripBase] = mx2;
-                    sp[kSum2 - kStripBase] = s2;
-                    sp[kSumSq2 - kStripBase] = ss2;
-                    sp[kCross - kStripBase] = cr;
+                    for (std::uint32_t v = 0; v < kStripVals; ++v) {
+                        sp[v] = out[std::size_t{v} * vgpu::kWarpSize + ln];
+                    }
                 }
             });
             blk.add_iters(blk.num_threads());

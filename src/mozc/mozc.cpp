@@ -8,6 +8,7 @@
 
 #include "cuzc/pattern2.hpp"
 #include "cuzc/pattern3.hpp"
+#include "vgpu/simd.hpp"
 #include "zc/reduction_metrics.hpp"
 
 namespace cuzc::mozc {
@@ -18,6 +19,8 @@ using vgpu::BlockCtx;
 using vgpu::Launch;
 using vgpu::ThreadCtx;
 
+namespace simd = vgpu::simd;
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// CUB-style linear access is near-perfectly coalesced.
@@ -25,20 +28,29 @@ constexpr double kReduceCoalescing = 0.92;
 
 /// One device-wide reduction over a per-element functor of (orig, dec) —
 /// moZC's workhorse; each call is one metric, costing the two CUB launches
-/// and a fresh pass over both arrays.
-template <class T, class Op, class Elem>
+/// and a fresh pass over both arrays. `chunk(ops, po, pd, count, vals)`
+/// computes one grid-stride round's per-element values with the SIMD lane
+/// engine; the per-thread `op` accumulation then walks the staged slab, so
+/// results stay bit-identical to the per-element formulation.
+template <class T, class Op, class Chunk>
 T metric_reduce(vgpu::Device& dev, const std::string& name, const vgpu::DeviceBuffer<float>& d_orig,
-                const vgpu::DeviceBuffer<float>& d_dec, std::size_t n, T init, Op op, Elem elem) {
+                const vgpu::DeviceBuffer<float>& d_dec, std::size_t n, T init, Op op, Chunk chunk) {
+    const simd::Ops& lane_ops = simd::ops();
     const std::size_t before = dev.profiler().records().size();
     T r = vgpu::device_reduce<T>(dev, name, n, init, op, [&](Launch& l) {
         auto o = l.span(std::as_const(d_orig));
         auto d = l.span(std::as_const(d_dec));
         // Chunk loader: both input runs are charged in bulk per grid-stride
-        // round, then elements come off the raw pointers.
-        return [o, d, elem](std::size_t base, std::size_t count) {
+        // round, the round's values are computed vectorized into the staging
+        // slab, and the returned accessor reads them back out.
+        return [o, d, chunk, &lane_ops,
+                vals = std::array<T, vgpu::kReduceChunk>{}](std::size_t base,
+                                                            std::size_t count) mutable {
             const float* po = o.ld_bulk(base, count);
             const float* pd = d.ld_bulk(base, count);
-            return [po, pd, base, elem](std::size_t i) { return elem(po[i - base], pd[i - base]); };
+            chunk(lane_ops, po, pd, static_cast<std::uint32_t>(count), vals.data());
+            const T* vp = vals.data();
+            return [vp, base](std::size_t i) { return vp[i - base]; };
         };
     });
     // Tag coalescing on the records this metric produced.
@@ -57,49 +69,56 @@ std::vector<double> histogram_launch(vgpu::Device& dev, const std::string& name,
     constexpr std::uint32_t kThreads = 256;
     const auto grid =
         static_cast<std::uint32_t>(std::min<std::size_t>(256, (n + kThreads - 1) / kThreads));
+    const simd::Ops& lane_ops = simd::ops();
+    const auto nbins = static_cast<std::size_t>(bins);
+    const bool ok = hi > lo;  // zc::pdf_bin's degenerate ranges land in bin 0
     vgpu::KernelStats& stats = vgpu::launch(
         dev, vgpu::LaunchConfig{name, vgpu::Dim3{grid, 1, 1}, vgpu::Dim3{kThreads, 1, 1}},
         [&](Launch& l, BlockCtx& blk) {
             auto o = l.span(d_orig);
             auto d = l.span(d_dec);
             auto h = l.span(d_hist);
-            auto local = blk.shared().alloc<double>(static_cast<std::size_t>(bins));
-            blk.for_each_thread([&](ThreadCtx& t) {
-                for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins);
-                     b += kThreads) {
-                    local.st(b, 0.0);
-                }
-            });
+            auto local = blk.shared().alloc<double>(nbins);
+            std::fill_n(local.st_bulk(0, nbins), nbins, 0.0);
             const std::uint64_t stride = std::uint64_t{grid} * kThreads;
             // Chunk-major grid-stride walk: each round covers one contiguous
             // run of both inputs, charged in bulk (same bytes as per-element
-            // loads). Thread t handles element base+t of the round, matching
-            // the original per-thread stride loop element-for-element.
+            // loads). The round's error values and bin indices are computed
+            // vectorized; the scatter into the shared histogram stays scalar
+            // (it is a data-dependent RMW) and is charged as the count
+            // shared loads + stores the per-element loop performed.
             for (std::uint64_t base = std::uint64_t{blk.block_idx().x} * kThreads; base < n;
                  base += stride) {
                 const auto count =
                     static_cast<std::uint32_t>(std::min<std::uint64_t>(kThreads, n - base));
                 const float* po = o.ld_bulk(base, count);
                 const float* pd = d.ld_bulk(base, count);
-                blk.for_each_thread([&](ThreadCtx& t) {
-                    if (t.linear >= count) return;
-                    const double x = po[t.linear];
-                    const double y = pd[t.linear];
-                    const double v = kind == 0   ? y - x
-                                     : kind == 1 ? zc::pwr_error(x, y, pwr_eps)
-                                                 : x;
-                    const auto b = static_cast<std::size_t>(zc::pdf_bin(v, lo, hi, bins));
-                    local.st(b, local.ld(b) + 1.0);
-                });
+                double vs[kThreads];
+                std::int32_t bs[kThreads];
+                if (kind == 0) {
+                    lane_ops.sub_cvt(vs, pd, po, count);
+                } else if (kind == 1) {
+                    lane_ops.pwr_cvt(vs, po, pd, pwr_eps, count);
+                } else {
+                    lane_ops.cvt(vs, po, count);
+                }
+                if (ok) {
+                    lane_ops.pdf_bins(bs, vs, lo, hi - lo, bins, count);
+                } else {
+                    std::fill_n(bs, count, 0);
+                }
+                (void)local.ld_charge(count);
+                double* lw = local.st_charge(count);
+                for (std::uint32_t ln = 0; ln < count; ++ln) {
+                    lw[static_cast<std::size_t>(bs[ln])] += 1.0;
+                }
                 blk.add_iters(count);
                 blk.add_ops(std::uint64_t{count} * 6);
             }
-            blk.for_each_thread([&](ThreadCtx& t) {
-                for (std::size_t b = t.linear; b < static_cast<std::size_t>(bins);
-                     b += kThreads) {
-                    h.atomic_add(b, local.ld(b));  // atomicAdd, as on hardware
-                }
-            });
+            const double* lp = local.ld_bulk(0, nbins);
+            for (std::size_t b = 0; b < nbins; ++b) {
+                h.atomic_add(b, lp[b]);  // atomicAdd, as on hardware
+            }
         });
     stats.coalescing = kReduceCoalescing;
     return d_hist.download();
@@ -135,37 +154,59 @@ MozcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3
         using A4 = std::array<double, 4>;
         const auto sum2 = [](A2 a, A2 b) { return A2{a[0] + b[0], a[1] + b[1]}; };
 
+        // Per-round chunk functors: one SIMD pass computes the whole round's
+        // per-element values (error, power error, value moments, ...).
+        const auto chunk_err = [](const simd::Ops& ops, const float* po, const float* pd,
+                                  std::uint32_t c, double* vals) {
+            ops.sub_cvt(vals, pd, po, c);
+        };
+        const auto chunk_pwr = [eps](const simd::Ops& ops, const float* po, const float* pd,
+                                     std::uint32_t c, double* vals) {
+            ops.pwr_cvt(vals, po, pd, eps, c);
+        };
+
         m.min_err = metric_reduce<double>(
             dev, "mozc/min_err", d_orig, d_dec, n, kInf,
-            [](double a, double b) { return std::min(a, b); },
-            [](double x, double y) { return y - x; });
+            [](double a, double b) { return std::min(a, b); }, chunk_err);
         m.max_err = metric_reduce<double>(
             dev, "mozc/max_err", d_orig, d_dec, n, -kInf,
-            [](double a, double b) { return std::max(a, b); },
-            [](double x, double y) { return y - x; });
+            [](double a, double b) { return std::max(a, b); }, chunk_err);
         {
             const A2 r = metric_reduce<A2>(
-                dev, "mozc/avg_err", d_orig, d_dec, n, A2{0, 0}, sum2, [](double x, double y) {
-                    return A2{y - x, std::fabs(y - x)};
+                dev, "mozc/avg_err", d_orig, d_dec, n, A2{0, 0}, sum2,
+                [](const simd::Ops& ops, const float* po, const float* pd, std::uint32_t c,
+                   A2* vals) {
+                    double es[vgpu::kReduceChunk], as[vgpu::kReduceChunk];
+                    ops.sub_cvt(es, pd, po, c);
+                    ops.abs_val(as, es, c);
+                    for (std::uint32_t j = 0; j < c; ++j) vals[j] = A2{es[j], as[j]};
                 });
             m.sum_err = r[0];
             m.sum_abs_err = r[1];
         }
         m.sum_err_sq = metric_reduce<double>(
             dev, "mozc/mse", d_orig, d_dec, n, 0.0, [](double a, double b) { return a + b; },
-            [](double x, double y) { return (y - x) * (y - x); });
+            [](const simd::Ops& ops, const float* po, const float* pd, std::uint32_t c,
+               double* vals) {
+                double es[vgpu::kReduceChunk];
+                ops.sub_cvt(es, pd, po, c);
+                ops.mul(vals, es, es, c);
+            });
         m.min_pwr = metric_reduce<double>(
             dev, "mozc/min_pwr_err", d_orig, d_dec, n, kInf,
-            [](double a, double b) { return std::min(a, b); },
-            [eps](double x, double y) { return zc::pwr_error(x, y, eps); });
+            [](double a, double b) { return std::min(a, b); }, chunk_pwr);
         m.max_pwr = metric_reduce<double>(
             dev, "mozc/max_pwr_err", d_orig, d_dec, n, -kInf,
-            [](double a, double b) { return std::max(a, b); },
-            [eps](double x, double y) { return zc::pwr_error(x, y, eps); });
+            [](double a, double b) { return std::max(a, b); }, chunk_pwr);
         m.sum_pwr_abs = metric_reduce<double>(
             dev, "mozc/avg_pwr_err", d_orig, d_dec, n, 0.0,
             [](double a, double b) { return a + b; },
-            [eps](double x, double y) { return std::fabs(zc::pwr_error(x, y, eps)); });
+            [eps](const simd::Ops& ops, const float* po, const float* pd, std::uint32_t c,
+                  double* vals) {
+                double ps[vgpu::kReduceChunk];
+                ops.pwr_cvt(ps, po, pd, eps, c);
+                ops.abs_val(vals, ps, c);
+            });
         {
             // Value statistics (min/max/mean/std of the original data):
             // component-wise reduction, still a single metric kernel.
@@ -175,7 +216,13 @@ MozcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3
                     return A4{std::min(a[0], b[0]), std::max(a[1], b[1]), a[2] + b[2],
                               a[3] + b[3]};
                 },
-                [](double x, double) { return A4{x, x, x, x * x}; });
+                [](const simd::Ops& ops, const float* po, const float*, std::uint32_t c,
+                   A4* vals) {
+                    double xs[vgpu::kReduceChunk], xx[vgpu::kReduceChunk];
+                    ops.cvt(xs, po, c);
+                    ops.mul(xx, xs, xs, c);
+                    for (std::uint32_t j = 0; j < c; ++j) vals[j] = A4{xs[j], xs[j], xs[j], xx[j]};
+                });
             m.min_val = r[0];
             m.max_val = r[1];
             m.sum_val = r[2];
@@ -188,7 +235,16 @@ MozcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3
                 [](A3 a, A3 b) {
                     return A3{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
                 },
-                [](double x, double y) { return A3{y, y * y, x * y}; });
+                [](const simd::Ops& ops, const float* po, const float* pd, std::uint32_t c,
+                   A3* vals) {
+                    double ys[vgpu::kReduceChunk], yy[vgpu::kReduceChunk];
+                    double xs[vgpu::kReduceChunk], xy[vgpu::kReduceChunk];
+                    ops.cvt(ys, pd, c);
+                    ops.cvt(xs, po, c);
+                    ops.mul(yy, ys, ys, c);
+                    ops.mul(xy, xs, ys, c);
+                    for (std::uint32_t j = 0; j < c; ++j) vals[j] = A3{ys[j], yy[j], xy[j]};
+                });
             m.sum_dec = r[0];
             m.sum_dec_sq = r[1];
             m.sum_cross = r[2];

@@ -126,6 +126,26 @@ public:
         return data_;
     }
 
+    /// Charge `n` element loads without a range bound — for read-modify-write
+    /// loops that revisit elements (e.g. histograms), where the charged count
+    /// legitimately exceeds the container size. Returns the span base.
+    [[nodiscard]] const value_type* ld_charge(std::size_t n) const noexcept {
+        *rd_ += n * sizeof(T);
+        return data_;
+    }
+
+    /// Strided gather of `n` elements (stride in elements) widened to double,
+    /// charged as one `n`-element load — the vector-path replacement for a
+    /// per-element `ld` loop.
+    void ld_lanes(std::size_t first, std::size_t stride, std::size_t n,
+                  double* dst) const noexcept {
+        assert(n == 0 || first + (n - 1) * stride < n_);
+        *rd_ += n * sizeof(T);
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<double>(data_[first + i * stride]);
+        }
+    }
+
     void st(std::size_t i, const value_type& v) const noexcept
         requires(!std::is_const_v<T>)
     {
@@ -151,6 +171,27 @@ public:
         assert(n <= n_);
         *wr_ += n * sizeof(T);
         return data_;
+    }
+
+    /// Charge `n` element stores without a range bound (see ld_charge).
+    [[nodiscard]] value_type* st_charge(std::size_t n) const noexcept
+        requires(!std::is_const_v<T>)
+    {
+        *wr_ += n * sizeof(T);
+        return data_;
+    }
+
+    /// Strided scatter of `n` doubles narrowed to T (static_cast, identical
+    /// to the per-element `st` idiom), charged as one `n`-element store.
+    void st_lanes(std::size_t first, std::size_t stride, std::size_t n,
+                  const double* src) const noexcept
+        requires(!std::is_const_v<T>)
+    {
+        assert(n == 0 || first + (n - 1) * stride < n_);
+        *wr_ += n * sizeof(T);
+        for (std::size_t i = 0; i < n; ++i) {
+            data_[first + i * stride] = static_cast<value_type>(src[i]);
+        }
     }
 
     /// Read-modify-write accumulation, the modeled `atomicAdd`: charges one

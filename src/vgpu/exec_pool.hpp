@@ -19,30 +19,49 @@ namespace cuzc::vgpu {
 /// linear thread index depends only on the block dimensions — never on the
 /// block index — so one table serves every block of a launch, replacing the
 /// five divisions per thread per `for_each_thread` call with a table walk.
+///
+/// Two shapes are cached (most-recently-used first): a request that
+/// alternates between two block dims — e.g. pattern2's {16,16,1} and
+/// pattern3's {32,wy,1} launched back to back — flips between the entries
+/// instead of rebuilding the table on every launch. Returned pointers stay
+/// valid until the same entry is evicted by a third distinct shape.
 class ThreadTable {
 public:
     [[nodiscard]] const ThreadCtx* get(Dim3 block_dim) {
-        if (block_dim.x != dim_.x || block_dim.y != dim_.y || block_dim.z != dim_.z) {
-            rebuild(block_dim);
+        if (!matches(e_[0], block_dim)) {
+            if (matches(e_[1], block_dim)) {
+                std::swap(e_[0], e_[1]);
+            } else {
+                std::swap(e_[0], e_[1]);  // evict the LRU entry, keep the MRU
+                rebuild(e_[0], block_dim);
+            }
         }
-        return ctx_.data();
+        return e_[0].ctx.data();
     }
 
 private:
-    void rebuild(Dim3 d) {
-        dim_ = d;
+    struct Entry {
+        Dim3 dim{0, 0, 0};
+        std::vector<ThreadCtx> ctx;
+    };
+
+    [[nodiscard]] static bool matches(const Entry& e, Dim3 d) noexcept {
+        return d.x == e.dim.x && d.y == e.dim.y && d.z == e.dim.z && !e.ctx.empty();
+    }
+
+    static void rebuild(Entry& e, Dim3 d) {
+        e.dim = d;
         const std::uint32_t n = static_cast<std::uint32_t>(d.volume());
-        ctx_.resize(n);
+        e.ctx.resize(n);
         std::uint32_t i = 0;
         for (std::uint32_t z = 0; z < d.z; ++z)
             for (std::uint32_t y = 0; y < d.y; ++y)
                 for (std::uint32_t x = 0; x < d.x; ++x, ++i) {
-                    ctx_[i] = ThreadCtx{Dim3{x, y, z}, i, i / kWarpSize, i % kWarpSize};
+                    e.ctx[i] = ThreadCtx{Dim3{x, y, z}, i, i / kWarpSize, i % kWarpSize};
                 }
     }
 
-    Dim3 dim_{0, 0, 0};
-    std::vector<ThreadCtx> ctx_;
+    Entry e_[2];
 };
 
 /// Chunked bump allocator backing the pooled software register file. One

@@ -9,6 +9,12 @@
 
 namespace cuzc::vgpu {
 
+/// Elements per grid-stride round of `device_reduce` (one block-width run).
+/// Chunk loaders may stage up to this many per-element values at once —
+/// e.g. to compute a whole round with the SIMD lane engine before the
+/// per-thread accumulation walks the staged values.
+inline constexpr std::uint32_t kReduceChunk = 256;
+
 /// CUB-style device-wide reduction: the generic, metric-agnostic primitive
 /// the paper's moZC baseline builds on (one such reduction per metric).
 /// Implemented like cub::DeviceReduce — a grid-stride partial-reduction
@@ -28,7 +34,7 @@ namespace cuzc::vgpu {
 template <class T, class Op, class MakeLoader>
 [[nodiscard]] T device_reduce(Device& dev, const std::string& name, std::size_t n, T init, Op op,
                               MakeLoader make_loader) {
-    constexpr std::uint32_t kThreads = 256;
+    constexpr std::uint32_t kThreads = kReduceChunk;
     const std::uint32_t grid = static_cast<std::uint32_t>(
         std::min<std::size_t>(1024, (n + kThreads - 1) / kThreads));
 

@@ -61,6 +61,19 @@ public:
         return data_;
     }
 
+    /// Charge `n` element loads without a range bound — for read-modify-write
+    /// loops (histograms) whose charged count may exceed the array size.
+    [[nodiscard]] const T* ld_charge(std::size_t n) const noexcept {
+        *rd_ += n * sizeof(T);
+        return data_;
+    }
+
+    /// Charge `n` element stores without a range bound (see ld_charge).
+    [[nodiscard]] T* st_charge(std::size_t n) const noexcept {
+        *wr_ += n * sizeof(T);
+        return data_;
+    }
+
 private:
     T* data_;
     std::size_t n_;

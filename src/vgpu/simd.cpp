@@ -1,0 +1,149 @@
+#include "simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cuzc::vgpu::simd {
+
+namespace scalar {
+const Ops* table() noexcept;
+}
+#if defined(__x86_64__) || defined(_M_X64)
+namespace sse2 {
+const Ops* table() noexcept;
+}
+namespace avx2 {
+const Ops* table() noexcept;
+}
+#endif
+#if defined(__aarch64__)
+namespace neon {
+const Ops* table() noexcept;
+}
+#endif
+
+namespace {
+
+[[nodiscard]] const Ops* table_of(Backend b) noexcept {
+    switch (b) {
+        case Backend::kScalar:
+            return scalar::table();
+#if defined(__x86_64__) || defined(_M_X64)
+        case Backend::kSse2:
+            return sse2::table();
+        case Backend::kAvx2:
+            return __builtin_cpu_supports("avx2") ? avx2::table() : nullptr;
+#endif
+#if defined(__aarch64__)
+        case Backend::kNeon:
+            return neon::table();
+#endif
+        default:
+            return nullptr;
+    }
+}
+
+[[nodiscard]] const Ops* best_table() noexcept {
+    for (Backend b : {Backend::kAvx2, Backend::kNeon, Backend::kSse2, Backend::kScalar}) {
+        if (const Ops* t = table_of(b)) return t;
+    }
+    return scalar::table();
+}
+
+[[nodiscard]] bool parse_backend(const char* s, Backend& out) noexcept {
+    if (std::strcmp(s, "scalar") == 0) out = Backend::kScalar;
+    else if (std::strcmp(s, "sse2") == 0) out = Backend::kSse2;
+    else if (std::strcmp(s, "avx2") == 0) out = Backend::kAvx2;
+    else if (std::strcmp(s, "neon") == 0) out = Backend::kNeon;
+    else return false;
+    return true;
+}
+
+[[nodiscard]] const Ops* resolve() noexcept {
+    const char* env = std::getenv("CUZC_SIMD");
+    if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+        Backend want{};
+        if (!parse_backend(env, want)) {
+            std::fprintf(stderr,
+                         "cuzc: unknown CUZC_SIMD=%s (expected scalar|sse2|avx2|neon|auto); "
+                         "using automatic selection\n",
+                         env);
+            return best_table();
+        }
+        if (const Ops* t = table_of(want)) return t;
+        const Ops* best = best_table();
+        std::fprintf(stderr, "cuzc: CUZC_SIMD=%s is not available on this host; using %s\n", env,
+                     best->name);
+        return best;
+    }
+    return best_table();
+}
+
+std::atomic<const Ops*>& selected() noexcept {
+    static std::atomic<const Ops*> cur{nullptr};
+    return cur;
+}
+
+}  // namespace
+
+const Ops& ops() noexcept {
+    const Ops* t = selected().load(std::memory_order_acquire);
+    if (t == nullptr) {
+        // Benign race: every thread resolves to the same table.
+        t = resolve();
+        selected().store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+Backend active_backend() noexcept { return ops().backend; }
+
+const char* backend_name(Backend b) noexcept {
+    switch (b) {
+        case Backend::kScalar:
+            return "scalar";
+        case Backend::kSse2:
+            return "sse2";
+        case Backend::kAvx2:
+            return "avx2";
+        case Backend::kNeon:
+            return "neon";
+    }
+    return "?";
+}
+
+bool backend_available(Backend b) noexcept { return table_of(b) != nullptr; }
+
+std::vector<Backend> available_backends() {
+    std::vector<Backend> out;
+    for (Backend b : {Backend::kAvx2, Backend::kNeon, Backend::kSse2, Backend::kScalar}) {
+        if (table_of(b) != nullptr) out.push_back(b);
+    }
+    return out;
+}
+
+bool force_backend(Backend b) noexcept {
+    const Ops* t = table_of(b);
+    if (t == nullptr) return false;
+    selected().store(t, std::memory_order_release);
+    return true;
+}
+
+std::string banner() {
+    std::string s = "simd=";
+    s += ops().name;
+    s += " (available:";
+    for (Backend b : available_backends()) {
+        s += ' ';
+        s += backend_name(b);
+    }
+    s += "; CUZC_SIMD=";
+    const char* env = std::getenv("CUZC_SIMD");
+    s += env != nullptr && *env != '\0' ? env : "unset";
+    s += ')';
+    return s;
+}
+
+}  // namespace cuzc::vgpu::simd

@@ -1,0 +1,70 @@
+// AVX2 backend: 4×f64 lanes. This translation unit is compiled with -mavx2
+// (and deliberately NOT -mfma: contraction would break bit-identity with
+// the scalar path); usability is gated at runtime by CPUID in simd.cpp.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "simd_kernels.hpp"
+
+namespace cuzc::vgpu::simd::avx2 {
+
+namespace {
+
+struct VecF32 {
+    using reg = __m128;
+    static reg loadu(const float* p) noexcept { return _mm_loadu_ps(p); }
+    static void storeu(float* p, reg v) noexcept { _mm_storeu_ps(p, v); }
+};
+
+struct VecI32 {
+    using reg = __m128i;
+    static void storeu(std::int32_t* p, reg v) noexcept {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+};
+
+struct VecF64 {
+    static constexpr std::size_t W = 4;
+    using reg = __m256d;
+    using f32 = VecF32;
+    using i32 = VecI32;
+    static reg loadu(const double* p) noexcept { return _mm256_loadu_pd(p); }
+    static void storeu(double* p, reg v) noexcept { _mm256_storeu_pd(p, v); }
+    static reg bcast(double v) noexcept { return _mm256_set1_pd(v); }
+    static reg add(reg a, reg b) noexcept { return _mm256_add_pd(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm256_sub_pd(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm256_mul_pd(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm256_div_pd(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm256_sqrt_pd(a); }
+    static reg vmin(reg a, reg b) noexcept { return _mm256_min_pd(a, b); }
+    static reg vmax(reg a, reg b) noexcept { return _mm256_max_pd(a, b); }
+    static reg abs(reg a) noexcept { return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a); }
+    static reg sel_abs(reg a) noexcept {
+        const reg neg = _mm256_sub_pd(_mm256_setzero_pd(), a);
+        const reg mask = _mm256_cmp_pd(a, _mm256_setzero_pd(), _CMP_LT_OQ);
+        return _mm256_blendv_pd(a, neg, mask);
+    }
+    static reg cvt_f32(const float* p) noexcept { return _mm256_cvtps_pd(VecF32::loadu(p)); }
+    static void store_f32(float* p, reg v) noexcept { VecF32::storeu(p, _mm256_cvtpd_ps(v)); }
+    /// Hardware gather of p[0], p[stride], p[2*stride], p[3*stride] widened
+    /// to f64 — value-identical to four scalar load+casts. Callers must keep
+    /// 3*stride within the instruction's signed 32-bit index lanes.
+    static reg gather_cvt_f32(const float* p, std::size_t stride) noexcept {
+        const int s = static_cast<int>(stride);
+        const __m128i idx = _mm_setr_epi32(0, s, 2 * s, 3 * s);
+        return _mm256_cvtps_pd(_mm_i32gather_ps(p, idx, 4));
+    }
+};
+
+}  // namespace
+
+const Ops* table() noexcept {
+    static const Ops t = detail::make_ops<VecF64>("avx2", Backend::kAvx2);
+    return &t;
+}
+
+}  // namespace cuzc::vgpu::simd::avx2
+
+#endif  // x86-64

@@ -1,0 +1,60 @@
+// NEON backend: 2×f64 lanes (AArch64 only, where Advanced SIMD is baseline).
+// NaN/±0 semantics of vminq/vmaxq differ from the x86 MINPD/MAXPD ternary,
+// so min/max are built from compare + bit-select instead.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "simd_kernels.hpp"
+
+namespace cuzc::vgpu::simd::neon {
+
+namespace {
+
+struct VecF32 {
+    using reg = float32x2_t;
+    static reg loadu(const float* p) noexcept { return vld1_f32(p); }
+    static void storeu(float* p, reg v) noexcept { vst1_f32(p, v); }
+};
+
+struct VecI32 {
+    using reg = int32x2_t;
+    static void storeu(std::int32_t* p, reg v) noexcept { vst1_s32(p, v); }
+};
+
+struct VecF64 {
+    static constexpr std::size_t W = 2;
+    using reg = float64x2_t;
+    using f32 = VecF32;
+    using i32 = VecI32;
+    static reg loadu(const double* p) noexcept { return vld1q_f64(p); }
+    static void storeu(double* p, reg v) noexcept { vst1q_f64(p, v); }
+    static reg bcast(double v) noexcept { return vdupq_n_f64(v); }
+    static reg add(reg a, reg b) noexcept { return vaddq_f64(a, b); }
+    static reg sub(reg a, reg b) noexcept { return vsubq_f64(a, b); }
+    static reg mul(reg a, reg b) noexcept { return vmulq_f64(a, b); }
+    static reg div(reg a, reg b) noexcept { return vdivq_f64(a, b); }
+    static reg sqrt(reg a) noexcept { return vsqrtq_f64(a); }
+    // a < b ? a : b — matches the x86 MINPD ternary (picks b on NaN/ties).
+    static reg vmin(reg a, reg b) noexcept { return vbslq_f64(vcltq_f64(a, b), a, b); }
+    static reg vmax(reg a, reg b) noexcept { return vbslq_f64(vcgtq_f64(a, b), a, b); }
+    static reg abs(reg a) noexcept { return vabsq_f64(a); }
+    static reg sel_abs(reg a) noexcept {
+        const reg neg = vsubq_f64(vdupq_n_f64(0.0), a);
+        return vbslq_f64(vcltq_f64(a, vdupq_n_f64(0.0)), neg, a);
+    }
+    static reg cvt_f32(const float* p) noexcept { return vcvt_f64_f32(VecF32::loadu(p)); }
+    static void store_f32(float* p, reg v) noexcept { VecF32::storeu(p, vcvt_f32_f64(v)); }
+};
+
+}  // namespace
+
+const Ops* table() noexcept {
+    static const Ops t = detail::make_ops<VecF64>("neon", Backend::kNeon);
+    return &t;
+}
+
+}  // namespace cuzc::vgpu::simd::neon
+
+#endif  // __aarch64__

@@ -1,0 +1,68 @@
+// SSE2 backend: 2×f64 lanes. SSE2 is part of the x86-64 baseline, so this
+// translation unit needs no extra target flags and is always usable on x86.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "simd_kernels.hpp"
+
+namespace cuzc::vgpu::simd::sse2 {
+
+namespace {
+
+struct VecF32 {
+    using reg = __m128;
+    static reg loadu_half(const float* p) noexcept {
+        return _mm_castsi128_ps(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+    }
+    static void storeu_half(float* p, reg v) noexcept {
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(p), _mm_castps_si128(v));
+    }
+};
+
+struct VecI32 {
+    using reg = __m128i;
+    static void storeu(std::int32_t* p, reg v) noexcept {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+};
+
+struct VecF64 {
+    static constexpr std::size_t W = 2;
+    using reg = __m128d;
+    using f32 = VecF32;
+    using i32 = VecI32;
+    static reg loadu(const double* p) noexcept { return _mm_loadu_pd(p); }
+    static void storeu(double* p, reg v) noexcept { _mm_storeu_pd(p, v); }
+    static reg bcast(double v) noexcept { return _mm_set1_pd(v); }
+    static reg add(reg a, reg b) noexcept { return _mm_add_pd(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm_sub_pd(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm_mul_pd(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm_div_pd(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm_sqrt_pd(a); }
+    // MINPD/MAXPD are exactly the ternary a<b?a:b / a>b?a:b, NaN and ±0
+    // handling included.
+    static reg vmin(reg a, reg b) noexcept { return _mm_min_pd(a, b); }
+    static reg vmax(reg a, reg b) noexcept { return _mm_max_pd(a, b); }
+    static reg abs(reg a) noexcept { return _mm_andnot_pd(_mm_set1_pd(-0.0), a); }
+    static reg sel_abs(reg a) noexcept {
+        // x < 0 ? -x : x via compare+blend (preserves -0.0, keeps NaN as-is).
+        const reg neg = _mm_sub_pd(_mm_setzero_pd(), a);
+        const reg mask = _mm_cmplt_pd(a, _mm_setzero_pd());
+        return _mm_or_pd(_mm_and_pd(mask, neg), _mm_andnot_pd(mask, a));
+    }
+    static reg cvt_f32(const float* p) noexcept { return _mm_cvtps_pd(VecF32::loadu_half(p)); }
+    static void store_f32(float* p, reg v) noexcept { VecF32::storeu_half(p, _mm_cvtpd_ps(v)); }
+};
+
+}  // namespace
+
+const Ops* table() noexcept {
+    static const Ops t = detail::make_ops<VecF64>("sse2", Backend::kSse2);
+    return &t;
+}
+
+}  // namespace cuzc::vgpu::simd::sse2
+
+#endif  // x86-64

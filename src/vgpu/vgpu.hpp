@@ -16,4 +16,5 @@
 #include "profiler.hpp"    // IWYU pragma: export
 #include "reduce.hpp"      // IWYU pragma: export
 #include "scheduler.hpp"   // IWYU pragma: export
+#include "simd.hpp"        // IWYU pragma: export
 #include "warp.hpp"        // IWYU pragma: export

@@ -39,6 +39,12 @@ public:
     /// same shuffle count in one add.
     void add_shuffles(std::uint64_t n) const noexcept { stats_->shuffle_ops += n; }
 
+    /// Bulk-charge `n` lane combine ops — pairs with `add_shuffles` when a
+    /// tree reduction is computed with `lane_reduce_*` instead of per-offset
+    /// `reduce_shfl_down` rounds (which charge one lane op per active lane
+    /// per round).
+    void add_lane_ops(std::uint64_t n) const noexcept { stats_->lane_ops += n; }
+
     /// __ballot_sync: evaluate `pred(lane)` for every active lane and pack
     /// the results into a 32-bit mask.
     template <class Pred>

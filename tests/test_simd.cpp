@@ -1,0 +1,227 @@
+// Tests of the SIMD lane engine: runtime backend dispatch, the fixed-tree
+// lane reductions' equivalence with the warp shuffle ladder, and the
+// bit-identical-results contract — every pattern kernel and the moZC
+// baseline must produce the exact same reports and profiler counters on
+// every available backend (scalar, SSE2, AVX2, NEON).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cuzc/cuzc.hpp"
+#include "mozc/mozc.hpp"
+#include "test_helpers.hpp"
+#include "vgpu/exec_pool.hpp"
+#include "vgpu/simd.hpp"
+#include "zc/zc.hpp"
+
+namespace {
+
+namespace zc = ::cuzc::zc;
+namespace vgpu = ::cuzc::vgpu;
+namespace simd = ::cuzc::vgpu::simd;
+namespace czc = ::cuzc::cuzc;
+namespace mozc = ::cuzc::mozc;
+namespace tst = ::cuzc::testing;
+
+/// Restore the backend active at construction when the scope ends, so a
+/// failing test cannot leak a forced backend into later tests.
+struct BackendGuard {
+    simd::Backend saved = simd::active_backend();
+    ~BackendGuard() { simd::force_backend(saved); }
+};
+
+struct Fields {
+    zc::Field orig;
+    zc::Field dec;
+};
+
+Fields make(zc::Dims3 d, std::uint64_t seed = 1) {
+    Fields f{tst::smooth_field(d, seed), {}};
+    f.dec = tst::perturbed(f.orig, 0.01, seed + 100);
+    return f;
+}
+
+/// The four dataset shapes of the equivalence matrix: an even baseline, an
+/// odd-extent shape (n % 8 != 0 and a trailing partial warp), a cube whose
+/// 16-wide pattern-2 tiles leave derivative rows shorter than any vector
+/// width, and a tiny field with fewer elements than one warp per slice.
+const zc::Dims3 kShapes[] = {{24, 20, 16}, {33, 21, 13}, {20, 20, 20}, {7, 5, 3}};
+
+void expect_stats_equal(const vgpu::KernelStats& a, const vgpu::KernelStats& b,
+                        const char* what) {
+    EXPECT_EQ(a.launches, b.launches) << what;
+    EXPECT_EQ(a.grid_syncs, b.grid_syncs) << what;
+    EXPECT_EQ(a.blocks, b.blocks) << what;
+    EXPECT_EQ(a.global_bytes_read, b.global_bytes_read) << what;
+    EXPECT_EQ(a.global_bytes_written, b.global_bytes_written) << what;
+    EXPECT_EQ(a.shared_bytes_read, b.shared_bytes_read) << what;
+    EXPECT_EQ(a.shared_bytes_written, b.shared_bytes_written) << what;
+    EXPECT_EQ(a.shuffle_ops, b.shuffle_ops) << what;
+    EXPECT_EQ(a.thread_iters, b.thread_iters) << what;
+    EXPECT_EQ(a.lane_ops, b.lane_ops) << what;
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndForceable) {
+    BackendGuard guard;
+    EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+    ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+    EXPECT_EQ(simd::ops().width, 1u);
+}
+
+TEST(SimdDispatch, AvailableBackendsAreForceableAndNamed) {
+    BackendGuard guard;
+    const auto backends = simd::available_backends();
+    ASSERT_FALSE(backends.empty());
+    for (simd::Backend b : backends) {
+        ASSERT_TRUE(simd::force_backend(b)) << simd::backend_name(b);
+        EXPECT_EQ(simd::active_backend(), b);
+        EXPECT_STREQ(simd::ops().name, simd::backend_name(b));
+        EXPECT_GE(simd::ops().width, 1u);
+        // The banner surfaces the active backend for bench/CLI logs.
+        EXPECT_NE(simd::banner().find(simd::backend_name(b)), std::string::npos);
+    }
+}
+
+TEST(SimdDispatch, UnavailableBackendIsRejected) {
+    BackendGuard guard;
+    const auto backends = simd::available_backends();
+    for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+                            simd::Backend::kNeon}) {
+        const bool avail = std::find(backends.begin(), backends.end(), b) != backends.end();
+        EXPECT_EQ(simd::force_backend(b), avail) << simd::backend_name(b);
+        if (!avail) {
+            // A rejected force must leave the previous selection in place.
+            EXPECT_NE(simd::active_backend(), b);
+        }
+    }
+}
+
+/// Reference shuffle ladder: the per-offset fold reduce_shfl_down performs
+/// (off = 16, 8, 4, 2, 1; lane l folds with l + off when both are < n;
+/// in-round reads see pre-update values, which ascending in-place order
+/// preserves because every source index is ahead of the writing lane).
+template <class Op>
+double ladder(const double* lanes, std::uint32_t n, Op op) {
+    double buf[vgpu::kWarpSize];
+    std::copy(lanes, lanes + n, buf);
+    for (std::uint32_t off = 16; off > 0; off /= 2) {
+        for (std::uint32_t l = 0; l + off < n; ++l) buf[l] = op(buf[l], buf[l + off]);
+    }
+    return buf[0];
+}
+
+TEST(SimdLaneReduce, MatchesShuffleLadderOnEveryBackend) {
+    BackendGuard guard;
+    double lanes[vgpu::kWarpSize];
+    for (std::uint32_t i = 0; i < vgpu::kWarpSize; ++i) {
+        // Values with wildly different magnitudes make the fold order
+        // observable: a different pairwise tree changes the sum's bits.
+        lanes[i] = (i % 2 == 0 ? 1.0 : -1.0) * (1.0 + 1e-13 * i) * (1u << (i % 20));
+    }
+    for (simd::Backend b : simd::available_backends()) {
+        ASSERT_TRUE(simd::force_backend(b));
+        const simd::Ops& ops = simd::ops();
+        for (std::uint32_t n : {1u, 2u, 3u, 5u, 8u, 17u, 31u, 32u}) {
+            EXPECT_EQ(ops.reduce_sum(lanes, n),
+                      ladder(lanes, n, [](double x, double y) { return x + y; }))
+                << simd::backend_name(b) << " sum n=" << n;
+            EXPECT_EQ(ops.reduce_min(lanes, n),
+                      ladder(lanes, n, [](double x, double y) { return x < y ? x : y; }))
+                << simd::backend_name(b) << " min n=" << n;
+            EXPECT_EQ(ops.reduce_max(lanes, n),
+                      ladder(lanes, n, [](double x, double y) { return x > y ? x : y; }))
+                << simd::backend_name(b) << " max n=" << n;
+        }
+    }
+}
+
+TEST(SimdBackendEquivalence, CuzcPatternsBitIdentical) {
+    BackendGuard guard;
+    for (const zc::Dims3& dims : kShapes) {
+        const auto f = make(dims, 7 + dims.h);
+        zc::MetricsConfig cfg;
+        cfg.pdf_bins = 16;
+
+        ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+        vgpu::Device dev0;
+        const czc::CuzcResult base = czc::assess(dev0, f.orig.view(), f.dec.view(), cfg);
+
+        for (simd::Backend b : simd::available_backends()) {
+            if (b == simd::Backend::kScalar) continue;
+            ASSERT_TRUE(simd::force_backend(b));
+            vgpu::Device dev;
+            const czc::CuzcResult r = czc::assess(dev, f.orig.view(), f.dec.view(), cfg);
+            SCOPED_TRACE(std::string(simd::backend_name(b)) + " dims " +
+                         std::to_string(dims.h) + "x" + std::to_string(dims.w) + "x" +
+                         std::to_string(dims.l));
+            tst::expect_reports_identical(base.report, r.report);
+            expect_stats_equal(base.pattern1, r.pattern1, "pattern1");
+            expect_stats_equal(base.pattern2, r.pattern2, "pattern2");
+            expect_stats_equal(base.pattern3, r.pattern3, "pattern3");
+        }
+    }
+}
+
+TEST(SimdBackendEquivalence, MozcBaselineBitIdentical) {
+    BackendGuard guard;
+    // Adds a sub-warp field (27 elements) to the shared shape matrix: the
+    // reduce chunks then cover a single partial warp.
+    std::vector<zc::Dims3> shapes(std::begin(kShapes), std::end(kShapes));
+    shapes.push_back({3, 3, 3});
+    for (const zc::Dims3& dims : shapes) {
+        const auto f = make(dims, 11 + dims.w);
+        zc::MetricsConfig cfg;
+        cfg.pdf_bins = 16;
+
+        ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+        vgpu::Device dev0;
+        const mozc::MozcResult base = mozc::assess(dev0, f.orig.view(), f.dec.view(), cfg);
+
+        for (simd::Backend b : simd::available_backends()) {
+            if (b == simd::Backend::kScalar) continue;
+            ASSERT_TRUE(simd::force_backend(b));
+            vgpu::Device dev;
+            const mozc::MozcResult r = mozc::assess(dev, f.orig.view(), f.dec.view(), cfg);
+            SCOPED_TRACE(std::string(simd::backend_name(b)) + " dims " +
+                         std::to_string(dims.h) + "x" + std::to_string(dims.w) + "x" +
+                         std::to_string(dims.l));
+            tst::expect_reports_identical(base.report, r.report);
+            expect_stats_equal(base.pattern1, r.pattern1, "mozc pattern1");
+            expect_stats_equal(base.pattern2, r.pattern2, "mozc pattern2");
+            expect_stats_equal(base.pattern3, r.pattern3, "mozc pattern3");
+        }
+    }
+}
+
+TEST(ThreadTableCache, AlternatingShapesKeepPointersStable) {
+    vgpu::ThreadTable table;
+    const vgpu::Dim3 a{32, 8, 1}, b{16, 16, 1}, c{8, 8, 1};
+    const vgpu::ThreadCtx* pa = table.get(a);
+    const vgpu::ThreadCtx* pb = table.get(b);
+    // Alternating between two shapes (pattern1 vs pattern2 launches) must
+    // flip between the cached entries, not rebuild.
+    EXPECT_EQ(table.get(a), pa);
+    EXPECT_EQ(table.get(b), pb);
+    EXPECT_EQ(table.get(a), pa);
+    // A third shape evicts only the least-recently-used entry.
+    (void)table.get(c);
+    EXPECT_EQ(table.get(a), pa);
+}
+
+TEST(ThreadTableCache, RebuiltTableHasCorrectContexts) {
+    vgpu::ThreadTable table;
+    const vgpu::ThreadCtx* p = table.get({16, 16, 1});
+    for (std::uint32_t i : {0u, 15u, 16u, 100u, 255u}) {
+        EXPECT_EQ(p[i].linear, i);
+        EXPECT_EQ(p[i].tid.x, i % 16);
+        EXPECT_EQ(p[i].tid.y, i / 16);
+        EXPECT_EQ(p[i].warp, i / vgpu::kWarpSize);
+        EXPECT_EQ(p[i].lane, i % vgpu::kWarpSize);
+    }
+}
+
+}  // namespace

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Profiler-stability gate for CI.
 
-Compares a fresh bench_vgpu_wallclock run against the checked-in baseline
-(BENCH_vgpu_wallclock.json). The virtual GPU's profiler counters are
-deterministic — bit-identical across hosts and worker counts — so any drift
-in the per-(dataset, scale, kernel) "stats" objects means a kernel's data
-movement actually changed. Wall-clock "seconds"/"blocks_per_sec" fields are
-machine-dependent and ignored.
+Compares fresh bench runs against their checked-in baselines
+(BENCH_vgpu_wallclock.json, BENCH_simd_speedup.json). The virtual GPU's
+profiler counters are deterministic — bit-identical across hosts, worker
+counts, and SIMD backends — so any drift in the per-(dataset, scale,
+kernel) "stats" objects means a kernel's data movement actually changed.
+Wall-clock "seconds"/"speedup" fields are machine-dependent and ignored.
 
-Usage: check_bench_stats.py BASELINE.json FRESH.json
+Usage: check_bench_stats.py BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...]
 Exit 0 when every counter matches; 1 with a per-counter diff otherwise.
 """
 
@@ -26,13 +26,10 @@ def keyed_stats(doc):
     return out
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    with open(argv[1]) as f:
+def compare_pair(baseline_path, fresh_path):
+    with open(baseline_path) as f:
         baseline = keyed_stats(json.load(f))
-    with open(argv[2]) as f:
+    with open(fresh_path) as f:
         fresh = keyed_stats(json.load(f))
 
     failures = []
@@ -49,18 +46,34 @@ def main(argv):
                 failures.append(
                     f"{key}: {counter} drifted {base.get(counter)} -> {new.get(counter)}"
                 )
+    return failures, len(baseline)
+
+
+def main(argv):
+    paths = argv[1:]
+    if len(paths) < 2 or len(paths) % 2 != 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for i in range(0, len(paths), 2):
+        pair_failures, nrows = compare_pair(paths[i], paths[i + 1])
+        failures.extend(f"{paths[i]}: {line}" for line in pair_failures)
+        compared += nrows
 
     if failures:
         print("profiler counter drift against checked-in baseline:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         print(
-            "If the change is intentional, regenerate the baseline with\n"
-            "  bench_vgpu_wallclock --out=BENCH_vgpu_wallclock.json",
+            "If the change is intentional, regenerate the baselines with\n"
+            "  bench_vgpu_wallclock --out=BENCH_vgpu_wallclock.json\n"
+            "  bench_simd_speedup --out=BENCH_simd_speedup.json",
             file=sys.stderr,
         )
         return 1
-    print(f"profiler counters stable across {len(baseline)} kernel runs")
+    print(f"profiler counters stable across {compared} kernel runs")
     return 0
 
 

@@ -16,6 +16,7 @@
 #include "serve/serve.hpp"
 #include "sz/sz.hpp"
 #include "vgpu/scheduler.hpp"
+#include "vgpu/simd.hpp"
 
 namespace cuzc::cli {
 
@@ -328,6 +329,7 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
         }
 
         if (opt.show_profile) {
+            err << vgpu::simd::banner() << "\n";
             for (const auto& p : profiles) {
                 err << p.name << ": launches=" << p.launches << " global=" << p.global_bytes()
                     << "B shared=" << p.shared_bytes() << "B shuffles=" << p.shuffle_ops
