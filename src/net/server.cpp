@@ -1,0 +1,630 @@
+#include "server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "wire.hpp"
+
+namespace cuzc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> reject_payload(std::string message) {
+    serve::AssessResponse resp;
+    resp.rejected = true;
+    resp.error = std::move(message);
+    return encode_response(resp);
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+    /// Self-pipe constructed before the service so the service's
+    /// on_response hook can capture the write end.
+    struct WakePipe {
+        int r = -1, w = -1;
+        WakePipe() {
+            int fds[2] = {-1, -1};
+            if (::pipe(fds) != 0) throw std::runtime_error("net: pipe() failed");
+            r = fds[0];
+            w = fds[1];
+            set_nonblocking(r);
+            set_nonblocking(w);
+        }
+        ~WakePipe() {
+            if (r >= 0) ::close(r);
+            if (w >= 0) ::close(w);
+        }
+    };
+
+    /// The embedded service config with the completion wake-up wired in:
+    /// the first response fulfilled since the loop last drained the pipe
+    /// writes one byte, so the poller wakes on completions instead of
+    /// rediscovering them on a timeout quantum.
+    [[nodiscard]] serve::ServiceConfig wired_service_config() {
+        serve::ServiceConfig s = cfg.service;
+        const int w = wake.w;
+        std::atomic<bool>* flagged = &wake_flagged;
+        s.on_response = [w, flagged] {
+            if (flagged->exchange(true, std::memory_order_acq_rel)) return;
+            const char b = 1;
+            [[maybe_unused]] const ssize_t n = ::write(w, &b, 1);
+        };
+        return s;
+    }
+
+    explicit Impl(NetServerConfig c) : cfg(std::move(c)), service(wired_service_config()) {
+        listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd < 0) throw std::runtime_error("net: socket() failed");
+        const int one = 1;
+        ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg.port);
+        if (::inet_pton(AF_INET, cfg.bind_address.c_str(), &addr.sin_addr) != 1) {
+            ::close(listen_fd);
+            throw std::runtime_error("net: bad bind address '" + cfg.bind_address + "'");
+        }
+        if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+            ::listen(listen_fd, 64) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd);
+            listen_fd = -1;
+            throw std::runtime_error("net: cannot listen on " + cfg.bind_address + ":" +
+                                     std::to_string(cfg.port) + " (" + why + ")");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+        bound_port = ntohs(bound.sin_port);
+        set_nonblocking(listen_fd);
+    }
+
+    ~Impl() {
+        if (listen_fd >= 0) ::close(listen_fd);
+        for (auto& [id, conn] : conns) ::close(conn.fd);
+    }
+
+    struct Conn {
+        int fd = -1;
+        std::uint64_t id = 0;
+        FrameAssembler assembler;
+        std::deque<std::vector<std::uint8_t>> write_q;
+        std::size_t write_bytes = 0;  ///< unsent bytes across write_q
+        std::size_t front_off = 0;    ///< sent prefix of write_q.front()
+        std::size_t inflight = 0;     ///< requests submitted, response not yet queued
+        bool handshaken = false;
+        bool goodbye = false;
+        Clock::time_point opened;
+        Clock::time_point last_activity;
+
+        explicit Conn(std::size_t max_payload) : assembler(max_payload) {}
+    };
+
+    struct PendingResp {
+        std::uint64_t conn_id = 0;
+        std::uint64_t request_id = 0;
+        std::future<serve::AssessResponse> fut;
+    };
+
+    NetServerConfig cfg;
+    WakePipe wake;
+    /// Completion wake-ups pending since the loop last drained the pipe
+    /// (collapses a settle burst into one pipe write).
+    std::atomic<bool> wake_flagged{false};
+    serve::AssessService service;
+    int listen_fd = -1;
+    std::uint16_t bound_port = 0;
+
+    std::unordered_map<std::uint64_t, Conn> conns;
+    std::uint64_t next_conn_id = 1;
+    std::vector<PendingResp> pending;
+
+    std::atomic<bool> draining{false};
+    std::atomic<bool> loop_running{false};
+    std::thread loop_thread;
+    std::mutex start_mu;
+
+    mutable std::mutex tele_mu;
+    serve::NetTelemetry tele;
+
+    // --- Event loop ----------------------------------------------------
+
+    void run() {
+        bool drain_seen = false;
+        Clock::time_point drain_start{};
+        for (;;) {
+            if (draining.load(std::memory_order_acquire) && !drain_seen) {
+                drain_seen = true;
+                drain_start = Clock::now();
+                if (listen_fd >= 0) {
+                    ::close(listen_fd);
+                    listen_fd = -1;
+                }
+            }
+            if (drain_seen) {
+                // Drained: every accepted request settled and every
+                // response flushed (or the grace expired on stuck peers).
+                const bool flushed = std::all_of(
+                    conns.begin(), conns.end(),
+                    [](const auto& kv) { return kv.second.write_q.empty(); });
+                const bool grace_over =
+                    seconds_between(drain_start, Clock::now()) > kDrainGraceSeconds;
+                if ((pending.empty() && flushed) || grace_over) {
+                    std::vector<std::uint64_t> ids;
+                    ids.reserve(conns.size());
+                    for (auto& [id, conn] : conns) ids.push_back(id);
+                    for (std::uint64_t id : ids) close_conn(id);
+                    break;
+                }
+            }
+
+            std::vector<pollfd> fds;
+            std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = control)
+            fds.push_back({wake.r, POLLIN, 0});
+            fd_conn.push_back(0);
+            if (!drain_seen && listen_fd >= 0 && conns.size() < cfg.max_connections) {
+                fds.push_back({listen_fd, POLLIN, 0});
+                fd_conn.push_back(0);
+            }
+            for (auto& [id, conn] : conns) {
+                short events = 0;
+                const bool read_open = !drain_seen && !conn.goodbye &&
+                                       conn.inflight < cfg.max_inflight_per_connection &&
+                                       conn.assembler.buffered() < cfg.max_read_buffer;
+                if (read_open) events |= POLLIN;
+                if (!conn.write_q.empty()) events |= POLLOUT;
+                // Always watch for hangup/errors even when backpressured.
+                fds.push_back({conn.fd, events, 0});
+                fd_conn.push_back(id);
+            }
+
+            // Completed responses interrupt poll() through the wake pipe
+            // (ServiceConfig::on_response), so the loop can sleep a full
+            // quantum even with settles outstanding instead of spinning a
+            // 1 ms busy-wait against the worker on single-core hosts.
+            const int timeout_ms = 25;
+            const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+            if (rc < 0 && errno != EINTR) break;  // unrecoverable poll failure
+
+            if (fds[0].revents & POLLIN) {
+                char buf[64];
+                while (::read(wake.r, buf, sizeof(buf)) > 0) {
+                }
+                // Re-arm strictly after draining: a hook write landing in
+                // between stays buffered for the next poll instead of
+                // being eaten with the flag left set (a lost wake-up).
+                wake_flagged.store(false, std::memory_order_release);
+            }
+            for (std::size_t i = 1; i < fds.size(); ++i) {
+                if (fd_conn[i] == 0) {
+                    if (fds[i].revents & POLLIN) do_accept();
+                    continue;
+                }
+                const std::uint64_t id = fd_conn[i];
+                auto it = conns.find(id);
+                if (it == conns.end()) continue;
+                if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+                    close_conn(id);
+                    continue;
+                }
+                if (fds[i].revents & POLLIN) {
+                    if (!do_read(id)) continue;  // connection closed
+                }
+                it = conns.find(id);
+                if (it != conns.end() && (fds[i].revents & POLLOUT)) flush(it->second);
+            }
+
+            settle_futures();
+            // Settled futures may have freed in-flight slots; frames that
+            // were buffered while a connection sat at its cap parse now.
+            {
+                std::vector<std::uint64_t> ids;
+                ids.reserve(conns.size());
+                for (auto& [id, conn] : conns) {
+                    if (conn.assembler.buffered() >= FrameHeader::kSize) ids.push_back(id);
+                }
+                for (std::uint64_t id : ids) process_frames(id);
+            }
+            enforce_timers();
+            reap_goodbyes();
+        }
+        loop_running.store(false, std::memory_order_release);
+    }
+
+    static constexpr double kDrainGraceSeconds = 10.0;
+
+    void do_accept() {
+        for (;;) {
+            if (conns.size() >= cfg.max_connections) return;
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) return;  // EAGAIN or transient
+            set_nonblocking(fd);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            if (cfg.socket_buffer_bytes > 0) {
+                const int sz = static_cast<int>(
+                    std::min<std::size_t>(cfg.socket_buffer_bytes, 1ull << 30));
+                ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+                ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+            }
+            const std::uint64_t id = next_conn_id++;
+            Conn conn(cfg.max_frame_payload);
+            conn.fd = fd;
+            conn.id = id;
+            conn.opened = conn.last_activity = Clock::now();
+            conns.emplace(id, std::move(conn));
+            std::lock_guard lk(tele_mu);
+            ++tele.connections_accepted;
+            ++tele.connections_active;
+        }
+    }
+
+    /// Returns false when the connection was closed. All per-connection
+    /// work is id-based: enqueue_frame -> flush can disconnect a slow
+    /// client and erase the Conn, so references are re-resolved after
+    /// every call that might write.
+    bool do_read(std::uint64_t id) {
+        auto it = conns.find(id);
+        if (it == conns.end()) return false;
+        Conn& conn = it->second;
+        constexpr std::size_t kChunk = 64 * 1024;
+        std::size_t taken = 0;
+        for (;;) {
+            // recv() straight into the assembler's tail — no bounce buffer.
+            const std::span<std::uint8_t> room = conn.assembler.writable(kChunk);
+            const ssize_t n = ::recv(conn.fd, room.data(), room.size(), 0);
+            if (n > 0) {
+                conn.last_activity = Clock::now();
+                {
+                    std::lock_guard lk(tele_mu);
+                    tele.bytes_rx += static_cast<std::uint64_t>(n);
+                }
+                conn.assembler.commit(static_cast<std::size_t>(n));
+                taken += static_cast<std::size_t>(n);
+                // Yield to frame processing before buffering unboundedly.
+                if (taken >= 2 * kChunk ||
+                    conn.assembler.buffered() >= cfg.max_read_buffer) {
+                    break;
+                }
+                continue;
+            }
+            if (n == 0) {  // peer closed
+                close_conn(id);
+                return false;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_conn(id);
+            return false;
+        }
+        return process_frames(id);
+    }
+
+    /// Returns false when the connection was closed.
+    bool process_frames(std::uint64_t id) {
+        for (;;) {
+            auto it = conns.find(id);
+            if (it == conns.end()) return false;
+            Conn& conn = it->second;
+            // Backpressure: past the in-flight cap, leave buffered frames
+            // unparsed; the poll loop also stops reading the socket, and
+            // settle_futures() re-drives parsing when slots free up.
+            if (conn.inflight >= cfg.max_inflight_per_connection) return true;
+            // Zero-copy: handle_frame decodes res.view before the next
+            // assembler call, so the payload is never extracted.
+            FrameAssembler::Result res = conn.assembler.next_view();
+            switch (res.status) {
+                case FrameAssembler::Status::kNeedMore:
+                    return true;
+                case FrameAssembler::Status::kBadMagic:
+                case FrameAssembler::Status::kBadVersion: {
+                    // The stream cannot be resynchronized; drop the peer.
+                    count_rejected_frame();
+                    close_conn(id);
+                    return false;
+                }
+                case FrameAssembler::Status::kOversize: {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
+                                  reject_payload("oversized frame rejected"));
+                    break;
+                }
+                case FrameAssembler::Status::kBadChecksum: {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
+                                  reject_payload("frame checksum mismatch"));
+                    break;
+                }
+                case FrameAssembler::Status::kFrame: {
+                    {
+                        std::lock_guard lk(tele_mu);
+                        ++tele.frames_rx;
+                    }
+                    if (!handle_frame(id, res)) return false;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Returns false when the connection was closed.
+    bool handle_frame(std::uint64_t id, FrameAssembler::Result& res) {
+        auto it = conns.find(id);
+        if (it == conns.end()) return false;
+        Conn& conn = it->second;
+        const auto type = static_cast<FrameType>(res.header.type);
+        if (!conn.handshaken) {
+            if (type != FrameType::kHello) {
+                count_rejected_frame();
+                close_conn(id);
+                return false;
+            }
+            try {
+                decode_hello(res.view);
+            } catch (const WireError&) {
+                count_rejected_frame();
+                close_conn(id);
+                return false;
+            }
+            conn.handshaken = true;
+            HelloAck ack;
+            ack.max_frame_payload = cfg.max_frame_payload;
+            ack.max_inflight_per_connection = cfg.max_inflight_per_connection;
+            enqueue_frame(conn, FrameType::kHelloAck, 0, encode_hello_ack(ack));
+            return conns.count(id) != 0;
+        }
+        switch (type) {
+            case FrameType::kRequest: {
+                serve::AssessRequest req;
+                try {
+                    req = decode_request(res.view);
+                } catch (const WireError& e) {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
+                                  reject_payload(std::string("bad request frame: ") + e.what()));
+                    return conns.count(id) != 0;
+                }
+                PendingResp p;
+                p.conn_id = id;
+                p.request_id = res.header.request_id;
+                p.fut = service.submit(std::move(req));
+                pending.push_back(std::move(p));
+                ++conn.inflight;
+                std::lock_guard lk(tele_mu);
+                ++tele.requests_accepted;
+                ++tele.requests_in_flight;
+                return true;
+            }
+            case FrameType::kGoodbye:
+                conn.goodbye = true;
+                return true;
+            default:
+                // A client must not send server-only frame types.
+                count_rejected_frame();
+                close_conn(id);
+                return false;
+        }
+    }
+
+    void settle_futures() {
+        // Queue every ready response first, then flush each touched
+        // connection once — a settle burst becomes one send() per peer
+        // instead of one per response. The scan preserves submission order
+        // and stops probing after a run of not-ready entries: completion
+        // is near-FIFO (per-device queues, instant cache hits), and
+        // wait_for(0) on hundreds of pending futures every loop round is
+        // real event-loop CPU.
+        std::vector<std::uint64_t> touched;
+        std::size_t kept = 0, miss_streak = 0;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            const bool ready =
+                miss_streak < 16 && pending[i].fut.wait_for(std::chrono::seconds(0)) ==
+                                        std::future_status::ready;
+            if (!ready) {
+                ++miss_streak;
+                if (kept != i) pending[kept] = std::move(pending[i]);
+                ++kept;
+                continue;
+            }
+            miss_streak = 0;
+            PendingResp p = std::move(pending[i]);
+            serve::AssessResponse resp = p.fut.get();
+            auto it = conns.find(p.conn_id);
+            {
+                std::lock_guard lk(tele_mu);
+                --tele.requests_in_flight;
+                if (it != conns.end()) {
+                    ++tele.requests_completed;
+                } else {
+                    ++tele.requests_failed;  // peer vanished; response dropped
+                }
+            }
+            if (it != conns.end()) {
+                if (it->second.inflight > 0) --it->second.inflight;
+                queue_frame(it->second, encode_response_frame(resp, p.request_id));
+                if (std::find(touched.begin(), touched.end(), p.conn_id) == touched.end()) {
+                    touched.push_back(p.conn_id);
+                }
+            }
+        }
+        pending.resize(kept);
+        for (std::uint64_t id : touched) {
+            auto it = conns.find(id);
+            if (it != conns.end()) flush(it->second);
+        }
+    }
+
+    void enforce_timers() {
+        const auto now = Clock::now();
+        std::vector<std::uint64_t> expired;
+        for (auto& [id, conn] : conns) {
+            if (!conn.handshaken && cfg.handshake_timeout_s > 0 &&
+                seconds_between(conn.opened, now) > cfg.handshake_timeout_s) {
+                expired.push_back(id);
+            } else if (conn.handshaken && cfg.idle_timeout_s > 0 && conn.inflight == 0 &&
+                       seconds_between(conn.last_activity, now) > cfg.idle_timeout_s) {
+                expired.push_back(id);
+            }
+        }
+        for (std::uint64_t id : expired) close_conn(id);
+    }
+
+    void reap_goodbyes() {
+        std::vector<std::uint64_t> done;
+        for (auto& [id, conn] : conns) {
+            if (conn.goodbye && conn.inflight == 0 && conn.write_q.empty()) done.push_back(id);
+        }
+        for (std::uint64_t id : done) close_conn(id);
+    }
+
+    void enqueue_frame(Conn& conn, FrameType type, std::uint64_t request_id,
+                       std::vector<std::uint8_t> payload) {
+        enqueue_built_frame(conn, encode_frame(type, request_id, payload));
+    }
+
+    /// Queue without flushing (batched senders flush once afterwards).
+    void queue_frame(Conn& conn, std::vector<std::uint8_t> frame) {
+        conn.write_q.push_back(std::move(frame));
+        conn.write_bytes += conn.write_q.back().size();
+        std::lock_guard lk(tele_mu);
+        ++tele.frames_tx;
+    }
+
+    void enqueue_built_frame(Conn& conn, std::vector<std::uint8_t> frame) {
+        queue_frame(conn, std::move(frame));
+        flush(conn);
+    }
+
+    void flush(Conn& conn) {
+        while (!conn.write_q.empty()) {
+            // Scatter-gather across queued frames: a settle burst goes out
+            // in one syscall instead of one per response.
+            iovec iov[64];
+            int n_iov = 0;
+            std::size_t off = conn.front_off;
+            for (auto it = conn.write_q.begin(); it != conn.write_q.end() && n_iov < 64; ++it) {
+                iov[n_iov].iov_base = it->data() + off;
+                iov[n_iov].iov_len = it->size() - off;
+                ++n_iov;
+                off = 0;
+            }
+            msghdr msg{};
+            msg.msg_iov = iov;
+            msg.msg_iovlen = static_cast<std::size_t>(n_iov);
+            const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                if (errno == EINTR) continue;
+                close_conn(conn.id);
+                return;
+            }
+            conn.last_activity = Clock::now();
+            conn.write_bytes -= static_cast<std::size_t>(n);
+            {
+                std::lock_guard lk(tele_mu);
+                tele.bytes_tx += static_cast<std::uint64_t>(n);
+            }
+            std::size_t left = static_cast<std::size_t>(n);
+            while (left > 0) {
+                const std::size_t avail = conn.write_q.front().size() - conn.front_off;
+                if (left >= avail) {
+                    left -= avail;
+                    conn.write_q.pop_front();
+                    conn.front_off = 0;
+                } else {
+                    conn.front_off += left;
+                    left = 0;
+                }
+            }
+        }
+        // Slow-client disconnect: the peer is not draining its responses
+        // and the bounded write queue is exhausted.
+        if (conn.write_bytes > cfg.max_write_buffer) close_conn(conn.id);
+    }
+
+    void close_conn(std::uint64_t id) {
+        auto it = conns.find(id);
+        if (it == conns.end()) return;
+        ::close(it->second.fd);
+        conns.erase(it);
+        // Pending futures of this connection settle later and count as
+        // failed deliveries (requests_failed) in settle_futures().
+        std::lock_guard lk(tele_mu);
+        ++tele.connections_closed;
+        --tele.connections_active;
+    }
+
+    void count_rejected_frame() {
+        std::lock_guard lk(tele_mu);
+        ++tele.frames_rejected;
+    }
+};
+
+NetServer::NetServer(NetServerConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+NetServer::~NetServer() {
+    shutdown();
+    if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+}
+
+std::uint16_t NetServer::port() const noexcept { return impl_->bound_port; }
+
+void NetServer::run() {
+    {
+        std::lock_guard lk(impl_->start_mu);
+        if (impl_->loop_running.exchange(true)) return;  // already running
+    }
+    impl_->run();
+}
+
+void NetServer::start() {
+    std::lock_guard lk(impl_->start_mu);
+    if (impl_->loop_running.exchange(true)) return;
+    impl_->loop_thread = std::thread([this] { impl_->run(); });
+}
+
+void NetServer::shutdown() noexcept {
+    impl_->draining.store(true, std::memory_order_release);
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(impl_->wake.w, &b, 1);
+}
+
+serve::NetTelemetry NetServer::telemetry() const {
+    std::lock_guard lk(impl_->tele_mu);
+    return impl_->tele;
+}
+
+serve::ServiceTelemetry NetServer::service_telemetry() const { return impl_->service.telemetry(); }
+
+}  // namespace cuzc::net

@@ -1,0 +1,225 @@
+#pragma once
+
+/// cuzc-wire-v1 — the length-prefixed binary protocol spoken between
+/// cuzc::net::NetServer and NetClient (see DESIGN.md §7).
+///
+/// Every frame is a fixed 24-byte little-endian header followed by
+/// `payload_len` payload bytes:
+///
+///   u32 magic        0x43575A43 ("CZWC")
+///   u16 version      1
+///   u16 type         FrameType
+///   u64 request_id   client-chosen; echoed on the response
+///   u32 payload_len  payload bytes that follow
+///   u32 checksum     lane-striped FNV over the payload bytes, folded to
+///                    32 bits (see frame_checksum)
+///
+/// A connection opens with a Hello / HelloAck exchange carrying the
+/// protocol name ("cuzc-wire-v1") so version skew fails fast, then any
+/// number of Request frames may be in flight concurrently; the server
+/// responds with one Response frame per request, in completion order.
+/// Decoding is strictly bounds-checked: a truncated or oversized frame is
+/// rejected (and, where the stream stays synchronized, skipped) without
+/// tearing down the process.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "zc/report.hpp"
+
+namespace cuzc::net {
+
+inline constexpr std::uint32_t kMagic = 0x43575A43u;  // "CZWC"
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::string_view kProtocolName = "cuzc-wire-v1";
+
+enum class FrameType : std::uint16_t {
+    kHello = 1,     ///< client -> server: protocol name
+    kHelloAck = 2,  ///< server -> client: protocol name + server limits
+    kRequest = 3,   ///< client -> server: serialized AssessRequest
+    kResponse = 4,  ///< server -> client: serialized AssessResponse
+    kGoodbye = 5,   ///< client -> server: drain my in-flight, then close
+};
+
+/// Any framing/decoding violation: truncated payload, field count that
+/// disagrees with the declared shape, over-limit sizes, bad handshake.
+struct WireError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+struct FrameHeader {
+    std::uint32_t magic = kMagic;
+    std::uint16_t version = kVersion;
+    std::uint16_t type = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t payload_len = 0;
+    std::uint32_t checksum = 0;
+
+    static constexpr std::size_t kSize = 24;
+};
+
+/// The wire frame checksum: FNV-1a-64 striped over 8 independent lanes,
+/// each consuming one 64-bit word per round (lanes are seeded distinctly,
+/// folded together FNV-style at the end, and the 64-bit fold is xor-folded
+/// down to 32 bits). Integrity-equivalent to plain FNV for the corruptions
+/// a socket can produce, but the 8 independent multiply chains process
+/// 64 bytes per round instead of 1 — frame payloads carry whole fields,
+/// and a serial checksum would dominate loopback serving cost.
+[[nodiscard]] std::uint32_t frame_checksum(std::span<const std::uint8_t> bytes) noexcept;
+/// Plain byte-wise FNV-1a-64 (report digests; small inputs).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                                    std::uint64_t h = 14695981039346656037ull) noexcept;
+
+/// Little-endian append-only payload builder.
+class Writer {
+public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v);
+    void f64(double v);
+    void f32_span(std::span<const float> v);  ///< count-prefixed (u64)
+    void str(std::string_view v);             ///< length-prefixed (u32)
+    void bytes(std::span<const std::uint8_t> v);  ///< count-prefixed (u64)
+    void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+    void zeros(std::size_t n) { buf_.resize(buf_.size() + n); }
+
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] std::span<const std::uint8_t> view() const noexcept { return buf_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload reader: every accessor throws
+/// WireError("truncated payload") instead of reading past the end, and
+/// count-prefixed accessors validate the count against the bytes that are
+/// actually left before allocating.
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint16_t u16();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] std::int32_t i32();
+    [[nodiscard]] double f64();
+    [[nodiscard]] std::vector<float> f32_span();
+    [[nodiscard]] std::string str();
+    [[nodiscard]] std::vector<std::uint8_t> bytes();
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    /// Throws unless every payload byte was consumed (trailing garbage is
+    /// as suspect as truncation).
+    void expect_end() const;
+
+private:
+    void need(std::size_t n) const;
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+// --- Payload codecs ----------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello();
+/// Throws WireError when the payload does not carry kProtocolName.
+void decode_hello(std::span<const std::uint8_t> payload);
+
+struct HelloAck {
+    std::size_t max_frame_payload = 0;
+    std::size_t max_inflight_per_connection = 0;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack);
+[[nodiscard]] HelloAck decode_hello_ack(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const serve::AssessRequest& req);
+[[nodiscard]] serve::AssessRequest decode_request(std::span<const std::uint8_t> payload);
+
+/// Profiler counters (CuzcResult's KernelStats) do not cross the wire;
+/// the decoded response carries the assessment report and the request's
+/// service-side metadata (flags, shed list, spans, retries, ...).
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const serve::AssessResponse& resp);
+[[nodiscard]] serve::AssessResponse decode_response(std::span<const std::uint8_t> payload);
+
+/// Canonical byte encoding of a report (the response codec's inner block);
+/// two reports are bit-identical iff these encodings are equal.
+[[nodiscard]] std::vector<std::uint8_t> encode_report(const zc::AssessmentReport& report);
+
+/// Fold a report into a running FNV-1a-64 digest (replay artifacts use
+/// this to prove remote and in-process replays produced identical bits).
+[[nodiscard]] std::uint64_t digest_report(std::uint64_t h, const zc::AssessmentReport& report);
+
+// --- Frame assembly ----------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,
+                                                     std::span<const std::uint8_t> payload);
+
+/// Single-buffer frame builders for the payloads that carry whole fields:
+/// the payload is encoded after a header-sized gap and the header patched
+/// in place, so the bytes are written once instead of payload + frame copy.
+[[nodiscard]] std::vector<std::uint8_t> encode_request_frame(const serve::AssessRequest& req,
+                                                             std::uint64_t request_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_response_frame(const serve::AssessResponse& resp,
+                                                              std::uint64_t request_id);
+
+/// Incremental frame extractor over a byte stream. Feed received bytes,
+/// then drain frames with next(). An oversized frame (payload_len above
+/// the limit) is reported once and its payload bytes are then discarded
+/// as they arrive, so the connection survives with bounded memory; a
+/// checksum mismatch is reported with the frame skipped. Only kBadMagic /
+/// kBadVersion leave the stream unsynchronized — the caller must close.
+class FrameAssembler {
+public:
+    explicit FrameAssembler(std::size_t max_payload) : max_payload_(max_payload) {}
+
+    enum class Status {
+        kNeedMore,     ///< no complete frame buffered yet
+        kFrame,        ///< header+payload valid
+        kOversize,     ///< payload_len > limit; payload being discarded
+        kBadChecksum,  ///< framing intact, payload corrupt; frame dropped
+        kBadMagic,     ///< stream is not cuzc-wire; close the connection
+        kBadVersion,   ///< wire version mismatch; close the connection
+    };
+    struct Result {
+        Status status = Status::kNeedMore;
+        FrameHeader header;
+        std::vector<std::uint8_t> payload;  ///< next() only
+        /// next_view() only: the payload in place inside the stream buffer.
+        std::span<const std::uint8_t> view;
+    };
+
+    void feed(std::span<const std::uint8_t> data);
+    /// Zero-copy ingest: expose `n` writable bytes at the buffer tail for
+    /// recv() to fill, then commit(m) the bytes actually received (m <= n).
+    /// Skipped oversize payload bytes are still discarded on commit.
+    [[nodiscard]] std::span<std::uint8_t> writable(std::size_t n);
+    void commit(std::size_t n);
+    [[nodiscard]] Result next();
+    /// Zero-copy variant: a kFrame result carries `view` (aliasing the
+    /// stream buffer) instead of `payload`. The view is invalidated by the
+    /// next feed/writable/next call — decode before pulling more bytes.
+    [[nodiscard]] Result next_view();
+    [[nodiscard]] std::size_t buffered() const noexcept { return end_ - consumed_; }
+
+private:
+    void compact();
+    void ensure_room(std::size_t n);
+    std::size_t max_payload_;
+    /// Storage; [consumed_, end_) are the valid bytes. The dead prefix is
+    /// reclaimed lazily (compact) so draining many buffered frames is not
+    /// quadratic in memmoves.
+    std::vector<std::uint8_t> buf_;
+    std::size_t consumed_ = 0;
+    std::size_t end_ = 0;
+    /// Oversize-skip mode: payload bytes of the rejected frame still owed.
+    std::uint64_t skip_ = 0;
+};
+
+}  // namespace cuzc::net

@@ -507,6 +507,9 @@ struct AssessService::Impl {
             if (queue.empty() && inflight == 0) drain_cv.notify_all();
         }
         p.promise.set_value(std::move(resp));
+        // Strictly after set_value: a woken poller must see the future
+        // ready, not sleep another quantum on a spurious wake.
+        if (config.on_response) config.on_response();
     }
 };
 
@@ -569,6 +572,7 @@ std::future<AssessResponse> AssessService::submit(AssessRequest req) {
     rejected.rejected = true;
     rejected.error = invalid;
     pending->promise.set_value(std::move(rejected));
+    if (impl_->config.on_response) impl_->config.on_response();
     return future;
 }
 

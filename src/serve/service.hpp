@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 
@@ -72,6 +73,13 @@ struct ServiceConfig {
     /// (worker i runs the plan with seed + i, so devices fail
     /// independently but reproducibly). Disabled unless faults.enabled().
     vgpu::FaultPlan faults{};
+
+    /// Called right after each response's future is fulfilled — from a
+    /// worker thread, or from the submitting thread for submit-time
+    /// rejections. Event loops embedding the service use this to wake
+    /// their poller instead of sleeping on a timeout quantum. Must be
+    /// cheap and must not throw.
+    std::function<void()> on_response{};
 };
 
 /// In-process multi-device assessment service (the ROADMAP's "serving"

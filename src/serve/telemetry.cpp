@@ -74,4 +74,24 @@ void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
     os << pad << "}";
 }
 
+void NetTelemetry::write_json(std::ostream& os, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string in1 = pad + "  ";
+    os << "{\n";
+    os << in1 << "\"schema\": \"cuzc-wire-v1\",\n";
+    os << in1 << "\"connections_accepted\": " << connections_accepted << ",\n";
+    os << in1 << "\"connections_closed\": " << connections_closed << ",\n";
+    os << in1 << "\"connections_active\": " << connections_active << ",\n";
+    os << in1 << "\"requests_accepted\": " << requests_accepted << ",\n";
+    os << in1 << "\"requests_completed\": " << requests_completed << ",\n";
+    os << in1 << "\"requests_failed\": " << requests_failed << ",\n";
+    os << in1 << "\"requests_in_flight\": " << requests_in_flight << ",\n";
+    os << in1 << "\"frames_rx\": " << frames_rx << ",\n";
+    os << in1 << "\"frames_tx\": " << frames_tx << ",\n";
+    os << in1 << "\"frames_rejected\": " << frames_rejected << ",\n";
+    os << in1 << "\"bytes_rx\": " << bytes_rx << ",\n";
+    os << in1 << "\"bytes_tx\": " << bytes_tx << "\n";
+    os << pad << "}";
+}
+
 }  // namespace cuzc::serve

@@ -79,4 +79,37 @@ struct ServiceTelemetry {
     void write_json(std::ostream& os, int indent = 0) const;
 };
 
+/// Counters of the socket front-end (cuzc::net::NetServer) speaking the
+/// cuzc-wire-v1 protocol. They sit *in front of* ServiceTelemetry: every
+/// wire request the server accepts becomes exactly one AssessService
+/// submission, so `requests_accepted` here reconciles with the service's
+/// own `queued` counter for a network-only service.
+///
+/// Reconciliation invariants, holding at every snapshot:
+///   requests_accepted == requests_completed + requests_failed
+///                        + requests_in_flight
+///   connections_accepted == connections_active + connections_closed
+/// A request is `completed` when its response frame was queued for
+/// delivery (the service-level rejected flag travels *inside* the
+/// response); it is `failed` only when the response could not be
+/// delivered because its connection died first.
+struct NetTelemetry {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t connections_active = 0;  ///< gauge
+    std::uint64_t requests_accepted = 0;   ///< decoded + submitted to the service
+    std::uint64_t requests_completed = 0;  ///< response frame queued to a live peer
+    std::uint64_t requests_failed = 0;     ///< future settled after its peer vanished
+    std::uint64_t requests_in_flight = 0;  ///< gauge: submitted, future not settled
+    std::uint64_t frames_rx = 0;           ///< well-formed frames decoded
+    std::uint64_t frames_tx = 0;           ///< frames queued for send
+    std::uint64_t frames_rejected = 0;     ///< bad magic/version/checksum/oversize/decode
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+
+    /// Pretty-printed JSON object; `"schema": "cuzc-wire-v1"` names the
+    /// protocol revision the counters describe.
+    void write_json(std::ostream& os, int indent = 0) const;
+};
+
 }  // namespace cuzc::serve

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <cstdlib>
 
@@ -269,11 +271,16 @@ TEST_F(CliFixture, ServeReplayEmitsTelemetryJson) {
     std::string out;
     const int rc = run({"serve", "--replay=" + trace_path.string(), "--devices=2"}, &out);
     EXPECT_EQ(rc, 0);
-    EXPECT_NE(out.find("\"schema\": \"cuzc-serve-replay-v1\""), std::string::npos);
+    EXPECT_NE(out.find("\"schema\": \"cuzc-serve-replay-v2\""), std::string::npos);
     EXPECT_NE(out.find("\"requests\": 3"), std::string::npos);
     EXPECT_NE(out.find("\"cache_hits\": 1"), std::string::npos);
     EXPECT_NE(out.find("\"degraded\": 1"), std::string::npos);
     EXPECT_NE(out.find("cuzc-serve-telemetry-v1"), std::string::npos);
+    // v2 additions: reproducibility context for the replay artifact.
+    EXPECT_NE(out.find("\"simd\": \""), std::string::npos);
+    EXPECT_NE(out.find("\"devices\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"threads\": "), std::string::npos);
+    EXPECT_NE(out.find("\"results_fnv\": \"0x"), std::string::npos);
 }
 
 TEST_F(CliFixture, ServeReplayMissingTraceFails) {
@@ -299,6 +306,103 @@ TEST_F(CliFixture, HelpShowsUsage) {
     std::string out;
     EXPECT_EQ(run({"--help"}, &out), 0);
     EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliFixture, VersionPrintsSchemasAndSimdBanner) {
+    std::string out;
+    EXPECT_EQ(run({"--version"}, &out), 0);
+    EXPECT_NE(out.find("cuzc "), std::string::npos);
+    EXPECT_NE(out.find("cuzc-trace-v1"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-serve-telemetry-v1"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-serve-replay-v2"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-wire-v1"), std::string::npos);
+    // Third line is the SIMD dispatch banner — non-empty, whatever the host.
+    std::istringstream lines(out);
+    std::string l1, l2, l3;
+    std::getline(lines, l1);
+    std::getline(lines, l2);
+    std::getline(lines, l3);
+    EXPECT_FALSE(l3.empty());
+}
+
+TEST_F(CliFixture, ParserValidatesListenConnectAndTrace) {
+    EXPECT_FALSE(parse({"serve"}));                               // needs one mode
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--listen=0"}));   // not both
+    EXPECT_FALSE(parse({"serve", "--listen=abc"}));
+    EXPECT_FALSE(parse({"serve", "--listen=99999"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t", "--port-file=p"}));  // listen-only flag
+    EXPECT_FALSE(parse({"replay", "--replay=t"}));                  // needs --connect
+    EXPECT_FALSE(parse({"replay", "--connect=localhost"}));         // needs :PORT
+    EXPECT_FALSE(parse({"replay", "--connect=localhost:0x", "--replay=t"}));
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--connect=h:1"}));
+
+    const auto listen = parse({"serve", "--listen=0", "--port-file=pf", "--devices=2"});
+    ASSERT_TRUE(listen);
+    EXPECT_TRUE(listen->serve_mode);
+    EXPECT_TRUE(listen->listen_mode);
+    EXPECT_EQ(listen->listen_port, 0);
+    EXPECT_EQ(listen->port_file, "pf");
+
+    const auto replay = parse({"replay", "--connect=127.0.0.1:4242", "--replay=t.trace"});
+    ASSERT_TRUE(replay);
+    EXPECT_TRUE(replay->replay_mode);
+    EXPECT_EQ(replay->connect_host, "127.0.0.1");
+    EXPECT_EQ(replay->connect_port, 4242);
+
+    const auto trace = parse({"trace", "--requests=9", "--seed=5", "--distinct=3"});
+    ASSERT_TRUE(trace);
+    EXPECT_TRUE(trace->trace_mode);
+    EXPECT_EQ(trace->trace_requests, 9u);
+    EXPECT_EQ(trace->trace_seed, 5u);
+    EXPECT_EQ(trace->trace_distinct, 3u);
+}
+
+TEST_F(CliFixture, NetLoopbackReplayMatchesInProcessServe) {
+    // End-to-end through the CLI entry points only: generate a trace,
+    // serve it over a loopback socket, replay it remotely, and check the
+    // result digest equals the in-process replay of the same trace.
+    const auto trace_path = (dir / "t.trace").string();
+    EXPECT_EQ(run({"trace", "--requests=10", "--distinct=4",
+                   "--out=" + trace_path}),
+              0);
+
+    const auto port_path = (dir / "port").string();
+    std::string listen_out;
+    std::thread listener([&] {
+        // run_listen blocks until shutdown_active_servers() below.
+        (void)run({"serve", "--listen=0", "--port-file=" + port_path}, &listen_out);
+    });
+    std::string port;
+    for (int i = 0; i < 500 && port.empty(); ++i) {  // up to ~5 s
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::ifstream pf(port_path);
+        std::getline(pf, port);
+    }
+    ASSERT_FALSE(port.empty()) << "listener never wrote its port file";
+
+    std::string remote_json;
+    const int rc = run({"replay", "--connect=127.0.0.1:" + port,
+                        "--replay=" + trace_path},
+                       &remote_json);
+    cli::shutdown_active_servers();
+    listener.join();
+    ASSERT_EQ(rc, 0);
+
+    std::string local_json;
+    EXPECT_EQ(run({"serve", "--replay=" + trace_path}, &local_json), 0);
+
+    const auto digest_of = [](const std::string& json) {
+        const auto pos = json.find("\"results_fnv\": \"");
+        return pos == std::string::npos ? std::string()
+                                        : json.substr(pos + 16, 18);  // "0x" + 16 digits
+    };
+    const std::string remote = digest_of(remote_json), local = digest_of(local_json);
+    ASSERT_FALSE(remote.empty());
+    EXPECT_EQ(remote, local) << "remote replay diverged from in-process replay";
+    EXPECT_NE(remote_json.find("\"schema\": \"cuzc-serve-replay-v2\""), std::string::npos);
+    EXPECT_NE(remote_json.find("\"simd\": \""), std::string::npos);
+    // The listener's own exit artifact carries net telemetry.
+    EXPECT_NE(listen_out.find("\"schema\": \"cuzc-serve-listen-v1\""), std::string::npos);
 }
 
 }  // namespace

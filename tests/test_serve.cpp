@@ -273,6 +273,48 @@ TEST(Serve, TelemetryReconcilesWithGeneratedTrace) {
     EXPECT_NE(json.str().find("\"bucket_counts\""), std::string::npos);
 }
 
+// Pull a `"key": N` integer out of write_json output; -1 if absent.
+long long json_counter(const std::string& json, const std::string& key) {
+    const std::string needle = "\"" + key + "\": ";
+    const auto pos = json.find(needle);
+    if (pos == std::string::npos) return -1;
+    return std::atoll(json.c_str() + pos + needle.size());
+}
+
+TEST(Serve, TelemetryJsonParsesBackAndReconciles) {
+    // The JSON artifact is what dashboards scrape — the accounting
+    // invariant must hold on the *parsed-back* numbers, not just on the
+    // in-memory struct. Pause the service so a known queue depth is
+    // visible in the snapshot taken mid-flight.
+    serve::ServiceConfig cfg;
+    cfg.start_paused = true;
+    serve::AssessService service(cfg);
+    std::vector<std::future<serve::AssessResponse>> futures;
+    for (std::uint64_t s = 0; s < 6; ++s) futures.push_back(service.submit(make_request(s)));
+
+    const auto snapshot = [&service] {
+        std::ostringstream os;
+        service.telemetry().write_json(os);
+        return os.str();
+    };
+    const std::string paused = snapshot();
+    EXPECT_EQ(json_counter(paused, "queued"), 6);
+    EXPECT_EQ(json_counter(paused, "queued"),
+              json_counter(paused, "served") + json_counter(paused, "rejected") +
+                  json_counter(paused, "queue_depth") + json_counter(paused, "inflight"));
+
+    service.start();
+    for (auto& f : futures) (void)f.get();
+    const std::string drained = snapshot();
+    EXPECT_EQ(json_counter(drained, "queued"), 6);
+    EXPECT_EQ(json_counter(drained, "served") + json_counter(drained, "rejected"), 6);
+    EXPECT_EQ(json_counter(drained, "queue_depth"), 0);
+    EXPECT_EQ(json_counter(drained, "inflight"), 0);
+    EXPECT_EQ(json_counter(drained, "queued"),
+              json_counter(drained, "served") + json_counter(drained, "rejected") +
+                  json_counter(drained, "queue_depth") + json_counter(drained, "inflight"));
+}
+
 TEST(Serve, ServiceMatchesDirectAssessAcrossTrace) {
     // Replays a small trace through the service and cross-checks every
     // non-degraded response against a direct assess of the same pair.

@@ -1,6 +1,9 @@
 #include "cli.hpp"
 
+#include <atomic>
 #include <charconv>
+#include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -13,10 +16,15 @@
 #include "io/config.hpp"
 #include "io/html_report.hpp"
 #include "io/report_writer.hpp"
+#include "net/net.hpp"
 #include "serve/serve.hpp"
 #include "sz/sz.hpp"
 #include "vgpu/scheduler.hpp"
 #include "vgpu/simd.hpp"
+
+#ifndef CUZC_VERSION
+#define CUZC_VERSION "0.0.0-dev"
+#endif
 
 namespace cuzc::cli {
 
@@ -61,11 +69,19 @@ std::string usage() {
            "       cuzc serve --replay=TRACE [--devices=N] [--cache=N] [--batch=N]\n"
            "            [--no-coalesce] [--threads=N] [--out=report.json]\n"
            "            [--timeout=SECONDS] [--shard-threshold=SECONDS] [--faults=SPEC]\n"
+           "       cuzc serve --listen=PORT [--port-file=PATH] [service flags as above]\n"
+           "       cuzc replay --connect=HOST:PORT --replay=TRACE [--out=report.json]\n"
+           "       cuzc trace [--requests=N] [--seed=N] [--distinct=N]\n"
+           "            [--tight-fraction=F] [--out=trace.txt]\n"
+           "       cuzc --version\n"
            "\n"
            "Assess the quality of lossy-compressed scientific data with the\n"
            "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n"
-           "`cuzc serve` replays a cuzc-trace-v1 workload through the in-process\n"
-           "assessment service and reports service telemetry as JSON.\n";
+           "`cuzc serve --replay` replays a cuzc-trace-v1 workload through the\n"
+           "in-process assessment service; `cuzc serve --listen` exposes the same\n"
+           "service over TCP speaking cuzc-wire-v1 (drains gracefully on SIGTERM/\n"
+           "SIGINT); `cuzc replay --connect` replays a trace against such a server;\n"
+           "`cuzc trace` writes a deterministic mixed workload trace.\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostream& err) {
@@ -78,11 +94,20 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
         opt.serve_mode = true;
         first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "replay") == 0) {
+        opt.replay_mode = true;
+        first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+        opt.trace_mode = true;
+        first = 2;
     }
     for (int i = first; i < argc; ++i) {
         const char* a = argv[i];
         if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
             opt.help = true;
+            return opt;
+        } else if (std::strcmp(a, "--version") == 0) {
+            opt.version = true;
             return opt;
         } else if (std::strcmp(a, "--profile") == 0) {
             opt.show_profile = true;
@@ -151,20 +176,91 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 err << "cuzc: " << e.what() << "\n";
                 return std::nullopt;
             }
+        } else if (const char* v16 = value_of(a, "--listen=")) {
+            const std::string_view sv(v16);
+            unsigned port = 0;
+            const auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), port);
+            if (ec != std::errc{} || p != sv.data() + sv.size() || port > 65535) {
+                err << "cuzc: --listen must be a port number (0 = ephemeral)\n";
+                return std::nullopt;
+            }
+            opt.listen_mode = true;
+            opt.listen_port = static_cast<std::uint16_t>(port);
+        } else if (const char* v17 = value_of(a, "--port-file=")) {
+            opt.port_file = v17;
+        } else if (const char* v18 = value_of(a, "--connect=")) {
+            const std::string_view sv(v18);
+            const auto colon = sv.rfind(':');
+            unsigned port = 0;
+            if (colon == std::string_view::npos || colon == 0) {
+                err << "cuzc: --connect must be HOST:PORT\n";
+                return std::nullopt;
+            }
+            const std::string_view ps = sv.substr(colon + 1);
+            const auto [p, ec] = std::from_chars(ps.data(), ps.data() + ps.size(), port);
+            if (ec != std::errc{} || p != ps.data() + ps.size() || port == 0 || port > 65535) {
+                err << "cuzc: --connect must be HOST:PORT\n";
+                return std::nullopt;
+            }
+            opt.connect_host = std::string(sv.substr(0, colon));
+            opt.connect_port = static_cast<std::uint16_t>(port);
+        } else if (const char* v19 = value_of(a, "--requests=")) {
+            opt.trace_requests = static_cast<std::size_t>(std::atoll(v19));
+            if (opt.trace_requests == 0) {
+                err << "cuzc: --requests must be >= 1\n";
+                return std::nullopt;
+            }
+        } else if (const char* v20 = value_of(a, "--seed=")) {
+            opt.trace_seed = static_cast<std::uint64_t>(std::atoll(v20));
+        } else if (const char* v21 = value_of(a, "--distinct=")) {
+            opt.trace_distinct = static_cast<std::size_t>(std::atoll(v21));
+            if (opt.trace_distinct == 0) {
+                err << "cuzc: --distinct must be >= 1\n";
+                return std::nullopt;
+            }
+        } else if (const char* v22 = value_of(a, "--tight-fraction=")) {
+            const std::string_view sv(v22);
+            const auto [p, ec] =
+                std::from_chars(sv.data(), sv.data() + sv.size(), opt.trace_tight_fraction);
+            if (ec != std::errc{} || p != sv.data() + sv.size() ||
+                opt.trace_tight_fraction < 0 || opt.trace_tight_fraction > 1) {
+                err << "cuzc: --tight-fraction must be in [0, 1]\n";
+                return std::nullopt;
+            }
         } else {
             err << "cuzc: unknown argument '" << a << "'\n";
             return std::nullopt;
         }
     }
     if (opt.serve_mode) {
-        if (opt.replay_path.empty()) {
-            err << "cuzc: serve needs --replay=TRACE\n";
+        if (opt.listen_mode == !opt.replay_path.empty()) {
+            err << "cuzc: serve needs exactly one of --replay=TRACE / --listen=PORT\n";
+            return std::nullopt;
+        }
+        if (!opt.port_file.empty() && !opt.listen_mode) {
+            err << "cuzc: --port-file is only valid with --listen\n";
+            return std::nullopt;
+        }
+        if (!opt.connect_host.empty()) {
+            err << "cuzc: --connect belongs to the replay subcommand\n";
             return std::nullopt;
         }
         return opt;
     }
+    if (opt.replay_mode) {
+        if (opt.connect_host.empty() || opt.replay_path.empty()) {
+            err << "cuzc: replay needs --connect=HOST:PORT and --replay=TRACE\n";
+            return std::nullopt;
+        }
+        return opt;
+    }
+    if (opt.trace_mode) return opt;
     if (!opt.replay_path.empty()) {
-        err << "cuzc: --replay is only valid with the serve subcommand\n";
+        err << "cuzc: --replay is only valid with the serve/replay subcommands\n";
+        return std::nullopt;
+    }
+    if (opt.listen_mode || !opt.port_file.empty() || !opt.connect_host.empty()) {
+        err << "cuzc: --listen/--port-file/--connect need the serve/replay subcommands\n";
         return std::nullopt;
     }
     if (opt.faults_from_flag || opt.request_timeout_s > 0 || opt.shard_threshold_s > 0) {
@@ -190,16 +286,68 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
 
 namespace {
 
-/// Replay a workload trace through the assessment service and emit a JSON
-/// summary (request outcomes + full service telemetry).
-int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
-    std::ifstream trace_file(opt.replay_path);
-    if (!trace_file) {
-        err << "cuzc: cannot open trace " << opt.replay_path << "\n";
-        return 2;
-    }
-    const auto trace = serve::read_trace(trace_file);
+/// The `serve --listen` server currently run by this process, for the
+/// signal handler. One listener at a time (the CLI runs one per process).
+std::atomic<net::NetServer*> g_active_server{nullptr};
 
+extern "C" void cuzc_cli_on_signal(int) { shutdown_active_servers(); }
+
+[[nodiscard]] std::string fnv_hex(std::uint64_t h) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/// Counters shared by the in-process and networked replay paths.
+struct ReplaySummary {
+    std::size_t requests = 0, degraded = 0, rejected = 0, hits = 0, timed_out = 0, sharded = 0;
+    double wall_s = 0;
+    /// FNV-1a-64 over the canonical report encodings in submission order —
+    /// equal digests mean bit-identical results.
+    std::uint64_t results_fnv = 14695981039346656037ull;
+
+    void absorb(const serve::AssessResponse& resp) {
+        degraded += resp.degraded;
+        rejected += resp.rejected;
+        hits += resp.cache_hit;
+        timed_out += resp.timed_out;
+        sharded += resp.shards > 1;
+        results_fnv = net::digest_report(results_fnv, resp.result.report);
+    }
+};
+
+[[nodiscard]] int open_sink(const CliOptions& opt, std::ostream& out, std::ostream& err,
+                            std::ofstream& file, std::ostream*& sink) {
+    sink = &out;
+    if (!opt.out_path.empty()) {
+        file.open(opt.out_path);
+        if (!file) {
+            err << "cuzc: cannot open output " << opt.out_path << "\n";
+            return 2;
+        }
+        sink = &file;
+    }
+    return 0;
+}
+
+void write_replay_json(std::ostream& os, const CliOptions& opt, const ReplaySummary& sum) {
+    os << "{\n"
+       << "  \"schema\": \"cuzc-serve-replay-v2\",\n"
+       << "  \"trace\": \"" << opt.replay_path << "\",\n"
+       << "  \"simd\": \"" << vgpu::simd::banner() << "\",\n"
+       << "  \"devices\": " << opt.devices << ",\n"
+       << "  \"threads\": " << vgpu::BlockScheduler::instance().max_workers() << ",\n"
+       << "  \"requests\": " << sum.requests << ",\n"
+       << "  \"degraded\": " << sum.degraded << ",\n"
+       << "  \"rejected\": " << sum.rejected << ",\n"
+       << "  \"timed_out\": " << sum.timed_out << ",\n"
+       << "  \"sharded\": " << sum.sharded << ",\n"
+       << "  \"cache_hits\": " << sum.hits << ",\n"
+       << "  \"results_fnv\": \"" << fnv_hex(sum.results_fnv) << "\",\n"
+       << "  \"wall_seconds\": " << sum.wall_s << ",\n";
+}
+
+[[nodiscard]] serve::ServiceConfig service_config_of(const CliOptions& opt) {
     serve::ServiceConfig scfg;
     scfg.devices = opt.devices;
     scfg.cache_capacity = opt.cache_capacity;
@@ -209,7 +357,26 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     scfg.shard_threshold_s = opt.shard_threshold_s;
     // Fault injection: explicit --faults wins, otherwise CUZC_FAULTS.
     scfg.faults = opt.faults_from_flag ? opt.faults : vgpu::FaultPlan::from_env();
-    serve::AssessService service(scfg);
+    return scfg;
+}
+
+[[nodiscard]] std::vector<serve::TraceEntry> load_trace(const CliOptions& opt,
+                                                        std::ostream& err) {
+    std::ifstream trace_file(opt.replay_path);
+    if (!trace_file) {
+        err << "cuzc: cannot open trace " << opt.replay_path << "\n";
+        return {};
+    }
+    return serve::read_trace(trace_file);
+}
+
+/// Replay a workload trace through the in-process assessment service and
+/// emit a JSON summary (request outcomes + full service telemetry).
+int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    const auto trace = load_trace(opt, err);
+    if (trace.empty()) return 2;
+
+    serve::AssessService service(service_config_of(opt));
 
     std::vector<std::future<serve::AssessResponse>> futures;
     futures.reserve(trace.size());
@@ -217,56 +384,148 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     for (const auto& entry : trace) {
         futures.push_back(service.submit(serve::to_request(entry)));
     }
-    std::size_t degraded = 0, rejected = 0, hits = 0, timed_out = 0, sharded = 0;
-    for (auto& f : futures) {
-        const serve::AssessResponse resp = f.get();
-        degraded += resp.degraded;
-        rejected += resp.rejected;
-        hits += resp.cache_hit;
-        timed_out += resp.timed_out;
-        sharded += resp.shards > 1;
-    }
-    const double wall_s = watch.seconds();
+    ReplaySummary sum;
+    sum.requests = trace.size();
+    for (auto& f : futures) sum.absorb(f.get());
+    sum.wall_s = watch.seconds();
     const serve::ServiceTelemetry tele = service.telemetry();
 
     std::ofstream file;
-    std::ostream* sink = &out;
-    if (!opt.out_path.empty()) {
-        file.open(opt.out_path);
-        if (!file) {
-            err << "cuzc: cannot open output " << opt.out_path << "\n";
-            return 2;
-        }
-        sink = &file;
-    }
-    *sink << "{\n"
-          << "  \"schema\": \"cuzc-serve-replay-v1\",\n"
-          << "  \"trace\": \"" << opt.replay_path << "\",\n"
-          << "  \"requests\": " << trace.size() << ",\n"
-          << "  \"degraded\": " << degraded << ",\n"
-          << "  \"rejected\": " << rejected << ",\n"
-          << "  \"timed_out\": " << timed_out << ",\n"
-          << "  \"sharded\": " << sharded << ",\n"
-          << "  \"cache_hits\": " << hits << ",\n"
-          << "  \"wall_seconds\": " << wall_s << ",\n"
-          << "  \"telemetry\": ";
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    write_replay_json(*sink, opt, sum);
+    *sink << "  \"telemetry\": ";
     tele.write_json(*sink, 2);
     *sink << "\n}\n";
     return 0;
 }
 
+/// Replay a workload trace against a remote cuzc-wire-v1 server, pipelining
+/// up to the server's advertised in-flight window.
+int run_replay_connect(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    const auto trace = load_trace(opt, err);
+    if (trace.empty()) return 2;
+
+    net::NetClientConfig ccfg;
+    ccfg.host = opt.connect_host;
+    ccfg.port = opt.connect_port;
+    net::NetClient client(ccfg);
+    const std::size_t window = std::max<std::size_t>(1, client.server_max_inflight());
+
+    const zc::Stopwatch watch;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(trace.size());
+    for (const auto& entry : trace) {
+        while (client.outstanding() >= window) client.pump(0.05);
+        ids.push_back(client.submit(serve::to_request(entry)));
+    }
+    ReplaySummary sum;
+    sum.requests = trace.size();
+    for (const std::uint64_t id : ids) sum.absorb(client.wait(id));
+    sum.wall_s = watch.seconds();
+
+    std::ofstream file;
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    write_replay_json(*sink, opt, sum);
+    *sink << "  \"client\": {\n"
+          << "    \"server\": \"" << opt.connect_host << ":" << opt.connect_port << "\",\n"
+          << "    \"frames_tx\": " << client.frames_tx() << ",\n"
+          << "    \"frames_rx\": " << client.frames_rx() << ",\n"
+          << "    \"bytes_tx\": " << client.bytes_tx() << ",\n"
+          << "    \"bytes_rx\": " << client.bytes_rx() << "\n"
+          << "  }\n}\n";
+    client.close();
+    return 0;
+}
+
+/// Run the socket front-end until SIGINT/SIGTERM (or a test calling
+/// shutdown_active_servers) drains it, then emit net + service telemetry.
+int run_listen(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    net::NetServerConfig ncfg;
+    ncfg.port = opt.listen_port;
+    ncfg.service = service_config_of(opt);
+    net::NetServer server(ncfg);
+
+    if (!opt.port_file.empty()) {
+        std::ofstream pf(opt.port_file);
+        pf << server.port() << "\n";
+        pf.close();
+        if (!pf) {
+            err << "cuzc: cannot write port file " << opt.port_file << "\n";
+            return 2;
+        }
+    }
+    err << "cuzc: listening on " << ncfg.bind_address << ":" << server.port() << "\n";
+
+    g_active_server.store(&server, std::memory_order_release);
+    const auto prev_int = std::signal(SIGINT, cuzc_cli_on_signal);
+    const auto prev_term = std::signal(SIGTERM, cuzc_cli_on_signal);
+    server.run();
+    std::signal(SIGINT, prev_int);
+    std::signal(SIGTERM, prev_term);
+    g_active_server.store(nullptr, std::memory_order_release);
+
+    const serve::NetTelemetry net_tele = server.telemetry();
+    const serve::ServiceTelemetry svc_tele = server.service_telemetry();
+    std::ofstream file;
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    *sink << "{\n"
+          << "  \"schema\": \"cuzc-serve-listen-v1\",\n"
+          << "  \"port\": " << server.port() << ",\n"
+          << "  \"net\": ";
+    net_tele.write_json(*sink, 2);
+    *sink << ",\n  \"service\": ";
+    svc_tele.write_json(*sink, 2);
+    *sink << "\n}\n";
+    return 0;
+}
+
+/// Write a deterministic mixed-workload trace (the generator behind the
+/// serve bench and CI smokes) as cuzc-trace-v1 text.
+int run_trace(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    serve::TraceGenConfig gcfg;
+    gcfg.requests = opt.trace_requests;
+    gcfg.seed = opt.trace_seed;
+    gcfg.distinct = opt.trace_distinct;
+    gcfg.tight_deadline_fraction = opt.trace_tight_fraction;
+    const auto trace = serve::generate_trace(gcfg);
+
+    std::ofstream file;
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    serve::write_trace(*sink, trace);
+    return 0;
+}
+
 }  // namespace
+
+void shutdown_active_servers() noexcept {
+    if (auto* server = g_active_server.load(std::memory_order_acquire)) server->shutdown();
+}
 
 int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     if (opt.help) {
         out << usage();
         return 0;
     }
+    if (opt.version) {
+        out << "cuzc " << CUZC_VERSION << "\n"
+            << "schemas: cuzc-trace-v1 cuzc-serve-telemetry-v1 cuzc-serve-replay-v2 "
+            << net::kProtocolName << "\n"
+            << vgpu::simd::banner() << "\n";
+        return 0;
+    }
     if (opt.threads > 0) {
         vgpu::BlockScheduler::instance().set_num_threads(opt.threads);
     }
     try {
-        if (opt.serve_mode) return run_serve(opt, out, err);
+        if (opt.trace_mode) return run_trace(opt, out, err);
+        if (opt.replay_mode) return run_replay_connect(opt, out, err);
+        if (opt.serve_mode) {
+            return opt.listen_mode ? run_listen(opt, out, err) : run_serve(opt, out, err);
+        }
         zc::MetricsConfig cfg;
         if (!opt.config_path.empty()) {
             cfg = io::metrics_from_config(io::Config::load(opt.config_path));

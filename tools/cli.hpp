@@ -23,6 +23,7 @@ struct CliOptions {
     unsigned devices = 1;           ///< >1 selects the multi-GPU path
     bool show_profile = false;
     bool help = false;
+    bool version = false;           ///< --version: print versions + SIMD banner
     /// vgpu scheduler worker count; 0 = leave the env/default resolution
     /// alone. A flag value overrides CUZC_VGPU_THREADS (env < flag).
     unsigned threads = 0;
@@ -42,6 +43,25 @@ struct CliOptions {
     /// falls back to the CUZC_FAULTS environment variable (flag > env).
     vgpu::FaultPlan faults{};
     bool faults_from_flag = false;
+
+    // `cuzc serve --listen=PORT`: run the cuzc-wire-v1 socket front-end
+    // instead of an in-process replay.
+    bool listen_mode = false;
+    std::uint16_t listen_port = 0;  ///< 0 binds an ephemeral port
+    std::string port_file;          ///< write the bound port here (for scripts)
+
+    // `cuzc replay --connect=HOST:PORT --replay=TRACE` subcommand: replay a
+    // trace against a remote server over the wire protocol.
+    bool replay_mode = false;
+    std::string connect_host;
+    std::uint16_t connect_port = 0;
+
+    // `cuzc trace` subcommand (deterministic mixed-workload generator).
+    bool trace_mode = false;
+    std::size_t trace_requests = 200;
+    std::uint64_t trace_seed = 42;
+    std::size_t trace_distinct = 32;
+    double trace_tight_fraction = 0.1;
 };
 
 /// Parse argv. Returns std::nullopt plus a message on `err` for invalid
@@ -72,5 +92,11 @@ struct CliOptions {
 /// Run the assessment described by `opt`; writes the report in the chosen
 /// format. Returns a process exit code.
 [[nodiscard]] int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err);
+
+/// Drain every NetServer currently run by this process's CLI (the
+/// `serve --listen` path). Async-signal-safe: installed as the CLI's
+/// SIGINT/SIGTERM handler, and callable from tests to stop a listener
+/// running on another thread.
+void shutdown_active_servers() noexcept;
 
 }  // namespace cuzc::cli
