@@ -62,7 +62,9 @@ public:
     /// Take any already-received response (no socket activity).
     [[nodiscard]] std::optional<std::pair<std::uint64_t, serve::AssessResponse>> take_response();
 
-    /// Requests submitted whose responses have not been taken yet.
+    /// Requests submitted whose responses have not been received yet
+    /// (received-but-untaken responses do not count; this is the wire
+    /// in-flight window that replay pacing bounds).
     [[nodiscard]] std::size_t outstanding() const noexcept;
 
     /// Server limits learned from the HelloAck.

@@ -75,7 +75,11 @@ struct NetServer::Impl {
         serve::ServiceConfig s = cfg.service;
         const int w = wake.w;
         std::atomic<bool>* flagged = &wake_flagged;
-        s.on_response = [w, flagged] {
+        std::atomic<std::uint64_t>* signaled = &completions_signaled;
+        s.on_response = [w, flagged, signaled] {
+            // Strictly after set_value (the service guarantees the order),
+            // so once the loop observes the count the future is ready.
+            signaled->fetch_add(1, std::memory_order_release);
             if (flagged->exchange(true, std::memory_order_acq_rel)) return;
             const char b = 1;
             [[maybe_unused]] const ssize_t n = ::write(w, &b, 1);
@@ -142,6 +146,13 @@ struct NetServer::Impl {
     /// Completion wake-ups pending since the loop last drained the pipe
     /// (collapses a settle burst into one pipe write).
     std::atomic<bool> wake_flagged{false};
+    /// Monotonic count of responses the service has fulfilled (the
+    /// on_response hook fires exactly once per settled promise). The loop
+    /// compares it against completions_settled to know how many ready
+    /// futures its scan still owes.
+    std::atomic<std::uint64_t> completions_signaled{0};
+    /// Futures the loop has settled so far (event-loop thread only).
+    std::uint64_t completions_settled = 0;
     serve::AssessService service;
     int listen_fd = -1;
     std::uint16_t bound_port = 0;
@@ -201,7 +212,7 @@ struct NetServer::Impl {
                 short events = 0;
                 const bool read_open = !drain_seen && !conn.goodbye &&
                                        conn.inflight < cfg.max_inflight_per_connection &&
-                                       conn.assembler.buffered() < cfg.max_read_buffer;
+                                       may_buffer_more(conn);
                 if (read_open) events |= POLLIN;
                 if (!conn.write_q.empty()) events |= POLLOUT;
                 // Always watch for hangup/errors even when backpressured.
@@ -245,7 +256,7 @@ struct NetServer::Impl {
                 if (it != conns.end() && (fds[i].revents & POLLOUT)) flush(it->second);
             }
 
-            settle_futures();
+            settle_futures(/*force_probe=*/drain_seen);
             // Settled futures may have freed in-flight slots; frames that
             // were buffered while a connection sat at its cap parse now.
             {
@@ -263,6 +274,19 @@ struct NetServer::Impl {
     }
 
     static constexpr double kDrainGraceSeconds = 10.0;
+
+    /// Whether a connection may buffer more inbound bytes. max_read_buffer
+    /// is a soft cap: a valid in-limit frame at the stream head may exceed
+    /// it (the advertised max_frame_payload can be larger), so reads stay
+    /// open until that frame is whole — otherwise a request in
+    /// (max_read_buffer, max_frame_payload] could never finish assembling
+    /// and the connection would wedge with POLLIN permanently dropped.
+    /// The header peek runs only once the soft cap is hit.
+    [[nodiscard]] bool may_buffer_more(const Conn& conn) const {
+        const std::size_t buffered = conn.assembler.buffered();
+        if (buffered < cfg.max_read_buffer) return true;
+        return buffered < conn.assembler.pending_frame_bytes();
+    }
 
     void do_accept() {
         for (;;) {
@@ -313,10 +337,7 @@ struct NetServer::Impl {
                 conn.assembler.commit(static_cast<std::size_t>(n));
                 taken += static_cast<std::size_t>(n);
                 // Yield to frame processing before buffering unboundedly.
-                if (taken >= 2 * kChunk ||
-                    conn.assembler.buffered() >= cfg.max_read_buffer) {
-                    break;
-                }
+                if (taken >= 2 * kChunk || !may_buffer_more(conn)) break;
                 continue;
             }
             if (n == 0) {  // peer closed
@@ -356,12 +377,24 @@ struct NetServer::Impl {
                 }
                 case FrameAssembler::Status::kOversize: {
                     count_rejected_frame();
+                    // Pre-handshake peers get no protocol frames: close,
+                    // like any other pre-Hello violation (a conforming
+                    // client would otherwise see a Response before its
+                    // HelloAck).
+                    if (!conn.handshaken) {
+                        close_conn(id);
+                        return false;
+                    }
                     enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
                                   reject_payload("oversized frame rejected"));
                     break;
                 }
                 case FrameAssembler::Status::kBadChecksum: {
                     count_rejected_frame();
+                    if (!conn.handshaken) {
+                        close_conn(id);
+                        return false;
+                    }
                     enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
                                   reject_payload("frame checksum mismatch"));
                     break;
@@ -437,20 +470,31 @@ struct NetServer::Impl {
         }
     }
 
-    void settle_futures() {
+    void settle_futures(bool force_probe) {
         // Queue every ready response first, then flush each touched
         // connection once — a settle burst becomes one send() per peer
         // instead of one per response. The scan preserves submission order
-        // and stops probing after a run of not-ready entries: completion
-        // is near-FIFO (per-device queues, instant cache hits), and
-        // wait_for(0) on hundreds of pending futures every loop round is
-        // real event-loop CPU.
+        // and is driven by the completion census: the on_response hook
+        // counts every fulfilled promise, so the scan keeps probing while
+        // settles are still owed — an out-of-order completion (instant
+        // cache hit, sharded fast path) queued behind slow head-of-line
+        // requests is delivered the round it lands — and otherwise stops
+        // after a run of not-ready entries, because wait_for(0) on
+        // hundreds of pending futures every loop round is real event-loop
+        // CPU. force_probe (drain) never stops early.
+        std::uint64_t owed = 0;
+        {
+            const std::uint64_t signaled =
+                completions_signaled.load(std::memory_order_acquire);
+            if (signaled > completions_settled) owed = signaled - completions_settled;
+        }
         std::vector<std::uint64_t> touched;
         std::size_t kept = 0, miss_streak = 0;
         for (std::size_t i = 0; i < pending.size(); ++i) {
             const bool ready =
-                miss_streak < 16 && pending[i].fut.wait_for(std::chrono::seconds(0)) ==
-                                        std::future_status::ready;
+                (force_probe || owed > 0 || miss_streak < 16) &&
+                pending[i].fut.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready;
             if (!ready) {
                 ++miss_streak;
                 if (kept != i) pending[kept] = std::move(pending[i]);
@@ -458,6 +502,8 @@ struct NetServer::Impl {
                 continue;
             }
             miss_streak = 0;
+            ++completions_settled;
+            if (owed > 0) --owed;
             PendingResp p = std::move(pending[i]);
             serve::AssessResponse resp = p.fut.get();
             auto it = conns.find(p.conn_id);

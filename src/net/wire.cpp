@@ -544,6 +544,16 @@ FrameAssembler::Result FrameAssembler::next() {
     return res;
 }
 
+std::size_t FrameAssembler::pending_frame_bytes() const noexcept {
+    if (skip_ > 0 || buffered() < FrameHeader::kSize) return 0;
+    const std::uint8_t* p = buf_.data() + consumed_;
+    if (get_le<std::uint32_t>(p) != kMagic) return 0;
+    if (get_le<std::uint16_t>(p + 4) != kVersion) return 0;
+    const auto payload_len = get_le<std::uint32_t>(p + 16);
+    if (payload_len > max_payload_) return 0;  // rejected, then skip-discarded
+    return FrameHeader::kSize + payload_len;
+}
+
 FrameAssembler::Result FrameAssembler::next_view() {
     Result res;
     if (skip_ > 0) {

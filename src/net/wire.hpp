@@ -207,6 +207,12 @@ public:
     /// next feed/writable/next call — decode before pulling more bytes.
     [[nodiscard]] Result next_view();
     [[nodiscard]] std::size_t buffered() const noexcept { return end_ - consumed_; }
+    /// Total bytes (header + payload) of the in-limit frame at the head of
+    /// the stream, or 0 when no parsable in-limit header is buffered yet.
+    /// Read-gating on max(read_buffer, pending_frame_bytes()) lets a valid
+    /// frame larger than the soft read buffer finish assembling instead of
+    /// wedging the connection with the payload half-buffered.
+    [[nodiscard]] std::size_t pending_frame_bytes() const noexcept;
 
 private:
     void compact();

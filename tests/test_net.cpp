@@ -170,6 +170,37 @@ TEST(NetWire, OversizeFrameIsSkippedAndStreamRecovers) {
     EXPECT_EQ(res.payload, small);
 }
 
+TEST(NetWire, PendingFrameBytesPeeksTheInLimitHeadFrame) {
+    std::vector<std::uint8_t> payload(300, 0x42);
+    const auto frame = net::encode_frame(net::FrameType::kRequest, 7, payload);
+
+    net::FrameAssembler asm_(1024);
+    EXPECT_EQ(asm_.pending_frame_bytes(), 0u);  // empty
+    asm_.feed(std::span<const std::uint8_t>(frame.data(), 10));
+    EXPECT_EQ(asm_.pending_frame_bytes(), 0u);  // partial header
+    asm_.feed(std::span<const std::uint8_t>(frame.data() + 10,
+                                            net::FrameHeader::kSize + 50 - 10));
+    // Full header + partial payload: the total frame size is known.
+    EXPECT_EQ(asm_.pending_frame_bytes(), net::FrameHeader::kSize + payload.size());
+    EXPECT_EQ(asm_.next().status, net::FrameAssembler::Status::kNeedMore);
+    asm_.feed(std::span<const std::uint8_t>(frame.data() + net::FrameHeader::kSize + 50,
+                                            frame.size() - net::FrameHeader::kSize - 50));
+    EXPECT_EQ(asm_.pending_frame_bytes(), frame.size());
+    EXPECT_EQ(asm_.next().status, net::FrameAssembler::Status::kFrame);
+    EXPECT_EQ(asm_.pending_frame_bytes(), 0u);  // stream drained
+
+    // Oversize and garbage headers report 0 — they never justify reading
+    // past the soft buffer cap.
+    std::vector<std::uint8_t> big(2048, 0x33);
+    asm_.feed(net::encode_frame(net::FrameType::kRequest, 8, big));
+    EXPECT_EQ(asm_.pending_frame_bytes(), 0u);
+    EXPECT_EQ(asm_.next().status, net::FrameAssembler::Status::kOversize);
+    net::FrameAssembler junk(1024);
+    const std::vector<std::uint8_t> noise(net::FrameHeader::kSize, 0x5A);
+    junk.feed(noise);
+    EXPECT_EQ(junk.pending_frame_bytes(), 0u);  // bad magic
+}
+
 TEST(NetWire, ChecksumMismatchDropsTheFrameOnly) {
     std::vector<std::uint8_t> payload(64, 0x77);
     auto bad = net::encode_frame(net::FrameType::kRequest, 3, payload);
@@ -324,6 +355,37 @@ TEST(NetServer, InflightCapBackpressureStillCompletesEverything) {
     EXPECT_EQ(tele.requests_in_flight, 0u);
 }
 
+TEST(NetServer, FrameLargerThanReadBufferStillCompletes) {
+    // A valid request frame bigger than max_read_buffer (but inside the
+    // advertised max_frame_payload) must finish assembling: the read gate
+    // stays open while the in-limit head frame needs more bytes.
+    // Regression: the gate used to drop POLLIN permanently at the soft cap,
+    // wedging the connection with the payload half-buffered.
+    auto cfg = loopback_config();
+    cfg.max_read_buffer = 4096;
+    net::NetServer server(cfg);
+    server.start();
+    auto ccfg = client_config(server.port());
+    ccfg.response_timeout_s = 30.0;
+    net::NetClient client(ccfg);
+
+    serve::AssessRequest req;
+    const zc::Dims3 big{32, 32, 32};  // ~256 KiB frame payload
+    req.orig = tst::smooth_field(big, 77);
+    req.dec = tst::perturbed(req.orig, 0.01, 177);
+    req.cfg.ssim_window = 4;
+    const zc::AssessmentReport expected = direct_report(req);
+
+    const auto resp = client.assess(req);
+    EXPECT_FALSE(resp.rejected) << resp.error;
+    EXPECT_EQ(net::encode_report(resp.result.report), net::encode_report(expected));
+
+    const auto tele = server.telemetry();
+    EXPECT_EQ(tele.requests_accepted, 1u);
+    EXPECT_EQ(tele.requests_completed, 1u);
+    EXPECT_GT(tele.bytes_rx, cfg.max_read_buffer);
+}
+
 TEST(NetServer, ConcurrentClientsEachGetTheirOwnAnswers) {
     net::NetServer server(loopback_config());
     server.start();
@@ -385,27 +447,80 @@ TEST(NetServer, DrainWhileInflightSettlesEveryAcceptedRequest) {
     EXPECT_EQ(tele.requests_in_flight, 0u);
 }
 
+/// Raw TCP connect to the loopback server (no Hello), or -1.
+int raw_connect(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// True when the peer cleanly closed the stream (EOF without data) within
+/// `timeout_ms`.
+bool peer_closed(int fd, int timeout_ms) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) != 1) return false;
+    char buf[64];
+    return ::recv(fd, buf, sizeof(buf), 0) == 0;
+}
+
 TEST(NetServer, HandshakeTimeoutClosesSilentConnections) {
     auto cfg = loopback_config();
     cfg.handshake_timeout_s = 0.05;
     net::NetServer server(cfg);
     server.start();
 
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = raw_connect(server.port());
     ASSERT_GE(fd, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(server.port());
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-
     // Say nothing; the server must hang up within the timeout (+ slack).
-    pollfd p{fd, POLLIN, 0};
-    const int rc = ::poll(&p, 1, 5000);
-    ASSERT_EQ(rc, 1) << "server never closed the silent connection";
-    char buf[16];
-    EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // clean EOF
+    EXPECT_TRUE(peer_closed(fd, 5000)) << "server never closed the silent connection";
     ::close(fd);
+}
+
+TEST(NetServer, PreHandshakeOversizeFrameClosesWithoutResponse) {
+    // Integrity violations before the Hello handshake are treated like any
+    // other pre-Hello protocol violation: the connection is closed, no
+    // Response frame is sent to a peer that never handshook.
+    auto cfg = loopback_config();
+    cfg.max_frame_payload = 1024;
+    cfg.handshake_timeout_s = 30.0;  // the close must come from the frame
+    net::NetServer server(cfg);
+    server.start();
+
+    const int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    const std::vector<std::uint8_t> big(2048, 0x11);  // over the 1 KiB limit
+    const auto frame = net::encode_frame(net::FrameType::kRequest, 1, big);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    EXPECT_TRUE(peer_closed(fd, 5000)) << "expected a close, not a reject frame";
+    ::close(fd);
+    EXPECT_GE(server.telemetry().frames_rejected, 1u);
+}
+
+TEST(NetServer, PreHandshakeCorruptFrameClosesWithoutResponse) {
+    auto cfg = loopback_config();
+    cfg.handshake_timeout_s = 30.0;
+    net::NetServer server(cfg);
+    server.start();
+
+    const int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    const std::vector<std::uint8_t> payload(64, 0x22);
+    auto frame = net::encode_frame(net::FrameType::kHello, 0, payload);
+    frame.back() ^= 0xFF;  // corrupt the payload after checksumming
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    EXPECT_TRUE(peer_closed(fd, 5000)) << "expected a close, not a reject frame";
+    ::close(fd);
+    EXPECT_GE(server.telemetry().frames_rejected, 1u);
 }
 
 TEST(NetServer, TelemetryReconcilesUnderFaultInjection) {

@@ -1,6 +1,7 @@
 #include "cli.hpp"
 
 #include <atomic>
+#include <thread>
 #include <charconv>
 #include <csignal>
 #include <cstdio>
@@ -289,6 +290,12 @@ namespace {
 /// The `serve --listen` server currently run by this process, for the
 /// signal handler. One listener at a time (the CLI runs one per process).
 std::atomic<net::NetServer*> g_active_server{nullptr};
+/// shutdown_active_servers() calls currently executing. run_listen drains
+/// this to zero after unpublishing the server and before destroying it, so
+/// a signal/test thread mid-shutdown() can never touch a dying server
+/// (the drain can finish via the poll quantum before the wake-pipe write
+/// lands — without the guard that write races the pipe's close).
+std::atomic<int> g_shutdown_in_flight{0};
 
 extern "C" void cuzc_cli_on_signal(int) { shutdown_active_servers(); }
 
@@ -465,6 +472,13 @@ int run_listen(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     std::signal(SIGINT, prev_int);
     std::signal(SIGTERM, prev_term);
     g_active_server.store(nullptr, std::memory_order_release);
+    // Wait out any shutdown_active_servers() call that loaded the pointer
+    // before it was unpublished: `server` (and its wake pipe) must outlive
+    // that call. A handler interrupting this very thread completes its
+    // nested call before the spin resumes, so this cannot deadlock.
+    while (g_shutdown_in_flight.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
 
     const serve::NetTelemetry net_tele = server.telemetry();
     const serve::ServiceTelemetry svc_tele = server.service_telemetry();
@@ -502,7 +516,12 @@ int run_trace(const CliOptions& opt, std::ostream& out, std::ostream& err) {
 }  // namespace
 
 void shutdown_active_servers() noexcept {
+    // Async-signal-safe: lock-free atomics plus NetServer::shutdown()
+    // (itself only a store + pipe write). The in-flight count keeps the
+    // server alive in run_listen until this call returns.
+    g_shutdown_in_flight.fetch_add(1, std::memory_order_acq_rel);
     if (auto* server = g_active_server.load(std::memory_order_acquire)) server->shutdown();
+    g_shutdown_in_flight.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
