@@ -11,6 +11,14 @@ void write_f32(const std::filesystem::path& path, const zc::Tensor3f& field) {
     out.write(reinterpret_cast<const char*>(field.data().data()),
               static_cast<std::streamsize>(field.size() * sizeof(float)));
     if (!out) throw std::runtime_error("write_f32: short write to " + path.string());
+    // A buffered write can "succeed" with the bytes still in userspace; the
+    // destructor would swallow the flush/close error and ENOSPC would
+    // report success over a truncated field. Flush and close explicitly so
+    // both failures surface here.
+    out.flush();
+    if (!out) throw std::runtime_error("write_f32: flush failed for " + path.string());
+    out.close();
+    if (out.fail()) throw std::runtime_error("write_f32: close failed for " + path.string());
 }
 
 zc::Field read_f32(const std::filesystem::path& path, const zc::Dims3& dims) {

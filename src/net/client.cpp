@@ -51,6 +51,15 @@ struct NetClient::Impl {
     std::size_t outstanding = 0;
     HelloAck server_limits{};
     bool hello_acked = false;
+    /// Client-side view of an open streaming session, mirroring the
+    /// StreamBegin declaration so violations fail fast locally.
+    struct OpenStream {
+        std::uint64_t volume = 0;
+        std::uint64_t declared_chunks = 0;
+        std::uint64_t next_seq = 0;
+        std::uint64_t elements = 0;
+    };
+    std::unordered_map<std::uint64_t, OpenStream> streams;
     std::uint64_t n_bytes_tx = 0, n_bytes_rx = 0, n_frames_tx = 0, n_frames_rx = 0;
 
     explicit Impl(NetClientConfig c) : cfg(std::move(c)), assembler(cfg.max_frame_payload) {}
@@ -97,8 +106,14 @@ struct NetClient::Impl {
         }
     }
 
+    void require_streaming() const {
+        if (server_limits.version < kVersionStreaming) {
+            throw WireError("streaming requires a v2-negotiated connection");
+        }
+    }
+
     void handshake() {
-        enqueue(FrameType::kHello, 0, encode_hello());
+        enqueue(FrameType::kHello, 0, encode_hello(cfg.protocol_version));
         const auto t0 = Clock::now();
         while (!hello_acked) {
             pump_once(0.05);
@@ -281,6 +296,103 @@ std::uint64_t NetClient::submit(const serve::AssessRequest& req) {
     return id;
 }
 
+std::uint64_t NetClient::stream_begin(const zc::Dims3& dims, const zc::MetricsConfig& cfg,
+                                      std::uint64_t chunks) {
+    impl_->require_streaming();
+    const std::uint64_t volume = dims.volume();
+    if (chunks == 0 || chunks > volume) {
+        throw WireError("stream_begin: chunk count cannot tile the declared shape");
+    }
+    StreamBegin sb;
+    sb.dims = dims;
+    sb.cfg = cfg;
+    sb.chunks = chunks;
+    sb.total_bytes = volume * 2 * sizeof(float);
+    const std::uint64_t id = impl_->next_request_id++;
+    impl_->queue_frame(
+        encode_frame(FrameType::kStreamBegin, id, encode_stream_begin(sb), kVersionStreaming));
+    ++impl_->outstanding;
+    impl_->streams.emplace(id, Impl::OpenStream{volume, chunks, 0, 0});
+    impl_->flush();
+    return id;
+}
+
+void NetClient::stream_feed(std::uint64_t id, std::span<const float> orig,
+                            std::span<const float> dec) {
+    auto it = impl_->streams.find(id);
+    if (it == impl_->streams.end()) throw WireError("stream_feed: unknown stream id");
+    Impl::OpenStream& st = it->second;
+    if (orig.empty() || orig.size() != dec.size()) {
+        throw WireError("stream_feed: chunks must be non-empty and paired");
+    }
+    if (st.next_seq >= st.declared_chunks) {
+        throw WireError("stream_feed: more chunks than declared");
+    }
+    if (st.elements + orig.size() > st.volume) {
+        throw WireError("stream_feed: chunk overruns the declared shape");
+    }
+    // 8 (seq) + two count-prefixed f32 spans; stay within both sides'
+    // frame-payload limits so the server never has to oversize-reject.
+    const std::size_t payload = 24 + orig.size_bytes() + dec.size_bytes();
+    if (payload > impl_->cfg.max_frame_payload ||
+        (impl_->server_limits.max_frame_payload > 0 &&
+         payload > impl_->server_limits.max_frame_payload)) {
+        throw WireError("stream_feed: chunk exceeds the frame payload limit");
+    }
+    impl_->queue_frame(encode_stream_chunk_frame(id, st.next_seq, orig, dec));
+    ++st.next_seq;
+    st.elements += orig.size();
+    // Same deferred-flush + opportunistic-drain cadence as submit(): the
+    // read pass keeps a long chunk train from wedging against a server
+    // that has settled our other requests.
+    if (impl_->write_bytes >= 128 * 1024) {
+        impl_->flush();
+        impl_->read_pass();
+    }
+}
+
+void NetClient::stream_finish(std::uint64_t id) {
+    auto it = impl_->streams.find(id);
+    if (it == impl_->streams.end()) throw WireError("stream_finish: unknown stream id");
+    StreamEnd se;
+    se.chunks = it->second.next_seq;
+    se.elements = it->second.elements;
+    impl_->streams.erase(it);
+    impl_->queue_frame(
+        encode_frame(FrameType::kStreamEnd, id, encode_stream_end(se), kVersionStreaming));
+    impl_->flush();
+}
+
+void NetClient::stream_abort(std::uint64_t id) {
+    auto it = impl_->streams.find(id);
+    if (it == impl_->streams.end()) throw WireError("stream_abort: unknown stream id");
+    impl_->streams.erase(it);
+    impl_->queue_frame(encode_frame(FrameType::kStreamAbort, id, {}, kVersionStreaming));
+    // No response will come; settle the outstanding window locally.
+    if (impl_->outstanding > 0) --impl_->outstanding;
+    impl_->flush();
+}
+
+serve::AssessResponse NetClient::stream_assess(const zc::Dims3& dims,
+                                               std::span<const float> orig,
+                                               std::span<const float> dec,
+                                               const zc::MetricsConfig& cfg,
+                                               std::size_t chunk_elems) {
+    const std::size_t n = dims.volume();
+    if (orig.size() != n || dec.size() != n) {
+        throw WireError("stream_assess: fields disagree with the declared shape");
+    }
+    if (chunk_elems == 0) throw WireError("stream_assess: chunk_elems must be positive");
+    const std::uint64_t chunks = (n + chunk_elems - 1) / chunk_elems;
+    const std::uint64_t id = stream_begin(dims, cfg, chunks);
+    for (std::size_t off = 0; off < n; off += chunk_elems) {
+        const std::size_t len = std::min(chunk_elems, n - off);
+        stream_feed(id, orig.subspan(off, len), dec.subspan(off, len));
+    }
+    stream_finish(id);
+    return wait(id);
+}
+
 serve::AssessResponse NetClient::wait(std::uint64_t id) {
     const auto t0 = Clock::now();
     for (;;) {
@@ -317,6 +429,14 @@ std::size_t NetClient::outstanding() const noexcept { return impl_->outstanding;
 
 std::size_t NetClient::server_max_inflight() const noexcept {
     return impl_->server_limits.max_inflight_per_connection;
+}
+
+std::uint16_t NetClient::server_protocol_version() const noexcept {
+    return impl_->server_limits.version;
+}
+
+std::size_t NetClient::server_max_streams() const noexcept {
+    return impl_->server_limits.max_streams_per_connection;
 }
 
 std::uint64_t NetClient::bytes_tx() const noexcept { return impl_->n_bytes_tx; }

@@ -1,6 +1,8 @@
 #pragma once
 
-/// cuzc::net::NetClient — cuzc-wire-v1 client for remote assessment.
+/// cuzc::net::NetClient — cuzc-wire client for remote assessment (v1
+/// whole-frame requests, and v2 streaming sessions for datasets larger
+/// than one frame).
 ///
 /// The client is single-threaded by design (one instance per driving
 /// thread): submit() queues request frames, and every pump of the socket
@@ -11,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -30,6 +33,10 @@ struct NetClientConfig {
     /// sized so a pipelined request burst parks in the kernel instead of
     /// round-tripping through EAGAIN. 0 keeps the kernel default.
     std::size_t socket_buffer_bytes = 4ull << 20;
+    /// Wire revision to request in the Hello (2 = "cuzc-wire-v2", enabling
+    /// streaming sessions; 1 speaks the original whole-frame protocol
+    /// byte-identically). The server echoes the requested revision.
+    std::uint16_t protocol_version = 2;
 };
 
 class NetClient {
@@ -55,6 +62,37 @@ public:
         return wait(submit(req));
     }
 
+    // --- v2 streaming sessions (protocol_version >= 2 only) ------------
+
+    /// Open a streaming session: the dataset's shape, the metrics config
+    /// (only the pattern-1 reduction family is computed server-side), and
+    /// the exact number of stream_feed() calls to follow. Returns the
+    /// stream id — also the id wait() settles once stream_finish() is
+    /// acknowledged. Throws WireError when the server negotiated v1, or on
+    /// a chunk count that cannot tile the declared shape.
+    std::uint64_t stream_begin(const zc::Dims3& dims, const zc::MetricsConfig& cfg,
+                               std::uint64_t chunks);
+
+    /// Send the next paired slice (element order). Validated client-side
+    /// against the declaration (sequence, element budget, frame-payload
+    /// fit) so violations fail fast instead of as a remote rejection.
+    void stream_feed(std::uint64_t id, std::span<const float> orig, std::span<const float> dec);
+
+    /// Queue StreamEnd; the server's settling response arrives via
+    /// wait(id) (rejected responses carry the reason in `error`).
+    void stream_finish(std::uint64_t id);
+
+    /// Abandon the stream (fire-and-forget; no response will arrive).
+    void stream_abort(std::uint64_t id);
+
+    /// Synchronous convenience: begin → feed `chunk_elems`-sized slices →
+    /// finish → wait. orig/dec must both hold dims.volume() elements.
+    [[nodiscard]] serve::AssessResponse stream_assess(const zc::Dims3& dims,
+                                                      std::span<const float> orig,
+                                                      std::span<const float> dec,
+                                                      const zc::MetricsConfig& cfg,
+                                                      std::size_t chunk_elems);
+
     /// One bounded poll round: flush pending writes, read what's there.
     /// Returns true if any response arrived.
     bool pump(double timeout_s);
@@ -69,6 +107,10 @@ public:
 
     /// Server limits learned from the HelloAck.
     [[nodiscard]] std::size_t server_max_inflight() const noexcept;
+    /// The wire revision the server acknowledged (1 or 2).
+    [[nodiscard]] std::uint16_t server_protocol_version() const noexcept;
+    /// Concurrent streams the server allows per connection (0 on v1).
+    [[nodiscard]] std::size_t server_max_streams() const noexcept;
 
     [[nodiscard]] std::uint64_t bytes_tx() const noexcept;
     [[nodiscard]] std::uint64_t bytes_rx() const noexcept;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "wire.hpp"
+#include "zc/streaming.hpp"
 
 namespace cuzc::net {
 
@@ -119,6 +120,18 @@ struct NetServer::Impl {
         for (auto& [id, conn] : conns) ::close(conn.fd);
     }
 
+    /// One open v2 streaming session: chunks feed the incremental assessor
+    /// as they arrive, so server memory stays bounded by the assessor's
+    /// histograms regardless of the dataset size declared in StreamBegin.
+    struct Stream {
+        StreamBegin decl;
+        std::uint64_t next_seq = 0;  ///< chunks applied so far
+        std::uint64_t elements = 0;  ///< elements applied so far
+        zc::StreamingAssessor assessor;
+
+        explicit Stream(const StreamBegin& d) : decl(d), assessor(d.cfg) {}
+    };
+
     struct Conn {
         int fd = -1;
         std::uint64_t id = 0;
@@ -127,6 +140,14 @@ struct NetServer::Impl {
         std::size_t write_bytes = 0;  ///< unsent bytes across write_q
         std::size_t front_off = 0;    ///< sent prefix of write_q.front()
         std::size_t inflight = 0;     ///< requests submitted, response not yet queued
+        /// Wire revision negotiated by the Hello (stream frames need >= 2).
+        std::uint16_t version = kVersion;
+        /// Open streaming sessions by stream id (the frames' request_id).
+        /// Deliberately *not* part of the in-flight read gate: progressing
+        /// a stream requires reading more chunks, so gating POLLIN on open
+        /// streams would wedge them; max_streams_per_connection is their
+        /// own admission bound.
+        std::unordered_map<std::uint64_t, Stream> streams;
         bool handshaken = false;
         bool goodbye = false;
         Clock::time_point opened;
@@ -181,6 +202,16 @@ struct NetServer::Impl {
                 if (listen_fd >= 0) {
                     ::close(listen_fd);
                     listen_fd = -1;
+                }
+                // Drain stops reading, so an open stream can never receive
+                // its remaining chunks: settle each now with a rejected
+                // response so the request ledger closes (in_flight -> 0)
+                // and the client's wait() returns instead of timing out.
+                std::vector<std::uint64_t> ids;
+                ids.reserve(conns.size());
+                for (auto& [id, conn] : conns) ids.push_back(id);
+                for (std::uint64_t id : ids) {
+                    settle_streams_rejected(id, "server draining");
                 }
             }
             if (drain_seen) {
@@ -424,7 +455,7 @@ struct NetServer::Impl {
                 return false;
             }
             try {
-                decode_hello(res.view);
+                conn.version = decode_hello(res.view);
             } catch (const WireError&) {
                 count_rejected_frame();
                 close_conn(id);
@@ -432,8 +463,10 @@ struct NetServer::Impl {
             }
             conn.handshaken = true;
             HelloAck ack;
+            ack.version = conn.version;
             ack.max_frame_payload = cfg.max_frame_payload;
             ack.max_inflight_per_connection = cfg.max_inflight_per_connection;
+            ack.max_streams_per_connection = cfg.max_streams_per_connection;
             enqueue_frame(conn, FrameType::kHelloAck, 0, encode_hello_ack(ack));
             return conns.count(id) != 0;
         }
@@ -461,12 +494,213 @@ struct NetServer::Impl {
             }
             case FrameType::kGoodbye:
                 conn.goodbye = true;
-                return true;
+                // Goodbye stops reads, so an open stream can never finish;
+                // settle each with a rejected response before the drain of
+                // the write queue lets reap_goodbyes close the socket.
+                settle_streams_rejected(id, "goodbye with the stream still open");
+                return conns.count(id) != 0;
+            case FrameType::kStreamBegin:
+            case FrameType::kStreamChunk:
+            case FrameType::kStreamEnd:
+            case FrameType::kStreamAbort:
+                if (conn.version < kVersionStreaming) {
+                    // Stream frames on a v1-negotiated connection are a
+                    // protocol violation, like any unknown frame type.
+                    count_rejected_frame();
+                    close_conn(id);
+                    return false;
+                }
+                return handle_stream_frame(id, type, res);
             default:
                 // A client must not send server-only frame types.
                 count_rejected_frame();
                 close_conn(id);
                 return false;
+        }
+    }
+
+    /// Returns false when the connection was closed. The header request_id
+    /// of every stream frame is the stream id; the server settles a stream
+    /// with exactly one kResponse frame echoing it (except client aborts,
+    /// which are fire-and-forget).
+    bool handle_stream_frame(std::uint64_t id, FrameType type, FrameAssembler::Result& res) {
+        auto it = conns.find(id);
+        if (it == conns.end()) return false;
+        Conn& conn = it->second;
+        const std::uint64_t sid = res.header.request_id;
+        switch (type) {
+            case FrameType::kStreamBegin: {
+                StreamBegin sb;
+                try {
+                    sb = decode_stream_begin(res.view);
+                } catch (const WireError& e) {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, sid,
+                                  reject_payload(std::string("bad stream-begin frame: ") +
+                                                 e.what()));
+                    return conns.count(id) != 0;
+                }
+                if (conn.streams.count(sid) != 0) {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, sid,
+                                  reject_payload("stream id already open"));
+                    return conns.count(id) != 0;
+                }
+                if (conn.streams.size() >= cfg.max_streams_per_connection) {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, sid,
+                                  reject_payload("per-connection stream limit reached"));
+                    return conns.count(id) != 0;
+                }
+                conn.streams.emplace(sid, Stream(sb));
+                std::lock_guard lk(tele_mu);
+                ++tele.streams_opened;
+                ++tele.requests_accepted;
+                ++tele.requests_in_flight;
+                return true;
+            }
+            case FrameType::kStreamChunk: {
+                auto sit = conn.streams.find(sid);
+                if (sit == conn.streams.end()) {
+                    // A chunk for a stream never opened (or already
+                    // settled): drop it — the client learns the stream's
+                    // fate from its settling response.
+                    count_rejected_frame();
+                    return true;
+                }
+                StreamChunk chunk;
+                try {
+                    chunk = decode_stream_chunk(res.view);
+                } catch (const WireError& e) {
+                    count_rejected_frame();
+                    abort_stream_rejected(conn, sid,
+                                          std::string("bad stream-chunk frame: ") + e.what());
+                    return conns.count(id) != 0;
+                }
+                Stream& st = sit->second;
+                const std::uint64_t volume = st.decl.dims.volume();
+                if (chunk.seq != st.next_seq) {
+                    abort_stream_rejected(conn, sid, "stream chunk out of sequence");
+                    return conns.count(id) != 0;
+                }
+                if (st.next_seq >= st.decl.chunks) {
+                    abort_stream_rejected(conn, sid, "more chunks than declared");
+                    return conns.count(id) != 0;
+                }
+                if (st.elements + chunk.orig.size() > volume) {
+                    abort_stream_rejected(conn, sid, "stream overruns the declared shape");
+                    return conns.count(id) != 0;
+                }
+                st.assessor.feed(chunk.orig, chunk.dec);
+                ++st.next_seq;
+                st.elements += chunk.orig.size();
+                std::lock_guard lk(tele_mu);
+                ++tele.stream_chunks;
+                tele.stream_bytes += res.header.payload_len;
+                return true;
+            }
+            case FrameType::kStreamEnd: {
+                StreamEnd se;
+                try {
+                    se = decode_stream_end(res.view);
+                } catch (const WireError& e) {
+                    count_rejected_frame();
+                    if (conn.streams.count(sid) != 0) {
+                        abort_stream_rejected(conn, sid,
+                                              std::string("bad stream-end frame: ") + e.what());
+                    } else {
+                        enqueue_frame(conn, FrameType::kResponse, sid,
+                                      reject_payload(std::string("bad stream-end frame: ") +
+                                                     e.what()));
+                    }
+                    return conns.count(id) != 0;
+                }
+                auto sit = conn.streams.find(sid);
+                if (sit == conn.streams.end()) {
+                    count_rejected_frame();
+                    enqueue_frame(conn, FrameType::kResponse, sid,
+                                  reject_payload("stream-end for an unknown stream"));
+                    return conns.count(id) != 0;
+                }
+                Stream& st = sit->second;
+                const std::uint64_t volume = st.decl.dims.volume();
+                if (se.chunks != st.next_seq || se.elements != st.elements) {
+                    abort_stream_rejected(conn, sid,
+                                          "stream-end counts disagree with what arrived");
+                    return conns.count(id) != 0;
+                }
+                if (st.next_seq != st.decl.chunks || st.elements != volume) {
+                    abort_stream_rejected(conn, sid,
+                                          "stream ended before the declared dataset arrived");
+                    return conns.count(id) != 0;
+                }
+                serve::AssessResponse resp;
+                resp.effective_cfg = st.decl.cfg;
+                // Streaming computes the pattern-1 reduction family only;
+                // the stencil/SSIM groups need whole-field neighborhoods.
+                resp.effective_cfg.pattern2 = false;
+                resp.effective_cfg.pattern3 = false;
+                if (st.decl.cfg.pattern2) {
+                    resp.degraded = true;
+                    resp.shed.push_back("pattern2");
+                }
+                if (st.decl.cfg.pattern3) {
+                    resp.degraded = true;
+                    resp.shed.push_back("pattern3");
+                }
+                resp.result.report.reduction = st.assessor.finalize();
+                conn.streams.erase(sit);
+                {
+                    std::lock_guard lk(tele_mu);
+                    ++tele.requests_completed;
+                    --tele.requests_in_flight;
+                }
+                enqueue_built_frame(conn, encode_response_frame(resp, sid));
+                return conns.count(id) != 0;
+            }
+            case FrameType::kStreamAbort: {
+                auto sit = conn.streams.find(sid);
+                if (sit == conn.streams.end()) {
+                    count_rejected_frame();
+                    return true;
+                }
+                // Fire-and-forget by design: the client already moved on,
+                // so no response frame — the request ledger records it as
+                // failed (no delivery), mirroring a vanished peer.
+                conn.streams.erase(sit);
+                std::lock_guard lk(tele_mu);
+                ++tele.streams_aborted;
+                ++tele.requests_failed;
+                --tele.requests_in_flight;
+                return true;
+            }
+            default:
+                return true;  // unreachable: the caller dispatched types 6..9
+        }
+    }
+
+    /// Settle one open stream with a rejected response (server-detected
+    /// stream error, drain, goodbye) and balance the request ledger. The
+    /// response is a delivery, so the stream counts as completed.
+    void abort_stream_rejected(Conn& conn, std::uint64_t stream_id, const std::string& why) {
+        conn.streams.erase(stream_id);
+        {
+            std::lock_guard lk(tele_mu);
+            ++tele.streams_aborted;
+            ++tele.requests_completed;
+            --tele.requests_in_flight;
+        }
+        // May flush -> close_conn -> erase `conn`; callers re-resolve.
+        enqueue_frame(conn, FrameType::kResponse, stream_id, reject_payload(why));
+    }
+
+    /// Reject-settle every open stream of one connection (id-based: each
+    /// settle may flush and disconnect a slow client mid-loop).
+    void settle_streams_rejected(std::uint64_t conn_id, const std::string& why) {
+        for (;;) {
+            auto it = conns.find(conn_id);
+            if (it == conns.end() || it->second.streams.empty()) return;
+            abort_stream_rejected(it->second, it->second.streams.begin()->first, why);
         }
     }
 
@@ -540,6 +774,9 @@ struct NetServer::Impl {
                 expired.push_back(id);
             } else if (conn.handshaken && cfg.idle_timeout_s > 0 && conn.inflight == 0 &&
                        seconds_between(conn.last_activity, now) > cfg.idle_timeout_s) {
+                // Deliberately fires with open-but-silent streams too: a
+                // stalled stream holds assessor memory, and close_conn
+                // settles its ledger entries as failed.
                 expired.push_back(id);
             }
         }
@@ -549,7 +786,10 @@ struct NetServer::Impl {
     void reap_goodbyes() {
         std::vector<std::uint64_t> done;
         for (auto& [id, conn] : conns) {
-            if (conn.goodbye && conn.inflight == 0 && conn.write_q.empty()) done.push_back(id);
+            if (conn.goodbye && conn.inflight == 0 && conn.streams.empty() &&
+                conn.write_q.empty()) {
+                done.push_back(id);
+            }
         }
         for (std::uint64_t id : done) close_conn(id);
     }
@@ -622,13 +862,18 @@ struct NetServer::Impl {
     void close_conn(std::uint64_t id) {
         auto it = conns.find(id);
         if (it == conns.end()) return;
+        const std::uint64_t open_streams = it->second.streams.size();
         ::close(it->second.fd);
         conns.erase(it);
         // Pending futures of this connection settle later and count as
-        // failed deliveries (requests_failed) in settle_futures().
+        // failed deliveries (requests_failed) in settle_futures(); open
+        // streams die with the socket, so their ledger entries settle here.
         std::lock_guard lk(tele_mu);
         ++tele.connections_closed;
         --tele.connections_active;
+        tele.streams_aborted += open_streams;
+        tele.requests_failed += open_streams;
+        tele.requests_in_flight -= open_streams;
     }
 
     void count_rejected_frame() {

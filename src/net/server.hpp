@@ -29,6 +29,12 @@ struct NetServerConfig {
     /// Frames whose payload exceeds this are rejected (and skipped)
     /// without closing the connection.
     std::size_t max_frame_payload = 64ull << 20;
+    /// Concurrent v2 streaming sessions one connection may hold open; a
+    /// StreamBegin past the cap is settled immediately with a rejected
+    /// response. Streams are deliberately outside the in-flight read gate
+    /// (feeding a stream *requires* reading), so this is their own
+    /// admission bound.
+    std::size_t max_streams_per_connection = 8;
     /// Unparsed inbound bytes a connection may buffer before it stops
     /// being read (second backpressure stage, before frame decode).
     std::size_t max_read_buffer = 8ull << 20;

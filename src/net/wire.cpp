@@ -263,32 +263,54 @@ void Reader::expect_end() const {
 
 // --- Payload codecs ----------------------------------------------------
 
-std::vector<std::uint8_t> encode_hello() {
+std::vector<std::uint8_t> encode_hello(std::uint16_t version) {
     Writer w;
-    w.str(kProtocolName);
+    w.str(version >= kVersionStreaming ? kProtocolNameV2 : kProtocolName);
     return w.take();
 }
 
-void decode_hello(std::span<const std::uint8_t> payload) {
+std::uint16_t decode_hello(std::span<const std::uint8_t> payload) {
     Reader r(payload);
-    if (r.str() != kProtocolName) throw WireError("handshake: unknown protocol");
+    const std::string name = r.str();
     r.expect_end();
+    if (name == kProtocolName) return kVersion;
+    if (name == kProtocolNameV2) return kVersionStreaming;
+    throw WireError("handshake: unknown protocol");
 }
 
 std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack) {
     Writer w;
-    w.str(kProtocolName);
-    w.u64(ack.max_frame_payload);
-    w.u64(ack.max_inflight_per_connection);
+    // The v1 encoding is frozen: a v1 client's decoder must keep working
+    // against this server byte-for-byte. Only the v2 ack grew fields.
+    if (ack.version >= kVersionStreaming) {
+        w.str(kProtocolNameV2);
+        w.u64(ack.max_frame_payload);
+        w.u64(ack.max_inflight_per_connection);
+        w.u64(ack.max_streams_per_connection);
+    } else {
+        w.str(kProtocolName);
+        w.u64(ack.max_frame_payload);
+        w.u64(ack.max_inflight_per_connection);
+    }
     return w.take();
 }
 
 HelloAck decode_hello_ack(std::span<const std::uint8_t> payload) {
     Reader r(payload);
-    if (r.str() != kProtocolName) throw WireError("handshake: unknown protocol");
+    const std::string name = r.str();
     HelloAck ack;
+    if (name == kProtocolName) {
+        ack.version = kVersion;
+    } else if (name == kProtocolNameV2) {
+        ack.version = kVersionStreaming;
+    } else {
+        throw WireError("handshake: unknown protocol");
+    }
     ack.max_frame_payload = static_cast<std::size_t>(r.u64());
     ack.max_inflight_per_connection = static_cast<std::size_t>(r.u64());
+    if (ack.version >= kVersionStreaming) {
+        ack.max_streams_per_connection = static_cast<std::size_t>(r.u64());
+    }
     r.expect_end();
     return ack;
 }
@@ -313,7 +335,8 @@ void encode_request_into(Writer& w, const serve::AssessRequest& req) {
 /// Patch the frame header into a buffer whose first kSize bytes were left
 /// as a gap by Writer::zeros, checksumming the payload that follows.
 [[nodiscard]] std::vector<std::uint8_t> seal_frame(Writer&& w, FrameType type,
-                                                   std::uint64_t request_id) {
+                                                   std::uint64_t request_id,
+                                                   std::uint16_t version = kVersion) {
     std::vector<std::uint8_t> frame = w.take();
     const std::span<const std::uint8_t> payload(frame.data() + FrameHeader::kSize,
                                                 frame.size() - FrameHeader::kSize);
@@ -324,7 +347,7 @@ void encode_request_into(Writer& w, const serve::AssessRequest& req) {
         }
     };
     put_at(0, kMagic);
-    put_at(4, kVersion);
+    put_at(4, version);
     put_at(6, static_cast<std::uint16_t>(type));
     put_at(8, request_id);
     put_at(16, static_cast<std::uint32_t>(payload.size()));
@@ -453,6 +476,88 @@ serve::AssessResponse decode_response(std::span<const std::uint8_t> payload) {
     return resp;
 }
 
+// --- Streaming codecs (cuzc-wire-v2) -----------------------------------
+
+std::vector<std::uint8_t> encode_stream_begin(const StreamBegin& sb) {
+    Writer w;
+    w.u64(sb.dims.h);
+    w.u64(sb.dims.w);
+    w.u64(sb.dims.l);
+    encode_cfg(w, sb.cfg);
+    w.u64(sb.chunks);
+    w.u64(sb.total_bytes);
+    return w.take();
+}
+
+StreamBegin decode_stream_begin(std::span<const std::uint8_t> payload) {
+    Reader r(payload);
+    StreamBegin sb;
+    const std::uint64_t h = r.u64();
+    const std::uint64_t w = r.u64();
+    const std::uint64_t l = r.u64();
+    if (h == 0 || w == 0 || l == 0 || h > kMaxExtent || w > kMaxExtent || l > kMaxExtent) {
+        throw WireError("stream-begin: bad field shape");
+    }
+    sb.dims = zc::Dims3{static_cast<std::size_t>(h), static_cast<std::size_t>(w),
+                        static_cast<std::size_t>(l)};
+    sb.cfg = decode_cfg(r);
+    sb.chunks = r.u64();
+    sb.total_bytes = r.u64();
+    r.expect_end();
+    const std::uint64_t volume = h * w * l;  // bounded by kMaxExtent^3 < 2^60
+    if (sb.chunks == 0 || sb.chunks > volume) {
+        throw WireError("stream-begin: chunk count disagrees with the declared shape");
+    }
+    if (sb.total_bytes != volume * 2 * sizeof(float)) {
+        throw WireError("stream-begin: declared byte total disagrees with the declared shape");
+    }
+    return sb;
+}
+
+std::vector<std::uint8_t> encode_stream_chunk_frame(std::uint64_t stream_id, std::uint64_t seq,
+                                                    std::span<const float> orig,
+                                                    std::span<const float> dec) {
+    if (orig.empty() || orig.size() != dec.size()) {
+        throw WireError("stream-chunk: ranges must be non-empty and paired");
+    }
+    Writer w;
+    w.reserve(FrameHeader::kSize + 24 + orig.size_bytes() + dec.size_bytes());
+    w.zeros(FrameHeader::kSize);
+    w.u64(seq);
+    w.f32_span(orig);
+    w.f32_span(dec);
+    return seal_frame(std::move(w), FrameType::kStreamChunk, stream_id, kVersionStreaming);
+}
+
+StreamChunk decode_stream_chunk(std::span<const std::uint8_t> payload) {
+    Reader r(payload);
+    StreamChunk c;
+    c.seq = r.u64();
+    c.orig = r.f32_span();
+    c.dec = r.f32_span();
+    r.expect_end();
+    if (c.orig.empty() || c.orig.size() != c.dec.size()) {
+        throw WireError("stream-chunk: ranges must be non-empty and paired");
+    }
+    return c;
+}
+
+std::vector<std::uint8_t> encode_stream_end(const StreamEnd& se) {
+    Writer w;
+    w.u64(se.chunks);
+    w.u64(se.elements);
+    return w.take();
+}
+
+StreamEnd decode_stream_end(std::span<const std::uint8_t> payload) {
+    Reader r(payload);
+    StreamEnd se;
+    se.chunks = r.u64();
+    se.elements = r.u64();
+    r.expect_end();
+    return se;
+}
+
 std::vector<std::uint8_t> encode_report(const zc::AssessmentReport& report) {
     Writer w;
     encode_report_into(w, report);
@@ -466,11 +571,12 @@ std::uint64_t digest_report(std::uint64_t h, const zc::AssessmentReport& report)
 // --- Frame assembly ----------------------------------------------------
 
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t version) {
     std::vector<std::uint8_t> frame;
     frame.reserve(FrameHeader::kSize + payload.size());
     put_le(frame, kMagic);
-    put_le(frame, kVersion);
+    put_le(frame, version);
     put_le(frame, static_cast<std::uint16_t>(type));
     put_le(frame, request_id);
     put_le(frame, static_cast<std::uint32_t>(payload.size()));
@@ -548,7 +654,8 @@ std::size_t FrameAssembler::pending_frame_bytes() const noexcept {
     if (skip_ > 0 || buffered() < FrameHeader::kSize) return 0;
     const std::uint8_t* p = buf_.data() + consumed_;
     if (get_le<std::uint32_t>(p) != kMagic) return 0;
-    if (get_le<std::uint16_t>(p + 4) != kVersion) return 0;
+    const auto ver = get_le<std::uint16_t>(p + 4);
+    if (ver < kVersion || ver > kVersionMax) return 0;
     const auto payload_len = get_le<std::uint32_t>(p + 16);
     if (payload_len > max_payload_) return 0;  // rejected, then skip-discarded
     return FrameHeader::kSize + payload_len;
@@ -575,7 +682,7 @@ FrameAssembler::Result FrameAssembler::next_view() {
         res.status = Status::kBadMagic;
         return res;
     }
-    if (h.version != kVersion) {
+    if (h.version < kVersion || h.version > kVersionMax) {
         res.status = Status::kBadVersion;
         return res;
     }

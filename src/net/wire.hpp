@@ -1,13 +1,13 @@
 #pragma once
 
-/// cuzc-wire-v1 — the length-prefixed binary protocol spoken between
-/// cuzc::net::NetServer and NetClient (see DESIGN.md §7).
+/// cuzc-wire-v1 / cuzc-wire-v2 — the length-prefixed binary protocol
+/// spoken between cuzc::net::NetServer and NetClient (see DESIGN.md §7/§8).
 ///
 /// Every frame is a fixed 24-byte little-endian header followed by
 /// `payload_len` payload bytes:
 ///
 ///   u32 magic        0x43575A43 ("CZWC")
-///   u16 version      1
+///   u16 version      1 (v2 streaming frame types carry 2)
 ///   u16 type         FrameType
 ///   u64 request_id   client-chosen; echoed on the response
 ///   u32 payload_len  payload bytes that follow
@@ -15,12 +15,18 @@
 ///                    32 bits (see frame_checksum)
 ///
 /// A connection opens with a Hello / HelloAck exchange carrying the
-/// protocol name ("cuzc-wire-v1") so version skew fails fast, then any
-/// number of Request frames may be in flight concurrently; the server
-/// responds with one Response frame per request, in completion order.
-/// Decoding is strictly bounds-checked: a truncated or oversized frame is
-/// rejected (and, where the stream stays synchronized, skipped) without
-/// tearing down the process.
+/// protocol name so version skew fails fast. The name doubles as the
+/// version negotiation: a client says "cuzc-wire-v1" or "cuzc-wire-v2",
+/// and the server acks the same revision — a v1 client keeps speaking v1
+/// unchanged; the streaming frame types (StreamBegin/Chunk/End/Abort) are
+/// only legal on a v2-negotiated connection and carry header version 2,
+/// so a v1-only peer rejects them at the framing layer instead of
+/// misparsing. After the handshake any number of Request frames (and, on
+/// v2, streaming sessions) may be in flight concurrently; the server
+/// responds with one Response frame per request or stream, in completion
+/// order. Decoding is strictly bounds-checked: a truncated or oversized
+/// frame is rejected (and, where the stream stays synchronized, skipped)
+/// without tearing down the process.
 
 #include <cstdint>
 #include <span>
@@ -30,20 +36,32 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "zc/metrics_config.hpp"
 #include "zc/report.hpp"
+#include "zc/tensor.hpp"
 
 namespace cuzc::net {
 
 inline constexpr std::uint32_t kMagic = 0x43575A43u;  // "CZWC"
 inline constexpr std::uint16_t kVersion = 1;
+/// Streaming revision: the new frame types below carry this header version.
+inline constexpr std::uint16_t kVersionStreaming = 2;
+inline constexpr std::uint16_t kVersionMax = kVersionStreaming;
 inline constexpr std::string_view kProtocolName = "cuzc-wire-v1";
+inline constexpr std::string_view kProtocolNameV2 = "cuzc-wire-v2";
 
 enum class FrameType : std::uint16_t {
-    kHello = 1,     ///< client -> server: protocol name
-    kHelloAck = 2,  ///< server -> client: protocol name + server limits
-    kRequest = 3,   ///< client -> server: serialized AssessRequest
-    kResponse = 4,  ///< server -> client: serialized AssessResponse
-    kGoodbye = 5,   ///< client -> server: drain my in-flight, then close
+    kHello = 1,        ///< client -> server: protocol name (negotiates version)
+    kHelloAck = 2,     ///< server -> client: protocol name + server limits
+    kRequest = 3,      ///< client -> server: serialized AssessRequest
+    kResponse = 4,     ///< server -> client: serialized AssessResponse
+    kGoodbye = 5,      ///< client -> server: drain my in-flight, then close
+    // v2 streaming sessions. The header request_id is the stream id; the
+    // server settles each stream with one kResponse frame echoing it.
+    kStreamBegin = 6,  ///< client -> server: dims + cfg + declared totals
+    kStreamChunk = 7,  ///< client -> server: sequence-numbered orig/dec slice
+    kStreamEnd = 8,    ///< client -> server: finalize; respond with the report
+    kStreamAbort = 9,  ///< client -> server: discard the stream, no response
 };
 
 /// Any framing/decoding violation: truncated payload, field count that
@@ -128,16 +146,69 @@ private:
 
 // --- Payload codecs ----------------------------------------------------
 
-[[nodiscard]] std::vector<std::uint8_t> encode_hello();
-/// Throws WireError when the payload does not carry kProtocolName.
-void decode_hello(std::span<const std::uint8_t> payload);
+/// Hello carries the protocol name of the revision the client wants to
+/// speak ("cuzc-wire-v1" by default, "cuzc-wire-v2" for streaming).
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(std::uint16_t version = kVersion);
+/// Returns the wire version the peer requested (1 or 2); throws WireError
+/// when the payload carries neither known protocol name.
+std::uint16_t decode_hello(std::span<const std::uint8_t> payload);
 
 struct HelloAck {
+    /// The negotiated wire version the server will speak on this
+    /// connection (echoes the client's Hello revision).
+    std::uint16_t version = kVersion;
     std::size_t max_frame_payload = 0;
     std::size_t max_inflight_per_connection = 0;
+    /// v2 only: concurrent streaming sessions one connection may hold
+    /// open (0 on a v1 ack).
+    std::size_t max_streams_per_connection = 0;
 };
+/// A v1 ack is byte-identical to what a v1-only server would send; the
+/// stream limit travels only on a v2 ack.
 [[nodiscard]] std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack);
 [[nodiscard]] HelloAck decode_hello_ack(std::span<const std::uint8_t> payload);
+
+// --- v2 streaming session payloads -------------------------------------
+
+/// StreamBegin declares the whole dataset up front so the server can
+/// validate every chunk against it: the field shape, the metrics to run
+/// (only the pattern-1 reduction family is computable incrementally), the
+/// exact number of StreamChunk frames to follow, and the total payload
+/// bytes across both fields (a redundant cross-check on the shape).
+struct StreamBegin {
+    zc::Dims3 dims{};
+    zc::MetricsConfig cfg{};
+    std::uint64_t chunks = 0;       ///< declared StreamChunk frame count
+    std::uint64_t total_bytes = 0;  ///< must equal volume * 2 * sizeof(float)
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_begin(const StreamBegin& begin);
+/// Throws WireError on truncation, out-of-range dims, zero or over-declared
+/// chunk counts (more chunks than elements), or a byte total that
+/// disagrees with the declared shape.
+[[nodiscard]] StreamBegin decode_stream_begin(std::span<const std::uint8_t> payload);
+
+/// One paired slice of the dataset in element order. Sequence numbers are
+/// 0-based and must arrive strictly in order; the frame checksum already
+/// covers the payload, so a corrupt chunk is dropped at the framing layer.
+struct StreamChunk {
+    std::uint64_t seq = 0;
+    std::vector<float> orig;
+    std::vector<float> dec;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_chunk_frame(
+    std::uint64_t stream_id, std::uint64_t seq, std::span<const float> orig,
+    std::span<const float> dec);
+/// Throws WireError on truncation, an empty chunk, or orig/dec length skew.
+[[nodiscard]] StreamChunk decode_stream_chunk(std::span<const std::uint8_t> payload);
+
+/// StreamEnd restates what the client believes it sent; the server rejects
+/// the stream when either count disagrees with what actually arrived.
+struct StreamEnd {
+    std::uint64_t chunks = 0;
+    std::uint64_t elements = 0;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_end(const StreamEnd& end);
+[[nodiscard]] StreamEnd decode_stream_end(std::span<const std::uint8_t> payload);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const serve::AssessRequest& req);
 [[nodiscard]] serve::AssessRequest decode_request(std::span<const std::uint8_t> payload);
@@ -159,7 +230,8 @@ struct HelloAck {
 // --- Frame assembly ----------------------------------------------------
 
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,
-                                                     std::span<const std::uint8_t> payload);
+                                                     std::span<const std::uint8_t> payload,
+                                                     std::uint16_t version = kVersion);
 
 /// Single-buffer frame builders for the payloads that carry whole fields:
 /// the payload is encoded after a header-sized gap and the header patched
@@ -185,7 +257,7 @@ public:
         kOversize,     ///< payload_len > limit; payload being discarded
         kBadChecksum,  ///< framing intact, payload corrupt; frame dropped
         kBadMagic,     ///< stream is not cuzc-wire; close the connection
-        kBadVersion,   ///< wire version mismatch; close the connection
+        kBadVersion,   ///< header version above kVersionMax; close
     };
     struct Result {
         Status status = Status::kNeedMore;

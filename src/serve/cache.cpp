@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <span>
+#include <stdexcept>
 
 namespace cuzc::serve {
 
@@ -28,6 +29,9 @@ std::uint64_t hash_request(std::uint64_t seed, const zc::Tensor3f& orig, const z
     mix_value(h, orig.dims().h);
     mix_value(h, orig.dims().w);
     mix_value(h, orig.dims().l);
+    mix_value(h, dec.dims().h);
+    mix_value(h, dec.dims().w);
+    mix_value(h, dec.dims().l);
     mix_value(h, cfg.pattern1);
     mix_value(h, cfg.pattern2);
     mix_value(h, cfg.pattern3);
@@ -46,6 +50,11 @@ std::uint64_t hash_request(std::uint64_t seed, const zc::Tensor3f& orig, const z
 
 CacheKey result_cache_key(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
                           const zc::MetricsConfig& cfg) {
+    // A shape mismatch can never be a legitimate cache entry; hashing such
+    // a pair would mint a key for a request the service must reject anyway.
+    if (!(orig.dims() == dec.dims())) {
+        throw std::invalid_argument("result_cache_key: original/decompressed shape mismatch");
+    }
     // Two FNV-1a streams with distinct offset bases.
     return CacheKey{hash_request(14695981039346656037ull, orig, dec, cfg),
                     hash_request(0x6c62272e07bb0142ull, orig, dec, cfg)};

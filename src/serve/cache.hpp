@@ -29,6 +29,9 @@ struct CacheKeyHash {
     }
 };
 
+/// Content hash over both tensors' dims + bytes and every config knob.
+/// Throws std::invalid_argument when the shapes disagree — such a pair can
+/// never name a cacheable result.
 [[nodiscard]] CacheKey result_cache_key(const zc::Tensor3f& orig, const zc::Tensor3f& dec,
                                         const zc::MetricsConfig& cfg);
 

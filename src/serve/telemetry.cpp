@@ -78,7 +78,7 @@ void NetTelemetry::write_json(std::ostream& os, int indent) const {
     const std::string pad(static_cast<std::size_t>(indent), ' ');
     const std::string in1 = pad + "  ";
     os << "{\n";
-    os << in1 << "\"schema\": \"cuzc-wire-v1\",\n";
+    os << in1 << "\"schema\": \"cuzc-wire-v2\",\n";
     os << in1 << "\"connections_accepted\": " << connections_accepted << ",\n";
     os << in1 << "\"connections_closed\": " << connections_closed << ",\n";
     os << in1 << "\"connections_active\": " << connections_active << ",\n";
@@ -90,7 +90,11 @@ void NetTelemetry::write_json(std::ostream& os, int indent) const {
     os << in1 << "\"frames_tx\": " << frames_tx << ",\n";
     os << in1 << "\"frames_rejected\": " << frames_rejected << ",\n";
     os << in1 << "\"bytes_rx\": " << bytes_rx << ",\n";
-    os << in1 << "\"bytes_tx\": " << bytes_tx << "\n";
+    os << in1 << "\"bytes_tx\": " << bytes_tx << ",\n";
+    os << in1 << "\"streams_opened\": " << streams_opened << ",\n";
+    os << in1 << "\"stream_chunks\": " << stream_chunks << ",\n";
+    os << in1 << "\"stream_bytes\": " << stream_bytes << ",\n";
+    os << in1 << "\"streams_aborted\": " << streams_aborted << "\n";
     os << pad << "}";
 }
 

@@ -80,19 +80,27 @@ struct ServiceTelemetry {
 };
 
 /// Counters of the socket front-end (cuzc::net::NetServer) speaking the
-/// cuzc-wire-v1 protocol. They sit *in front of* ServiceTelemetry: every
-/// wire request the server accepts becomes exactly one AssessService
-/// submission, so `requests_accepted` here reconciles with the service's
-/// own `queued` counter for a network-only service.
+/// cuzc-wire protocol (v1 whole-frame requests and v2 streaming sessions).
+/// They sit *in front of* ServiceTelemetry: every wire request the server
+/// accepts becomes exactly one AssessService submission, so
+/// `requests_accepted` here reconciles with the service's own `queued`
+/// counter for a network-only service — except streaming sessions, which
+/// are assessed in the front-end itself (bounded-memory incremental
+/// reduction) and never reach the service queue; they still count as
+/// requests here so the request ledger covers all wire work.
 ///
 /// Reconciliation invariants, holding at every snapshot:
 ///   requests_accepted == requests_completed + requests_failed
 ///                        + requests_in_flight
 ///   connections_accepted == connections_active + connections_closed
+///   streams_opened >= streams_aborted
 /// A request is `completed` when its response frame was queued for
 /// delivery (the service-level rejected flag travels *inside* the
 /// response); it is `failed` only when the response could not be
-/// delivered because its connection died first.
+/// delivered because its connection died first. A streaming session is
+/// accepted at StreamBegin, in-flight until its settling response (or its
+/// abort/disconnect), and aborted sessions settled with a rejected
+/// response count as completed — the response was delivered.
 struct NetTelemetry {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_closed = 0;
@@ -107,7 +115,13 @@ struct NetTelemetry {
     std::uint64_t bytes_rx = 0;
     std::uint64_t bytes_tx = 0;
 
-    /// Pretty-printed JSON object; `"schema": "cuzc-wire-v1"` names the
+    // v2 streaming sessions.
+    std::uint64_t streams_opened = 0;      ///< StreamBegin frames admitted
+    std::uint64_t stream_chunks = 0;       ///< StreamChunk frames applied
+    std::uint64_t stream_bytes = 0;        ///< payload bytes of applied chunks
+    std::uint64_t streams_aborted = 0;     ///< client aborts + server-side stream errors
+
+    /// Pretty-printed JSON object; `"schema": "cuzc-wire-v2"` names the
     /// protocol revision the counters describe.
     void write_json(std::ostream& os, int indent = 0) const;
 };

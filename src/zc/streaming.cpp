@@ -16,8 +16,21 @@ StreamingAssessor::StreamingAssessor(const MetricsConfig& cfg) : cfg_(cfg) {
 
 void StreamingAssessor::rebin(double old_lo, double old_hi, double new_lo, double new_hi,
                               std::vector<double>& hist) const {
-    if (!(old_hi > old_lo)) return;  // nothing meaningful binned yet
     const int bins = std::max(1, cfg_.pdf_bins);
+    if (!(old_hi > old_lo)) {
+        // Degenerate accumulated range (e.g. a constant-error first chunk):
+        // every count so far was binned at the single point old_lo, so the
+        // whole mass moves to that point's bin in the new range. The old
+        // early-return here stranded the counts in bin 0 and skewed every
+        // streamed PDF (and the entropy) whenever a stream opened flat.
+        double total = 0.0;
+        for (double c : hist) total += c;
+        std::fill(hist.begin(), hist.end(), 0.0);
+        if (total > 0) {
+            hist[static_cast<std::size_t>(pdf_bin(old_lo, new_lo, new_hi, bins))] = total;
+        }
+        return;
+    }
     std::vector<double> next(hist.size(), 0.0);
     for (std::size_t b = 0; b < hist.size(); ++b) {
         if (hist[b] == 0) continue;

@@ -123,6 +123,23 @@ TEST(RawIo, SizeMismatchThrows) {
     std::filesystem::remove(path);
 }
 
+TEST(RawIo, WriteToFullDeviceThrowsInsteadOfSilentTruncation) {
+    // Regression: write_f32 checked the bulk write() but let the implicit
+    // close in the destructor swallow the flush failure, so an ENOSPC hit
+    // at close reported success over a truncated file. /dev/full fails
+    // every flush deterministically.
+    if (!std::filesystem::exists("/dev/full")) {
+        GTEST_SKIP() << "/dev/full not available on this platform";
+    }
+    const zc::Field f = cuzc::testing::random_field({4, 4, 4}, 4);
+    EXPECT_THROW(data::write_f32("/dev/full", f.view()), std::runtime_error);
+}
+
+TEST(RawIo, WriteToUnwritablePathThrows) {
+    const zc::Field f = cuzc::testing::random_field({4, 4, 4}, 4);
+    EXPECT_THROW(data::write_f32("/nonexistent/dir/x.f32", f.view()), std::runtime_error);
+}
+
 TEST(Config, ParsesSectionsCommentsAndTypes) {
     const auto cfg = io::Config::parse(R"(
 # Z-checker style config

@@ -571,9 +571,10 @@ TEST(NetServer, TelemetryJsonCarriesWireSchema) {
     std::ostringstream json;
     tele.write_json(json);
     const std::string s = json.str();
-    EXPECT_NE(s.find("\"schema\": \"cuzc-wire-v1\""), std::string::npos);
+    EXPECT_NE(s.find("\"schema\": \"cuzc-wire-v2\""), std::string::npos);
     EXPECT_NE(s.find("\"requests_accepted\": 1"), std::string::npos);
     EXPECT_NE(s.find("\"frames_rejected\": 0"), std::string::npos);
+    EXPECT_NE(s.find("\"streams_opened\": 0"), std::string::npos);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <future>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -436,6 +437,30 @@ TEST(Serve, CacheKeyIsContentAddressed) {
     EXPECT_NE(serve::result_cache_key(a.view(), b.view(), cfg2), k1);
     // Swapping orig/dec changes the key.
     EXPECT_NE(serve::result_cache_key(b.view(), a.view(), cfg), k1);
+}
+
+TEST(Serve, CacheKeyCoversShapeNotJustBytes) {
+    // Regression: the key hashed the dec bytes but not the dec dims, so
+    // two assessments over identical bytes reshaped differently (stencil
+    // and SSIM results differ!) collided into one cache entry.
+    const auto cfg = small_cfg();
+    std::vector<float> orig_bytes(24), dec_bytes(24);
+    for (std::size_t i = 0; i < orig_bytes.size(); ++i) {
+        orig_bytes[i] = static_cast<float>(i) * 0.5f;
+        dec_bytes[i] = orig_bytes[i] + 0.01f;
+    }
+    const zc::Dims3 tall{2, 3, 4}, wide{4, 3, 2};
+    const auto k_tall = serve::result_cache_key(zc::Tensor3f(orig_bytes, tall),
+                                                zc::Tensor3f(dec_bytes, tall), cfg);
+    const auto k_wide = serve::result_cache_key(zc::Tensor3f(orig_bytes, wide),
+                                                zc::Tensor3f(dec_bytes, wide), cfg);
+    EXPECT_NE(k_tall, k_wide);
+
+    // Mismatched orig/dec shapes can never be a valid cache identity; the
+    // key refuses instead of hashing an inconsistent pair.
+    EXPECT_THROW((void)serve::result_cache_key(zc::Tensor3f(orig_bytes, tall),
+                                               zc::Tensor3f(dec_bytes, wide), cfg),
+                 std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -104,6 +106,93 @@ TEST(Streaming, RangeGrowthRebinsWithoutLosingMass) {
     for (const auto p : got.err_pdf) mass += p;
     EXPECT_NEAR(mass, 1.0, 1e-12);
     EXPECT_NEAR(got.max_err, 0.5, 1e-6);
+}
+
+TEST(Streaming, ConstantErrorFirstChunkRebinsIntoTheGrownRange) {
+    // Regression: a first chunk whose errors are all identical leaves the
+    // accumulated range degenerate (lo == hi). When a later chunk grows the
+    // range, the rebin used to divide by the zero-width old range and
+    // scatter the early counts; the whole early mass must instead land in
+    // the one new bin that contains the degenerate point.
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 16;
+    cfg.pattern2 = false;
+    cfg.pattern3 = false;
+    zc::StreamingAssessor sa(cfg);
+    std::vector<float> o1(64, 2.0f), d1(64, 2.25f);  // every error exactly 0.25
+    sa.feed(o1, d1);
+    std::vector<float> o2(64), d2(64);
+    for (std::size_t i = 0; i < o2.size(); ++i) {
+        o2[i] = 2.0f;
+        d2[i] = 2.0f + static_cast<float>(i) * 0.01f;  // errors 0 .. 0.63
+    }
+    sa.feed(o2, d2);
+    const auto got = sa.finalize();
+
+    // Mass is conserved and finite everywhere.
+    double mass = 0;
+    for (const auto p : got.err_pdf) {
+        ASSERT_TRUE(std::isfinite(p));
+        ASSERT_GE(p, 0.0);
+        mass += p;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+
+    // The first chunk's 64 identical errors all sit in the bin holding
+    // 0.25 of the final [0, 0.63] range: that bin carries at least half
+    // the total probability (64 early + a few late samples of 128).
+    EXPECT_DOUBLE_EQ(got.err_pdf_min, 0.0);
+    EXPECT_NEAR(got.err_pdf_max, 0.63, 1e-6);
+    const int bins = cfg.pdf_bins;
+    const auto peak = static_cast<std::size_t>(
+        std::min<double>(bins - 1, (0.25 - got.err_pdf_min) /
+                                       (got.err_pdf_max - got.err_pdf_min) * bins));
+    EXPECT_GE(got.err_pdf[peak], 0.5) << "early mass not rebinned into the 0.25 bin";
+}
+
+TEST(Streaming, RandomChunkingReproducesBatchMomentsExactly) {
+    // Property: whatever the chunk boundaries, every scalar moment equals
+    // the one-shot batch computation bit for bit — the streamed accumulator
+    // folds the same element order through the same moment code.
+    const zc::Dims3 dims{14, 11, 13};
+    const zc::Field orig = tst::smooth_field(dims, 17);
+    const zc::Field dec = tst::perturbed(orig, 0.015, 71);
+    zc::MetricsConfig cfg;
+    cfg.pdf_bins = 24;
+    const auto ref = zc::reduction_metrics(orig.view(), dec.view(), cfg);
+
+    std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+    for (int trial = 0; trial < 8; ++trial) {
+        zc::StreamingAssessor sa(cfg);
+        std::size_t off = 0;
+        while (off < dims.volume()) {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            const std::size_t n =
+                std::min<std::size_t>(1 + (rng >> 33) % 777, dims.volume() - off);
+            sa.feed(orig.data().subspan(off, n), dec.data().subspan(off, n));
+            off += n;
+        }
+        const auto got = sa.finalize();
+        EXPECT_EQ(got.min_err, ref.min_err) << "trial " << trial;
+        EXPECT_EQ(got.max_err, ref.max_err) << "trial " << trial;
+        EXPECT_EQ(got.avg_err, ref.avg_err) << "trial " << trial;
+        EXPECT_EQ(got.avg_abs_err, ref.avg_abs_err) << "trial " << trial;
+        EXPECT_EQ(got.max_abs_err, ref.max_abs_err) << "trial " << trial;
+        EXPECT_EQ(got.min_pwr_err, ref.min_pwr_err) << "trial " << trial;
+        EXPECT_EQ(got.max_pwr_err, ref.max_pwr_err) << "trial " << trial;
+        EXPECT_EQ(got.mse, ref.mse) << "trial " << trial;
+        EXPECT_EQ(got.rmse, ref.rmse) << "trial " << trial;
+        EXPECT_EQ(got.nrmse, ref.nrmse) << "trial " << trial;
+        EXPECT_EQ(got.snr_db, ref.snr_db) << "trial " << trial;
+        EXPECT_EQ(got.psnr_db, ref.psnr_db) << "trial " << trial;
+        EXPECT_EQ(got.pearson_r, ref.pearson_r) << "trial " << trial;
+        EXPECT_EQ(got.min_val, ref.min_val) << "trial " << trial;
+        EXPECT_EQ(got.max_val, ref.max_val) << "trial " << trial;
+        EXPECT_EQ(got.mean_val, ref.mean_val) << "trial " << trial;
+        EXPECT_EQ(got.std_val, ref.std_val) << "trial " << trial;
+        EXPECT_EQ(got.err_pdf_min, ref.err_pdf_min) << "trial " << trial;
+        EXPECT_EQ(got.err_pdf_max, ref.err_pdf_max) << "trial " << trial;
+    }
 }
 
 TEST(Streaming, MismatchedChunkThrowsAndConsumesNothing) {

@@ -71,7 +71,11 @@ std::string usage() {
            "            [--no-coalesce] [--threads=N] [--out=report.json]\n"
            "            [--timeout=SECONDS] [--shard-threshold=SECONDS] [--faults=SPEC]\n"
            "       cuzc serve --listen=PORT [--port-file=PATH] [service flags as above]\n"
-           "       cuzc replay --connect=HOST:PORT --replay=TRACE [--out=report.json]\n"
+           "       cuzc replay --connect=HOST:PORT --replay=TRACE [--stream-chunk=N]\n"
+           "            [--out=report.json]\n"
+           "       cuzc assess --connect=HOST:PORT --orig=orig.f32 --dec=dec.f32\n"
+           "            --dims=HxWxL [--stream-chunk=N] [--config=zc.cfg]\n"
+           "            [--format=...] [--out=report]\n"
            "       cuzc trace [--requests=N] [--seed=N] [--distinct=N]\n"
            "            [--tight-fraction=F] [--out=trace.txt]\n"
            "       cuzc --version\n"
@@ -80,8 +84,11 @@ std::string usage() {
            "pattern-oriented GPU assessment system (cuZ-Checker reproduction).\n"
            "`cuzc serve --replay` replays a cuzc-trace-v1 workload through the\n"
            "in-process assessment service; `cuzc serve --listen` exposes the same\n"
-           "service over TCP speaking cuzc-wire-v1 (drains gracefully on SIGTERM/\n"
+           "service over TCP speaking cuzc-wire-v1/v2 (drains gracefully on SIGTERM/\n"
            "SIGINT); `cuzc replay --connect` replays a trace against such a server;\n"
+           "`cuzc assess --connect` assesses a file pair remotely (--stream-chunk=N\n"
+           "uploads it as a v2 streaming session of N-element chunks, which also\n"
+           "handles datasets larger than the server's frame-payload limit);\n"
            "`cuzc trace` writes a deterministic mixed workload trace.\n";
 }
 
@@ -100,6 +107,9 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
         opt.trace_mode = true;
+        first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "assess") == 0) {
+        opt.assess_mode = true;
         first = 2;
     }
     for (int i = first; i < argc; ++i) {
@@ -219,6 +229,12 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 err << "cuzc: --distinct must be >= 1\n";
                 return std::nullopt;
             }
+        } else if (const char* v23 = value_of(a, "--stream-chunk=")) {
+            opt.stream_chunk = static_cast<std::size_t>(std::atoll(v23));
+            if (opt.stream_chunk == 0) {
+                err << "cuzc: --stream-chunk must be a positive element count\n";
+                return std::nullopt;
+            }
         } else if (const char* v22 = value_of(a, "--tight-fraction=")) {
             const std::string_view sv(v22);
             const auto [p, ec] =
@@ -243,7 +259,11 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
             return std::nullopt;
         }
         if (!opt.connect_host.empty()) {
-            err << "cuzc: --connect belongs to the replay subcommand\n";
+            err << "cuzc: --connect belongs to the replay/assess subcommands\n";
+            return std::nullopt;
+        }
+        if (opt.stream_chunk > 0) {
+            err << "cuzc: --stream-chunk belongs to the replay/assess subcommands\n";
             return std::nullopt;
         }
         return opt;
@@ -255,13 +275,42 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         }
         return opt;
     }
+    if (opt.assess_mode) {
+        if (opt.connect_host.empty()) {
+            err << "cuzc: assess needs --connect=HOST:PORT\n";
+            return std::nullopt;
+        }
+        if (opt.orig_path.empty() || (opt.dec_path.empty() == opt.sz_stream_path.empty())) {
+            err << "cuzc: assess needs --orig and exactly one of --dec / --sz\n";
+            return std::nullopt;
+        }
+        if (opt.dims.volume() == 0) {
+            err << "cuzc: --dims is required\n";
+            return std::nullopt;
+        }
+        if (opt.stream_chunk > 0 && opt.dec_path.empty()) {
+            err << "cuzc: --stream-chunk streams a decompressed field; it needs --dec\n";
+            return std::nullopt;
+        }
+        if (opt.format != "text" && opt.format != "csv" && opt.format != "json" &&
+            opt.format != "html") {
+            err << "cuzc: unknown --format '" << opt.format << "'\n";
+            return std::nullopt;
+        }
+        return opt;
+    }
     if (opt.trace_mode) return opt;
     if (!opt.replay_path.empty()) {
         err << "cuzc: --replay is only valid with the serve/replay subcommands\n";
         return std::nullopt;
     }
     if (opt.listen_mode || !opt.port_file.empty() || !opt.connect_host.empty()) {
-        err << "cuzc: --listen/--port-file/--connect need the serve/replay subcommands\n";
+        err << "cuzc: --listen/--port-file/--connect need the serve/replay/assess "
+               "subcommands\n";
+        return std::nullopt;
+    }
+    if (opt.stream_chunk > 0) {
+        err << "cuzc: --stream-chunk needs the replay/assess subcommands\n";
         return std::nullopt;
     }
     if (opt.faults_from_flag || opt.request_timeout_s > 0 || opt.shard_threshold_s > 0) {
@@ -407,7 +456,29 @@ int run_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     return 0;
 }
 
-/// Replay a workload trace against a remote cuzc-wire-v1 server, pipelining
+/// Upload one materialized request as a v2 streaming session: begin, feed
+/// `chunk_elems`-sized slices, finish. The settling response arrives via
+/// wait(id) like any submitted request, so replay pipelining is unchanged.
+/// Chunks of one entry are queued back-to-back, so the server holds at
+/// most one open stream per entry even when many ids are outstanding.
+[[nodiscard]] std::uint64_t stream_entry(net::NetClient& client,
+                                         const serve::AssessRequest& req,
+                                         std::size_t chunk_elems) {
+    const std::span<const float> orig = req.orig.data();
+    const std::span<const float> dec = req.dec.data();
+    const std::size_t n = orig.size();
+    const std::uint64_t chunks =
+        (n + chunk_elems - 1) / std::max<std::size_t>(1, chunk_elems);
+    const std::uint64_t id = client.stream_begin(req.orig.dims(), req.cfg, chunks);
+    for (std::size_t off = 0; off < n; off += chunk_elems) {
+        const std::size_t len = std::min(chunk_elems, n - off);
+        client.stream_feed(id, orig.subspan(off, len), dec.subspan(off, len));
+    }
+    client.stream_finish(id);
+    return id;
+}
+
+/// Replay a workload trace against a remote cuzc-wire server, pipelining
 /// up to the server's advertised in-flight window.
 int run_replay_connect(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     const auto trace = load_trace(opt, err);
@@ -424,7 +495,11 @@ int run_replay_connect(const CliOptions& opt, std::ostream& out, std::ostream& e
     ids.reserve(trace.size());
     for (const auto& entry : trace) {
         while (client.outstanding() >= window) client.pump(0.05);
-        ids.push_back(client.submit(serve::to_request(entry)));
+        if (opt.stream_chunk > 0) {
+            ids.push_back(stream_entry(client, serve::to_request(entry), opt.stream_chunk));
+        } else {
+            ids.push_back(client.submit(serve::to_request(entry)));
+        }
     }
     ReplaySummary sum;
     sum.requests = trace.size();
@@ -443,6 +518,60 @@ int run_replay_connect(const CliOptions& opt, std::ostream& out, std::ostream& e
           << "    \"bytes_rx\": " << client.bytes_rx() << "\n"
           << "  }\n}\n";
     client.close();
+    return 0;
+}
+
+/// Assess one file pair on a remote server (`cuzc assess --connect`),
+/// either as a single whole-frame request or — with --stream-chunk — as a
+/// v2 streaming session that never needs the dataset to fit one frame.
+int run_assess_connect(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    zc::MetricsConfig cfg;
+    if (!opt.config_path.empty()) {
+        cfg = io::metrics_from_config(io::Config::load(opt.config_path));
+    }
+    zc::Field orig = data::read_f32(opt.orig_path, opt.dims);
+
+    net::NetClientConfig ccfg;
+    ccfg.host = opt.connect_host;
+    ccfg.port = opt.connect_port;
+    net::NetClient client(ccfg);
+
+    serve::AssessResponse resp;
+    if (opt.stream_chunk > 0) {
+        const zc::Field dec = data::read_f32(opt.dec_path, opt.dims);
+        resp = client.stream_assess(opt.dims, orig.data(), dec.data(), cfg, opt.stream_chunk);
+    } else {
+        serve::AssessRequest req;
+        req.cfg = cfg;
+        if (!opt.sz_stream_path.empty()) {
+            req.sz_stream = read_bytes(opt.sz_stream_path);
+        } else {
+            req.dec = data::read_f32(opt.dec_path, opt.dims);
+        }
+        req.orig = std::move(orig);
+        resp = client.assess(req);
+    }
+    client.close();
+    if (resp.rejected || resp.timed_out) {
+        err << "cuzc: remote assessment failed: "
+            << (resp.error.empty() ? "request rejected" : resp.error) << "\n";
+        return 2;
+    }
+
+    std::ofstream file;
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    if (opt.format == "csv") {
+        io::write_csv(*sink, resp.result.report);
+    } else if (opt.format == "json") {
+        io::write_json(*sink, resp.result.report);
+    } else if (opt.format == "html") {
+        io::HtmlReportOptions hopt;
+        hopt.field_name = opt.orig_path;
+        io::write_html(*sink, resp.result.report, hopt);
+    } else {
+        io::write_text(*sink, resp.result.report);
+    }
     return 0;
 }
 
@@ -532,7 +661,7 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     if (opt.version) {
         out << "cuzc " << CUZC_VERSION << "\n"
             << "schemas: cuzc-trace-v1 cuzc-serve-telemetry-v1 cuzc-serve-replay-v2 "
-            << net::kProtocolName << "\n"
+            << net::kProtocolName << " " << net::kProtocolNameV2 << "\n"
             << vgpu::simd::banner() << "\n";
         return 0;
     }
@@ -542,6 +671,7 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     try {
         if (opt.trace_mode) return run_trace(opt, out, err);
         if (opt.replay_mode) return run_replay_connect(opt, out, err);
+        if (opt.assess_mode) return run_assess_connect(opt, out, err);
         if (opt.serve_mode) {
             return opt.listen_mode ? run_listen(opt, out, err) : run_serve(opt, out, err);
         }

@@ -56,6 +56,14 @@ struct CliOptions {
     std::string connect_host;
     std::uint16_t connect_port = 0;
 
+    // `cuzc assess --connect=HOST:PORT` subcommand: assess a file pair on a
+    // remote server. With --stream-chunk=N the dataset goes over the wire
+    // as a v2 streaming session of N-element chunks (bounded server
+    // memory; works for datasets larger than one frame) instead of one
+    // whole-frame request. --stream-chunk also applies to `cuzc replay`.
+    bool assess_mode = false;
+    std::size_t stream_chunk = 0;  ///< elements per StreamChunk; 0 = whole-frame
+
     // `cuzc trace` subcommand (deterministic mixed-workload generator).
     bool trace_mode = false;
     std::size_t trace_requests = 200;
@@ -75,6 +83,10 @@ struct CliOptions {
 ///   --profile                            print kernel profiles to stderr
 ///   --threads=N                          vgpu scheduler workers (overrides env)
 ///   --help
+///
+/// Subcommand `cuzc assess --connect=HOST:PORT` ships the input pair to a
+/// remote server instead of assessing in-process; `--stream-chunk=N`
+/// streams it in N-element chunks (requires --dec).
 ///
 /// Subcommand `cuzc serve --replay=TRACE` replays a workload trace through
 /// the in-process assessment service; extra flags:
