@@ -1,0 +1,125 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace cuzc::fuzz {
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("fuzz corpus: cannot open " + path + " for writing");
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error("fuzz corpus: short write to " + path);
+}
+
+}  // namespace
+
+Oracle oracle_from_name(std::string_view filename) {
+    if (filename.rfind("accept-", 0) == 0) return Oracle::kAccept;
+    if (filename.rfind("reject-", 0) == 0) return Oracle::kReject;
+    return Oracle::kInvariant;
+}
+
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>> load_corpus(
+    const std::string& dir) {
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>> entries;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) return entries;
+    for (const auto& de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file()) continue;
+        std::ifstream is(de.path(), std::ios::binary);
+        if (!is) throw std::runtime_error("fuzz corpus: cannot read " + de.path().string());
+        std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                        std::istreambuf_iterator<char>());
+        entries.emplace_back(de.path().filename().string(), std::move(bytes));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return entries;
+}
+
+std::string save_crash(const std::string& dir, const std::string& target,
+                       std::span<const std::uint8_t> bytes, Oracle oracle) {
+    // Plain FNV-1a-64 content address.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
+    const char* prefix = oracle == Oracle::kAccept   ? "accept-found-"
+                         : oracle == Oracle::kReject ? "reject-found-"
+                                                     : "crash-";
+    const fs::path subdir = fs::path(dir) / target;
+    fs::create_directories(subdir);
+    const std::string path = (subdir / (prefix + std::string(hex) + ".bin")).string();
+    write_file(path, bytes);
+    return path;
+}
+
+std::vector<std::uint8_t> minimize(
+    std::vector<std::uint8_t> input,
+    const std::function<bool(std::span<const std::uint8_t>)>& still_fails,
+    std::size_t max_evals) {
+    std::size_t evals = 0;
+    auto try_candidate = [&](const std::vector<std::uint8_t>& cand) {
+        if (evals >= max_evals) return false;
+        ++evals;
+        return still_fails(cand);
+    };
+    for (std::size_t chunk = std::max<std::size_t>(input.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+        bool shrank = true;
+        while (shrank && evals < max_evals) {
+            shrank = false;
+            for (std::size_t at = 0; at < input.size() && evals < max_evals; ) {
+                const std::size_t n = std::min(chunk, input.size() - at);
+                std::vector<std::uint8_t> cand;
+                cand.reserve(input.size() - n);
+                cand.insert(cand.end(), input.begin(),
+                            input.begin() + static_cast<std::ptrdiff_t>(at));
+                cand.insert(cand.end(), input.begin() + static_cast<std::ptrdiff_t>(at + n),
+                            input.end());
+                if (try_candidate(cand)) {
+                    input = std::move(cand);
+                    shrank = true;  // retry at the same offset
+                } else {
+                    at += n;
+                }
+            }
+        }
+        if (chunk == 1) break;
+    }
+    return input;
+}
+
+CorpusWriter::CorpusWriter(std::string dir) : dir_(std::move(dir)) {
+    fs::create_directories(dir_);
+}
+
+std::string CorpusWriter::add(std::string_view name, Oracle oracle,
+                              std::span<const std::uint8_t> bytes) {
+    const char* prefix = oracle == Oracle::kAccept   ? "accept-"
+                         : oracle == Oracle::kReject ? "reject-"
+                                                     : "seed-";
+    const std::string path = (fs::path(dir_) / (prefix + std::string(name))).string();
+    write_file(path, bytes);
+    ++written_;
+    return path;
+}
+
+std::string CorpusWriter::add_text(std::string_view name, Oracle oracle,
+                                   std::string_view text) {
+    return add(name, oracle,
+               {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+}  // namespace cuzc::fuzz

@@ -1,0 +1,42 @@
+#pragma once
+
+// Internal corpus plumbing shared by the harness and its tests: filename
+// oracles, deterministic directory loading, crash saving, and greedy
+// input minimization.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+
+namespace cuzc::fuzz {
+
+/// accept-* -> kAccept, reject-* -> kReject, everything else -> kInvariant.
+[[nodiscard]] Oracle oracle_from_name(std::string_view filename);
+
+/// Every regular file under `dir`, sorted by filename so replay order is
+/// deterministic. Missing directory -> empty.
+[[nodiscard]] std::vector<std::pair<std::string, std::vector<std::uint8_t>>> load_corpus(
+    const std::string& dir);
+
+/// Write `bytes` as `<dir>/<target>/<prefix><fnv64 hex>.bin` (content
+/// addressing dedupes repeat findings). The prefix encodes the replay
+/// oracle: "crash-" for invariant findings, "accept-found-" /
+/// "reject-found-" for oracle violations. Returns the path.
+std::string save_crash(const std::string& dir, const std::string& target,
+                       std::span<const std::uint8_t> bytes, Oracle oracle);
+
+/// Greedy ddmin-style minimization: repeatedly delete chunks (halving the
+/// chunk size down to one byte) while `still_fails` holds, spending at
+/// most `max_evals` predicate evaluations. Returns the smallest failing
+/// input found (at worst the original).
+[[nodiscard]] std::vector<std::uint8_t> minimize(
+    std::vector<std::uint8_t> input,
+    const std::function<bool(std::span<const std::uint8_t>)>& still_fails,
+    std::size_t max_evals);
+
+}  // namespace cuzc::fuzz

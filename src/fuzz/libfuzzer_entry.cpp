@@ -1,0 +1,47 @@
+// libFuzzer bridge (built only with -DCUZC_LIBFUZZER=ON under clang):
+// coverage-guided byte inputs are dispatched into the same replay hooks
+// the deterministic harness uses, with the invariant oracle — the engine
+// throws FuzzFailure on a violated property, which we convert to abort()
+// so libFuzzer records the input. Select the target with
+// CUZC_FUZZ_TARGET=<name> (default: wire-decode).
+//
+//   ./cuzc_libfuzzer -runs=100000 tests/corpus/wire-decode
+//   CUZC_FUZZ_TARGET=session ./cuzc_libfuzzer tests/corpus/session
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "fuzz/fuzz.hpp"
+
+namespace {
+
+const cuzc::fuzz::Target* selected_target() {
+    static const cuzc::fuzz::Target* target = [] {
+        const char* name = std::getenv("CUZC_FUZZ_TARGET");
+        if (name == nullptr) name = "wire-decode";
+        const auto* t = cuzc::fuzz::find_target(name);
+        if (t == nullptr || !t->replay) {
+            std::fprintf(stderr, "cuzc_libfuzzer: no replayable target named '%s'\n", name);
+            std::abort();
+        }
+        return t;
+    }();
+    return target;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    // Replay hooks absorb ordinary rejections internally under the
+    // invariant oracle, so ANY escaping exception is a finding — same
+    // rule the deterministic harness applies to corpus replays.
+    try {
+        selected_target()->replay({data, size}, cuzc::fuzz::Oracle::kInvariant);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "cuzc_libfuzzer: %s\n", e.what());
+        std::abort();
+    }
+    return 0;
+}

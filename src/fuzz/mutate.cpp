@@ -1,0 +1,85 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cuzc::fuzz {
+namespace {
+
+// Boundary values that historically break length/size arithmetic: zero,
+// sign boundaries, all-ones, the wire magic, and a few just-past-a-limit
+// counts (the 1 << 20 extent/bin caps).
+constexpr std::array<std::uint64_t, 10> kInteresting = {
+    0ull,
+    1ull,
+    0x7full,
+    0x7fffffffull,
+    0x80000000ull,
+    0xffffffffull,
+    0x43575A43ull,  // kMagic
+    (1ull << 20) + 1,
+    0x7fffffffffffffffull,
+    0xffffffffffffffffull,
+};
+
+}  // namespace
+
+void mutate_bytes(std::vector<std::uint8_t>& data, Rng& rng) {
+    switch (rng.below(6)) {
+        case 0: {  // bit flip
+            if (data.empty()) return;
+            const std::size_t i = rng.below(data.size());
+            data[i] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+            return;
+        }
+        case 1: {  // byte smash
+            if (data.empty()) return;
+            data[rng.below(data.size())] = static_cast<std::uint8_t>(rng.next());
+            return;
+        }
+        case 2: {  // chunk delete
+            if (data.size() < 2) return;
+            const std::size_t at = rng.below(data.size());
+            const std::size_t n = 1 + rng.below(std::min<std::size_t>(data.size() - at, 16));
+            data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                       data.begin() + static_cast<std::ptrdiff_t>(at + n));
+            return;
+        }
+        case 3: {  // chunk duplicate
+            if (data.empty()) {
+                data.push_back(static_cast<std::uint8_t>(rng.next()));
+                return;
+            }
+            const std::size_t at = rng.below(data.size());
+            const std::size_t n = 1 + rng.below(std::min<std::size_t>(data.size() - at, 16));
+            std::vector<std::uint8_t> chunk(data.begin() + static_cast<std::ptrdiff_t>(at),
+                                            data.begin() + static_cast<std::ptrdiff_t>(at + n));
+            const std::size_t dst = rng.below(data.size() + 1);
+            data.insert(data.begin() + static_cast<std::ptrdiff_t>(dst), chunk.begin(),
+                        chunk.end());
+            return;
+        }
+        case 4: {  // tail truncation
+            if (data.empty()) return;
+            data.resize(rng.below(data.size()));
+            return;
+        }
+        default: {  // interesting-value splice (LE, width 1/2/4/8)
+            if (data.empty()) return;
+            const std::uint64_t v = kInteresting[rng.below(kInteresting.size())];
+            const std::size_t width = std::size_t{1} << rng.below(4);
+            if (data.size() < width) return;
+            const std::size_t at = rng.below(data.size() - width + 1);
+            std::memcpy(data.data() + at, &v, width);
+            return;
+        }
+    }
+}
+
+void mutate_bytes(std::vector<std::uint8_t>& data, Rng& rng, std::uint64_t rounds) {
+    const std::uint64_t n = 1 + rng.below(rounds);
+    for (std::uint64_t i = 0; i < n; ++i) mutate_bytes(data, rng);
+}
+
+}  // namespace cuzc::fuzz

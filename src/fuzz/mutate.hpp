@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/rng.hpp"
+
+namespace cuzc::fuzz {
+
+/// Apply one random structural mutation in place: bit flip, byte smash,
+/// chunk delete/duplicate, tail truncation, or an "interesting value"
+/// splice (boundary integers like 0, 0x7fffffff, 0xffffffff, the wire
+/// magic). No-op on empty input except chunk duplication.
+void mutate_bytes(std::vector<std::uint8_t>& data, Rng& rng);
+
+/// Apply 1..rounds mutations.
+void mutate_bytes(std::vector<std::uint8_t>& data, Rng& rng, std::uint64_t rounds);
+
+}  // namespace cuzc::fuzz

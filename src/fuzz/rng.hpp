@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuzc::fuzz {
+
+/// splitmix64 — the harness RNG. Tiny state, full 64-bit period per
+/// stream, and trivially reproducible: a campaign step's entire input is
+/// derived from mix_seed(seed, iter, salt), so any finding replays from
+/// the (seed, iter) pair alone.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, n); 0 when n == 0.
+    std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+    /// Uniform in [lo, hi] inclusive.
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi) { return lo + below(hi - lo + 1); }
+    /// Uniform in [0, 1).
+    double unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+    bool chance(double p) { return unit() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Decorrelate (seed, iter, salt) into an Rng seed: distinct targets
+/// fuzzing the same campaign seed must not explore lockstep inputs.
+[[nodiscard]] inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t iter,
+                                            std::uint64_t salt) {
+    Rng r(seed ^ (iter * 0x2545f4914f6cdd1dull) ^ (salt * 0x9e3779b97f4a7c15ull));
+    return r.next();
+}
+
+}  // namespace cuzc::fuzz

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/strict_parse.hpp"
+
 namespace cuzc::io {
 
 namespace {
@@ -44,8 +46,11 @@ Config Config::parse(std::string_view text) {
         if (eq == std::string::npos) {
             throw std::runtime_error("config: expected key=value, got: " + trimmed);
         }
-        cfg.set(section, trim(std::string_view(trimmed).substr(0, eq)),
-                trim(std::string_view(trimmed).substr(eq + 1)));
+        std::string key = trim(std::string_view(trimmed).substr(0, eq));
+        if (key.empty()) {
+            throw std::runtime_error("config: empty key in line: " + trimmed);
+        }
+        cfg.set(section, std::move(key), trim(std::string_view(trimmed).substr(eq + 1)));
     }
     return cfg;
 }
@@ -74,15 +79,34 @@ std::string Config::get_or(std::string_view section, std::string_view key,
     return v ? *v : std::string(fallback);
 }
 
+namespace {
+
+[[noreturn]] void value_fail(std::string_view section, std::string_view key,
+                             std::string_view value, std::string_view kind) {
+    throw std::runtime_error("config: [" + std::string(section) + "] " + std::string(key) +
+                             ": invalid " + std::string(kind) + " '" + std::string(value) +
+                             "'");
+}
+
+}  // namespace
+
 int Config::get_int(std::string_view section, std::string_view key, int fallback) const {
     const auto v = get(section, key);
-    return v ? std::stoi(*v) : fallback;
+    if (!v) return fallback;
+    int out = 0;
+    // Full-consumption parse: "12abc" is an error here, not 12 — a typo'd
+    // knob must fail loudly, naming the key, instead of half-applying.
+    if (!parse_num(*v, out)) value_fail(section, key, *v, "integer");
+    return out;
 }
 
 double Config::get_double(std::string_view section, std::string_view key,
                           double fallback) const {
     const auto v = get(section, key);
-    return v ? std::stod(*v) : fallback;
+    if (!v) return fallback;
+    double out = 0;
+    if (!parse_num(*v, out)) value_fail(section, key, *v, "number");
+    return out;
 }
 
 bool Config::get_bool(std::string_view section, std::string_view key, bool fallback) const {
@@ -90,7 +114,7 @@ bool Config::get_bool(std::string_view section, std::string_view key, bool fallb
     if (!v) return fallback;
     if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
     if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
-    throw std::runtime_error("config: invalid boolean: " + *v);
+    value_fail(section, key, *v, "boolean");
 }
 
 zc::MetricsConfig metrics_from_config(const Config& cfg) {

@@ -1,0 +1,35 @@
+#pragma once
+
+/// The one numeric grammar every text front-end shares — CLI flags, .cfg
+/// values, trace tokens. A number is the *entire* token, parsed by
+/// std::from_chars: no leading whitespace, no '+' sign, no trailing
+/// garbage, no overflow, and (for floating point) no nan/inf — a config
+/// knob or flag is never legitimately non-finite. Centralizing the rule
+/// here keeps the three parsers from drifting apart: "12abc" must mean
+/// the same thing (a parse error) to all of them.
+
+#include <charconv>
+#include <cmath>
+#include <string_view>
+#include <type_traits>
+
+namespace cuzc::io {
+
+/// Strict full-consumption numeric parse. Returns false (leaving `out`
+/// untouched) on empty input, leading whitespace, a stray or explicit '+'
+/// sign, trailing garbage, out-of-range values, and non-finite floats.
+template <class T>
+[[nodiscard]] bool parse_num(std::string_view s, T& out) {
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    T value{};
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) return false;
+    if constexpr (std::is_floating_point_v<T>) {
+        if (!std::isfinite(value)) return false;
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace cuzc::io

@@ -245,10 +245,16 @@ struct NetClient::Impl {
                         server_limits = decode_hello_ack(res.view);
                         hello_acked = true;
                     } else if (type == FrameType::kResponse) {
-                        responses.emplace(res.header.request_id, decode_response(res.view));
-                        response_order.push_back(res.header.request_id);
-                        if (outstanding > 0) --outstanding;
-                        got = true;
+                        // A duplicate settle for an id still held would
+                        // double-push the take_response() order and
+                        // double-decrement the pipelining window; keep the
+                        // first response, drop the repeat.
+                        if (responses.emplace(res.header.request_id, decode_response(res.view))
+                                .second) {
+                            response_order.push_back(res.header.request_id);
+                            if (outstanding > 0) --outstanding;
+                            got = true;
+                        }
                     } else {
                         throw WireError("server sent an unexpected frame type");
                     }

@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "wire.hpp"
@@ -148,6 +149,14 @@ struct NetServer::Impl {
         /// streams would wedge them; max_streams_per_connection is their
         /// own admission bound.
         std::unordered_map<std::uint64_t, Stream> streams;
+        /// Stream ids this server reject-settled while the peer may still
+        /// have had frames for them in flight. A later StreamBegin reusing
+        /// one of these ids must fail deterministically: the stale chunks
+        /// racing down the pipe would otherwise feed the "new" stream and
+        /// resurrect the state the settle was supposed to kill. Client
+        /// aborts don't retire an id — TCP ordering guarantees no frame
+        /// for the old incarnation can arrive after the abort.
+        std::unordered_set<std::uint64_t> retired_streams;
         bool handshaken = false;
         bool goodbye = false;
         Clock::time_point opened;
@@ -435,7 +444,20 @@ struct NetServer::Impl {
                         std::lock_guard lk(tele_mu);
                         ++tele.frames_rx;
                     }
-                    if (!handle_frame(id, res)) return false;
+                    // Last-resort containment: the decoders validate their
+                    // inputs and throw WireError into handlers that catch
+                    // it, but any exception escaping here (bad_alloc from a
+                    // hostile-but-in-cap allocation, a future defect) must
+                    // cost one connection, not the whole event loop —
+                    // run() has no other catch and every other client dies
+                    // with it.
+                    try {
+                        if (!handle_frame(id, res)) return false;
+                    } catch (const std::exception&) {
+                        count_rejected_frame();
+                        close_conn(id);
+                        return false;
+                    }
                     break;
                 }
             }
@@ -544,6 +566,13 @@ struct NetServer::Impl {
                     count_rejected_frame();
                     enqueue_frame(conn, FrameType::kResponse, sid,
                                   reject_payload("stream id already open"));
+                    return conns.count(id) != 0;
+                }
+                if (conn.retired_streams.count(sid) != 0) {
+                    count_rejected_frame();
+                    enqueue_frame(
+                        conn, FrameType::kResponse, sid,
+                        reject_payload("stream id was already settled on this connection"));
                     return conns.count(id) != 0;
                 }
                 if (conn.streams.size() >= cfg.max_streams_per_connection) {
@@ -684,6 +713,7 @@ struct NetServer::Impl {
     /// response is a delivery, so the stream counts as completed.
     void abort_stream_rejected(Conn& conn, std::uint64_t stream_id, const std::string& why) {
         conn.streams.erase(stream_id);
+        conn.retired_streams.insert(stream_id);
         {
             std::lock_guard lk(tele_mu);
             ++tele.streams_aborted;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace cuzc::net {
@@ -33,6 +34,17 @@ template <class T>
 /// than the bytes actually present.
 constexpr std::uint64_t kMaxExtent = 1ull << 20;  ///< per-axis field extent
 
+/// Caps on the decoded MetricsConfig knobs that drive allocations or
+/// kernel trip counts. Without them a 37-byte StreamBegin declaring
+/// pdf_bins = 2^31-1 walks straight into the StreamingAssessor
+/// constructor, whose histogram allocation then throws bad_alloc out of
+/// the server's event loop — a remote one-frame kill. The bounds mirror
+/// the trace parser's so local and remote replays accept the same inputs.
+constexpr std::int32_t kMaxBins = 1 << 20;
+constexpr std::int32_t kMaxLag = 1 << 20;
+constexpr std::int32_t kMaxDerivOrders = 8;
+constexpr std::int32_t kMaxSsim = 1 << 20;
+
 void encode_cfg(Writer& w, const zc::MetricsConfig& cfg) {
     w.u8(cfg.pattern1);
     w.u8(cfg.pattern2);
@@ -57,6 +69,28 @@ void encode_cfg(Writer& w, const zc::MetricsConfig& cfg) {
     cfg.ssim_step = r.i32();
     cfg.pwr_eps = r.f64();
     return cfg;
+}
+
+/// Request-direction config validation (decode_request / decode_stream_begin):
+/// the server must reject a hostile config at the framing layer, before any
+/// assessor or kernel sees it. Responses echo a config the server already
+/// validated, so the response decoder leaves it alone.
+void validate_cfg(const zc::MetricsConfig& cfg, const char* where) {
+    const auto fail = [where](const char* what) {
+        throw WireError(std::string(where) + ": " + what);
+    };
+    if (cfg.pdf_bins < 1 || cfg.pdf_bins > kMaxBins) fail("pdf_bins out of range");
+    if (cfg.autocorr_max_lag < 0 || cfg.autocorr_max_lag > kMaxLag) {
+        fail("autocorr_max_lag out of range");
+    }
+    if (cfg.deriv_orders < 1 || cfg.deriv_orders > kMaxDerivOrders) {
+        fail("deriv_orders out of range");
+    }
+    if (cfg.ssim_window < 1 || cfg.ssim_window > kMaxSsim) fail("ssim_window out of range");
+    if (cfg.ssim_step < 1 || cfg.ssim_step > kMaxSsim) fail("ssim_step out of range");
+    if (!(cfg.pwr_eps >= 0) || !std::isfinite(cfg.pwr_eps)) {
+        fail("pwr_eps must be finite and >= 0");
+    }
 }
 
 void encode_f64_vec(Writer& w, const std::vector<double>& v) {
@@ -340,6 +374,11 @@ void encode_request_into(Writer& w, const serve::AssessRequest& req) {
     std::vector<std::uint8_t> frame = w.take();
     const std::span<const std::uint8_t> payload(frame.data() + FrameHeader::kSize,
                                                 frame.size() - FrameHeader::kSize);
+    if (payload.size() > 0xffffffffull) {
+        // The header length field is u32; a silent cast would desynchronize
+        // the stream at byte 4 GiB of the payload.
+        throw WireError("frame payload exceeds the u32 length field");
+    }
     std::uint8_t* p = frame.data();
     const auto put_at = [&p](std::size_t off, auto v) {
         for (std::size_t i = 0; i < sizeof(v); ++i) {
@@ -383,6 +422,7 @@ serve::AssessRequest decode_request(std::span<const std::uint8_t> payload) {
     const zc::Dims3 dims{static_cast<std::size_t>(h), static_cast<std::size_t>(w),
                          static_cast<std::size_t>(l)};
     req.cfg = decode_cfg(r);
+    validate_cfg(req.cfg, "request");
     req.deadline_model_s = r.f64();
     req.priority = r.i32();
     std::vector<float> orig = r.f32_span();
@@ -501,6 +541,7 @@ StreamBegin decode_stream_begin(std::span<const std::uint8_t> payload) {
     sb.dims = zc::Dims3{static_cast<std::size_t>(h), static_cast<std::size_t>(w),
                         static_cast<std::size_t>(l)};
     sb.cfg = decode_cfg(r);
+    validate_cfg(sb.cfg, "stream-begin");
     sb.chunks = r.u64();
     sb.total_bytes = r.u64();
     r.expect_end();
@@ -573,6 +614,9 @@ std::uint64_t digest_report(std::uint64_t h, const zc::AssessmentReport& report)
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,
                                        std::span<const std::uint8_t> payload,
                                        std::uint16_t version) {
+    if (payload.size() > 0xffffffffull) {
+        throw WireError("frame payload exceeds the u32 length field");
+    }
     std::vector<std::uint8_t> frame;
     frame.reserve(FrameHeader::kSize + payload.size());
     put_le(frame, kMagic);

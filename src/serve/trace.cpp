@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "data/noise.hpp"
+#include "io/strict_parse.hpp"
 
 namespace cuzc::serve {
 
@@ -79,16 +80,22 @@ namespace {
     throw std::runtime_error("trace line " + std::to_string(line_no) + ": " + what);
 }
 
-/// Full-consumption numeric parse: the whole token must be the number, so
-/// "12abc", "1e", "" and a stray sign all fail (std::stoi would accept the
-/// first and silently truncate).
-template <class T>
-[[nodiscard]] bool parse_num(std::string_view s, T& out) {
-    const char* first = s.data();
-    const char* last = s.data() + s.size();
-    auto [ptr, ec] = std::from_chars(first, last, out);
-    return ec == std::errc{} && ptr == last;
-}
+// The shared strict numeric grammar (io::parse_num): full consumption,
+// no sign/whitespace laxity, floats must be finite. One rule across the
+// trace, config, and CLI parsers.
+using io::parse_num;
+
+/// Upper bounds mirroring the wire codecs (net::wire kMaxExtent and the
+/// decoded-config caps): a trace that the in-process service would accept
+/// but a remote server would reject — or vice versa — breaks the
+/// local-vs-remote replay equivalence the CI smokes gate on. They also
+/// stop a size_t overflow: 4611686018427387904x3x1 wraps h*w*l past the
+/// zero check and would OOM at materialize time.
+constexpr std::uint64_t kMaxExtent = 1ull << 20;
+constexpr int kMaxBins = 1 << 20;
+constexpr int kMaxLag = 1 << 20;
+constexpr int kMaxDerivOrders = 8;
+constexpr int kMaxSsim = 1 << 20;
 
 }  // namespace
 
@@ -120,7 +127,8 @@ std::vector<TraceEntry> read_trace(std::istream& is) {
                 if (a == std::string::npos || b == std::string::npos ||
                     !parse_num(std::string_view(val).substr(0, a), h) ||
                     !parse_num(std::string_view(val).substr(a + 1, b - a - 1), w) ||
-                    !parse_num(std::string_view(val).substr(b + 1), l) || h * w * l == 0) {
+                    !parse_num(std::string_view(val).substr(b + 1), l) || h * w * l == 0 ||
+                    h > kMaxExtent || w > kMaxExtent || l > kMaxExtent) {
                     parse_fail(line_no, "bad dims '" + val + "'");
                 }
                 e.dims = {h, w, l};
@@ -136,23 +144,26 @@ std::vector<TraceEntry> read_trace(std::istream& is) {
                 }
                 (key == "p1" ? e.pattern1 : key == "p2" ? e.pattern2 : e.pattern3) = val == "1";
             } else if (key == "win") {
-                if (!parse_num(val, e.ssim_window) || e.ssim_window <= 0) {
+                if (!parse_num(val, e.ssim_window) || e.ssim_window <= 0 ||
+                    e.ssim_window > kMaxSsim) {
                     parse_fail(line_no, "win must be a positive integer, got '" + val + "'");
                 }
             } else if (key == "lag") {
-                if (!parse_num(val, e.autocorr_max_lag) || e.autocorr_max_lag < 0) {
+                if (!parse_num(val, e.autocorr_max_lag) || e.autocorr_max_lag < 0 ||
+                    e.autocorr_max_lag > kMaxLag) {
                     parse_fail(line_no, "lag must be an integer >= 0, got '" + val + "'");
                 }
             } else if (key == "deriv") {
-                if (!parse_num(val, e.deriv_orders) || e.deriv_orders < 1) {
+                if (!parse_num(val, e.deriv_orders) || e.deriv_orders < 1 ||
+                    e.deriv_orders > kMaxDerivOrders) {
                     parse_fail(line_no, "deriv must be a positive integer, got '" + val + "'");
                 }
             } else if (key == "bins") {
-                if (!parse_num(val, e.pdf_bins) || e.pdf_bins <= 0) {
+                if (!parse_num(val, e.pdf_bins) || e.pdf_bins <= 0 || e.pdf_bins > kMaxBins) {
                     parse_fail(line_no, "bins must be a positive integer, got '" + val + "'");
                 }
             } else if (key == "step") {
-                if (!parse_num(val, e.ssim_step) || e.ssim_step <= 0) {
+                if (!parse_num(val, e.ssim_step) || e.ssim_step <= 0 || e.ssim_step > kMaxSsim) {
                     parse_fail(line_no, "step must be a positive integer, got '" + val + "'");
                 }
             } else if (key == "deadline_us") {

@@ -57,7 +57,12 @@ void StreamingAssessor::feed(std::span<const float> orig, std::span<const float>
     const int bins = std::max(1, cfg_.pdf_bins);
 
     // Chunk-local ranges first, so rebinning happens at most once per feed.
-    double c_err_lo = dec[0] - orig[0], c_err_hi = c_err_lo;
+    // The seed subtraction must happen in double like the loop below: a
+    // float-precision `dec[0] - orig[0]` can round past the true extreme,
+    // and a chunk boundary landing on such an element would widen the
+    // accumulated PDF range by a float ulp that batch assessment never sees.
+    double c_err_lo = static_cast<double>(dec[0]) - static_cast<double>(orig[0]);
+    double c_err_hi = c_err_lo;
     double c_pwr_lo = pwr_error(orig[0], dec[0], cfg_.pwr_eps), c_pwr_hi = c_pwr_lo;
     double c_val_lo = orig[0], c_val_hi = c_val_lo;
     for (std::size_t i = 0; i < n; ++i) {

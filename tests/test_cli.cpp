@@ -146,6 +146,60 @@ TEST_F(CliFixture, ParserRejectsBadInput) {
     EXPECT_TRUE(parse({"--help"}));
 }
 
+TEST_F(CliFixture, ParserRejectsAtoiLaxity) {
+    // Regressions for the strict-parse sweep: these all parsed under the
+    // old atoi/stoul plumbing ("2x" as 2, "4x4x4x" as 4x4x4, "nan" as a
+    // timeout) and now fail loudly.
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=4x4x4", "--devices=2x"}));
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=4x4x4", "--threads=3y"}));
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=4x4x4x"}));
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=4x4x4", "--devices="}));
+    EXPECT_FALSE(parse({"serve", "--replay=t.txt", "--timeout=nan"}));
+    EXPECT_FALSE(parse({"serve", "--replay=t.txt", "--shard-threshold=inf"}));
+    EXPECT_FALSE(parse({"assess", "--connect=h:1", "--orig=a", "--dec=b", "--dims=2x2x2",
+                        "--stream-chunk=99999999999999999999"}));
+    // ...while genuinely large-but-representable values stay legal.
+    EXPECT_TRUE(parse({"trace", "--seed=4611686018427387904"}));
+}
+
+TEST_F(CliFixture, ParserHandlesFuzzSubcommand) {
+    const auto opt = parse({"fuzz", "--target=wire-decode", "--seed=9", "--iters=50",
+                            "--corpus=/tmp/c"});
+    ASSERT_TRUE(opt);
+    EXPECT_TRUE(opt->fuzz_mode);
+    EXPECT_EQ(opt->fuzz_target, "wire-decode");
+    EXPECT_EQ(opt->trace_seed, 9u);
+    EXPECT_EQ(opt->fuzz_iters, 50u);
+    EXPECT_EQ(opt->fuzz_corpus, "/tmp/c");
+
+    const auto list = parse({"fuzz", "--list"});
+    ASSERT_TRUE(list);
+    EXPECT_TRUE(list->fuzz_list);
+
+    // Fuzz-only flags are gated to the subcommand, and its numerics are
+    // as strict as everyone else's.
+    EXPECT_FALSE(parse({"--orig=a", "--dec=b", "--dims=2x2x2", "--target=session"}));
+    EXPECT_FALSE(parse({"fuzz", "--iters=10x"}));
+}
+
+TEST_F(CliFixture, FuzzSubcommandRunsABoundedCampaign) {
+    // End-to-end through run_cli: a tiny campaign over one cheap target
+    // must exit 0 and emit the JSON summary schema.
+    const auto opt = parse({"fuzz", "--target=wire-decode", "--seed=3", "--iters=3"});
+    ASSERT_TRUE(opt);
+    std::ostringstream out, err;
+    const int rc = cli::run_cli(*opt, out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("\"schema\": \"cuzc-fuzz-v1\""), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("\"findings\": 0"), std::string::npos) << out.str();
+
+    const auto bad = parse({"fuzz", "--target=no-such-target"});
+    ASSERT_TRUE(bad);  // the name is validated at run time, not parse time
+    std::ostringstream out2, err2;
+    EXPECT_NE(cli::run_cli(*bad, out2, err2), 0);
+    EXPECT_FALSE(err2.str().empty());
+}
+
 TEST_F(CliFixture, ParserHandlesServeAndThreads) {
     EXPECT_FALSE(parse({"serve"}));                       // serve needs --replay
     EXPECT_FALSE(parse({"--replay=t.trace"}));            // --replay needs serve

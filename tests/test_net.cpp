@@ -13,7 +13,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -469,6 +473,105 @@ bool peer_closed(int fd, int timeout_ms) {
     if (::poll(&p, 1, timeout_ms) != 1) return false;
     char buf[64];
     return ::recv(fd, buf, sizeof(buf), 0) == 0;
+}
+
+TEST(NetClient, DuplicateSettleForAnIdIsDroppedNotDoubleCounted) {
+    // Found by the session fuzz sweep: a server that (buggily or
+    // maliciously) settles the same request id twice used to double-push
+    // the client's take_response() order queue. The second entry then had
+    // no response behind it, so the canonical `while (take_response())`
+    // drain loop stopped early and stranded every later response. The
+    // client must keep the first settle and drop the repeat.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_EQ(::listen(lfd, 1), 0);
+    socklen_t alen = sizeof(addr);
+    ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    // A hand-rolled peer speaking just enough of the protocol: ack the
+    // hello, then answer every request — the first one twice.
+    std::thread peer([lfd] {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) return;
+        const auto send_all = [fd](std::span<const std::uint8_t> bytes) {
+            std::size_t off = 0;
+            while (off < bytes.size()) {
+                const ssize_t n =
+                    ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+                if (n <= 0) return;
+                off += static_cast<std::size_t>(n);
+            }
+        };
+        net::FrameAssembler frames(64ull << 20);
+        std::uint8_t buf[4096];
+        bool first_request = true;
+        int served = 0;
+        while (served < 2) {
+            auto res = frames.next();
+            if (res.status == net::FrameAssembler::Status::kNeedMore) {
+                const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+                if (n <= 0) break;
+                frames.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+                continue;
+            }
+            if (res.status != net::FrameAssembler::Status::kFrame) break;
+            const auto type = static_cast<net::FrameType>(res.header.type);
+            if (type == net::FrameType::kHello) {
+                net::HelloAck ack;
+                ack.version = net::decode_hello(res.payload);
+                ack.max_frame_payload = 64ull << 20;
+                ack.max_inflight_per_connection = 8;
+                send_all(net::encode_frame(net::FrameType::kHelloAck, 0,
+                                           net::encode_hello_ack(ack)));
+            } else if (type == net::FrameType::kRequest) {
+                serve::AssessResponse resp;
+                const auto frame = net::encode_response_frame(resp, res.header.request_id);
+                send_all(frame);
+                if (first_request) {
+                    send_all(frame);  // the duplicate settle under test
+                    first_request = false;
+                }
+                ++served;
+            }
+        }
+        // Hold the connection open until the client hangs up, so its
+        // pumps see responses rather than a premature EOF.
+        while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+        }
+        ::close(fd);
+    });
+
+    try {
+        net::NetClientConfig ccfg;
+        ccfg.port = port;
+        net::NetClient client(ccfg);
+        const auto id1 = client.submit(make_request(1));
+        const auto id2 = client.submit(make_request(2));
+        const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (client.outstanding() > 0 && std::chrono::steady_clock::now() < deadline) {
+            client.pump(0.01);
+        }
+        // The duplicate precedes id2's settle on the wire, so give the
+        // socket a little extra pumping to make sure every sent frame is in.
+        for (int i = 0; i < 20; ++i) client.pump(0.005);
+
+        std::vector<std::uint64_t> drained;
+        while (const auto r = client.take_response()) drained.push_back(r->first);
+        ASSERT_EQ(drained.size(), 2u) << "phantom order entry truncated the drain";
+        EXPECT_EQ(drained[0], id1);
+        EXPECT_EQ(drained[1], id2);
+        EXPECT_EQ(client.outstanding(), 0u);
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "client threw: " << e.what();
+    }
+    peer.join();
+    ::close(lfd);
 }
 
 TEST(NetServer, HandshakeTimeoutClosesSilentConnections) {

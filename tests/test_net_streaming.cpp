@@ -560,6 +560,83 @@ TEST(NetStreamServer, OutOfSequenceChunkSettlesTheStreamRejected) {
     EXPECT_EQ(server.telemetry().requests_in_flight, 0u);
 }
 
+TEST(NetStreamServer, ReusingASettledStreamIdIsRejectedDeterministically) {
+    // Found by the session fuzz target (corpus:
+    // session/seed-reuse-after-reject-settle.bin). Once a stream id
+    // settles — here via an out-of-sequence chunk, which aborts the stream
+    // with a rejected response — the id is spent for the connection's
+    // lifetime. The server used to erase the id entirely on settle, so a
+    // client could re-open it and "resurrect" a stream the caller had
+    // already observed as rejected, receiving a second, contradictory
+    // response for the same id.
+    net::NetServer server(loopback_config());
+    server.start();
+    RawWire wire(server.port());
+    ASSERT_GE(wire.fd(), 0);
+    (void)wire.handshake(net::kVersionStreaming);
+
+    const zc::Dims3 dims{4, 4, 4};
+    wire.begin_stream(1, make_begin(dims, 2));
+    const auto half = ramp(dims.volume() / 2, 1.0f);
+    ASSERT_TRUE(wire.send(net::encode_stream_chunk_frame(1, 1, half, half)));
+    const auto first = wire.wait_response(1);
+    EXPECT_TRUE(first.rejected);
+    EXPECT_NE(first.error.find("out of sequence"), std::string::npos) << first.error;
+
+    // Replaying a full, perfectly valid stream under the settled id must
+    // fail closed with the dedicated diagnostic, not produce a report.
+    wire.begin_stream(1, make_begin(dims, 2));
+    const auto reuse = wire.wait_response(1);
+    EXPECT_TRUE(reuse.rejected);
+    EXPECT_NE(reuse.error.find("already settled"), std::string::npos) << reuse.error;
+
+    // A fresh id on the same connection still works: the tombstone is
+    // per-id, not a poisoned connection.
+    wire.begin_stream(2, make_begin(dims, 2));
+    ASSERT_TRUE(wire.send(net::encode_stream_chunk_frame(2, 0, half, half)));
+    ASSERT_TRUE(wire.send(net::encode_stream_chunk_frame(2, 1, half, half)));
+    net::StreamEnd se;
+    se.chunks = 2;
+    se.elements = dims.volume();
+    wire.end_stream(2, se);
+    const auto ok = wire.wait_response(2);
+    EXPECT_FALSE(ok.rejected) << ok.error;
+    EXPECT_EQ(server.telemetry().requests_in_flight, 0u);
+}
+
+TEST(NetStreamServer, PdfBinsBombInStreamBeginIsRejectedAtTheFramingLayer) {
+    // Corpus: session/seed-streambegin-pdfbins-bomb.bin. A 2^31-1 bin
+    // declaration used to reach the StreamingAssessor constructor, whose
+    // histogram allocation threw bad_alloc out of the server's event loop.
+    net::NetServer server(loopback_config());
+    server.start();
+    RawWire wire(server.port());
+    ASSERT_GE(wire.fd(), 0);
+    (void)wire.handshake(net::kVersionStreaming);
+
+    auto sb = make_begin({4, 4, 4}, 2);
+    sb.cfg.pdf_bins = 0x7fffffff;  // encoder does not range-check; decode must
+    ASSERT_TRUE(wire.send(net::encode_frame(net::FrameType::kStreamBegin, 5,
+                                            net::encode_stream_begin(sb),
+                                            net::kVersionStreaming)));
+    const auto resp = wire.wait_response(5);
+    EXPECT_TRUE(resp.rejected);
+    EXPECT_NE(resp.error.find("pdf_bins"), std::string::npos) << resp.error;
+
+    // The connection (and server) survive: a normal stream still completes.
+    const zc::Dims3 dims{4, 4, 4};
+    const auto half = ramp(dims.volume() / 2, 1.0f);
+    wire.begin_stream(6, make_begin(dims, 2));
+    ASSERT_TRUE(wire.send(net::encode_stream_chunk_frame(6, 0, half, half)));
+    ASSERT_TRUE(wire.send(net::encode_stream_chunk_frame(6, 1, half, half)));
+    net::StreamEnd se;
+    se.chunks = 2;
+    se.elements = dims.volume();
+    wire.end_stream(6, se);
+    const auto ok = wire.wait_response(6);
+    EXPECT_FALSE(ok.rejected) << ok.error;
+}
+
 TEST(NetStreamServer, DuplicateChunkSettlesTheStreamRejected) {
     net::NetServer server(loopback_config());
     server.start();

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -193,6 +194,48 @@ TEST(Streaming, RandomChunkingReproducesBatchMomentsExactly) {
         EXPECT_EQ(got.err_pdf_min, ref.err_pdf_min) << "trial " << trial;
         EXPECT_EQ(got.err_pdf_max, ref.err_pdf_max) << "trial " << trial;
     }
+}
+
+TEST(Streaming, ChunkBoundaryErrorRangeSeedStaysDoublePrecision) {
+    // Found by the stream-diff fuzz target (seed 7, iter 4): the feed used
+    // to seed the chunk-local error range with a float-precision
+    // `dec[0] - orig[0]`, while the accumulation loop subtracts in double.
+    // When a chunk boundary lands on an element whose float-rounded
+    // difference exceeds the true double difference, the accumulated PDF
+    // range widens by a float ulp and err_pdf_max no longer matches the
+    // batch computation bit for bit. This pair rounds UP in float:
+    //   float(q - p)  = 0.88888883590698242
+    //   double(q) - double(p) = 0.88888882100582123
+    const float p = -0.7654321f, q = 0.1234567f;
+    ASSERT_GT(static_cast<double>(q - p),
+              static_cast<double>(q) - static_cast<double>(p));
+
+    const std::vector<float> orig = {0.0f, p};
+    const std::vector<float> dec = {0.5f, q};  // elem 1 holds the max error
+    zc::MetricsConfig cfg = zc::MetricsConfig::only(zc::Pattern::kGlobalReduction);
+    cfg.pdf_bins = 8;
+
+    const zc::Dims3 dims{1, 1, 2};
+    const auto ref = zc::reduction_metrics(zc::Tensor3f(orig, dims),
+                                           zc::Tensor3f(dec, dims), cfg);
+
+    // Split so the rounding-sensitive element opens the second chunk.
+    zc::StreamingAssessor sa(cfg);
+    sa.feed(std::span<const float>(orig).first(1), std::span<const float>(dec).first(1));
+    sa.feed(std::span<const float>(orig).subspan(1), std::span<const float>(dec).subspan(1));
+    const auto got = sa.finalize();
+    EXPECT_EQ(got.err_pdf_max, ref.err_pdf_max);
+    EXPECT_EQ(got.max_err, ref.max_err);
+
+    // Mirror image exercises the low side of the range.
+    const std::vector<float> orig2 = {0.0f, q};
+    const std::vector<float> dec2 = {-0.5f, p};
+    const auto ref2 = zc::reduction_metrics(zc::Tensor3f(orig2, dims),
+                                            zc::Tensor3f(dec2, dims), cfg);
+    zc::StreamingAssessor sa2(cfg);
+    sa2.feed(std::span<const float>(orig2).first(1), std::span<const float>(dec2).first(1));
+    sa2.feed(std::span<const float>(orig2).subspan(1), std::span<const float>(dec2).subspan(1));
+    EXPECT_EQ(sa2.finalize().err_pdf_min, ref2.err_pdf_min);
 }
 
 TEST(Streaming, MismatchedChunkThrowsAndConsumesNothing) {

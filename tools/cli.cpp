@@ -14,7 +14,9 @@
 
 #include "cuzc/cuzc.hpp"
 #include "data/raw_io.hpp"
+#include "fuzz/fuzz.hpp"
 #include "io/config.hpp"
+#include "io/strict_parse.hpp"
 #include "io/html_report.hpp"
 #include "io/report_writer.hpp"
 #include "net/net.hpp"
@@ -33,20 +35,21 @@ namespace {
 
 [[nodiscard]] bool parse_dims(std::string_view s, zc::Dims3& dims) {
     std::size_t parts[3] = {0, 0, 0};
-    int idx = 0;
     const char* p = s.data();
     const char* end = s.data() + s.size();
-    while (p < end && idx < 3) {
+    for (int idx = 0; idx < 3; ++idx) {
         const auto [next, ec] = std::from_chars(p, end, parts[idx]);
-        if (ec != std::errc{}) return false;
-        ++idx;
+        if (ec != std::errc{} || next == p) return false;
         p = next;
-        if (p < end) {
-            if (*p != 'x' && *p != 'X') return false;
+        // Separators live strictly *between* extents, so a trailing
+        // "4x4x4x" fails the full-consumption check below instead of the
+        // old loop eating it as an empty fourth part.
+        if (idx < 2) {
+            if (p >= end || (*p != 'x' && *p != 'X')) return false;
             ++p;
         }
     }
-    if (idx != 3 || p != end) return false;
+    if (p != end) return false;
     dims = zc::Dims3{parts[0], parts[1], parts[2]};
     return dims.volume() > 0;
 }
@@ -78,6 +81,8 @@ std::string usage() {
            "            [--format=...] [--out=report]\n"
            "       cuzc trace [--requests=N] [--seed=N] [--distinct=N]\n"
            "            [--tight-fraction=F] [--out=trace.txt]\n"
+           "       cuzc fuzz [--target=NAME|all] [--seed=N] [--iters=N]\n"
+           "            [--corpus=DIR] [--list] [--write-corpus=DIR] [--out=summary.json]\n"
            "       cuzc --version\n"
            "\n"
            "Assess the quality of lossy-compressed scientific data with the\n"
@@ -89,7 +94,10 @@ std::string usage() {
            "`cuzc assess --connect` assesses a file pair remotely (--stream-chunk=N\n"
            "uploads it as a v2 streaming session of N-element chunks, which also\n"
            "handles datasets larger than the server's frame-payload limit);\n"
-           "`cuzc trace` writes a deterministic mixed workload trace.\n";
+           "`cuzc trace` writes a deterministic mixed workload trace;\n"
+           "`cuzc fuzz` runs the seed-deterministic differential fuzzing and\n"
+           "invariant harness (--list names the targets; --corpus=DIR replays the\n"
+           "checked-in regressions first and saves minimized crashers there).\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostream& err) {
@@ -110,6 +118,9 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         first = 2;
     } else if (argc > 1 && std::strcmp(argv[1], "assess") == 0) {
         opt.assess_mode = true;
+        first = 2;
+    } else if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
+        opt.fuzz_mode = true;
         first = 2;
     }
     for (int i = first; i < argc; ++i) {
@@ -140,42 +151,40 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
         } else if (const char* v7 = value_of(a, "--out=")) {
             opt.out_path = v7;
         } else if (const char* v8 = value_of(a, "--devices=")) {
-            opt.devices = static_cast<unsigned>(std::atoi(v8));
-            if (opt.devices == 0) {
-                err << "cuzc: --devices must be >= 1\n";
+            // Strict full-consumption parse (io::parse_num): "--devices=2x"
+            // and "--devices=junk" are errors, not 2 and 0 as with atoi.
+            if (!io::parse_num(std::string_view(v8), opt.devices) || opt.devices == 0) {
+                err << "cuzc: --devices must be a positive integer\n";
                 return std::nullopt;
             }
         } else if (const char* v9 = value_of(a, "--threads=")) {
-            opt.threads = static_cast<unsigned>(std::atoi(v9));
-            if (opt.threads == 0) {
-                err << "cuzc: --threads must be >= 1\n";
+            if (!io::parse_num(std::string_view(v9), opt.threads) || opt.threads == 0) {
+                err << "cuzc: --threads must be a positive integer\n";
                 return std::nullopt;
             }
         } else if (const char* v10 = value_of(a, "--replay=")) {
             opt.replay_path = v10;
         } else if (const char* v11 = value_of(a, "--cache=")) {
-            opt.cache_capacity = static_cast<std::size_t>(std::atoll(v11));
+            if (!io::parse_num(std::string_view(v11), opt.cache_capacity)) {
+                err << "cuzc: --cache must be an integer >= 0\n";
+                return std::nullopt;
+            }
         } else if (const char* v12 = value_of(a, "--batch=")) {
-            opt.max_batch = static_cast<std::size_t>(std::atoll(v12));
-            if (opt.max_batch == 0) {
-                err << "cuzc: --batch must be >= 1\n";
+            if (!io::parse_num(std::string_view(v12), opt.max_batch) || opt.max_batch == 0) {
+                err << "cuzc: --batch must be a positive integer\n";
                 return std::nullopt;
             }
         } else if (std::strcmp(a, "--no-coalesce") == 0) {
             opt.coalesce = false;
         } else if (const char* v13 = value_of(a, "--timeout=")) {
-            const std::string_view sv(v13);
-            const auto [p, ec] =
-                std::from_chars(sv.data(), sv.data() + sv.size(), opt.request_timeout_s);
-            if (ec != std::errc{} || p != sv.data() + sv.size() || opt.request_timeout_s < 0) {
+            if (!io::parse_num(std::string_view(v13), opt.request_timeout_s) ||
+                opt.request_timeout_s < 0) {
                 err << "cuzc: --timeout must be a number of seconds >= 0\n";
                 return std::nullopt;
             }
         } else if (const char* v15 = value_of(a, "--shard-threshold=")) {
-            const std::string_view sv(v15);
-            const auto [p, ec] =
-                std::from_chars(sv.data(), sv.data() + sv.size(), opt.shard_threshold_s);
-            if (ec != std::errc{} || p != sv.data() + sv.size() || opt.shard_threshold_s < 0) {
+            if (!io::parse_num(std::string_view(v15), opt.shard_threshold_s) ||
+                opt.shard_threshold_s < 0) {
                 err << "cuzc: --shard-threshold must be a number of modeled seconds >= 0\n";
                 return std::nullopt;
             }
@@ -188,10 +197,8 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 return std::nullopt;
             }
         } else if (const char* v16 = value_of(a, "--listen=")) {
-            const std::string_view sv(v16);
             unsigned port = 0;
-            const auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), port);
-            if (ec != std::errc{} || p != sv.data() + sv.size() || port > 65535) {
+            if (!io::parse_num(std::string_view(v16), port) || port > 65535) {
                 err << "cuzc: --listen must be a port number (0 = ephemeral)\n";
                 return std::nullopt;
             }
@@ -207,48 +214,66 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::ostr
                 err << "cuzc: --connect must be HOST:PORT\n";
                 return std::nullopt;
             }
-            const std::string_view ps = sv.substr(colon + 1);
-            const auto [p, ec] = std::from_chars(ps.data(), ps.data() + ps.size(), port);
-            if (ec != std::errc{} || p != ps.data() + ps.size() || port == 0 || port > 65535) {
+            if (!io::parse_num(sv.substr(colon + 1), port) || port == 0 || port > 65535) {
                 err << "cuzc: --connect must be HOST:PORT\n";
                 return std::nullopt;
             }
             opt.connect_host = std::string(sv.substr(0, colon));
             opt.connect_port = static_cast<std::uint16_t>(port);
         } else if (const char* v19 = value_of(a, "--requests=")) {
-            opt.trace_requests = static_cast<std::size_t>(std::atoll(v19));
-            if (opt.trace_requests == 0) {
-                err << "cuzc: --requests must be >= 1\n";
+            if (!io::parse_num(std::string_view(v19), opt.trace_requests) ||
+                opt.trace_requests == 0) {
+                err << "cuzc: --requests must be a positive integer\n";
                 return std::nullopt;
             }
         } else if (const char* v20 = value_of(a, "--seed=")) {
-            opt.trace_seed = static_cast<std::uint64_t>(std::atoll(v20));
+            if (!io::parse_num(std::string_view(v20), opt.trace_seed)) {
+                err << "cuzc: --seed must be an unsigned integer\n";
+                return std::nullopt;
+            }
         } else if (const char* v21 = value_of(a, "--distinct=")) {
-            opt.trace_distinct = static_cast<std::size_t>(std::atoll(v21));
-            if (opt.trace_distinct == 0) {
-                err << "cuzc: --distinct must be >= 1\n";
+            if (!io::parse_num(std::string_view(v21), opt.trace_distinct) ||
+                opt.trace_distinct == 0) {
+                err << "cuzc: --distinct must be a positive integer\n";
                 return std::nullopt;
             }
         } else if (const char* v23 = value_of(a, "--stream-chunk=")) {
-            opt.stream_chunk = static_cast<std::size_t>(std::atoll(v23));
-            if (opt.stream_chunk == 0) {
+            if (!io::parse_num(std::string_view(v23), opt.stream_chunk) ||
+                opt.stream_chunk == 0) {
                 err << "cuzc: --stream-chunk must be a positive element count\n";
                 return std::nullopt;
             }
         } else if (const char* v22 = value_of(a, "--tight-fraction=")) {
-            const std::string_view sv(v22);
-            const auto [p, ec] =
-                std::from_chars(sv.data(), sv.data() + sv.size(), opt.trace_tight_fraction);
-            if (ec != std::errc{} || p != sv.data() + sv.size() ||
+            if (!io::parse_num(std::string_view(v22), opt.trace_tight_fraction) ||
                 opt.trace_tight_fraction < 0 || opt.trace_tight_fraction > 1) {
                 err << "cuzc: --tight-fraction must be in [0, 1]\n";
                 return std::nullopt;
             }
+        } else if (const char* v24 = value_of(a, "--target=")) {
+            opt.fuzz_target = v24;
+        } else if (const char* v25 = value_of(a, "--iters=")) {
+            if (!io::parse_num(std::string_view(v25), opt.fuzz_iters)) {
+                err << "cuzc: --iters must be an integer >= 0\n";
+                return std::nullopt;
+            }
+        } else if (const char* v26 = value_of(a, "--corpus=")) {
+            opt.fuzz_corpus = v26;
+        } else if (const char* v27 = value_of(a, "--write-corpus=")) {
+            opt.fuzz_write_corpus = v27;
+        } else if (std::strcmp(a, "--list") == 0) {
+            opt.fuzz_list = true;
         } else {
             err << "cuzc: unknown argument '" << a << "'\n";
             return std::nullopt;
         }
     }
+    if (!opt.fuzz_mode && (opt.fuzz_target != "all" || opt.fuzz_list ||
+                           !opt.fuzz_corpus.empty() || !opt.fuzz_write_corpus.empty())) {
+        err << "cuzc: --target/--corpus/--write-corpus/--list belong to the fuzz "
+               "subcommand\n";
+        return std::nullopt;
+    }
+    if (opt.fuzz_mode) return opt;
     if (opt.serve_mode) {
         if (opt.listen_mode == !opt.replay_path.empty()) {
             err << "cuzc: serve needs exactly one of --replay=TRACE / --listen=PORT\n";
@@ -625,6 +650,67 @@ int run_listen(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     return 0;
 }
 
+/// Run the differential fuzzing / invariant harness (`cuzc fuzz`).
+/// Deterministic per (target, seed, iters); exit 0 = no findings, 1 =
+/// findings, 2 = usage error. --corpus=DIR replays every checked-in entry
+/// before iterating and saves minimized crashers back into DIR.
+int run_fuzz(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+    register_cli_fuzz_target();
+    if (opt.fuzz_list) {
+        for (const auto& t : fuzz::targets()) {
+            out << t.name << "\n    " << t.description << "\n";
+        }
+        return 0;
+    }
+    if (!opt.fuzz_write_corpus.empty()) {
+        const std::size_t n = fuzz::write_regression_corpus(opt.fuzz_write_corpus);
+        err << "cuzc: wrote " << n << " corpus entries under " << opt.fuzz_write_corpus
+            << "\n";
+        return 0;
+    }
+    std::vector<const fuzz::Target*> picked;
+    if (opt.fuzz_target == "all") {
+        for (const auto& t : fuzz::targets()) picked.push_back(&t);
+    } else {
+        const fuzz::Target* t = fuzz::find_target(opt.fuzz_target);
+        if (t == nullptr) {
+            err << "cuzc: unknown fuzz target '" << opt.fuzz_target
+                << "' (cuzc fuzz --list)\n";
+            return 2;
+        }
+        picked.push_back(t);
+    }
+
+    fuzz::FuzzOptions fopt;
+    fopt.seed = opt.trace_seed;
+    fopt.iters = opt.fuzz_iters;
+    fopt.corpus_dir = opt.fuzz_corpus;
+    fopt.log = &err;
+
+    std::ofstream file;
+    std::ostream* sink = nullptr;
+    if (const int rc = open_sink(opt, out, err, file, sink)) return rc;
+    std::size_t findings = 0;
+    *sink << "{\n  \"schema\": \"cuzc-fuzz-v1\",\n  \"seed\": " << opt.trace_seed
+          << ",\n  \"iters\": " << opt.fuzz_iters << ",\n  \"targets\": [";
+    bool first_target = true;
+    for (const fuzz::Target* t : picked) {
+        const fuzz::FuzzResult res = fuzz::run_target(*t, fopt);
+        findings += res.findings.size();
+        *sink << (first_target ? "\n" : ",\n") << "    {\"name\": \"" << t->name
+              << "\", \"iterations\": " << res.iterations
+              << ", \"corpus_entries\": " << res.corpus_entries
+              << ", \"findings\": " << res.findings.size() << "}";
+        first_target = false;
+        for (const fuzz::Finding& f : res.findings) {
+            err << "cuzc: FUZZ FINDING [" << t->name << "] " << f.what
+                << (f.corpus_file.empty() ? "" : " (saved: " + f.corpus_file + ")") << "\n";
+        }
+    }
+    *sink << "\n  ],\n  \"findings\": " << findings << "\n}\n";
+    return findings == 0 ? 0 : 1;
+}
+
 /// Write a deterministic mixed-workload trace (the generator behind the
 /// serve bench and CI smokes) as cuzc-trace-v1 text.
 int run_trace(const CliOptions& opt, std::ostream& out, std::ostream& err) {
@@ -669,6 +755,7 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
         vgpu::BlockScheduler::instance().set_num_threads(opt.threads);
     }
     try {
+        if (opt.fuzz_mode) return run_fuzz(opt, out, err);
         if (opt.trace_mode) return run_trace(opt, out, err);
         if (opt.replay_mode) return run_replay_connect(opt, out, err);
         if (opt.assess_mode) return run_assess_connect(opt, out, err);

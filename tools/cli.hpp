@@ -67,9 +67,19 @@ struct CliOptions {
     // `cuzc trace` subcommand (deterministic mixed-workload generator).
     bool trace_mode = false;
     std::size_t trace_requests = 200;
+    /// Generic --seed flag; `cuzc trace` and `cuzc fuzz` both key their
+    /// deterministic campaigns off it.
     std::uint64_t trace_seed = 42;
     std::size_t trace_distinct = 32;
     double trace_tight_fraction = 0.1;
+
+    // `cuzc fuzz` subcommand (differential fuzzing / invariant harness).
+    bool fuzz_mode = false;
+    std::string fuzz_target = "all";   ///< --target=NAME, or all registered
+    std::uint64_t fuzz_iters = 100;    ///< seeded iterations per target
+    std::string fuzz_corpus;           ///< replay + crash-save directory
+    std::string fuzz_write_corpus;     ///< regenerate the built-in regressions
+    bool fuzz_list = false;            ///< print target names and exit
 };
 
 /// Parse argv. Returns std::nullopt plus a message on `err` for invalid
@@ -110,5 +120,11 @@ struct CliOptions {
 /// SIGINT/SIGTERM handler, and callable from tests to stop a listener
 /// running on another thread.
 void shutdown_active_servers() noexcept;
+
+/// Register the `cli-parse` fuzz target (grammar fuzzing of parse_cli)
+/// with the cuzc::fuzz registry. The target lives here rather than in
+/// src/fuzz because the fuzz library cannot depend on the CLI; run_fuzz
+/// calls this before dispatch, and tests may call it directly. Idempotent.
+void register_cli_fuzz_target();
 
 }  // namespace cuzc::cli
