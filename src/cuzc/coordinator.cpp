@@ -13,6 +13,19 @@ CuzcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig, const zc::Tensor3
     return assess_device(dev, d_orig, d_dec, orig.dims(), cfg, p3_opt);
 }
 
+CuzcResult assess(vgpu::Device& dev, const zc::FieldRef& orig, const zc::FieldRef& dec,
+                  const zc::MetricsConfig& cfg, const Pattern3Options& p3_opt) {
+    if (orig.size() == 0 || orig.size() != dec.size()) return CuzcResult{};
+
+    // Same modeled alloc/transfer/fault sequence as the copying overload
+    // above; `adopt` just aliases the payload instead of memcpy-ing it.
+    vgpu::DeviceBuffer<float> d_orig(dev, orig.size());
+    d_orig.adopt(orig);
+    vgpu::DeviceBuffer<float> d_dec(dev, dec.size());
+    d_dec.adopt(dec);
+    return assess_device(dev, d_orig, d_dec, orig.dims(), cfg, p3_opt);
+}
+
 CuzcResult assess_device(vgpu::Device& dev, const vgpu::DeviceBuffer<float>& d_orig,
                          const vgpu::DeviceBuffer<float>& d_dec, const zc::Dims3& dims,
                          const zc::MetricsConfig& cfg, const Pattern3Options& p3_opt) {

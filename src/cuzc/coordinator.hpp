@@ -6,6 +6,7 @@
 #include "pattern2.hpp"
 #include "pattern3.hpp"
 #include "vgpu/vgpu.hpp"
+#include "zc/field_buffer.hpp"
 #include "zc/metrics_config.hpp"
 #include "zc/report.hpp"
 #include "zc/tensor.hpp"
@@ -37,6 +38,14 @@ struct CuzcResult {
 /// kernel.
 [[nodiscard]] CuzcResult assess(vgpu::Device& dev, const zc::Tensor3f& orig,
                                 const zc::Tensor3f& dec, const zc::MetricsConfig& cfg,
+                                const Pattern3Options& p3_opt = {});
+
+/// Zero-copy variant: the device buffers `adopt` the ref-counted field
+/// payloads instead of memcpy-ing them in. The modeled transfer charges
+/// and the fault-injection event stream are identical to the Tensor3f
+/// overload, so reports are bit-identical either way.
+[[nodiscard]] CuzcResult assess(vgpu::Device& dev, const zc::FieldRef& orig,
+                                const zc::FieldRef& dec, const zc::MetricsConfig& cfg,
                                 const Pattern3Options& p3_opt = {});
 
 /// The same assessment driven from already-uploaded device buffers — the

@@ -21,7 +21,7 @@ void write_f32(const std::filesystem::path& path, const zc::Tensor3f& field) {
     if (out.fail()) throw std::runtime_error("write_f32: close failed for " + path.string());
 }
 
-zc::Field read_f32(const std::filesystem::path& path, const zc::Dims3& dims) {
+zc::FieldRef read_f32(const std::filesystem::path& path, const zc::Dims3& dims) {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in) throw std::runtime_error("read_f32: cannot open " + path.string());
     const auto size = static_cast<std::size_t>(in.tellg());
@@ -29,10 +29,13 @@ zc::Field read_f32(const std::filesystem::path& path, const zc::Dims3& dims) {
         throw std::runtime_error("read_f32: size mismatch for " + path.string());
     }
     in.seekg(0);
-    zc::Field field(dims);
-    in.read(reinterpret_cast<char*>(field.data().data()), static_cast<std::streamsize>(size));
+    // Stage straight into an aligned pooled slab: the sealed ref feeds
+    // requests and kernel launches without another copy.
+    zc::FieldBuffer staging(dims);
+    in.read(reinterpret_cast<char*>(staging.data().data()),
+            static_cast<std::streamsize>(size));
     if (!in) throw std::runtime_error("read_f32: short read from " + path.string());
-    return field;
+    return std::move(staging).seal();
 }
 
 }  // namespace cuzc::data

@@ -288,6 +288,37 @@ void wire_decode_corpus(CorpusWriter& w) {
     huge.u64(1);
     w.add("request-dims-overflow.bin", Oracle::kReject,
           net::encode_frame(FrameType::kRequest, 1, huge.view()));
+
+    // Element/byte counts whose size_t narrowing wraps on 32-bit targets
+    // (n * sizeof(float) and static_cast<size_t>(n) both come out tiny),
+    // letting a hostile frame alias far past the payload. Patch a valid
+    // request payload in place and re-seal the framing, so only the count
+    // is poisoned. Payload layout: dims(24) + cfg + f64 + i32 + orig span
+    // + dec span + sz_stream; with 8 floats per field and an empty stream,
+    // everything after the cfg block has a known size.
+    serve::AssessRequest victim;
+    victim.orig = random_field(rng, dims);
+    victim.dec = random_field(rng, dims);
+    std::vector<std::uint8_t> payload = net::encode_request(victim);
+    const std::size_t span_bytes = 8 + dims.volume() * sizeof(float);
+    const std::size_t cfg_bytes = payload.size() - 24 - 8 - 4 - 2 * span_bytes - 8;
+    const auto poke_u64 = [](std::vector<std::uint8_t>& buf, std::size_t off,
+                             std::uint64_t v) {
+        for (std::size_t i = 0; i < 8; ++i) {
+            buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    };
+    // Orig f32 count inflated so count * sizeof(float) wraps a u32.
+    std::vector<std::uint8_t> overcount = payload;
+    poke_u64(overcount, 24 + cfg_bytes + 8 + 4, 0x4000000000000002ull);
+    w.add("request-overcount-f32.bin", Oracle::kReject,
+          net::encode_frame(FrameType::kRequest, 1, overcount));
+    // Trailing sz_stream byte count of 2^32 + 7: truncates to 7 through a
+    // 32-bit size_t, which the pre-narrowing u64 bound must reject.
+    std::vector<std::uint8_t> overbytes = payload;
+    poke_u64(overbytes, overbytes.size() - 8, (1ull << 32) + 7);
+    w.add("request-overcount-bytes.bin", Oracle::kReject,
+          net::encode_frame(FrameType::kRequest, 1, overbytes));
 }
 
 // --- wire-assembler -----------------------------------------------------

@@ -496,7 +496,10 @@ struct NetServer::Impl {
             case FrameType::kRequest: {
                 serve::AssessRequest req;
                 try {
-                    req = decode_request(res.view);
+                    // Zero-copy: the decoded fields alias the payload in
+                    // place, pinned by the assembler slab, all the way to
+                    // the worker's device.
+                    req = decode_request_view(res.view, res.slab);
                 } catch (const WireError& e) {
                     count_rejected_frame();
                     enqueue_frame(conn, FrameType::kResponse, res.header.request_id,
@@ -597,9 +600,11 @@ struct NetServer::Impl {
                     count_rejected_frame();
                     return true;
                 }
-                StreamChunk chunk;
+                StreamChunkRef chunk;
                 try {
-                    chunk = decode_stream_chunk(res.view);
+                    // Zero-copy: the slices alias the payload in place and
+                    // are consumed synchronously by the stream assessor.
+                    chunk = decode_stream_chunk_ref(res.view, res.slab);
                 } catch (const WireError& e) {
                     count_rejected_frame();
                     abort_stream_rejected(conn, sid,
@@ -620,7 +625,7 @@ struct NetServer::Impl {
                     abort_stream_rejected(conn, sid, "stream overruns the declared shape");
                     return conns.count(id) != 0;
                 }
-                st.assessor.feed(chunk.orig, chunk.dec);
+                st.assessor.feed(chunk.orig.data(), chunk.dec.data());
                 ++st.next_seq;
                 st.elements += chunk.orig.size();
                 std::lock_guard lk(tele_mu);
@@ -942,8 +947,13 @@ void NetServer::shutdown() noexcept {
 }
 
 serve::NetTelemetry NetServer::telemetry() const {
-    std::lock_guard lk(impl_->tele_mu);
-    return impl_->tele;
+    serve::NetTelemetry t;
+    {
+        std::lock_guard lk(impl_->tele_mu);
+        t = impl_->tele;
+    }
+    t.data_plane = zc::data_plane_stats();
+    return t;
 }
 
 serve::ServiceTelemetry NetServer::service_telemetry() const { return impl_->service.telemetry(); }

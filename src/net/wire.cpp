@@ -262,16 +262,32 @@ std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
 double Reader::f64() { return std::bit_cast<double>(u64()); }
 
 std::vector<float> Reader::f32_span() {
-    const std::uint64_t n = u64();
-    if (n > remaining() / 4) throw WireError("truncated payload");
+    const auto [n, raw] = f32_raw();
     std::vector<float> v(static_cast<std::size_t>(n));
     if constexpr (std::endian::native == std::endian::little) {
-        std::memcpy(v.data(), data_.data() + pos_, n * 4);
-        pos_ += static_cast<std::size_t>(n) * 4;
+        std::memcpy(v.data(), raw.data(), raw.size());
     } else {
-        for (auto& f : v) f = std::bit_cast<float>(u32());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            v[i] = std::bit_cast<float>(get_le<std::uint32_t>(raw.data() + i * 4));
+        }
     }
+    zc::data_plane_note_copy(raw.size());
     return v;
+}
+
+std::pair<std::uint64_t, std::span<const std::uint8_t>> Reader::f32_raw() {
+    const std::uint64_t n = u64();
+    // Bounds check in element space, all in 64-bit arithmetic: forming
+    // `n * 4` first would wrap for a hostile count on a 32-bit size_t
+    // (and for counts near 2^62 even in 64-bit space), sliding a huge
+    // span past the check.
+    if (n > static_cast<std::uint64_t>(remaining()) / sizeof(float)) {
+        throw WireError("truncated payload");
+    }
+    const std::size_t len = static_cast<std::size_t>(n) * sizeof(float);
+    const std::span<const std::uint8_t> raw(data_.data() + pos_, len);
+    pos_ += len;
+    return {n, raw};
 }
 
 std::string Reader::str() {
@@ -284,10 +300,14 @@ std::string Reader::str() {
 
 std::vector<std::uint8_t> Reader::bytes() {
     const std::uint64_t n = u64();
-    need(static_cast<std::size_t>(n));
+    // Compare before narrowing: casting a hostile count like 2^32 to a
+    // 32-bit size_t truncates it to 0, slipping it past need() while the
+    // iterator arithmetic below still uses the full value.
+    if (n > static_cast<std::uint64_t>(remaining())) throw WireError("truncated payload");
+    const std::size_t len = static_cast<std::size_t>(n);
     std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-    pos_ += static_cast<std::size_t>(n);
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
     return v;
 }
 
@@ -394,6 +414,33 @@ void encode_request_into(Writer& w, const serve::AssessRequest& req) {
     return frame;
 }
 
+/// Turn a raw little-endian float run from f32_raw into a FieldRef:
+/// aliased in place (pinned by `slab`) when the run is element-aligned on
+/// a little-endian host, copied into a pooled slab otherwise. The caller
+/// has already validated `raw.size() == dims.volume() * sizeof(float)`.
+[[nodiscard]] zc::FieldRef field_from_raw(std::span<const std::uint8_t> raw,
+                                          const zc::Dims3& dims,
+                                          const zc::SlabHandle& slab) {
+    if constexpr (std::endian::native == std::endian::little) {
+        if (slab && !zc::data_plane_force_copy() &&
+            reinterpret_cast<std::uintptr_t>(raw.data()) % alignof(float) == 0) {
+            return zc::FieldRef::alias(slab, reinterpret_cast<const float*>(raw.data()),
+                                       dims);
+        }
+    }
+    zc::FieldBuffer staging(dims);
+    const std::span<float> dst = staging.data();
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(dst.data(), raw.data(), raw.size());
+    } else {
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            dst[i] = std::bit_cast<float>(get_le<std::uint32_t>(raw.data() + i * 4));
+        }
+    }
+    zc::data_plane_note_copy(raw.size());
+    return std::move(staging).seal();
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_request(const serve::AssessRequest& req) {
@@ -411,6 +458,14 @@ std::vector<std::uint8_t> encode_request_frame(const serve::AssessRequest& req,
 }
 
 serve::AssessRequest decode_request(std::span<const std::uint8_t> payload) {
+    // No guarding slab: every field run is copied out, exactly the legacy
+    // behavior. Callers that still hold the stream buffer use
+    // decode_request_view for the zero-copy path.
+    return decode_request_view(payload, zc::SlabHandle{});
+}
+
+serve::AssessRequest decode_request_view(std::span<const std::uint8_t> payload,
+                                         const zc::SlabHandle& slab) {
     Reader r(payload);
     serve::AssessRequest req;
     const std::uint64_t h = r.u64();
@@ -425,21 +480,21 @@ serve::AssessRequest decode_request(std::span<const std::uint8_t> payload) {
     validate_cfg(req.cfg, "request");
     req.deadline_model_s = r.f64();
     req.priority = r.i32();
-    std::vector<float> orig = r.f32_span();
-    std::vector<float> dec = r.f32_span();
+    const auto [orig_n, orig_raw] = r.f32_raw();
+    const auto [dec_n, dec_raw] = r.f32_raw();
     req.sz_stream = r.bytes();
     r.expect_end();
-    if (orig.size() != dims.volume()) {
+    if (orig_n != static_cast<std::uint64_t>(dims.volume())) {
         throw WireError("request: original field disagrees with the declared shape");
     }
-    if (!dec.empty() && dec.size() != dims.volume()) {
+    if (dec_n != 0 && dec_n != static_cast<std::uint64_t>(dims.volume())) {
         throw WireError("request: decompressed field disagrees with the declared shape");
     }
-    if (dec.empty() && req.sz_stream.empty()) {
+    if (dec_n == 0 && req.sz_stream.empty()) {
         throw WireError("request: neither a decompressed field nor an SZ stream");
     }
-    req.orig = zc::Field(dims, std::move(orig));
-    if (!dec.empty()) req.dec = zc::Field(dims, std::move(dec));
+    req.orig = field_from_raw(orig_raw, dims, slab);
+    if (dec_n != 0) req.dec = field_from_raw(dec_raw, dims, slab);
     return req;
 }
 
@@ -583,6 +638,23 @@ StreamChunk decode_stream_chunk(std::span<const std::uint8_t> payload) {
     return c;
 }
 
+StreamChunkRef decode_stream_chunk_ref(std::span<const std::uint8_t> payload,
+                                       const zc::SlabHandle& slab) {
+    Reader r(payload);
+    StreamChunkRef c;
+    c.seq = r.u64();
+    const auto [orig_n, orig_raw] = r.f32_raw();
+    const auto [dec_n, dec_raw] = r.f32_raw();
+    r.expect_end();
+    if (orig_n == 0 || orig_n != dec_n) {
+        throw WireError("stream-chunk: ranges must be non-empty and paired");
+    }
+    const zc::Dims3 run{1, 1, static_cast<std::size_t>(orig_n)};
+    c.orig = field_from_raw(orig_raw, run, slab);
+    c.dec = field_from_raw(dec_raw, run, slab);
+    return c;
+}
+
 std::vector<std::uint8_t> encode_stream_end(const StreamEnd& se) {
     Writer w;
     w.u64(se.chunks);
@@ -629,10 +701,29 @@ std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,
     return frame;
 }
 
+void FrameAssembler::migrate(std::size_t cap) {
+    const std::size_t live = end_ - consumed_;
+    zc::SlabHandle fresh = zc::SlabHandle::acquire(std::max(cap, kSkew + live));
+    if (live > 0) {
+        std::memcpy(fresh.data() + kSkew, slab_.data() + consumed_, live);
+        zc::data_plane_note_copy(live);
+    }
+    // Pinned views keep the old slab alive through their own handles; it
+    // returns to the pool when the last one drops.
+    slab_ = std::move(fresh);
+    consumed_ = kSkew;
+    end_ = kSkew + live;
+}
+
 void FrameAssembler::ensure_room(std::size_t n) {
+    if (!slab_) {
+        slab_ = zc::SlabHandle::acquire(kSkew + std::max<std::size_t>(n, 4096));
+        consumed_ = end_ = kSkew;
+        return;
+    }
     compact();
-    if (buf_.size() < end_ + n) {
-        buf_.resize(std::max(buf_.size() * 2, end_ + n));
+    if (slab_.capacity() < end_ + n) {
+        migrate(std::max(slab_.capacity() * 2, kSkew + (end_ - consumed_) + n));
     }
 }
 
@@ -649,38 +740,50 @@ void FrameAssembler::feed(std::span<const std::uint8_t> data) {
     const std::size_t len = data.size() - off;
     if (len == 0) return;
     ensure_room(len);
-    std::memcpy(buf_.data() + end_, data.data() + off, len);
+    std::memcpy(slab_.data() + end_, data.data() + off, len);
     end_ += len;
 }
 
 std::span<std::uint8_t> FrameAssembler::writable(std::size_t n) {
+    // Tail writes are always safe: delivered views only ever alias the
+    // consumed prefix [0, consumed_), never [end_, end_ + n).
     ensure_room(n);
-    return {buf_.data() + end_, n};
+    return {slab_.data() + end_, n};
 }
 
 void FrameAssembler::commit(std::size_t n) {
     if (skip_ > 0) {
         // The head of the committed bytes finishes an oversized frame's
-        // discarded payload; slide any remainder down over it.
+        // discarded payload; slide any remainder down over it. This moves
+        // bytes strictly within the unconsumed tail, so pinned views are
+        // unaffected.
         const std::size_t eat = static_cast<std::size_t>(std::min<std::uint64_t>(skip_, n));
         skip_ -= eat;
         n -= eat;
-        if (n > 0) std::memmove(buf_.data() + end_, buf_.data() + end_ + eat, n);
+        if (n > 0) std::memmove(slab_.data() + end_, slab_.data() + end_ + eat, n);
     }
     end_ += n;
 }
 
 void FrameAssembler::compact() {
-    if (consumed_ == 0) return;
+    if (!slab_ || consumed_ == kSkew) return;
     if (consumed_ == end_) {
-        consumed_ = end_ = 0;
+        // Drained: park the cursor back at kSkew so the next frame starts
+        // at the aligned-decode offset. When delivered views still pin the
+        // slab the region below the cursor is live — swap in a fresh
+        // pooled slab (same capacity, nothing to copy) instead.
+        if (pinned()) slab_ = zc::SlabHandle::acquire(slab_.capacity());
+        consumed_ = end_ = kSkew;
         return;
     }
-    // Only pay the memmove once the dead prefix dominates the buffer.
-    if (consumed_ >= 4096 && consumed_ * 2 >= end_) {
-        std::memmove(buf_.data(), buf_.data() + consumed_, end_ - consumed_);
-        end_ -= consumed_;
-        consumed_ = 0;
+    // Only pay the memmove once the dead prefix dominates the buffer, and
+    // never while pinned views alias it.
+    if (consumed_ >= 4096 && consumed_ * 2 >= end_ && !pinned()) {
+        const std::size_t live = end_ - consumed_;
+        std::memmove(slab_.data() + kSkew, slab_.data() + consumed_, live);
+        zc::data_plane_note_copy(live);
+        consumed_ = kSkew;
+        end_ = kSkew + live;
     }
 }
 
@@ -689,6 +792,7 @@ FrameAssembler::Result FrameAssembler::next() {
     if (res.status == Status::kFrame) {
         res.payload.assign(res.view.begin(), res.view.end());
         res.view = {};
+        res.slab.reset();  // the copy owns the bytes; drop the pin
         compact();
     }
     return res;
@@ -696,7 +800,7 @@ FrameAssembler::Result FrameAssembler::next() {
 
 std::size_t FrameAssembler::pending_frame_bytes() const noexcept {
     if (skip_ > 0 || buffered() < FrameHeader::kSize) return 0;
-    const std::uint8_t* p = buf_.data() + consumed_;
+    const std::uint8_t* p = slab_.data() + consumed_;
     if (get_le<std::uint32_t>(p) != kMagic) return 0;
     const auto ver = get_le<std::uint16_t>(p + 4);
     if (ver < kVersion || ver > kVersionMax) return 0;
@@ -713,7 +817,7 @@ FrameAssembler::Result FrameAssembler::next_view() {
         return res;
     }
     if (buffered() < FrameHeader::kSize) return res;
-    const std::uint8_t* p = buf_.data() + consumed_;
+    const std::uint8_t* p = slab_.data() + consumed_;
     FrameHeader h;
     h.magic = get_le<std::uint32_t>(p);
     h.version = get_le<std::uint16_t>(p + 4);
@@ -751,8 +855,11 @@ FrameAssembler::Result FrameAssembler::next_view() {
         return res;
     }
     // No compact() here: the view must stay valid until the caller's next
-    // mutating call (feed/writable/next), which compacts lazily anyway.
+    // mutating call (feed/writable/next) — and res.slab pins the storage
+    // for any FieldRefs decoded out of the view, so even those calls only
+    // invalidate the view span itself, never aliased field data.
     res.view = body;
+    res.slab = slab_;
     res.status = Status::kFrame;
     return res;
 }

@@ -33,9 +33,11 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "zc/field_buffer.hpp"
 #include "zc/metrics_config.hpp"
 #include "zc/report.hpp"
 #include "zc/tensor.hpp"
@@ -130,6 +132,11 @@ public:
     [[nodiscard]] std::int32_t i32();
     [[nodiscard]] double f64();
     [[nodiscard]] std::vector<float> f32_span();
+    /// Zero-copy variant of f32_span: consumes the count prefix and the
+    /// element bytes, returning the count plus a view of the raw bytes in
+    /// place. The caller decides whether those bytes can be aliased as
+    /// floats (alignment + endianness) or must be copied out.
+    [[nodiscard]] std::pair<std::uint64_t, std::span<const std::uint8_t>> f32_raw();
     [[nodiscard]] std::string str();
     [[nodiscard]] std::vector<std::uint8_t> bytes();
 
@@ -201,6 +208,17 @@ struct StreamChunk {
 /// Throws WireError on truncation, an empty chunk, or orig/dec length skew.
 [[nodiscard]] StreamChunk decode_stream_chunk(std::span<const std::uint8_t> payload);
 
+/// Zero-copy chunk: the slices alias the stream buffer (guarded by the
+/// assembler slab) when they land element-aligned, and are copied into
+/// pooled slabs otherwise. Shape is the flat run {1, 1, n}.
+struct StreamChunkRef {
+    std::uint64_t seq = 0;
+    zc::FieldRef orig;
+    zc::FieldRef dec;
+};
+[[nodiscard]] StreamChunkRef decode_stream_chunk_ref(std::span<const std::uint8_t> payload,
+                                                     const zc::SlabHandle& slab);
+
 /// StreamEnd restates what the client believes it sent; the server rejects
 /// the stream when either count disagrees with what actually arrived.
 struct StreamEnd {
@@ -212,6 +230,14 @@ struct StreamEnd {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const serve::AssessRequest& req);
 [[nodiscard]] serve::AssessRequest decode_request(std::span<const std::uint8_t> payload);
+
+/// Zero-copy decode: the request's fields alias the payload in place
+/// (pinned by `slab`, the assembler buffer the payload lives in) whenever
+/// the float runs land 4-byte-aligned on a little-endian host; otherwise
+/// they are copied into pooled slabs (counted as data-plane copies).
+/// Behaviorally identical to decode_request either way.
+[[nodiscard]] serve::AssessRequest decode_request_view(std::span<const std::uint8_t> payload,
+                                                       const zc::SlabHandle& slab);
 
 /// Profiler counters (CuzcResult's KernelStats) do not cross the wire;
 /// the decoded response carries the assessment report and the request's
@@ -265,6 +291,10 @@ public:
         std::vector<std::uint8_t> payload;  ///< next() only
         /// next_view() only: the payload in place inside the stream buffer.
         std::span<const std::uint8_t> view;
+        /// next_view() only: pins the slab the view aliases. Decoders hand
+        /// this to decode_request_view / decode_stream_chunk_ref so field
+        /// views keep the storage alive past the next ingest call.
+        zc::SlabHandle slab;
     };
 
     void feed(std::span<const std::uint8_t> data);
@@ -286,14 +316,29 @@ public:
     /// wedging the connection with the payload half-buffered.
     [[nodiscard]] std::size_t pending_frame_bytes() const noexcept;
 
+    /// Cursor-parking offset for an empty buffer. A request frame's first
+    /// float run starts 99 bytes past the frame start (24-byte header +
+    /// 24 dims + 31 config + 8 deadline + 4 priority + 8 count); parking
+    /// the next frame at offset 29 inside the 64-byte-aligned slab puts
+    /// that run at 29 + 99 = 128 ≡ 0 (mod 64), so the dominant
+    /// drain-then-one-frame traffic pattern decodes fully aligned and
+    /// zero-copy.
+    static constexpr std::size_t kSkew = 29;
+
 private:
     void compact();
     void ensure_room(std::size_t n);
+    [[nodiscard]] bool pinned() const noexcept { return slab_.use_count() > 1; }
+    /// Move the live bytes [consumed_, end_) onto a fresh slab of at least
+    /// `cap` bytes, parked at kSkew. The only ingest-side copy, taken when
+    /// the buffer must grow or when pinned views block in-place reuse.
+    void migrate(std::size_t cap);
     std::size_t max_payload_;
-    /// Storage; [consumed_, end_) are the valid bytes. The dead prefix is
-    /// reclaimed lazily (compact) so draining many buffered frames is not
-    /// quadratic in memmoves.
-    std::vector<std::uint8_t> buf_;
+    /// Pooled slab storage; [consumed_, end_) are the valid bytes. The
+    /// dead prefix is reclaimed lazily (compact) so draining many buffered
+    /// frames is not quadratic in memmoves — and never reclaimed in place
+    /// while delivered views still pin the slab.
+    zc::SlabHandle slab_;
     std::size_t consumed_ = 0;
     std::size_t end_ = 0;
     /// Oversize-skip mode: payload bytes of the rejected frame still owed.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cuzc/coordinator.hpp"
+#include "zc/field_buffer.hpp"
 #include "zc/metrics_config.hpp"
 #include "zc/tensor.hpp"
 
@@ -13,9 +14,13 @@ namespace cuzc::serve {
 /// One unit of work for the assessment service: an (original, decompressed)
 /// field pair — or an original plus an SZ stream the worker decompresses —
 /// with the metrics to run, an optional deadline, and a priority.
+///
+/// The fields are ref-counted views into the zero-copy data plane: a
+/// request decoded off a socket aliases the ingest slab all the way to the
+/// device, and an in-process caller moves a `zc::Field` in without a copy.
 struct AssessRequest {
-    zc::Field orig;
-    zc::Field dec;                        ///< used when `sz_stream` is empty
+    zc::FieldRef orig;
+    zc::FieldRef dec;                     ///< used when `sz_stream` is empty
     std::vector<std::uint8_t> sz_stream;  ///< non-empty: decompress on the worker
     zc::MetricsConfig cfg;
     /// Budget in *modeled device seconds* (the cost model's currency, not

@@ -315,8 +315,8 @@ struct AssessService::Impl {
 
         // SZ-stream requests decode on the worker (counted as upload time).
         const zc::Stopwatch decode_watch;
-        zc::Field dec_storage;
-        const zc::Field* dec = &p.req.dec;
+        zc::FieldRef dec_storage;
+        const zc::FieldRef* dec = &p.req.dec;
         if (!p.req.sz_stream.empty()) {
             try {
                 dec_storage = sz::decompress(p.req.sz_stream);
@@ -396,8 +396,11 @@ struct AssessService::Impl {
                     std::lock_guard lk(mu);
                     tele.buffer_allocs += 2;
                 }
-                d_orig->upload(p.req.orig.data());
-                d_dec->upload(dec->data());
+                // Zero-copy staging: the persistent buffer pair aliases the
+                // request's ref-counted payloads (same modeled H2D charge
+                // and fault-stream draw as a memcpy upload).
+                d_orig->adopt(p.req.orig);
+                d_dec->adopt(*dec);
                 {
                     std::lock_guard lk(mu);
                     tele.uploads += 2;
@@ -444,7 +447,7 @@ struct AssessService::Impl {
     /// multi-GPU path. Sharded results bypass the result cache: the slab
     /// merge's summation order differs from the single-device contract by
     /// ulps, and the cache promises single-device-identical results.
-    void run_sharded(const ShardTeam& team, Pending& p, const zc::Field& dec,
+    void run_sharded(const ShardTeam& team, Pending& p, const zc::FieldRef& dec,
                      AssessResponse& resp) {
         std::uint64_t borrowed_faults_before = 0;
         for (const auto* d : team.borrowed) borrowed_faults_before += d->faults_injected();
@@ -598,6 +601,7 @@ ServiceTelemetry AssessService::telemetry() const {
     }
     t.cache_evictions = impl_->cache.evictions();
     t.cache_size = impl_->cache.size();
+    t.data_plane = zc::data_plane_stats();
     return t;
 }
 

@@ -24,12 +24,27 @@ double LatencyHistogram::bucket_le_us(std::size_t i) noexcept {
     return std::ldexp(1.0, static_cast<int>(i));  // 2^i us
 }
 
+namespace {
+
+void write_data_plane_json(std::ostream& os, const zc::DataPlaneStats& dp,
+                           const std::string& in1, const std::string& in2) {
+    os << in1 << "\"data_plane\": {\n";
+    os << in2 << "\"bytes_copied\": " << dp.bytes_copied << ",\n";
+    os << in2 << "\"slab_allocs\": " << dp.slab_allocs << ",\n";
+    os << in2 << "\"slab_reuses\": " << dp.slab_reuses << ",\n";
+    os << in2 << "\"adoptions\": " << dp.adoptions << ",\n";
+    os << in2 << "\"pool_high_water_bytes\": " << dp.pool_high_water_bytes << "\n";
+    os << in1 << "}";
+}
+
+}  // namespace
+
 void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
     const std::string pad(static_cast<std::size_t>(indent), ' ');
     const std::string in1 = pad + "  ";
     const std::string in2 = pad + "    ";
     os << "{\n";
-    os << in1 << "\"schema\": \"cuzc-serve-telemetry-v1\",\n";
+    os << in1 << "\"schema\": \"cuzc-serve-telemetry-v2\",\n";
     os << in1 << "\"queued\": " << queued << ",\n";
     os << in1 << "\"served\": " << served << ",\n";
     os << in1 << "\"cache_hits\": " << cache_hits << ",\n";
@@ -70,13 +85,15 @@ void ServiceTelemetry::write_json(std::ostream& os, int indent) const {
         os << (i ? ", " : "") << latency.buckets[i];
     }
     os << "]\n";
-    os << in1 << "}\n";
-    os << pad << "}";
+    os << in1 << "},\n";
+    write_data_plane_json(os, data_plane, in1, in2);
+    os << "\n" << pad << "}";
 }
 
 void NetTelemetry::write_json(std::ostream& os, int indent) const {
     const std::string pad(static_cast<std::size_t>(indent), ' ');
     const std::string in1 = pad + "  ";
+    const std::string in2 = pad + "    ";
     os << "{\n";
     os << in1 << "\"schema\": \"cuzc-wire-v2\",\n";
     os << in1 << "\"connections_accepted\": " << connections_accepted << ",\n";
@@ -94,8 +111,9 @@ void NetTelemetry::write_json(std::ostream& os, int indent) const {
     os << in1 << "\"streams_opened\": " << streams_opened << ",\n";
     os << in1 << "\"stream_chunks\": " << stream_chunks << ",\n";
     os << in1 << "\"stream_bytes\": " << stream_bytes << ",\n";
-    os << in1 << "\"streams_aborted\": " << streams_aborted << "\n";
-    os << pad << "}";
+    os << in1 << "\"streams_aborted\": " << streams_aborted << ",\n";
+    write_data_plane_json(os, data_plane, in1, in2);
+    os << "\n" << pad << "}";
 }
 
 }  // namespace cuzc::serve

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "zc/field_buffer.hpp"
+
 namespace cuzc::serve {
 
 /// Log2-bucketed latency histogram (microsecond granularity): bucket i
@@ -75,7 +77,13 @@ struct ServiceTelemetry {
 
     LatencyHistogram latency;
 
-    /// Pretty-printed JSON object, schema "cuzc-serve-telemetry-v1".
+    /// Zero-copy data-plane ledger at snapshot time (process-wide:
+    /// bytes_copied, slab reuse, device adoptions, pool high-water — see
+    /// zc::data_plane_stats()).
+    zc::DataPlaneStats data_plane;
+
+    /// Pretty-printed JSON object, schema "cuzc-serve-telemetry-v2" (v2
+    /// added the nested "data_plane" block).
     void write_json(std::ostream& os, int indent = 0) const;
 };
 
@@ -121,8 +129,13 @@ struct NetTelemetry {
     std::uint64_t stream_bytes = 0;        ///< payload bytes of applied chunks
     std::uint64_t streams_aborted = 0;     ///< client aborts + server-side stream errors
 
+    /// Zero-copy data-plane ledger at snapshot time (shared process-wide
+    /// counters; the same numbers ServiceTelemetry reports).
+    zc::DataPlaneStats data_plane;
+
     /// Pretty-printed JSON object; `"schema": "cuzc-wire-v2"` names the
-    /// protocol revision the counters describe.
+    /// protocol revision the counters describe (the nested "data_plane"
+    /// block is additive).
     void write_json(std::ostream& os, int indent = 0) const;
 };
 

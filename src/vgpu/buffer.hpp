@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "device.hpp"
+#include "zc/field_buffer.hpp"
 
 namespace cuzc::vgpu {
 
@@ -16,16 +18,24 @@ namespace cuzc::vgpu {
 /// data in/out with `upload`/`download` (counted as PCIe transfers); kernel
 /// code accesses elements through a `DeviceSpan` obtained from a `Launch`,
 /// which counts every load/store against that launch's `KernelStats`.
+///
+/// The modeled device memory *is* host memory, so a float buffer can also
+/// `adopt` a `zc::FieldRef`: the buffer aliases the ref-counted payload in
+/// place (pinning it) instead of memcpy-ing. The modeled PCIe accounting
+/// and the fault-injection event stream are identical either way; only the
+/// software copy disappears. Mutating entry points (non-const `raw`,
+/// `upload`, `fill`) detach from the alias first so shared payloads are
+/// never written through a device buffer.
 template <class T>
 class DeviceBuffer {
 public:
-    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev) {
+    DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), n_(n) {
         dev.fault_point_alloc(n * sizeof(T));
         mem_.resize(n);
         dev.note_alloc(n * sizeof(T));
     }
 
-    DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev) {
+    DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev), n_(host.size()) {
         dev.fault_point_alloc(host.size_bytes());
         mem_.assign(host.begin(), host.end());
         dev.note_alloc(host.size_bytes());
@@ -33,37 +43,91 @@ public:
         maybe_corrupt(dev.fault_point_upload());
     }
 
-    [[nodiscard]] std::size_t size() const noexcept { return mem_.size(); }
-    [[nodiscard]] std::uint64_t size_bytes() const noexcept {
-        return mem_.size() * sizeof(T);
-    }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] std::uint64_t size_bytes() const noexcept { return n_ * sizeof(T); }
 
     void upload(std::span<const T> host) {
-        assert(host.size() == mem_.size());
+        assert(host.size() == n_);
+        detach();
         std::copy(host.begin(), host.end(), mem_.begin());
         dev_->note_h2d(host.size_bytes());
         maybe_corrupt(dev_->fault_point_upload());
     }
 
+    /// Zero-copy upload: alias the field's ref-counted payload instead of
+    /// copying it in. Charges the same modeled H2D transfer and draws the
+    /// same fault-stream event as `upload`, so counter streams are
+    /// bit-identical across the two paths. When the drawn fault corrupts
+    /// the upload (or the data plane is forced into legacy copies), the
+    /// payload is copied first and the bit flip lands on the private copy
+    /// — copy-on-corrupt; a shared payload is never mutated.
+    void adopt(const zc::FieldRef& host)
+        requires std::is_same_v<T, float>
+    {
+        assert(host.size() == n_);
+        dev_->note_h2d(host.size() * sizeof(float));
+        const std::uint64_t h = dev_->fault_point_upload();
+        if (h != 0 || zc::data_plane_force_copy() || host.data().data() == nullptr) {
+            detach();
+            std::copy(host.data().begin(), host.data().end(), mem_.begin());
+            zc::data_plane_note_copy(host.size() * sizeof(float));
+            maybe_corrupt(h);
+            return;
+        }
+        alias_ = host.data().data();
+        guard_ = host.slab();
+        zc::data_plane_note_adoption();
+    }
+
     void download(std::span<T> host) const {
-        assert(host.size() == mem_.size());
-        std::copy(mem_.begin(), mem_.end(), host.begin());
-        dev_->note_d2h(host.size() * sizeof(T));
+        assert(host.size() == n_);
+        const T* src = alias_ ? alias_ : mem_.data();
+        std::copy(src, src + n_, host.begin());
+        dev_->note_d2h(n_ * sizeof(T));
     }
 
     [[nodiscard]] std::vector<T> download() const {
         dev_->note_d2h(size_bytes());
+        if (alias_) return std::vector<T>(alias_, alias_ + n_);
         return mem_;
     }
 
-    void fill(const T& v) { std::fill(mem_.begin(), mem_.end(), v); }
+    void fill(const T& v) {
+        detach();
+        std::fill(mem_.begin(), mem_.end(), v);
+    }
 
     /// Uncounted access for the host-side runtime itself (e.g. verification);
-    /// kernel code must go through DeviceSpan instead.
-    [[nodiscard]] T* raw() noexcept { return mem_.data(); }
-    [[nodiscard]] const T* raw() const noexcept { return mem_.data(); }
+    /// kernel code must go through DeviceSpan instead. The mutable overload
+    /// materializes a private copy first when the buffer aliases a shared
+    /// payload (and may therefore allocate).
+    [[nodiscard]] T* raw() {
+        if (alias_) {
+            detach_copy();
+        }
+        return mem_.data();
+    }
+    [[nodiscard]] const T* raw() const noexcept { return alias_ ? alias_ : mem_.data(); }
 
 private:
+    /// Drop the alias; mem_ holds fresh (unspecified) storage of size n_.
+    void detach() {
+        if (alias_) {
+            alias_ = nullptr;
+            guard_.reset();
+        }
+        if (mem_.size() != n_) mem_.resize(n_);
+    }
+
+    /// Drop the alias, preserving the aliased contents (counted copy).
+    void detach_copy() {
+        const T* src = alias_;
+        mem_.assign(src, src + n_);
+        zc::data_plane_note_copy(n_ * sizeof(T));
+        alias_ = nullptr;
+        guard_.reset();
+    }
+
     /// Injected upload corruption: flip one bit of one resident byte, the
     /// position derived from the fault stream's hash (h == 0 means none).
     void maybe_corrupt(std::uint64_t h) noexcept {
@@ -74,7 +138,12 @@ private:
     }
 
     Device* dev_;
+    std::size_t n_ = 0;
     std::vector<T> mem_;
+    /// Adopted payload: when set, reads go through alias_ and guard_ pins
+    /// the storage; mem_ is the detached/private fallback.
+    const T* alias_ = nullptr;
+    zc::SlabHandle guard_;
 };
 
 /// Kernel-side view of a DeviceBuffer; every `ld`/`st` is charged to the

@@ -28,8 +28,10 @@ class Launch {
 public:
     explicit Launch(KernelStats& stats) noexcept : stats_(&stats) {}
 
+    /// Writable view. Not noexcept: a buffer aliasing an adopted payload
+    /// materializes a private copy before handing out mutable storage.
     template <class T>
-    [[nodiscard]] DeviceSpan<T> span(DeviceBuffer<T>& buf) const noexcept {
+    [[nodiscard]] DeviceSpan<T> span(DeviceBuffer<T>& buf) const {
         return DeviceSpan<T>(buf.raw(), buf.size(), &stats_->global_bytes_read,
                              &stats_->global_bytes_written);
     }

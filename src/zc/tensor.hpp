@@ -74,6 +74,13 @@ public:
 
     [[nodiscard]] Tensor3f view() const noexcept { return Tensor3f(data_, dims_); }
 
+    /// Move the sample storage out (the field reverts to its default
+    /// state). FieldRef adopts expiring Fields through this.
+    [[nodiscard]] std::vector<float> release() && noexcept {
+        dims_ = Dims3{};
+        return std::move(data_);
+    }
+
 private:
     Dims3 dims_{};
     std::vector<float> data_;

@@ -9,6 +9,7 @@
 #include "compare.hpp"            // IWYU pragma: export
 #include "compression_stats.hpp"  // IWYU pragma: export
 #include "fft.hpp"                // IWYU pragma: export
+#include "field_buffer.hpp"       // IWYU pragma: export
 #include "derivatives.hpp"        // IWYU pragma: export
 #include "metrics_config.hpp"     // IWYU pragma: export
 #include "reduction_metrics.hpp"  // IWYU pragma: export

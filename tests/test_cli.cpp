@@ -333,7 +333,7 @@ TEST_F(CliFixture, ServeReplayEmitsTelemetryJson) {
     EXPECT_NE(out.find("\"requests\": 3"), std::string::npos);
     EXPECT_NE(out.find("\"cache_hits\": 1"), std::string::npos);
     EXPECT_NE(out.find("\"degraded\": 1"), std::string::npos);
-    EXPECT_NE(out.find("cuzc-serve-telemetry-v1"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-serve-telemetry-v2"), std::string::npos);
     // v2 additions: reproducibility context for the replay artifact.
     EXPECT_NE(out.find("\"simd\": \""), std::string::npos);
     EXPECT_NE(out.find("\"devices\": 1"), std::string::npos);
@@ -371,7 +371,7 @@ TEST_F(CliFixture, VersionPrintsSchemasAndSimdBanner) {
     EXPECT_EQ(run({"--version"}, &out), 0);
     EXPECT_NE(out.find("cuzc "), std::string::npos);
     EXPECT_NE(out.find("cuzc-trace-v1"), std::string::npos);
-    EXPECT_NE(out.find("cuzc-serve-telemetry-v1"), std::string::npos);
+    EXPECT_NE(out.find("cuzc-serve-telemetry-v2"), std::string::npos);
     EXPECT_NE(out.find("cuzc-serve-replay-v2"), std::string::npos);
     EXPECT_NE(out.find("cuzc-wire-v1"), std::string::npos);
     // Third line is the SIMD dispatch banner — non-empty, whatever the host.

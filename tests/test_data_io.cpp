@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -109,7 +110,8 @@ TEST(RawIo, RoundTrip) {
     const auto path = std::filesystem::temp_directory_path() / "cuzc_test_field.f32";
     const zc::Field f = cuzc::testing::random_field({6, 7, 8}, 4);
     data::write_f32(path, f.view());
-    const zc::Field g = data::read_f32(path, f.dims());
+    const zc::FieldRef g = data::read_f32(path, f.dims());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.data().data()) % zc::kSlabAlign, 0u);
     for (std::size_t i = 0; i < f.size(); ++i) ASSERT_EQ(f.data()[i], g.data()[i]);
     std::filesystem::remove(path);
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "data/noise.hpp"
+#include "zc/field_buffer.hpp"
 #include "zc/report.hpp"
 #include "zc/tensor.hpp"
 
@@ -43,6 +44,17 @@ inline zc::Field smooth_field(zc::Dims3 dims, std::uint64_t seed) {
 /// Perturb a field by deterministic noise of amplitude `amp` — a stand-in
 /// decompressed field with known error scale.
 inline zc::Field perturbed(const zc::Field& src, double amp, std::uint64_t seed) {
+    zc::Field f(src.dims());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const double e = (data::to_unit(data::mix64(seed ^ (i * 2654435761ull))) * 2.0 - 1.0) * amp;
+        f.data()[i] = static_cast<float>(src.data()[i] + e);
+    }
+    return f;
+}
+
+/// Same perturbation over a ref-counted data-plane view (e.g. a request's
+/// `orig` member); identical output bytes for identical input.
+inline zc::Field perturbed(const zc::FieldRef& src, double amp, std::uint64_t seed) {
     zc::Field f(src.dims());
     for (std::size_t i = 0; i < src.size(); ++i) {
         const double e = (data::to_unit(data::mix64(seed ^ (i * 2654435761ull))) * 2.0 - 1.0) * amp;

@@ -678,6 +678,156 @@ TEST(NetServer, TelemetryJsonCarriesWireSchema) {
     EXPECT_NE(s.find("\"requests_accepted\": 1"), std::string::npos);
     EXPECT_NE(s.find("\"frames_rejected\": 0"), std::string::npos);
     EXPECT_NE(s.find("\"streams_opened\": 0"), std::string::npos);
+    EXPECT_NE(s.find("\"data_plane\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"bytes_copied\": "), std::string::npos);
+}
+
+// --- Zero-copy data plane -----------------------------------------------
+// Aliased-buffer lifetime scenarios (run under ASan/TSan in CI): payload
+// views handed to workers must survive the connection, the stream, and the
+// ingest buffer that produced them.
+
+TEST(NetWire, ReaderRejectsElementCountsWhoseByteSizeWraps) {
+    // Regression for the 32-bit narrowing hole: an f32 run declaring
+    // 2^62 + 2 elements (n * sizeof(float) wraps to 8) and a byte run
+    // declaring 2^32 + 7 bytes (size_t truncates to 7) must both throw,
+    // not alias past the payload. Patch a valid request payload in place.
+    serve::AssessRequest victim;
+    const zc::Dims3 dims{2, 2, 2};
+    victim.orig = tst::smooth_field(dims, 1);
+    victim.dec = tst::smooth_field(dims, 2);
+    const std::vector<std::uint8_t> payload = net::encode_request(victim);
+    const std::size_t span_bytes = 8 + dims.volume() * sizeof(float);
+    const std::size_t cfg_bytes = payload.size() - 24 - 8 - 4 - 2 * span_bytes - 8;
+    const auto poke_u64 = [](std::vector<std::uint8_t>& buf, std::size_t off,
+                             std::uint64_t v) {
+        for (std::size_t i = 0; i < 8; ++i) {
+            buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    };
+    auto overcount = payload;
+    poke_u64(overcount, 24 + cfg_bytes + 8 + 4, 0x4000000000000002ull);
+    EXPECT_THROW((void)net::decode_request(overcount), net::WireError);
+    auto overbytes = payload;
+    poke_u64(overbytes, overbytes.size() - 8, (1ull << 32) + 7);
+    EXPECT_THROW((void)net::decode_request(overbytes), net::WireError);
+}
+
+TEST(NetDataPlane, DecodeRequestViewAliasesTheIngestSlab) {
+    const auto frame = net::encode_request_frame(make_request(41), 1);
+    net::FrameAssembler asm_(1 << 20);
+    asm_.feed(frame);
+    auto res = asm_.next_view();
+    ASSERT_EQ(res.status, net::FrameAssembler::Status::kFrame);
+    ASSERT_TRUE(res.slab);
+
+    zc::reset_data_plane_stats();
+    const auto req = net::decode_request_view(res.view, res.slab);
+    const auto* base = reinterpret_cast<const float*>(res.slab.data());
+    const auto* end = base + res.slab.capacity() / sizeof(float);
+    // Both fields alias storage inside the assembler's slab — no copy.
+    EXPECT_GE(req.orig.data().data(), base);
+    EXPECT_LT(req.orig.data().data(), end);
+    EXPECT_GE(req.dec.data().data(), base);
+    EXPECT_LT(req.dec.data().data(), end);
+    EXPECT_EQ(zc::data_plane_stats().bytes_copied, 0u);
+
+    // The views pin the slab: even after the assembler moves on, the
+    // decoded payload bytes stay valid and correct.
+    const auto expected = make_request(41);
+    res.slab.reset();
+    asm_.feed(frame);  // may trigger compaction/migration internally
+    EXPECT_TRUE(std::equal(req.orig.data().begin(), req.orig.data().end(),
+                           expected.orig.data().begin()));
+    EXPECT_TRUE(std::equal(req.dec.data().begin(), req.dec.data().end(),
+                           expected.dec.data().begin()));
+}
+
+TEST(NetDataPlane, ConnectionTeardownWhileWorkerHoldsPayloadViews) {
+    net::NetServer server(loopback_config());
+    server.start();
+    {
+        net::NetClient client(client_config(server.port()));
+        for (std::uint64_t s = 0; s < 4; ++s) (void)client.submit(make_request(300 + s));
+        client.pump(0.0);  // flush the burst
+        // Leave as soon as the server owns the requests; the client (and
+        // its connection) die here while workers still hold payload views
+        // into the connection's ingest slabs.
+        while (server.telemetry().requests_accepted < 4) client.pump(0.001);
+    }
+    server.shutdown();  // drain settles the in-flight work without a reader
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.telemetry().requests_in_flight > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const auto tele = server.telemetry();
+    EXPECT_EQ(tele.requests_accepted, 4u);
+    EXPECT_EQ(tele.requests_accepted, tele.requests_completed + tele.requests_failed);
+    EXPECT_EQ(tele.requests_in_flight, 0u);
+}
+
+TEST(NetDataPlane, StreamAbortAndDisconnectWhileChunksInFlight) {
+    auto scfg = loopback_config();
+    net::NetServer server(scfg);
+    server.start();
+    {
+        auto ccfg = client_config(server.port());
+        ccfg.protocol_version = 2;
+        net::NetClient client(ccfg);
+        zc::MetricsConfig cfg;
+        cfg.pattern2 = false;
+        cfg.pattern3 = false;
+        const zc::Dims3 dims{4, 4, 16};
+        const zc::Field orig = tst::smooth_field(dims, 91);
+        const zc::Field dec = tst::perturbed(orig, 0.01, 191);
+        const auto id = client.stream_begin(dims, cfg, 4);
+        client.stream_feed(id, orig.data().subspan(0, 64), dec.data().subspan(0, 64));
+        client.pump(0.0);
+        // Abort mid-stream, then drop the connection: the assessor's
+        // chunk views must not dangle into the dead connection's buffers.
+        client.stream_abort(id);
+        client.pump(0.0);
+        while (server.telemetry().streams_aborted < 1) client.pump(0.001);
+    }
+    server.shutdown();
+    const auto tele = server.telemetry();
+    EXPECT_EQ(tele.streams_opened, 1u);
+    EXPECT_EQ(tele.streams_aborted, 1u);
+    EXPECT_EQ(tele.requests_in_flight, 0u);
+}
+
+TEST(NetDataPlane, CacheEntryOutlivesOriginatingConnection) {
+    net::NetServer server(loopback_config());
+    server.start();
+    serve::AssessResponse first;
+    {
+        net::NetClient client(client_config(server.port()));
+        first = client.assess(make_request(55));
+        ASSERT_FALSE(first.rejected) << first.error;
+    }  // connection (and its ingest slabs) torn down here
+    {
+        net::NetClient client(client_config(server.port()));
+        const auto second = client.assess(make_request(55));
+        ASSERT_FALSE(second.rejected) << second.error;
+        EXPECT_TRUE(second.cache_hit);
+        EXPECT_EQ(net::encode_report(second.result.report),
+                  net::encode_report(first.result.report));
+    }
+}
+
+TEST(NetDataPlane, LoopbackRequestsAdoptInsteadOfCopying) {
+    net::NetServer server(loopback_config());
+    server.start();
+    net::NetClient client(client_config(server.port()));
+    zc::reset_data_plane_stats();
+    const auto resp = client.assess(make_request(61));
+    EXPECT_FALSE(resp.rejected) << resp.error;
+    const auto tele = server.telemetry();
+    // Both fields were decoded in place and adopted by the device buffers.
+    EXPECT_GE(tele.data_plane.adoptions, 2u);
+    // No field-payload-sized copy happened anywhere on the serve path.
+    EXPECT_LT(tele.data_plane.bytes_copied, kDims.volume() * sizeof(float));
 }
 
 }  // namespace

@@ -270,7 +270,7 @@ TEST(Serve, TelemetryReconcilesWithGeneratedTrace) {
 
     std::ostringstream json;
     tele.write_json(json);
-    EXPECT_NE(json.str().find("\"schema\": \"cuzc-serve-telemetry-v1\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"schema\": \"cuzc-serve-telemetry-v2\""), std::string::npos);
     EXPECT_NE(json.str().find("\"bucket_counts\""), std::string::npos);
 }
 

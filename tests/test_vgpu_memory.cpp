@@ -118,4 +118,85 @@ TEST(VgpuDeviceSpan, CountsPerElementBytes) {
     EXPECT_EQ(rec.global_bytes_read, 4 * sizeof(double));
 }
 
+namespace zc = ::cuzc::zc;
+
+zc::FieldRef staged_field(std::size_t n) {
+    zc::FieldBuffer staging(zc::Dims3{1, 1, n});
+    for (std::size_t i = 0; i < n; ++i) {
+        staging.data()[i] = static_cast<float>(i) - 0.25f;
+    }
+    return std::move(staging).seal();
+}
+
+TEST(VgpuBufferAdopt, AliasesPayloadWithoutCopying) {
+    Device dev;
+    const zc::FieldRef host = staged_field(32);
+    zc::reset_data_plane_stats();
+    DeviceBuffer<float> buf(dev, 32);
+    buf.adopt(host);
+    EXPECT_EQ(dev.h2d_bytes(), 32 * sizeof(float));  // modeled PCIe still charged
+    const auto s = zc::data_plane_stats();
+    EXPECT_EQ(s.bytes_copied, 0u);
+    EXPECT_EQ(s.adoptions, 1u);
+    EXPECT_EQ(host.slab().use_count(), 2u);  // buffer pins the payload
+    const auto back = buf.download();
+    for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(back[i], host.data()[i]);
+}
+
+TEST(VgpuBufferAdopt, MutationDetachesAndPreservesSharedPayload) {
+    Device dev;
+    const zc::FieldRef host = staged_field(16);
+    DeviceBuffer<float> buf(dev, 16);
+    buf.adopt(host);
+    zc::reset_data_plane_stats();
+    buf.raw()[0] = 99.0f;  // mutable access materializes a private copy
+    EXPECT_EQ(zc::data_plane_stats().bytes_copied, 16 * sizeof(float));
+    EXPECT_EQ(host.data()[0], -0.25f);  // shared payload untouched
+    EXPECT_EQ(buf.download()[0], 99.0f);
+    EXPECT_EQ(host.slab().use_count(), 1u);  // pin dropped with the alias
+}
+
+TEST(VgpuBufferAdopt, CorruptionCopiesFirstAndMatchesUploadBitFlip) {
+    // Same fault plan, same op sequence: upload and adopt must draw the
+    // same corruption event and flip the same bit — on a private copy.
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.upload_corrupt = 1.0;
+    const zc::FieldRef host = staged_field(64);
+
+    Device via_upload;
+    via_upload.set_fault_plan(plan);
+    DeviceBuffer<float> a(via_upload, 64);
+    a.upload(host.data());
+
+    Device via_adopt;
+    via_adopt.set_fault_plan(plan);
+    DeviceBuffer<float> b(via_adopt, 64);
+    b.adopt(host);
+
+    EXPECT_EQ(a.download(), b.download());
+    // The flip landed somewhere; the shared payload never saw it.
+    bool flipped = false;
+    const auto got = b.download();
+    for (std::size_t i = 0; i < 64; ++i) {
+        if (got[i] != host.data()[i]) flipped = true;
+        EXPECT_EQ(host.data()[i], static_cast<float>(i) - 0.25f);
+    }
+    EXPECT_TRUE(flipped);
+    EXPECT_EQ(host.slab().use_count(), 1u);  // corrupt path does not pin
+}
+
+TEST(VgpuBufferAdopt, ForceCopyModeIsBitIdenticalToAliasing) {
+    const zc::FieldRef host = staged_field(48);
+    Device dev;
+    DeviceBuffer<float> aliased(dev, 48);
+    aliased.adopt(host);
+    zc::set_data_plane_force_copy(true);
+    DeviceBuffer<float> copied(dev, 48);
+    copied.adopt(host);
+    zc::set_data_plane_force_copy(false);
+    EXPECT_EQ(copied.raw() == host.data().data(), false);
+    EXPECT_EQ(aliased.download(), copied.download());
+}
+
 }  // namespace

@@ -554,7 +554,7 @@ int run_assess_connect(const CliOptions& opt, std::ostream& out, std::ostream& e
     if (!opt.config_path.empty()) {
         cfg = io::metrics_from_config(io::Config::load(opt.config_path));
     }
-    zc::Field orig = data::read_f32(opt.orig_path, opt.dims);
+    zc::FieldRef orig = data::read_f32(opt.orig_path, opt.dims);
 
     net::NetClientConfig ccfg;
     ccfg.host = opt.connect_host;
@@ -563,7 +563,7 @@ int run_assess_connect(const CliOptions& opt, std::ostream& out, std::ostream& e
 
     serve::AssessResponse resp;
     if (opt.stream_chunk > 0) {
-        const zc::Field dec = data::read_f32(opt.dec_path, opt.dims);
+        const zc::FieldRef dec = data::read_f32(opt.dec_path, opt.dims);
         resp = client.stream_assess(opt.dims, orig.data(), dec.data(), cfg, opt.stream_chunk);
     } else {
         serve::AssessRequest req;
@@ -746,7 +746,7 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     }
     if (opt.version) {
         out << "cuzc " << CUZC_VERSION << "\n"
-            << "schemas: cuzc-trace-v1 cuzc-serve-telemetry-v1 cuzc-serve-replay-v2 "
+            << "schemas: cuzc-trace-v1 cuzc-serve-telemetry-v2 cuzc-serve-replay-v2 "
             << net::kProtocolName << " " << net::kProtocolNameV2 << "\n"
             << vgpu::simd::banner() << "\n";
         return 0;
@@ -766,8 +766,8 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
         if (!opt.config_path.empty()) {
             cfg = io::metrics_from_config(io::Config::load(opt.config_path));
         }
-        const zc::Field orig = data::read_f32(opt.orig_path, opt.dims);
-        zc::Field dec;
+        const zc::FieldRef orig = data::read_f32(opt.orig_path, opt.dims);
+        zc::FieldRef dec;
         std::optional<zc::CompressionStats> comp_stats;
         if (!opt.sz_stream_path.empty()) {
             const auto stream = read_bytes(opt.sz_stream_path);
@@ -795,7 +795,8 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
             profiles = r.per_device;
         } else {
             vgpu::Device device;
-            const auto r = ::cuzc::cuzc::assess(device, orig.view(), dec.view(), cfg);
+            // FieldRef overload: device buffers adopt the payloads in place.
+            const auto r = ::cuzc::cuzc::assess(device, orig, dec, cfg);
             report = r.report;
             profiles = {r.pattern1, r.pattern2, r.pattern3};
         }
@@ -830,6 +831,10 @@ int run_cli(const CliOptions& opt, std::ostream& out, std::ostream& err) {
                     << "B shared=" << p.shared_bytes() << "B shuffles=" << p.shuffle_ops
                     << "\n";
             }
+            const zc::DataPlaneStats dp = zc::data_plane_stats();
+            err << "data-plane: bytes_copied=" << dp.bytes_copied
+                << " slab_reuses=" << dp.slab_reuses << " adoptions=" << dp.adoptions
+                << " pool_high_water=" << dp.pool_high_water_bytes << "B\n";
         }
         return 0;
     } catch (const std::exception& e) {
